@@ -1,0 +1,171 @@
+// Package agora is the public API of the Open Agora library — a distributed
+// environment of independent information systems where seeking information
+// works like shopping in a real market, after Ioannidis, "Emerging Open
+// Agoras of Data and Information" (ICDE 2007).
+//
+// The facade re-exports the stable surface of the internal packages:
+//
+//   - Agora / Node / Session — the marketplace, providers, and the consumer
+//     pipeline (interpret → personalize/contextualize → optimize → negotiate
+//     SLAs → execute → settle → learn → fuse).
+//   - Document / Store — the per-source storage engine.
+//   - Profile — user models with learning, merging, and context variants.
+//   - Query — the AQL language (see ParseQuery).
+//   - QoS / Contract — quality vectors and SLA contracts.
+//
+// Quickstart:
+//
+//	a := agora.New(agora.Config{Seed: 1})
+//	museum, _ := a.AddNode("museum", agora.DefaultEconomics(), agora.DefaultBehavior())
+//	_ = museum.Ingest(&agora.Document{ID: "d1", Title: "Byzantine gold ring",
+//	    Topics: []string{"jewelry"}})
+//	iris := agora.NewProfile("iris", a.ConceptDim())
+//	sess := a.NewSession(iris)
+//	ans, _ := sess.Ask(`FIND documents WHERE text ~ "gold ring" TOP 5`, nil)
+package agora
+
+import (
+	"repro/internal/core"
+	"repro/internal/ctxmodel"
+	"repro/internal/docstore"
+	"repro/internal/feature"
+	"repro/internal/profile"
+	"repro/internal/qos"
+	"repro/internal/query"
+	"repro/internal/social"
+)
+
+// Core marketplace types.
+type (
+	// Agora is the marketplace of independent information systems.
+	Agora = core.Agora
+	// Config sizes an Agora.
+	Config = core.Config
+	// Node is one provider: an independent information system.
+	Node = core.Node
+	// NodeEconomics are a provider's market parameters.
+	NodeEconomics = core.NodeEconomics
+	// NodeBehavior is a provider's hidden reliability/latency truth.
+	NodeBehavior = core.NodeBehavior
+	// Session is a consumer's connection to the agora.
+	Session = core.Session
+	// Answer is the outcome of one Ask: results, contracts, settlements.
+	Answer = core.Answer
+	// LiveCompare is a running comparison between reference objects and
+	// arriving feed items; objects may be added mid-flight (§9).
+	LiveCompare = core.LiveCompare
+	// CompareMatch pairs an arriving item with the reference it resembled.
+	CompareMatch = core.Match
+	// Partial is one progressive per-source delivery during an Ask.
+	Partial = core.Partial
+)
+
+// Content types.
+type (
+	// Document is one stored information object.
+	Document = docstore.Document
+	// DocumentKind labels what a document is.
+	DocumentKind = docstore.Kind
+	// Store is the per-node durable document store.
+	Store = docstore.Store
+	// StoreOptions configures a Store.
+	StoreOptions = docstore.Options
+	// Vector is a dense feature/concept vector.
+	Vector = feature.Vector
+)
+
+// Document kinds.
+const (
+	KindArticle      = docstore.KindArticle
+	KindHolding      = docstore.KindHolding
+	KindCatalogEntry = docstore.KindCatalogEntry
+	KindMagazine     = docstore.KindMagazine
+	KindAnnotation   = docstore.KindAnnotation
+	KindThesis       = docstore.KindThesis
+)
+
+// User modelling.
+type (
+	// Profile is a user model: interests, trust, QoS preferences, risk
+	// attitude, negotiation style, and context variants.
+	Profile = profile.Profile
+	// ProfileEvent is one observed interaction to learn from.
+	ProfileEvent = profile.Event
+	// ProfileVariant is a context-conditioned profile override.
+	ProfileVariant = profile.Variant
+	// Context captures the situation a user operates in.
+	Context = ctxmodel.Context
+	// ContextRule activates a profile variant when its condition matches.
+	ContextRule = ctxmodel.Rule
+	// ContextCondition is a conjunctive pattern over context dimensions.
+	ContextCondition = ctxmodel.Condition
+)
+
+// Event types for profile learning.
+const (
+	EventSkip     = profile.EventSkip
+	EventClick    = profile.EventClick
+	EventDwell    = profile.EventDwell
+	EventSave     = profile.EventSave
+	EventAnnotate = profile.EventAnnotate
+	EventQuery    = profile.EventQuery
+)
+
+// Query and QoS.
+type (
+	// Query is a parsed AQL query.
+	Query = query.Query
+	// QueryResult is one scored answer.
+	QueryResult = query.Result
+	// QoS is a point in quality-of-service space.
+	QoS = qos.Vector
+	// QoSWeights expresses per-user QoS trade-off preferences.
+	QoSWeights = qos.Weights
+	// Contract is an SLA between consumer and provider.
+	Contract = qos.Contract
+	// ContractOutcome is a settled contract's result.
+	ContractOutcome = qos.Outcome
+)
+
+// Social scope constants for profile sharing.
+const (
+	ScopeInterests = social.ScopeInterests
+	ScopeTerms     = social.ScopeTerms
+	ScopeTrust     = social.ScopeTrust
+	ScopeAll       = social.ScopeAll
+)
+
+// DiscoveryConfig tunes decentralized overlay-based source discovery.
+type DiscoveryConfig = core.DiscoveryConfig
+
+// New creates an agora on a fresh deterministic simulation kernel.
+func New(cfg Config) *Agora { return core.New(cfg) }
+
+// DefaultDiscovery returns semantic-routing discovery defaults for
+// Agora.EnableOverlayDiscovery.
+func DefaultDiscovery() DiscoveryConfig { return core.DefaultDiscovery() }
+
+// DefaultEconomics returns middle-of-the-road provider economics.
+func DefaultEconomics() NodeEconomics { return core.DefaultEconomics() }
+
+// DefaultBehavior returns a well-behaved provider.
+func DefaultBehavior() NodeBehavior { return core.DefaultBehavior() }
+
+// NewProfile returns an empty profile for a user.
+func NewProfile(userID string, conceptDim int) *Profile {
+	return profile.New(userID, conceptDim)
+}
+
+// ParseQuery parses an AQL query string.
+func ParseQuery(aql string) (*Query, error) { return query.Parse(aql) }
+
+// OpenStore opens (or recovers) a standalone durable document store —
+// useful for building a personal information base outside an Agora.
+func OpenStore(opts StoreOptions) (*Store, error) { return docstore.Open(opts) }
+
+// Tokenize exposes the shared text tokenizer (for building ProfileEvents
+// from raw text).
+func Tokenize(text string) []string { return feature.Tokenize(text) }
+
+// Cosine exposes cosine similarity over vectors.
+func Cosine(a, b Vector) float64 { return feature.Cosine(a, b) }

@@ -1,0 +1,76 @@
+package agora_test
+
+import (
+	"testing"
+
+	"repro/agora"
+)
+
+// TestFacadeQuickstart exercises the documented public-API happy path.
+func TestFacadeQuickstart(t *testing.T) {
+	a := agora.New(agora.Config{Seed: 1})
+	museum, err := a.AddNode("museum", agora.DefaultEconomics(), agora.DefaultBehavior())
+	if err != nil {
+		t.Fatal(err)
+	}
+	concept := make(agora.Vector, a.ConceptDim())
+	concept[0] = 1
+	for _, d := range []*agora.Document{
+		{ID: "d1", Kind: agora.KindHolding, Title: "Byzantine gold ring",
+			Text: "filigree craftsmanship ancient", Topics: []string{"jewelry"}, Concept: concept},
+		{ID: "d2", Kind: agora.KindHolding, Title: "Celtic silver brooch",
+			Text: "knotwork silver", Topics: []string{"jewelry"}},
+	} {
+		if err := museum.Ingest(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	iris := agora.NewProfile("iris", a.ConceptDim())
+	sess := a.NewSession(iris)
+	ans, err := sess.Ask(`FIND documents WHERE text ~ "gold ring" TOP 5`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Results) == 0 || ans.Results[0].Doc.ID != "d1" {
+		t.Fatalf("results = %+v", ans.Results)
+	}
+	if len(ans.Contracts) != 1 {
+		t.Fatalf("contracts = %d", len(ans.Contracts))
+	}
+	sess.Feedback([]agora.ProfileEvent{{
+		Type:    agora.EventSave,
+		Concept: concept,
+		Terms:   agora.Tokenize("byzantine gold ring"),
+		Source:  "museum", Satisfied: true,
+	}})
+	if agora.Cosine(sess.Profile.Interests, concept) <= 0 {
+		t.Fatal("feedback did not move interests")
+	}
+}
+
+func TestFacadeParseQuery(t *testing.T) {
+	q, err := agora.ParseQuery(`FIND catalogs WHERE topic = "jewelry" TOP 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.TopK != 3 {
+		t.Fatalf("q = %+v", q)
+	}
+	if _, err := agora.ParseQuery("NOT AQL"); err == nil {
+		t.Fatal("bad query parsed")
+	}
+}
+
+func TestFacadeStandaloneStore(t *testing.T) {
+	s, err := agora.OpenStore(agora.StoreOptions{Dir: t.TempDir(), ConceptDim: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Put(&agora.Document{ID: "x", Title: "personal note on dutch drawings"}); err != nil {
+		t.Fatal(err)
+	}
+	if hits := s.SearchText("dutch drawings", 5); len(hits) != 1 {
+		t.Fatalf("hits = %v", hits)
+	}
+}

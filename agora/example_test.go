@@ -1,0 +1,67 @@
+package agora_test
+
+import (
+	"fmt"
+
+	"repro/agora"
+)
+
+// ExampleSession_Ask shows the full market loop on a tiny agora.
+func ExampleSession_Ask() {
+	a := agora.New(agora.Config{Seed: 7})
+	museum, err := a.AddNode("museum", agora.DefaultEconomics(), agora.DefaultBehavior())
+	if err != nil {
+		panic(err)
+	}
+	jewel := make(agora.Vector, a.ConceptDim())
+	jewel[0] = 1
+	_ = museum.Ingest(&agora.Document{
+		ID: "m1", Kind: agora.KindHolding,
+		Title: "Byzantine gold ring", Topics: []string{"jewelry"}, Concept: jewel,
+	})
+	sess := a.NewSession(agora.NewProfile("iris", a.ConceptDim()))
+	ans, err := sess.Ask(`FIND documents WHERE text ~ "gold ring" TOP 3`, jewel)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(ans.Results), ans.Results[0].Doc.Title)
+	// Output: 1 Byzantine gold ring
+}
+
+// ExampleParseQuery demonstrates the AQL language.
+func ExampleParseQuery() {
+	q, err := agora.ParseQuery(`FIND catalogs WHERE topic = "jewelry" AND fresh < 7d TOP 5`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(q.TopK, q.Topics[0])
+	// Output: 5 jewelry
+}
+
+// ExampleSession_StartCompare shows mid-flight query modification: a live
+// comparison gaining a reference object while it runs.
+func ExampleSession_StartCompare() {
+	a := agora.New(agora.Config{Seed: 7})
+	auction, _ := a.AddNode("auction", agora.DefaultEconomics(), agora.DefaultBehavior())
+	sess := a.NewSession(agora.NewProfile("iris", a.ConceptDim()))
+
+	ring := make(agora.Vector, a.ConceptDim())
+	ring[0] = 1
+	lc, _ := sess.StartCompare(0.9, ring)
+	defer lc.Stop()
+
+	// A matching lot arrives on the feed.
+	_ = auction.Ingest(&agora.Document{ID: "lot1", Title: "gold ring lot", Concept: ring})
+	// Add a second reference object mid-flight; matching items now hit too.
+	brooch := make(agora.Vector, a.ConceptDim())
+	brooch[3] = 1
+	_ = lc.AddObject(brooch)
+	_ = auction.Ingest(&agora.Document{ID: "lot2", Title: "silver brooch lot", Concept: brooch})
+
+	for _, m := range lc.Matches() {
+		fmt.Println(m.Item.ID, m.ObjectIdx)
+	}
+	// Output:
+	// lot1 0
+	// lot2 1
+}

@@ -1,0 +1,52 @@
+// Command agora-bench regenerates every experiment table from DESIGN.md §3
+// (the synthetic evaluation suite standing in for the vision paper's
+// nonexistent evaluation section) and prints them as markdown — the exact
+// content recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	agora-bench [-seed N] [-scale F] [-only E4,E5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	seed := flag.Int64("seed", 42, "random seed for all experiments")
+	scale := flag.Float64("scale", 1.0, "workload scale factor (0.2 = quick, 1 = full)")
+	only := flag.String("only", "", "comma-separated experiment ids to run (default all)")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+	fmt.Printf("# Open Agora experiment suite (seed=%d, scale=%g)\n\n", *seed, *scale)
+	start := time.Now()
+	ran := 0
+	for _, e := range bench.Suite() {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		fmt.Printf("## %s — %s\n\n", e.ID, e.Title)
+		t0 := time.Now()
+		r := e.Run(*seed, *scale)
+		r.Render(os.Stdout)
+		fmt.Printf("_(%s in %s)_\n\n", e.ID, time.Since(t0).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "agora-bench: no experiments matched -only")
+		os.Exit(1)
+	}
+	fmt.Printf("Ran %d experiments in %s.\n", ran, time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,74 @@
+// Command agora-node serves one Open Agora information source over real
+// TCP: a durable document store answering wire-protocol queries and feeding
+// standing subscriptions. Pair with cmd/agora-query.
+//
+// Usage:
+//
+//	agora-node -listen :7411 -id museum -dir /var/lib/agora-museum [-demo]
+//
+// With -demo the node seeds itself with a generated corpus so the pair can
+// be tried immediately.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/docstore"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+func main() {
+	listen := flag.String("listen", ":7411", "TCP listen address")
+	id := flag.String("id", "agora-node", "node id announced to clients")
+	dir := flag.String("dir", "", "durability directory (empty = in-memory)")
+	demo := flag.Bool("demo", false, "seed with a generated demo corpus")
+	demoDocs := flag.Int("demo-docs", 500, "demo corpus size")
+	seed := flag.Int64("seed", 11, "demo corpus seed")
+	flag.Parse()
+
+	store, err := docstore.Open(docstore.Options{
+		Dir: *dir, ConceptDim: 32, Seed: *seed, SyncEveryPut: *dir != "",
+		CompactAfterBytes: 64 << 20,
+	})
+	if err != nil {
+		log.Fatalf("agora-node: %v", err)
+	}
+	defer store.Close()
+
+	if *demo && store.Len() == 0 {
+		g := workload.NewGenerator(*seed, 32, 8)
+		for _, d := range g.GenCorpus(*demoDocs, 1.2, int64(24*time.Hour)) {
+			d.Doc.Provenance = *id
+			if err := store.Put(d.Doc); err != nil {
+				log.Fatalf("agora-node: seeding: %v", err)
+			}
+		}
+		log.Printf("agora-node: seeded %d demo documents", store.Len())
+	}
+
+	srv := transport.NewServer(*id, store)
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("agora-node: %v", err)
+	}
+	log.Printf("agora-node: %q serving %d documents on %s", *id, store.Len(), ln.Addr())
+
+	done := make(chan os.Signal, 1)
+	signal.Notify(done, os.Interrupt)
+	go func() {
+		<-done
+		fmt.Println()
+		log.Printf("agora-node: shutting down (served %d queries)", srv.Served)
+		srv.Close()
+	}()
+	if err := srv.Serve(ln); err != nil {
+		log.Fatalf("agora-node: %v", err)
+	}
+}

@@ -1,0 +1,133 @@
+// Command agora-query is the consumer CLI for TCP agora nodes: it fans a
+// query (free text or full AQL) out to one or more nodes, merges the
+// ranked answers, and prints them. With -watch it instead subscribes to the
+// nodes' feeds and streams matching items.
+//
+// Usage:
+//
+//	agora-query -nodes 127.0.0.1:7411,127.0.0.1:7412 "byzantine gold ring"
+//	agora-query -nodes 127.0.0.1:7411 -top 5 'FIND documents WHERE text ~ "ring" TOP 5'
+//	agora-query -nodes 127.0.0.1:7411 -watch "auction drawing"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+func main() {
+	nodes := flag.String("nodes", "127.0.0.1:7411", "comma-separated node addresses")
+	top := flag.Int("top", 10, "results to print after merging")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-node timeout")
+	watch := flag.Bool("watch", false, "subscribe to feeds instead of querying")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: agora-query [-nodes a,b] [-watch] <query>")
+		os.Exit(2)
+	}
+	text := flag.Arg(0)
+
+	var clients []*transport.Client
+	for _, addr := range strings.Split(*nodes, ",") {
+		c, err := transport.Dial(strings.TrimSpace(addr), "agora-query", *timeout)
+		if err != nil {
+			log.Printf("agora-query: %v (skipping)", err)
+			continue
+		}
+		defer c.Close()
+		clients = append(clients, c)
+	}
+	if len(clients) == 0 {
+		log.Fatal("agora-query: no nodes reachable")
+	}
+
+	if *watch {
+		watchFeeds(clients, text)
+		return
+	}
+
+	type hit struct {
+		item wire.ResultItem
+	}
+	var all []hit
+	for _, c := range clients {
+		res, err := c.Query(text, nil, *top, *timeout)
+		if err != nil {
+			log.Printf("agora-query: %s: %v", c.RemoteID, err)
+			continue
+		}
+		// Normalize per-source scores before merging.
+		var max float64
+		for _, it := range res.Items {
+			if it.Score > max {
+				max = it.Score
+			}
+		}
+		for _, it := range res.Items {
+			if max > 0 {
+				it.Score /= max
+			}
+			all = append(all, hit{item: it})
+		}
+		log.Printf("agora-query: %s answered %d items in %.1fms",
+			res.From, len(res.Items), res.Elapsed*1000)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].item.Score != all[j].item.Score {
+			return all[i].item.Score > all[j].item.Score
+		}
+		return all[i].item.DocID < all[j].item.DocID
+	})
+	seen := map[string]bool{}
+	rank := 0
+	for _, h := range all {
+		if seen[h.item.DocID] {
+			continue
+		}
+		seen[h.item.DocID] = true
+		rank++
+		if rank > *top {
+			break
+		}
+		fmt.Printf("%2d. [%.3f] %-14s %s  — %s\n", rank, h.item.Score, h.item.Source, h.item.DocID, h.item.Snippet)
+	}
+	if rank == 0 {
+		fmt.Println("no results")
+	}
+}
+
+func watchFeeds(clients []*transport.Client, terms string) {
+	for i, c := range clients {
+		subID := fmt.Sprintf("watch-%d", i)
+		if err := c.Subscribe(subID, strings.Fields(terms), nil, 0); err != nil {
+			log.Printf("agora-query: subscribe %s: %v", c.RemoteID, err)
+		}
+	}
+	log.Printf("agora-query: watching %d node feed(s) for %q — ctrl-c to stop", len(clients), terms)
+	agg := make(chan wire.FeedItem)
+	for _, c := range clients {
+		go func(c *transport.Client) {
+			for item := range c.Feed {
+				agg <- item
+			}
+		}(c)
+	}
+	for item := range agg {
+		fmt.Printf("[feed %s] %s: %s\n", item.Source, item.DocID, truncate(item.Text, 100))
+	}
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "…"
+}

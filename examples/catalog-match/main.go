@@ -1,0 +1,109 @@
+// Catalog match: the paper's hardest matching question (§2) — "how does a
+// web page of a fashion magazine match with an auction catalog, taking into
+// account the images they contain, the corresponding text, and their
+// different layout?" — and its sequel, cross-modal comparison ("an image of
+// a jewel matching an article that talks about traditional costumes").
+//
+// This example builds compound objects (magazine pages, catalog entries)
+// from heterogeneous parts — text blocks and simulated image features —
+// and ranks catalog entries against a magazine page with the greedy
+// weighted-assignment compound matcher, including a pure cross-modal pair.
+//
+//	go run ./examples/catalog-match
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/feature"
+)
+
+func main() {
+	// Shared vocabulary across the publications.
+	voc := feature.NewVocabulary()
+	corpus := []string{
+		"byzantine gold ring filigree ancient greek jewel auction lot",
+		"silver celtic brooch knotwork highland",
+		"traditional costume embroidery balkan festival dress",
+		"spring fashion collection runway jewelry trend gold",
+		"flemish drawing old master auction catalog paper",
+		"folk dance ensemble music festival",
+	}
+	for _, doc := range corpus {
+		voc.Observe(feature.Tokenize(doc))
+	}
+	extractor := feature.NewVisualExtractor(7, 32, 12, 8, 0.08)
+	rng := rand.New(rand.NewSource(7))
+
+	// Concept anchors (what the latent subject of each image is).
+	conceptOf := func(text string) feature.Vector {
+		return voc.Vectorize(feature.Tokenize(text)).Project(32)
+	}
+	textPart := func(text string, weight float64) feature.Part {
+		return feature.Part{
+			Kind:    feature.PartText,
+			Text:    voc.Vectorize(feature.Tokenize(text)),
+			Concept: conceptOf(text),
+			Weight:  weight,
+		}
+	}
+	imagePart := func(subject string, weight float64) feature.Part {
+		concept := conceptOf(subject)
+		return feature.Part{
+			Kind:    feature.PartImage,
+			Visual:  extractor.Extract(rng, concept),
+			Concept: concept,
+			Weight:  weight,
+		}
+	}
+
+	// The magazine page Iris is reading: a big photo of a gold ring, a
+	// trend article, and a sidebar about a costume festival.
+	page := feature.Compound{Parts: []feature.Part{
+		imagePart("byzantine gold ring filigree jewel", 3),
+		textPart("spring fashion collection jewelry trend gold", 2),
+		textPart("traditional costume festival", 1),
+	}}
+
+	// Auction catalog entries: image + lot description each.
+	catalog := map[string]feature.Compound{
+		"lot-17 byzantine ring": {Parts: []feature.Part{
+			imagePart("byzantine gold ring ancient greek", 2),
+			textPart("byzantine gold ring filigree auction lot", 2),
+		}},
+		"lot-22 celtic brooch": {Parts: []feature.Part{
+			imagePart("silver celtic brooch knotwork", 2),
+			textPart("silver celtic brooch highland auction lot", 2),
+		}},
+		"lot-31 flemish drawing": {Parts: []feature.Part{
+			imagePart("flemish drawing old master", 2),
+			textPart("flemish drawing old master paper auction catalog", 2),
+		}},
+	}
+
+	fmt.Println("— Magazine page vs auction catalog (compound matching) —")
+	type scored struct {
+		lot string
+		s   float64
+	}
+	var ranked []scored
+	for lot, entry := range catalog {
+		ranked = append(ranked, scored{lot, feature.CompoundSimilarity(page, entry)})
+	}
+	sort.Slice(ranked, func(i, j int) bool { return ranked[i].s > ranked[j].s })
+	for i, r := range ranked {
+		fmt.Printf("  %d. [%.3f] %s\n", i+1, r.s, r.lot)
+	}
+
+	// Cross-modal: the jewel IMAGE against two ARTICLES.
+	fmt.Println("\n— Cross-modal: jewel photo vs articles —")
+	photo := imagePart("byzantine gold ring filigree jewel", 1)
+	jewelArticle := textPart("byzantine gold ring filigree ancient jewel", 1)
+	costumeArticle := textPart("traditional costume embroidery balkan dress", 1)
+	fmt.Printf("  photo ↔ jewelry article: %.3f\n", feature.PartSimilarity(photo, jewelArticle))
+	fmt.Printf("  photo ↔ costume article: %.3f\n", feature.PartSimilarity(photo, costumeArticle))
+	fmt.Println("\nSame-subject pairs score higher even across modalities — the")
+	fmt.Println("shared concept space is doing the comparison the paper asks for.")
+}

@@ -1,0 +1,117 @@
+// Market: the paper's §3–§4 in isolation. Queries and answers as traded
+// commodities: a consumer negotiates multi-issue SLA packages with
+// providers using different concession tactics, signs contracts with
+// premiums and penalty clauses, settles deliveries (including breaches and
+// compensation), and the reputation ledger turns outcomes into trust — the
+// greengrocer effect.
+//
+//	go run ./examples/market
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/negotiate"
+	"repro/internal/qos"
+)
+
+func main() {
+	grid := negotiate.CandidateGrid(
+		qos.Vector{Latency: time.Second, Trust: 0.8},
+		[]float64{0.5, 0.6, 0.7, 0.8, 0.9, 1.0},
+		[]float64{0.5, 1, 1.5, 2, 3, 4, 6, 8},
+	)
+	buyerW := qos.Weights{Price: 2, Completeness: 3, Trust: 1, Latency: 1, Freshness: 1}
+	mkBuyer := func(t negotiate.Tactic) *negotiate.Negotiator {
+		return &negotiate.Negotiator{
+			Name: "iris", U: negotiate.BuyerUtility{W: buyerW},
+			Reservation: 0.3, Tactic: t, Candidates: grid,
+		}
+	}
+	mkSeller := func(t negotiate.Tactic) *negotiate.Negotiator {
+		return &negotiate.Negotiator{
+			Name: "museum", U: negotiate.SellerUtility{Cost: negotiate.StandardCost(0.3, 1.2), Scale: 6},
+			Reservation: 0.05, Tactic: t, Candidates: grid,
+		}
+	}
+
+	fmt.Println("— Alternating-offers negotiation, tactic head-to-heads —")
+	tactics := []negotiate.Tactic{negotiate.Boulware(), negotiate.Linear(), negotiate.Conceder(), negotiate.TitForTat{Reciprocity: 1}}
+	for _, bt := range tactics {
+		deal, err := negotiate.Run(mkBuyer(bt), mkSeller(negotiate.Linear()), 24)
+		if err != nil {
+			fmt.Printf("  %-12s vs linear seller: no deal (%v)\n", bt.Name(), err)
+			continue
+		}
+		fmt.Printf("  %-12s closed in %2d rounds: completeness %.1f at %.2f  (buyer %.2f / seller %.2f)\n",
+			bt.Name(), deal.Rounds, deal.Package.Completeness, deal.Package.Price,
+			deal.BuyerUtility, deal.SellerUtility)
+	}
+	tf, err := negotiate.TakeFirst(mkBuyer(negotiate.Linear()), mkSeller(negotiate.Linear()))
+	if err != nil {
+		fmt.Printf("  take-first baseline: no deal (%v)\n", err)
+	} else {
+		fmt.Printf("  take-first baseline: buyer %.2f — what negotiation improves on\n", tf.BuyerUtility)
+	}
+
+	// --- SLA lifecycle ----------------------------------------------------
+	fmt.Println("\n— SLA lifecycle with premiums and breach compensation —")
+	ledger := qos.NewReputationLedger(0.98, 16)
+	deliveries := []struct {
+		provider  string
+		delivered qos.Vector
+	}{
+		{"museum", qos.Vector{Latency: 800 * time.Millisecond, Completeness: 0.95, Trust: 0.85}},
+		{"museum", qos.Vector{Latency: 700 * time.Millisecond, Completeness: 0.92, Trust: 0.85}},
+		{"flea-market", qos.Vector{Latency: 4 * time.Second, Completeness: 0.4, Trust: 0.5}},
+		{"flea-market", qos.Vector{Latency: 3 * time.Second, Completeness: 0.5, Trust: 0.6}},
+	}
+	for i, d := range deliveries {
+		c := &qos.Contract{
+			ID:       fmt.Sprintf("sla-%d", i+1),
+			Consumer: "iris", Provider: d.provider,
+			Promised: qos.Vector{Latency: time.Second, Completeness: 0.9, Trust: 0.8, Price: 4},
+			Premium:  1.5, PenaltyRate: 0.5,
+		}
+		if err := c.Sign(0); err != nil {
+			panic(err)
+		}
+		out, err := c.Settle(d.delivered)
+		if err != nil {
+			panic(err)
+		}
+		ledger.RecordOutcome(d.provider, out)
+		status := "fulfilled"
+		if !out.Fulfilled {
+			status = fmt.Sprintf("BREACHED (shortfall %.2f, compensation %.2f)", out.Shortfall, out.Compensation)
+		}
+		fmt.Printf("  %s %-12s paid %.2f → %s\n", c.ID, d.provider, out.NetPaid, status)
+	}
+
+	fmt.Println("\n— The greengrocer effect: trust after settlements —")
+	for _, p := range ledger.Ranked() {
+		flag := ""
+		if ledger.Blacklisted(p, 0.4, 1) {
+			flag = "  ← Iris shops elsewhere now"
+		}
+		fmt.Printf("  %-12s trust %.2f%s\n", p, ledger.Trust(p), flag)
+	}
+
+	// --- Subcontracting -----------------------------------------------
+	fmt.Println("\n— Subcontracting: a broker fills a two-topic query via an intermediary —")
+	sub := &negotiate.Broker{Name: "athens-broker", Margin: 1.3,
+		Providers: []*negotiate.Provider{{Name: "benaki", Topics: map[string]bool{"costume": true}, CostBase: 0.3, CostEffort: 1}}}
+	root := &negotiate.Broker{Name: "root-broker", Margin: 1.3,
+		Providers: []*negotiate.Provider{{Name: "louvre", Topics: map[string]bool{"jewelry": true}, CostBase: 0.3, CostEffort: 1}},
+		Subs:      []*negotiate.Broker{sub}}
+	res := root.Procure([]negotiate.Part{{Topic: "jewelry", Value: 5}, {Topic: "costume", Value: 5}}, 20, 1)
+	for _, o := range res.Outcomes {
+		via := "direct"
+		if o.Depth > 0 {
+			via = fmt.Sprintf("via %d intermediar(ies), margin included", o.Depth)
+		}
+		fmt.Printf("  %-8s ← %-8s at %.2f (%s)\n", o.Part.Topic, o.Provider, o.Price, via)
+	}
+	fmt.Printf("  completeness %.0f%%, total %.2f credits\n", res.Completeness*100, res.TotalPrice)
+}

@@ -1,0 +1,80 @@
+// Quickstart: stand up a two-provider agora, ask a query through the full
+// pipeline (optimize → negotiate SLAs → execute → settle), give feedback,
+// and watch the profile learn.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/agora"
+)
+
+func main() {
+	a := agora.New(agora.Config{Seed: 1})
+
+	// Two independent information systems join the market.
+	museum, err := a.AddNode("museum", agora.DefaultEconomics(), agora.DefaultBehavior())
+	if err != nil {
+		log.Fatal(err)
+	}
+	flaky := agora.DefaultBehavior()
+	flaky.Reliability = 0.5 // this one shirks half its contracts
+	auction, err := a.AddNode("auction-house", agora.DefaultEconomics(), flaky)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Content. Concept vectors place documents in the shared concept space;
+	// dimension 0 is "jewelry" here.
+	jewel := make(agora.Vector, a.ConceptDim())
+	jewel[0] = 1
+	docs := []struct {
+		node *agora.Node
+		doc  *agora.Document
+	}{
+		{museum, &agora.Document{ID: "m1", Kind: agora.KindHolding,
+			Title: "Byzantine gold ring with filigree", Topics: []string{"jewelry"}, Concept: jewel}},
+		{museum, &agora.Document{ID: "m2", Kind: agora.KindHolding,
+			Title: "Celtic silver brooch", Topics: []string{"jewelry"}, Concept: jewel}},
+		{auction, &agora.Document{ID: "a1", Kind: agora.KindCatalogEntry,
+			Title: "Lot 17: gold ring, provenance unknown", Topics: []string{"jewelry"}, Concept: jewel}},
+	}
+	for _, d := range docs {
+		if err := d.node.Ingest(d.doc); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Iris opens a session and shops for information.
+	iris := agora.NewProfile("iris", a.ConceptDim())
+	sess := a.NewSession(iris)
+	ans, err := sess.Ask(`FIND documents WHERE text ~ "gold ring" AND topic = "jewelry" TOP 5`, jewel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Results:")
+	for i, r := range ans.Results {
+		fmt.Printf("  %d. [%.3f] %-14s %s\n", i+1, r.Score, r.Source, r.Doc.Title)
+	}
+	fmt.Printf("\nContracts signed: %d (negotiation rounds: %d)\n", len(ans.Contracts), ans.Rounds)
+	for _, c := range ans.Contracts {
+		fmt.Printf("  %s with %s: completeness %.2f promised at price %.2f — %s\n",
+			c.ID, c.Provider, c.Promised.Completeness, c.PaidPrice(), c.Status)
+	}
+	fmt.Printf("Paid %.2f credits, worst latency %s\n", ans.Delivered.Price, ans.Delivered.Latency)
+
+	// Iris saves the Byzantine ring — the profile learns.
+	sess.Feedback([]agora.ProfileEvent{{
+		Type:    agora.EventSave,
+		Concept: jewel,
+		Terms:   agora.Tokenize("byzantine gold filigree"),
+		Source:  "museum", Satisfied: true,
+	}})
+	fmt.Printf("\nAfter feedback, interest in jewelry: %.2f, top terms: %v\n",
+		agora.Cosine(sess.Profile.Interests, jewel), sess.Profile.TopTerms(3))
+	fmt.Printf("Trust in museum: %.2f, in auction-house: %.2f\n",
+		sess.Profile.Trust("museum"), sess.Profile.Trust("auction-house"))
+}

@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ctxmodel"
+	"repro/internal/feature"
+	"repro/internal/metrics"
+	"repro/internal/profile"
+	"repro/internal/workload"
+)
+
+// E10ContextActivation compares static profiles against context-activated
+// variants when the user's true intent depends on context (Iris wants
+// different answers to the same query at a conference vs in the office).
+func E10ContextActivation(seed int64, scale float64) *Result {
+	g := workload.NewGenerator(seed, 32, 8)
+	r := rand.New(rand.NewSource(seed + 4))
+	nUsers := scaleInt(40, scale, 10)
+	trials := scaleInt(25, scale, 8)
+
+	// Four contexts, each mapping to a topic the user truly wants there.
+	contexts := []struct {
+		label string
+		ctx   ctxmodel.Context
+	}{
+		{"office-write", ctxmodel.Context{Hour: 10, Location: "office", Task: "write"}},
+		{"office-explore", ctxmodel.Context{Hour: 15, Location: "office", Task: "explore"}},
+		{"travel", ctxmodel.Context{Hour: 12, Location: "travel:paris", Task: "explore"}},
+		{"home-evening", ctxmodel.Context{Hour: 21, Location: "home", Task: "explore"}},
+	}
+	type userWorld struct {
+		base     *profile.Profile // static: blend of all context interests
+		variants *profile.Profile // context-activated
+		rules    ctxmodel.RuleSet
+		topicFor map[string]int
+	}
+	mkUser := func(i int) userWorld {
+		uw := userWorld{topicFor: map[string]int{}}
+		uid := fmt.Sprintf("u%03d", i)
+		uw.variants = profile.New(uid, 32)
+		uw.base = profile.New(uid, 32)
+		blend := make(feature.Vector, 32)
+		for ci, c := range contexts {
+			topic := (i + ci*2) % len(g.Topics)
+			uw.topicFor[c.label] = topic
+			uw.variants.Variants[c.label] = &profile.Variant{
+				Label:     c.label,
+				Interests: g.Topics[topic].Center.Clone(),
+			}
+			blend.Add(g.Topics[topic].Center)
+		}
+		blend.Normalize()
+		uw.base.Interests = blend.Clone()
+		uw.variants.Interests = blend.Clone() // fallback when no rule fires
+		for _, c := range contexts {
+			cond := ctxmodel.Condition{HourFrom: -1, HourTo: -1, Location: c.ctx.Location, Task: c.ctx.Task}
+			uw.rules.Add(ctxmodel.Rule{Condition: cond, Variant: c.label, Priority: 1})
+		}
+		return uw
+	}
+
+	// Candidate items spanning all topics.
+	nItems := scaleInt(64, scale, 32)
+	type item struct {
+		id      string
+		topic   int
+		concept feature.Vector
+	}
+	items := make([]item, nItems)
+	for i := range items {
+		t := i % len(g.Topics)
+		items[i] = item{fmt.Sprintf("it%03d", i), t, g.SampleConcept(t, 0.2)}
+	}
+	rankWith := func(interests feature.Vector) []string {
+		type sc struct {
+			id string
+			s  float64
+		}
+		scored := make([]sc, len(items))
+		for i, it := range items {
+			scored[i] = sc{it.id, feature.Cosine(interests, it.concept)}
+		}
+		for i := 1; i < len(scored); i++ {
+			for j := i; j > 0 && scored[j].s > scored[j-1].s; j-- {
+				scored[j], scored[j-1] = scored[j-1], scored[j]
+			}
+		}
+		out := make([]string, len(scored))
+		for i, s := range scored {
+			out[i] = s.id
+		}
+		return out
+	}
+
+	table := metrics.NewTable("E10: context-activated vs static profiles, NDCG@10",
+		"context", "static", "context-activated")
+	headline := map[string]float64{}
+	var allStatic, allActive []float64
+	for _, c := range contexts {
+		var statics, actives []float64
+		for trial := 0; trial < trials; trial++ {
+			uw := mkUser(r.Intn(nUsers))
+			target := uw.topicFor[c.label]
+			grel := map[string]float64{}
+			for _, it := range items {
+				if it.topic == target {
+					grel[it.id] = 1
+				}
+			}
+			// Static: base interests regardless of context.
+			statics = append(statics, metrics.NDCG(rankWith(uw.base.Interests), grel, 10))
+			// Activated: rules pick the variant for this context.
+			label := uw.rules.Activate(c.ctx)
+			interests, _ := uw.variants.ActiveView(label)
+			actives = append(actives, metrics.NDCG(rankWith(interests), grel, 10))
+		}
+		sMean := metrics.Summarize(statics).Mean
+		aMean := metrics.Summarize(actives).Mean
+		table.AddRow(c.label, sMean, aMean)
+		headline["static_"+c.label] = sMean
+		headline["active_"+c.label] = aMean
+		allStatic = append(allStatic, sMean)
+		allActive = append(allActive, aMean)
+	}
+	headline["static_mean"] = metrics.Summarize(allStatic).Mean
+	headline["active_mean"] = metrics.Summarize(allActive).Mean
+	return &Result{ID: "E10", Table: table, Headline: headline}
+}

@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/profile"
+	"repro/internal/workload"
+)
+
+// E18DiscoveryVsRegistry runs the full Ask pipeline with candidate sources
+// coming either from the global registry (every session sees every
+// provider — the closed-world assumption) or from decentralized semantic
+// overlay discovery (§2's "identification of appropriate resources" done
+// honestly). Reported: average candidate-set size, ground-truth result
+// quality, spend, and overlay traffic, across market sizes. The expected
+// shape: overlay discovery inspects a fraction of the market at a modest
+// message cost while keeping most of the registry's answer quality.
+func E18DiscoveryVsRegistry(seed int64, scale float64) *Result {
+	table := metrics.NewTable("E18: registry vs overlay discovery (full pipeline)",
+		"market", "avg candidates", "relevant@10", "avg paid", "overlay msgs/query")
+	headline := map[string]float64{}
+	queries := scaleInt(24, scale, 8)
+
+	for _, nProviders := range []int{8, 16} {
+		for _, discover := range []bool{false, true} {
+			a := core.New(core.Config{Seed: seed, ConceptDim: 32})
+			g := workload.NewGenerator(seed, 32, 8)
+			docs := g.GenCorpus(scaleInt(900, scale, 300), 1.1, 0)
+			bySource := g.AssignToSources(docs, nProviders, 0.9)
+			for i, list := range bySource {
+				n, err := a.AddNode(workload.SourceName(i), core.DefaultEconomics(), core.DefaultBehavior())
+				if err != nil {
+					panic(err)
+				}
+				for _, d := range list {
+					if err := n.Ingest(d.Doc); err != nil {
+						panic(err)
+					}
+				}
+			}
+			if discover {
+				a.EnableOverlayDiscovery(core.DefaultDiscovery())
+			}
+			sess := a.NewSession(profile.New("iris", 32))
+			sess.Gamma = 0
+
+			var compSum, paidSum, candSum float64
+			answered := 0
+			qm0, _ := a.DiscoveryStats()
+			for qi := 0; qi < queries; qi++ {
+				topic := g.Topics[qi%len(g.Topics)]
+				rel := workload.RelevantSet(docs, topic.ID)
+				ans, err := sess.Ask(fmt.Sprintf(`FIND documents WHERE topic = "%s" TOP 10`, topic.Name), topic.Center)
+				if err != nil {
+					continue
+				}
+				answered++
+				candSum += float64(len(a.Discover("probe", topic.Center)))
+				found := 0
+				for _, r := range ans.Results {
+					if rel[r.Doc.ID] {
+						found++
+					}
+				}
+				denom := 10.0
+				if float64(len(rel)) < denom {
+					denom = float64(len(rel))
+				}
+				if denom > 0 {
+					compSum += float64(found) / denom
+				}
+				paidSum += ans.Delivered.Price
+			}
+			qm1, _ := a.DiscoveryStats()
+			mode := "registry"
+			if discover {
+				mode = "overlay"
+			}
+			if answered == 0 {
+				continue
+			}
+			n := float64(answered)
+			comp := compSum / n
+			// Each answered query triggered two probes (Ask + the explicit
+			// candidate count), so halve the traffic attribution.
+			msgs := float64(qm1-qm0) / n / 2
+			table.AddRow(fmt.Sprintf("%d providers (%s)", nProviders, mode),
+				candSum/n, comp, paidSum/n, msgs)
+			headline[fmt.Sprintf("comp_%s_%d", mode, nProviders)] = comp
+			headline[fmt.Sprintf("cands_%s_%d", mode, nProviders)] = candSum / n
+		}
+	}
+	return &Result{ID: "E18", Table: table, Headline: headline}
+}

@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/negotiate"
+	"repro/internal/qos"
+)
+
+// E4NegotiationTactics pits buyer tactic families against a market of
+// sellers with randomized economics and tactics, comparing deal rate,
+// rounds to close, buyer utility, and joint utility against the
+// non-negotiating baselines (take-first, posted-price).
+func E4NegotiationTactics(seed int64, scale float64) *Result {
+	r := rand.New(rand.NewSource(seed))
+	encounters := scaleInt(400, scale, 100)
+
+	grid := negotiate.CandidateGrid(
+		qos.Vector{Latency: time.Second, Trust: 0.8},
+		[]float64{0.5, 0.6, 0.7, 0.8, 0.9, 1.0},
+		[]float64{0.5, 1, 1.5, 2, 3, 4, 6, 8},
+	)
+	buyerWeights := qos.Weights{Price: 2, Completeness: 3, Trust: 1, Latency: 1, Freshness: 1}
+
+	mkSeller := func() *negotiate.Negotiator {
+		tactics := []negotiate.Tactic{negotiate.Boulware(), negotiate.Linear(), negotiate.Conceder(), negotiate.TitForTat{Reciprocity: 1}}
+		return &negotiate.Negotiator{
+			Name:        "seller",
+			U:           negotiate.SellerUtility{Cost: negotiate.StandardCost(0.2+r.Float64()*0.6, 0.8+r.Float64()), Scale: 6},
+			Reservation: 0.05,
+			Tactic:      tactics[r.Intn(len(tactics))],
+			Candidates:  grid,
+		}
+	}
+	mkBuyer := func(t negotiate.Tactic) *negotiate.Negotiator {
+		return &negotiate.Negotiator{
+			Name:        "buyer",
+			U:           negotiate.BuyerUtility{W: buyerWeights},
+			Reservation: 0.3,
+			Tactic:      t,
+			Candidates:  grid,
+		}
+	}
+
+	type cond struct {
+		name string
+		run  func(sellerSeed int64) (negotiate.Deal, error)
+	}
+	conds := []cond{
+		{"take-first", func(s int64) (negotiate.Deal, error) {
+			return negotiate.TakeFirst(mkBuyer(negotiate.Linear()), mkSeller())
+		}},
+		{"posted-price", func(s int64) (negotiate.Deal, error) {
+			return negotiate.PostedPrice(mkBuyer(negotiate.Linear()), mkSeller())
+		}},
+		{"boulware", func(s int64) (negotiate.Deal, error) {
+			return negotiate.Run(mkBuyer(negotiate.Boulware()), mkSeller(), 24)
+		}},
+		{"linear", func(s int64) (negotiate.Deal, error) {
+			return negotiate.Run(mkBuyer(negotiate.Linear()), mkSeller(), 24)
+		}},
+		{"conceder", func(s int64) (negotiate.Deal, error) {
+			return negotiate.Run(mkBuyer(negotiate.Conceder()), mkSeller(), 24)
+		}},
+		{"tit-for-tat", func(s int64) (negotiate.Deal, error) {
+			return negotiate.Run(mkBuyer(negotiate.TitForTat{Reciprocity: 1}), mkSeller(), 24)
+		}},
+		{"resource", func(s int64) (negotiate.Deal, error) {
+			pool := negotiate.NewResourcePool(16)
+			return negotiate.Run(mkBuyer(negotiate.ResourceDependent{Pool: pool}), mkSeller(), 24)
+		}},
+	}
+	table := metrics.NewTable("E4: buyer tactic vs mixed seller market",
+		"tactic", "deal rate", "avg rounds", "buyer utility", "joint utility")
+	headline := map[string]float64{}
+	for _, c := range conds {
+		var deals int
+		var rounds, buyerU, jointU []float64
+		for i := 0; i < encounters; i++ {
+			deal, err := c.run(int64(i))
+			if err != nil {
+				continue
+			}
+			deals++
+			rounds = append(rounds, float64(deal.Rounds))
+			buyerU = append(buyerU, deal.BuyerUtility)
+			jointU = append(jointU, deal.JointUtility())
+		}
+		dealRate := float64(deals) / float64(encounters)
+		bu := metrics.Summarize(buyerU).Mean
+		ju := metrics.Summarize(jointU).Mean
+		table.AddRow(c.name, dealRate, metrics.Summarize(rounds).Mean, bu, ju)
+		headline["deal_"+c.name] = dealRate
+		headline["buyer_"+c.name] = bu
+		headline["joint_"+c.name] = ju
+	}
+	return &Result{ID: "E4", Table: table, Headline: headline}
+}
+
+// E5Subcontracting sweeps broker recursion depth on a decomposable query
+// whose topics are spread across a broker hierarchy: deeper subcontracting
+// buys completeness at margin-inflated prices.
+func E5Subcontracting(seed int64, scale float64) *Result {
+	_ = scale
+	topics := []string{"jewelry", "folkdance", "costume", "ceramics", "tapestry", "drawing", "sculpture", "manuscript"}
+	mkProvider := func(name string, ts ...string) *negotiate.Provider {
+		m := map[string]bool{}
+		for _, t := range ts {
+			m[t] = true
+		}
+		return &negotiate.Provider{Name: name, Topics: m, CostBase: 0.3, CostEffort: 1.0}
+	}
+	// Three-level hierarchy: root sees 2 topics, level-1 brokers add 4,
+	// level-2 the rest.
+	leaf1 := &negotiate.Broker{Name: "deep1", Margin: 1.25,
+		Providers: []*negotiate.Provider{mkProvider("p7", topics[6]), mkProvider("p8", topics[7])}}
+	mid1 := &negotiate.Broker{Name: "mid1", Margin: 1.25,
+		Providers: []*negotiate.Provider{mkProvider("p3", topics[2]), mkProvider("p4", topics[3])},
+		Subs:      []*negotiate.Broker{leaf1}}
+	mid2 := &negotiate.Broker{Name: "mid2", Margin: 1.25,
+		Providers: []*negotiate.Provider{mkProvider("p5", topics[4]), mkProvider("p6", topics[5])}}
+	root := &negotiate.Broker{Name: "root", Margin: 1.25,
+		Providers: []*negotiate.Provider{mkProvider("p1", topics[0]), mkProvider("p2", topics[1])},
+		Subs:      []*negotiate.Broker{mid1, mid2}}
+
+	var parts []negotiate.Part
+	for _, t := range topics {
+		parts = append(parts, negotiate.Part{Topic: t, Value: 5})
+	}
+	table := metrics.NewTable("E5: subcontracting depth",
+		"max depth", "completeness", "total price", "avg price/part", "negotiation rounds")
+	headline := map[string]float64{}
+	for depth := 0; depth <= 3; depth++ {
+		res := root.Procure(parts, 20, depth)
+		covered := res.Completeness * float64(len(parts))
+		avg := 0.0
+		if covered > 0 {
+			avg = res.TotalPrice / covered
+		}
+		table.AddRow(depth, res.Completeness, res.TotalPrice, avg, res.TotalRounds)
+		headline[fmt.Sprintf("completeness_%d", depth)] = res.Completeness
+		headline[fmt.Sprintf("avgprice_%d", depth)] = avg
+	}
+	_ = seed
+	return &Result{ID: "E5", Table: table, Headline: headline}
+}

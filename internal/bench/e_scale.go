@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/feature"
+	"repro/internal/metrics"
+	"repro/internal/overlay"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// E12ScaleChurn runs the overlay at increasing sizes and churn rates,
+// comparing dissemination strategies on answer recall, message cost, and
+// latency percentiles.
+func E12ScaleChurn(seed int64, scale float64) *Result {
+	table := metrics.NewTable("E12: overlay scale and churn",
+		"nodes", "churn %/min", "strategy", "recall", "msgs/query", "p50 ms", "p95 ms")
+	headline := map[string]float64{}
+
+	sizes := []int{64, 256}
+	if scale >= 2 {
+		sizes = append(sizes, 1024)
+	}
+	churns := []float64{0, 10, 20}
+	strategies := []overlay.Strategy{overlay.Flood, overlay.RandomWalk, overlay.Semantic}
+
+	for _, n := range sizes {
+		for _, churn := range churns {
+			for _, strat := range strategies {
+				recall, msgs, p50, p95 := runOverlayTrial(seed, n, churn, strat, scale)
+				table.AddRow(n, churn, strat.String(), recall, msgs,
+					float64(p50)/float64(time.Millisecond), float64(p95)/float64(time.Millisecond))
+				key := fmt.Sprintf("%s_%d_%g", strat.String(), n, churn)
+				headline["recall_"+key] = recall
+				headline["msgs_"+key] = msgs
+			}
+		}
+	}
+	return &Result{ID: "E12", Table: table, Headline: headline}
+}
+
+// overlayHandler answers queries matching its concept bucket.
+type overlayHandler struct {
+	vec feature.Vector
+}
+
+func (h *overlayHandler) HandleQuery(q overlay.QueryMsg) any {
+	if feature.Cosine(h.vec, q.Concept) >= 0.85 {
+		return "hit"
+	}
+	return nil
+}
+
+func (h *overlayHandler) ContentVector() feature.Vector { return h.vec }
+
+func runOverlayTrial(seed int64, n int, churnPerMin float64, strat overlay.Strategy, scale float64) (recall, msgsPerQuery float64, p50, p95 time.Duration) {
+	k := sim.NewKernel(seed + int64(n) + int64(churnPerMin*100) + int64(strat))
+	net := sim.NewNetwork(k, sim.WANLatency{Base: 80 * time.Millisecond, Jitter: 0.2, Nodes: n}, 0.01)
+	ov := overlay.New(net, overlay.DefaultConfig())
+	g := workload.NewGenerator(seed, 16, 8)
+	ids := make([]int, n)
+	for i := 0; i < n; i++ {
+		ids[i] = i
+		topic := i % len(g.Topics)
+		ov.AddNode(i, &overlayHandler{vec: g.Topics[topic].Center})
+	}
+	ov.Bootstrap()
+	// Let gossip and shortcuts settle.
+	_ = k.RunUntil(time.Minute)
+	if churnPerMin > 0 {
+		sim.StartChurn(net, ids[1:], churnPerMin, 15*time.Second, nil)
+		_ = k.RunFor(30 * time.Second)
+	}
+	queries := scaleInt(20, scale, 8)
+	expectPerQuery := n / len(g.Topics) // nodes matching each query's topic
+	var found int
+	var latencies []time.Duration
+	var totalMsgs uint64
+	for qi := 0; qi < queries; qi++ {
+		topic := qi % len(g.Topics)
+		q := overlay.QueryMsg{
+			ID:       fmt.Sprintf("q%d-%d", n, qi),
+			Origin:   (qi * 7) % n,
+			Concept:  g.Topics[topic].Center,
+			TTL:      6,
+			Strategy: strat,
+			Walkers:  8,
+			Fanout:   3,
+		}
+		if strat == overlay.RandomWalk {
+			q.TTL = 30
+		}
+		before := ov.QueryMsgs
+		start := k.Now()
+		var answers int
+		ov.Query(q, func(a overlay.Answer) {
+			answers++
+			latencies = append(latencies, a.HopAt-start)
+		})
+		_ = k.RunFor(8 * time.Second)
+		ov.CloseQuery(q.ID)
+		found += answers
+		totalMsgs += ov.QueryMsgs - before
+	}
+	recall = float64(found) / float64(queries*expectPerQuery)
+	if recall > 1 {
+		recall = 1
+	}
+	msgsPerQuery = float64(totalMsgs) / float64(queries)
+	p50 = sim.Percentile(latencies, 0.5)
+	p95 = sim.Percentile(latencies, 0.95)
+	return recall, msgsPerQuery, p50, p95
+}

@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/metrics"
+	"repro/internal/profile"
+	"repro/internal/social"
+	"repro/internal/workload"
+)
+
+// E8SocialRerank evaluates socially-influenced ranking on queries with
+// socially-correlated intent: the ground-truth relevant topic is the one
+// the user's circle cares about. Conditions: no social signal, graph
+// proximity only, profile similarity only, and full affinity (the product
+// the social package ships).
+func E8SocialRerank(seed int64, scale float64) *Result {
+	g := workload.NewGenerator(seed, 32, 8)
+	r := rand.New(rand.NewSource(seed + 2))
+	nUsers := scaleInt(60, scale, 20)
+	nItems := scaleInt(80, scale, 30)
+
+	users := g.GenUsers(nUsers)
+	store := profile.NewStore()
+	graph := social.NewGraph()
+	acl := social.NewACL()
+	ids := make([]string, len(users))
+	profs := make(map[string]*profile.Profile, len(users))
+	for i, u := range users {
+		p := profile.New(u.ID, 32)
+		p.Interests = u.Concept.Clone()
+		store.Put(p)
+		profs[u.ID] = p
+		ids[i] = u.ID
+	}
+	for _, e := range g.WattsStrogatz(ids, 4, 0.15) {
+		graph.AddEdge(e[0], e[1], 1)
+		acl.Grant(e[0], e[1], social.ScopeAll)
+		acl.Grant(e[1], e[0], social.ScopeAll)
+	}
+
+	// Candidate items: one per topic cluster, repeated with noise.
+	var items []social.Item
+	itemTopic := map[string]int{}
+	for i := 0; i < nItems; i++ {
+		topic := i % len(g.Topics)
+		id := fmt.Sprintf("item%03d", i)
+		items = append(items, social.Item{ID: id, Score: 0.5, Concept: g.SampleConcept(topic, 0.2)})
+		itemTopic[id] = topic
+	}
+
+	// Circle topic for a user: the plurality primary interest among graph
+	// neighbors — the social ground truth.
+	circleTopic := func(uid string) int {
+		counts := map[int]int{}
+		for nb := range graph.Neighbors(uid) {
+			for i, u := range users {
+				if u.ID == nb {
+					counts[users[i].Interests[0]]++
+				}
+			}
+		}
+		best, bestN := -1, 0
+		for t, n := range counts {
+			if n > bestN || (n == bestN && t < best) {
+				best, bestN = t, n
+			}
+		}
+		return best
+	}
+
+	type cond struct {
+		name        string
+		useGraph    bool
+		useProfiles bool
+	}
+	conds := []cond{
+		{"no-social", false, false},
+		{"graph-only", true, false},
+		{"profile-only", false, true},
+		{"full-affinity", true, true},
+	}
+	table := metrics.NewTable("E8: socially-correlated intent, NDCG@10",
+		"condition", "NDCG@10", "MRR")
+	headline := map[string]float64{}
+	eval := scaleInt(30, scale, 10)
+	for _, c := range conds {
+		var ndcgs, mrrs []float64
+		for trial := 0; trial < eval; trial++ {
+			uid := ids[r.Intn(len(ids))]
+			target := circleTopic(uid)
+			if target < 0 {
+				continue
+			}
+			me := profs[uid]
+			grel := map[string]float64{}
+			rel := map[string]bool{}
+			for id, t := range itemTopic {
+				if t == target {
+					grel[id] = 1
+					rel[id] = true
+				}
+			}
+			var ranked []string
+			switch {
+			case !c.useGraph && !c.useProfiles:
+				// Base order (uniform scores): shuffled deterministic.
+				perm := r.Perm(len(items))
+				for _, p := range perm {
+					ranked = append(ranked, items[p].ID)
+				}
+			default:
+				rr := social.NewReranker(graph, acl, store)
+				if !c.useGraph {
+					rr.Graph = social.NewGraph() // empty: proximity zero
+				}
+				viewMe := me
+				if !c.useProfiles {
+					// Profile similarity silenced by using a blank self.
+					viewMe = profile.New(uid, 32)
+				}
+				out := rr.Rerank(viewMe, items, 0.9)
+				for _, it := range out {
+					ranked = append(ranked, it.ID)
+				}
+			}
+			ndcgs = append(ndcgs, metrics.NDCG(ranked, grel, 10))
+			mrrs = append(mrrs, metrics.MRR(ranked, rel))
+		}
+		ndcg := metrics.Summarize(ndcgs).Mean
+		table.AddRow(c.name, ndcg, metrics.Summarize(mrrs).Mean)
+		headline["ndcg_"+c.name] = ndcg
+	}
+	return &Result{ID: "E8", Table: table, Headline: headline}
+}

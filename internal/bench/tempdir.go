@@ -1,0 +1,13 @@
+package bench
+
+import "os"
+
+// tempDir and cleanup isolate E14's on-disk store without depending on
+// testing.T (the harness also runs from cmd/agora-bench).
+func tempDir() (string, error) {
+	return os.MkdirTemp("", "agora-bench-*")
+}
+
+func cleanup(dir string) {
+	_ = os.RemoveAll(dir)
+}

@@ -1,0 +1,134 @@
+package collab
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/feature"
+	"repro/internal/query"
+)
+
+// Multiple-query optimization across collaborators. "Collaboration also
+// brings up several variations of the multiple query optimization problem
+// where different user profiles are used for different queries" (§7): the
+// expensive source-side part of members' queries is often shared, while the
+// personalized part (per-profile re-scoring) differs. SharedExecutor
+// deduplicates the shared part and applies per-member personalization to the
+// fanned-out results.
+
+// MemberQuery pairs a member with their (personalized) query.
+type MemberQuery struct {
+	User    string
+	Q       *query.Query
+	Concept feature.Vector
+	// Gamma is the member's personalization strength for re-scoring.
+	Gamma float64
+}
+
+// ShareStats reports work saved by shared execution.
+type ShareStats struct {
+	Total    int // member queries
+	Distinct int // distinct source executions
+}
+
+// WorkSaved is the fraction of source executions avoided.
+func (s ShareStats) WorkSaved() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return 1 - float64(s.Distinct)/float64(s.Total)
+}
+
+// canonicalKey identifies the shared (source-side) part of a query: kind,
+// text, topics, sources, freshness, and a bucketed concept signature. Two
+// member queries with equal keys hit sources identically.
+func canonicalKey(mq MemberQuery) string {
+	var sb strings.Builder
+	q := mq.Q
+	if q.Kind != nil {
+		fmt.Fprintf(&sb, "k%d|", int(*q.Kind))
+	}
+	sb.WriteString(q.Text)
+	sb.WriteByte('|')
+	topics := append([]string(nil), q.Topics...)
+	sort.Strings(topics)
+	sb.WriteString(strings.Join(topics, ","))
+	sb.WriteByte('|')
+	srcs := append([]string(nil), q.Sources...)
+	sort.Strings(srcs)
+	sb.WriteString(strings.Join(srcs, ","))
+	fmt.Fprintf(&sb, "|s%.2f|f%d|t%d|", q.SimThreshold, int64(q.MaxAge), q.TopK)
+	// Concept signature: sign pattern bucketed; close-enough concepts share.
+	for _, v := range mq.Concept {
+		switch {
+		case v > 0.25:
+			sb.WriteByte('+')
+		case v < -0.25:
+			sb.WriteByte('-')
+		default:
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+// SourceExec executes the shared part of a query against the sources and
+// returns raw results. Implementations are provided by the core package (or
+// tests).
+type SourceExec func(q *query.Query, concept feature.Vector) []query.Result
+
+// PersonalScore re-scores a raw result for one member. Implementations
+// typically wrap profile.PersonalScore.
+type PersonalScore func(user string, gamma float64, r query.Result) float64
+
+// RunShared executes the member queries with common-subexpression sharing:
+// one source execution per distinct canonical key, then per-member
+// personalized re-ranking of the shared raw results. The returned slice is
+// aligned with the input (one result list per member query).
+func RunShared(queries []MemberQuery, exec SourceExec, personalize PersonalScore) ([][]query.Result, ShareStats) {
+	type group struct {
+		raw     []query.Result
+		members []int
+	}
+	groups := make(map[string]*group)
+	order := make([]string, 0, len(queries))
+	for i, mq := range queries {
+		key := canonicalKey(mq)
+		g, ok := groups[key]
+		if !ok {
+			g = &group{}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.members = append(g.members, i)
+	}
+	stats := ShareStats{Total: len(queries), Distinct: len(groups)}
+	out := make([][]query.Result, len(queries))
+	for _, key := range order {
+		g := groups[key]
+		rep := queries[g.members[0]]
+		g.raw = exec(rep.Q, rep.Concept)
+		for _, idx := range g.members {
+			mq := queries[idx]
+			rs := make([]query.Result, len(g.raw))
+			copy(rs, g.raw)
+			if personalize != nil {
+				for i := range rs {
+					rs[i].Score = personalize(mq.User, mq.Gamma, rs[i])
+				}
+				sort.Slice(rs, func(a, b int) bool {
+					if rs[a].Score != rs[b].Score {
+						return rs[a].Score > rs[b].Score
+					}
+					return rs[a].Doc.ID < rs[b].Doc.ID
+				})
+			}
+			if len(rs) > mq.Q.TopK && mq.Q.TopK > 0 {
+				rs = rs[:mq.Q.TopK]
+			}
+			out[idx] = rs
+		}
+	}
+	return out, stats
+}

@@ -1,0 +1,182 @@
+// Package collab implements the paper's Collaboration pillar: small groups
+// of users with a common goal explore the agora concurrently, "see
+// everyone's results at the same time, potentially fusing some of them into
+// richer collections, and one may pick up on someone else's thread of
+// actions and continue exploration based on one's own profile". It also
+// provides the multiple-query optimization the paper says collaboration
+// raises: shared subexpressions across members' concurrent queries execute
+// once.
+package collab
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ORSet is an observed-remove set CRDT keyed by item id: concurrent add and
+// remove of the same item resolves to add-wins unless the remove observed
+// the add's tag. It is the shared workspace's replication primitive — each
+// collaborator holds a replica and merges freely.
+type ORSet struct {
+	mu sync.RWMutex
+	// adds: item -> tag -> payload; tombstones: observed-removed tags.
+	adds       map[string]map[string]any
+	tombstones map[string]map[string]bool
+	replica    string
+	counter    uint64
+}
+
+// NewORSet creates a replica with the given id (must be unique among
+// collaborators for tag uniqueness).
+func NewORSet(replica string) *ORSet {
+	return &ORSet{
+		adds:       make(map[string]map[string]any),
+		tombstones: make(map[string]map[string]bool),
+		replica:    replica,
+	}
+}
+
+// Add inserts (or refreshes) an item with a payload; returns the new tag.
+func (s *ORSet) Add(item string, payload any) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.counter++
+	tag := fmt.Sprintf("%s#%d", s.replica, s.counter)
+	m, ok := s.adds[item]
+	if !ok {
+		m = make(map[string]any)
+		s.adds[item] = m
+	}
+	m[tag] = payload
+	return tag
+}
+
+// Remove deletes the item as currently observed: all live tags are
+// tombstoned. Concurrent adds elsewhere (tags unseen here) survive a later
+// merge — the add-wins guarantee.
+func (s *ORSet) Remove(item string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tags, ok := s.adds[item]
+	if !ok {
+		return
+	}
+	tomb, ok := s.tombstones[item]
+	if !ok {
+		tomb = make(map[string]bool)
+		s.tombstones[item] = tomb
+	}
+	for tag := range tags {
+		tomb[tag] = true
+	}
+}
+
+// Contains reports whether item is live (has at least one untombstoned tag).
+func (s *ORSet) Contains(item string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.liveTag(item) != ""
+}
+
+// liveTag returns any live tag for item ("" if none). Caller holds lock.
+func (s *ORSet) liveTag(item string) string {
+	tomb := s.tombstones[item]
+	// Deterministic: pick smallest live tag.
+	var tags []string
+	for tag := range s.adds[item] {
+		if !tomb[tag] {
+			tags = append(tags, tag)
+		}
+	}
+	if len(tags) == 0 {
+		return ""
+	}
+	sort.Strings(tags)
+	return tags[0]
+}
+
+// Get returns the payload of a live tag for item (the smallest tag for
+// determinism), with ok=false if the item is absent.
+func (s *ORSet) Get(item string) (any, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	tag := s.liveTag(item)
+	if tag == "" {
+		return nil, false
+	}
+	return s.adds[item][tag], true
+}
+
+// Items returns the live item ids, sorted.
+func (s *ORSet) Items() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []string
+	for item := range s.adds {
+		if s.liveTag(item) != "" {
+			out = append(out, item)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of live items.
+func (s *ORSet) Len() int { return len(s.Items()) }
+
+// Merge folds another replica's state into this one (idempotent,
+// commutative, associative — the CRDT laws the property tests check).
+func (s *ORSet) Merge(o *ORSet) {
+	// Take a consistent snapshot of o first to avoid lock-order issues.
+	o.mu.RLock()
+	oAdds := make(map[string]map[string]any, len(o.adds))
+	for item, tags := range o.adds {
+		m := make(map[string]any, len(tags))
+		for tag, p := range tags {
+			m[tag] = p
+		}
+		oAdds[item] = m
+	}
+	oTombs := make(map[string]map[string]bool, len(o.tombstones))
+	for item, tags := range o.tombstones {
+		m := make(map[string]bool, len(tags))
+		for tag := range tags {
+			m[tag] = true
+		}
+		oTombs[item] = m
+	}
+	o.mu.RUnlock()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for item, tags := range oAdds {
+		m, ok := s.adds[item]
+		if !ok {
+			m = make(map[string]any, len(tags))
+			s.adds[item] = m
+		}
+		for tag, p := range tags {
+			if _, exists := m[tag]; !exists {
+				m[tag] = p
+			}
+		}
+	}
+	for item, tags := range oTombs {
+		m, ok := s.tombstones[item]
+		if !ok {
+			m = make(map[string]bool, len(tags))
+			s.tombstones[item] = m
+		}
+		for tag := range tags {
+			m[tag] = true
+		}
+	}
+}
+
+// Clone returns an independent copy of the replica under a new replica id.
+func (s *ORSet) Clone(replica string) *ORSet {
+	out := NewORSet(replica)
+	out.Merge(s)
+	return out
+}

@@ -1,0 +1,191 @@
+package collab
+
+import (
+	"errors"
+	"sort"
+	"sync"
+
+	"repro/internal/feature"
+	"repro/internal/profile"
+	"repro/internal/query"
+)
+
+// Session is a live collaborative exploration: members, their action
+// threads, and a fused shared workspace every member sees.
+type Session struct {
+	mu        sync.RWMutex
+	id        string
+	members   map[string]*profile.Profile
+	workspace *ORSet
+	threads   map[string]*Thread
+}
+
+// WorkspaceEntry is the payload stored per fused result.
+type WorkspaceEntry struct {
+	DocID   string
+	Score   float64
+	Source  string
+	AddedBy string
+	Concept feature.Vector
+}
+
+// Thread is one member's sequence of exploration steps.
+type Thread struct {
+	Owner string
+	Steps []Step
+}
+
+// Step is one action in a thread: the query asked and what it found.
+type Step struct {
+	Query   *query.Query
+	Concept feature.Vector
+	Found   []string // doc ids
+}
+
+// Session errors.
+var (
+	ErrNotMember = errors.New("collab: user is not a session member")
+	ErrNoThread  = errors.New("collab: user has no thread")
+)
+
+// NewSession opens a session with the given id.
+func NewSession(id string) *Session {
+	return &Session{
+		id:        id,
+		members:   make(map[string]*profile.Profile),
+		workspace: NewORSet(id),
+		threads:   make(map[string]*Thread),
+	}
+}
+
+// Join adds a member with their profile.
+func (s *Session) Join(p *profile.Profile) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.members[p.UserID] = p.Clone()
+	if _, ok := s.threads[p.UserID]; !ok {
+		s.threads[p.UserID] = &Thread{Owner: p.UserID}
+	}
+}
+
+// Members returns member ids, sorted.
+func (s *Session) Members() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.members))
+	for m := range s.members {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Profile returns a member's profile copy, or nil.
+func (s *Session) Profile(user string) *profile.Profile {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if p, ok := s.members[user]; ok {
+		return p.Clone()
+	}
+	return nil
+}
+
+// RecordStep appends a step to a member's thread and fuses its results into
+// the workspace. Everyone "sees everyone's results at the same time".
+func (s *Session) RecordStep(user string, st Step, results []query.Result) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.members[user]; !ok {
+		return ErrNotMember
+	}
+	th := s.threads[user]
+	for _, r := range results {
+		st.Found = append(st.Found, r.Doc.ID)
+		s.workspace.Add(r.Doc.ID, WorkspaceEntry{
+			DocID:   r.Doc.ID,
+			Score:   r.Score,
+			Source:  r.Source,
+			AddedBy: user,
+			Concept: r.Doc.Concept.Clone(),
+		})
+	}
+	th.Steps = append(th.Steps, st)
+	return nil
+}
+
+// Discard removes an item from the shared workspace (any member may prune).
+func (s *Session) Discard(user, docID string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.members[user]; !ok {
+		return ErrNotMember
+	}
+	s.workspace.Remove(docID)
+	return nil
+}
+
+// Workspace returns the fused entries, best score first.
+func (s *Session) Workspace() []WorkspaceEntry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	items := s.workspace.Items()
+	out := make([]WorkspaceEntry, 0, len(items))
+	for _, id := range items {
+		if p, ok := s.workspace.Get(id); ok {
+			out = append(out, p.(WorkspaceEntry))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].DocID < out[j].DocID
+	})
+	return out
+}
+
+// Thread returns a copy of a member's thread.
+func (s *Session) Thread(user string) (*Thread, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	th, ok := s.threads[user]
+	if !ok {
+		return nil, ErrNoThread
+	}
+	cp := &Thread{Owner: th.Owner, Steps: append([]Step(nil), th.Steps...)}
+	return cp, nil
+}
+
+// TakeOver lets `user` continue `from`'s thread with their own profile: it
+// returns the last step of the source thread re-personalized — same query,
+// but the concept vector blended toward the new user's interests. The
+// caller executes it and records the result under `user`.
+func (s *Session) TakeOver(user, from string) (Step, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	me, ok := s.members[user]
+	if !ok {
+		return Step{}, ErrNotMember
+	}
+	th, ok := s.threads[from]
+	if !ok || len(th.Steps) == 0 {
+		return Step{}, ErrNoThread
+	}
+	last := th.Steps[len(th.Steps)-1]
+	cp := *last.Query
+	st := Step{Query: &cp}
+	if len(last.Concept) > 0 {
+		st.Concept = feature.Blend(last.Concept, me.Interests, 0.5)
+	} else {
+		st.Concept = me.Interests.Clone()
+	}
+	return st, nil
+}
+
+// MergeWorkspace folds another session replica's workspace in (for
+// cross-institution sessions syncing over the network).
+func (s *Session) MergeWorkspace(other *Session) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.workspace.Merge(other.workspace)
+}

@@ -1,0 +1,255 @@
+// Package core assembles the Open Agora: independent provider nodes with
+// their own document stores, economics, and hidden reliability; consumer
+// sessions that interpret queries through profiles and contexts, optimize
+// source selection under uncertainty, negotiate SLA contracts, execute,
+// settle, learn, and fuse — the full information-shopping loop of the
+// paper, end to end.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/docstore"
+	"repro/internal/feature"
+	"repro/internal/feedsys"
+	"repro/internal/negotiate"
+	"repro/internal/optimizer"
+	"repro/internal/profile"
+	"repro/internal/qos"
+	"repro/internal/sim"
+	"repro/internal/social"
+	"repro/internal/uncertainty"
+)
+
+// Config sizes an Agora.
+type Config struct {
+	Seed       int64
+	ConceptDim int
+}
+
+// Agora is the marketplace: the registry of provider nodes plus the shared
+// social fabric (profiles, graph, ACLs) and the feed bus.
+type Agora struct {
+	mu       sync.RWMutex
+	cfg      Config
+	kernel   *sim.Kernel
+	nodes    map[string]*Node
+	order    []string
+	Profiles *profile.Store
+	Graph    *social.Graph
+	ACL      *social.ACL
+	Feeds    *feedsys.Matcher
+	rng      *rand.Rand
+	seq      uint64
+	disc     *discovery
+}
+
+// New creates an empty agora on a fresh simulation kernel.
+func New(cfg Config) *Agora {
+	if cfg.ConceptDim <= 0 {
+		cfg.ConceptDim = 32
+	}
+	k := sim.NewKernel(cfg.Seed)
+	return &Agora{
+		cfg:      cfg,
+		kernel:   k,
+		nodes:    make(map[string]*Node),
+		Profiles: profile.NewStore(),
+		Graph:    social.NewGraph(),
+		ACL:      social.NewACL(),
+		Feeds:    feedsys.NewMatcher(cfg.ConceptDim, cfg.Seed+99),
+		rng:      k.Stream("core"),
+	}
+}
+
+// Kernel exposes the simulation kernel (virtual clock).
+func (a *Agora) Kernel() *sim.Kernel { return a.kernel }
+
+// ConceptDim returns the concept-space dimensionality.
+func (a *Agora) ConceptDim() int { return a.cfg.ConceptDim }
+
+// NodeEconomics are a provider's market parameters.
+type NodeEconomics struct {
+	CostBase    float64
+	CostEffort  float64
+	Premium     float64 // SLA premium multiplier it asks for
+	PenaltyRate float64 // compensation rate it signs up to
+	Tactic      negotiate.Tactic
+}
+
+// DefaultEconomics returns middle-of-the-road provider economics.
+func DefaultEconomics() NodeEconomics {
+	return NodeEconomics{CostBase: 0.3, CostEffort: 1.2, Premium: 1.3, PenaltyRate: 0.5, Tactic: negotiate.Linear()}
+}
+
+// NodeBehavior is the hidden truth about a provider that consumers only
+// learn through interaction (the paper's uncertainty about sources).
+type NodeBehavior struct {
+	// Reliability is the probability a signed contract is honored in
+	// full; otherwise the node delivers a degraded (partial, slow) answer.
+	Reliability float64
+	// BaseLatency and LatencyJitter shape response times.
+	BaseLatency   time.Duration
+	LatencyJitter float64 // lognormal sigma
+	// Availability is the probability the node responds at all.
+	Availability float64
+}
+
+// DefaultBehavior returns a well-behaved node.
+func DefaultBehavior() NodeBehavior {
+	return NodeBehavior{Reliability: 0.9, BaseLatency: 200 * time.Millisecond, LatencyJitter: 0.3, Availability: 0.98}
+}
+
+// Node is one independent information system participating in the agora.
+type Node struct {
+	Name     string
+	Store    *docstore.Store
+	Econ     NodeEconomics
+	Behavior NodeBehavior
+	agora    *Agora
+	// topicCounts advertises content per topic (the node's "shop window").
+	topicCounts map[string]int
+	totalDocs   int
+	contentVec  feature.Vector
+}
+
+// AddNode registers a provider with an empty in-memory store.
+func (a *Agora) AddNode(name string, econ NodeEconomics, beh NodeBehavior) (*Node, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, ok := a.nodes[name]; ok {
+		return nil, fmt.Errorf("core: node %q already exists", name)
+	}
+	st, err := docstore.Open(docstore.Options{ConceptDim: a.cfg.ConceptDim, Seed: a.cfg.Seed + int64(len(a.nodes))})
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		Name: name, Store: st, Econ: econ, Behavior: beh, agora: a,
+		topicCounts: make(map[string]int),
+		contentVec:  make(feature.Vector, a.cfg.ConceptDim),
+	}
+	a.nodes[name] = n
+	a.order = append(a.order, name)
+	a.joinDiscovery(n)
+	return n, nil
+}
+
+// Node returns a registered node, or nil.
+func (a *Agora) Node(name string) *Node {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.nodes[name]
+}
+
+// Nodes returns node names in registration order.
+func (a *Agora) Nodes() []string {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return append([]string(nil), a.order...)
+}
+
+// nextID mints a unique id with the given prefix.
+func (a *Agora) nextID(prefix string) string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.seq++
+	return fmt.Sprintf("%s-%d", prefix, a.seq)
+}
+
+// Ingest stores a document at the node, updates its advertisement, and
+// publishes it on the feed bus (so standing subscriptions see new content —
+// the information-initiated modality).
+func (n *Node) Ingest(d *docstore.Document) error {
+	if d.Provenance == "" {
+		d = d.Clone()
+		d.Provenance = n.Name
+	}
+	if err := n.Store.Put(d); err != nil {
+		return err
+	}
+	n.totalDocs++
+	for _, t := range d.Topics {
+		n.topicCounts[t]++
+	}
+	if len(d.Concept) > 0 {
+		n.contentVec.Add(d.Concept)
+	}
+	n.agora.Feeds.Publish(feedsys.Item{
+		ID: d.ID, FeedID: n.Name, Source: n.Name, Text: d.Title + " " + d.Text,
+		Concept: d.Concept, At: n.agora.kernel.Now(),
+	})
+	return nil
+}
+
+// ContentVector advertises the node's aggregate content direction.
+func (n *Node) ContentVector() feature.Vector {
+	return n.contentVec.Clone().Normalize()
+}
+
+// TopicCount returns the advertised number of documents for a topic.
+func (n *Node) TopicCount(topic string) int { return n.topicCounts[topic] }
+
+// TotalDocs returns the advertised corpus size.
+func (n *Node) TotalDocs() int { return n.totalDocs }
+
+// seller builds the node's negotiator over a package grid derived from the
+// consumer's ask.
+func (n *Node) seller(grid []qos.Vector) *negotiate.Negotiator {
+	tac := n.Econ.Tactic
+	if tac == nil {
+		tac = negotiate.Linear()
+	}
+	return &negotiate.Negotiator{
+		Name:        n.Name,
+		U:           negotiate.SellerUtility{Cost: negotiate.StandardCost(n.Econ.CostBase, n.Econ.CostEffort), Scale: 8},
+		Reservation: 0.05,
+		Tactic:      tac,
+		Candidates:  grid,
+	}
+}
+
+// available samples whether the node responds right now.
+func (n *Node) available(r *rand.Rand) bool {
+	return sim.Bernoulli(r, n.Behavior.Availability)
+}
+
+// sampleLatency draws a response latency for this interaction.
+func (n *Node) sampleLatency(r *rand.Rand) time.Duration {
+	return sim.LogNormal(r, n.Behavior.BaseLatency, n.Behavior.LatencyJitter)
+}
+
+// EstimateFor builds the optimizer's view of this node for a query about
+// the given topics, blending the node's advertisement with the consumer's
+// learned beliefs (trust ledger). totalForTopics is the corpus-wide count
+// for those topics (coverage denominator).
+func (n *Node) EstimateFor(topics []string, totalForTopics int, trust uncertainty.BetaBelief, latencyPrior uncertainty.Interval) optimizer.SourceEstimate {
+	holding := 0
+	if len(topics) == 0 {
+		holding = n.totalDocs
+	} else {
+		for _, t := range topics {
+			holding += n.topicCounts[t]
+		}
+	}
+	cov := 0.0
+	if totalForTopics > 0 {
+		cov = float64(holding) / float64(totalForTopics)
+		if cov > 1 {
+			cov = 1
+		}
+	}
+	price := n.Econ.CostBase + n.Econ.CostEffort*0.8
+	return optimizer.SourceEstimate{
+		Source:      n.Name,
+		Coverage:    uncertainty.PriorBelief(cov, 12),
+		Price:       uncertainty.MakeInterval(price*0.7, price*1.5),
+		Latency:     latencyPrior,
+		Trust:       trust,
+		Premium:     n.Econ.Premium,
+		PenaltyRate: n.Econ.PenaltyRate,
+	}
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/feature"
+	"repro/internal/overlay"
+	"repro/internal/sim"
+)
+
+// Decentralized source discovery. With the global registry, every session
+// sees every provider — fine for a small market, but the paper's agora is
+// an open world where "identification of appropriate resources" is itself
+// uncertain (§2). EnableOverlayDiscovery puts every provider on a gossip
+// overlay with semantic shortcut links; sessions then locate candidate
+// sources by routing a discovery query through the overlay instead of
+// reading the registry, and only discovered sources enter the optimizer.
+
+// discoveryHandler adapts a Node to the overlay: it answers a discovery
+// probe when its content points roughly at the probe's concept.
+type discoveryHandler struct {
+	node *Node
+}
+
+// HandleQuery implements overlay.Handler.
+func (h *discoveryHandler) HandleQuery(q overlay.QueryMsg) any {
+	if h.node.TotalDocs() == 0 {
+		return nil
+	}
+	if feature.Cosine(h.node.ContentVector(), q.Concept) < 0.1 {
+		return nil
+	}
+	return h.node.Name
+}
+
+// ContentVector implements overlay.Handler.
+func (h *discoveryHandler) ContentVector() feature.Vector {
+	return h.node.ContentVector()
+}
+
+// DiscoveryConfig tunes overlay-based source discovery.
+type DiscoveryConfig struct {
+	Overlay overlay.Config
+	Latency sim.LatencyModel
+	Loss    float64
+	// Strategy and TTL/Fanout control the discovery probes.
+	Strategy overlay.Strategy
+	TTL      int
+	Fanout   int
+	// Budget is how long (virtual time) a session waits for answers.
+	Budget time.Duration
+}
+
+// DefaultDiscovery returns semantic-routing discovery defaults.
+func DefaultDiscovery() DiscoveryConfig {
+	return DiscoveryConfig{
+		Overlay:  overlay.DefaultConfig(),
+		Latency:  sim.WANLatency{Base: 60 * time.Millisecond, Jitter: 0.2, Nodes: 64},
+		Strategy: overlay.Semantic,
+		TTL:      5,
+		Fanout:   3,
+		Budget:   2 * time.Second,
+	}
+}
+
+// EnableOverlayDiscovery switches the agora to decentralized discovery.
+// Call after registering nodes; nodes added later join the overlay
+// automatically. Idempotent per agora.
+func (a *Agora) EnableOverlayDiscovery(cfg DiscoveryConfig) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.disc != nil {
+		return
+	}
+	if cfg.Latency == nil {
+		cfg.Latency = sim.FixedLatency(20 * time.Millisecond)
+	}
+	if cfg.Budget <= 0 {
+		cfg.Budget = 2 * time.Second
+	}
+	if cfg.TTL <= 0 {
+		cfg.TTL = 5
+	}
+	net := sim.NewNetwork(a.kernel, cfg.Latency, cfg.Loss)
+	ov := overlay.New(net, cfg.Overlay)
+	d := &discovery{cfg: cfg, net: net, ov: ov, ids: make(map[string]int)}
+	for i, name := range a.order {
+		ov.AddNode(i, &discoveryHandler{node: a.nodes[name]})
+		d.ids[name] = i
+	}
+	ov.Bootstrap()
+	a.disc = d
+	// Let gossip wire initial views before the first discovery.
+	a.kernel.RunFor(30 * time.Second)
+}
+
+// discovery holds the overlay machinery inside an Agora.
+type discovery struct {
+	cfg DiscoveryConfig
+	net *sim.Network
+	ov  *overlay.Overlay
+	ids map[string]int
+	seq uint64
+}
+
+// DiscoveryEnabled reports whether decentralized discovery is active.
+func (a *Agora) DiscoveryEnabled() bool {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.disc != nil
+}
+
+// joinDiscovery attaches a late-added node to the overlay. Caller holds
+// a.mu.
+func (a *Agora) joinDiscovery(n *Node) {
+	if a.disc == nil {
+		return
+	}
+	id := len(a.disc.ids)
+	a.disc.ids[n.Name] = id
+	a.disc.ov.AddNode(id, &discoveryHandler{node: n})
+}
+
+// Discover routes a discovery probe through the overlay and returns the
+// names of sources that answered within the budget. With discovery
+// disabled, it returns every registered node.
+func (a *Agora) Discover(origin string, concept feature.Vector) []string {
+	a.mu.Lock()
+	d := a.disc
+	if d == nil {
+		all := append([]string(nil), a.order...)
+		a.mu.Unlock()
+		return all
+	}
+	d.seq++
+	qid := fmt.Sprintf("disc-%d", d.seq)
+	originID, ok := d.ids[origin]
+	if !ok {
+		// Sessions enter through an arbitrary known peer, like a real
+		// client connecting to a bootstrap node.
+		originID = int(d.seq) % len(a.order)
+	}
+	a.mu.Unlock()
+
+	q := overlay.QueryMsg{
+		ID:       qid,
+		Origin:   originID,
+		Concept:  concept,
+		TTL:      d.cfg.TTL,
+		Strategy: d.cfg.Strategy,
+		Walkers:  8,
+		Fanout:   d.cfg.Fanout,
+	}
+	var found []string
+	seen := map[string]bool{}
+	d.ov.Query(q, func(ans overlay.Answer) {
+		if name, ok := ans.Payload.(string); ok && !seen[name] {
+			seen[name] = true
+			found = append(found, name)
+		}
+	})
+	a.kernel.RunFor(d.cfg.Budget)
+	d.ov.CloseQuery(qid)
+	return found
+}
+
+// DiscoveryStats reports overlay traffic counters.
+func (a *Agora) DiscoveryStats() (queryMsgs, gossipMsgs uint64) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if a.disc == nil {
+		return 0, 0
+	}
+	return a.disc.ov.QueryMsgs, a.disc.ov.GossipMsgs
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/docstore"
+	"repro/internal/workload"
+)
+
+func TestDiscoveryFindsTopicalSources(t *testing.T) {
+	a := New(Config{Seed: 30, ConceptDim: 32})
+	g := workload.NewGenerator(30, 32, 8)
+	docs := g.GenCorpus(800, 1.1, 0)
+	// Perfectly specialized sources: source i holds only topics i mod 8.
+	bySource := g.AssignToSources(docs, 8, 1.0)
+	for i, list := range bySource {
+		n, err := a.AddNode(workload.SourceName(i), DefaultEconomics(), DefaultBehavior())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range list {
+			if err := n.Ingest(d.Doc); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if a.DiscoveryEnabled() {
+		t.Fatal("discovery should start disabled")
+	}
+	// Disabled: Discover returns everything.
+	if got := a.Discover("iris", g.Topics[0].Center); len(got) != 8 {
+		t.Fatalf("registry discover = %d", len(got))
+	}
+	a.EnableOverlayDiscovery(DefaultDiscovery())
+	if !a.DiscoveryEnabled() {
+		t.Fatal("discovery should be enabled")
+	}
+	// A topical probe should find the specialist (and not everything).
+	found := a.Discover("iris", g.Topics[2].Center)
+	if len(found) == 0 {
+		t.Fatal("discovery found nothing")
+	}
+	hasSpecialist := false
+	for _, name := range found {
+		if name == workload.SourceName(2) {
+			hasSpecialist = true
+		}
+	}
+	if !hasSpecialist {
+		t.Fatalf("specialist not discovered: %v", found)
+	}
+	qm, gm := a.DiscoveryStats()
+	if qm == 0 || gm == 0 {
+		t.Fatalf("no overlay traffic: %d %d", qm, gm)
+	}
+}
+
+func TestAskWithDiscoveryEndToEnd(t *testing.T) {
+	a := New(Config{Seed: 31, ConceptDim: 32})
+	g := workload.NewGenerator(31, 32, 8)
+	docs := g.GenCorpus(600, 1.2, 0)
+	bySource := g.AssignToSources(docs, 6, 0.9)
+	for i, list := range bySource {
+		n, err := a.AddNode(workload.SourceName(i), DefaultEconomics(), DefaultBehavior())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range list {
+			if err := n.Ingest(d.Doc); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	a.EnableOverlayDiscovery(DefaultDiscovery())
+	s := a.NewSession(irisProfile(g, 0))
+	topic := g.Topics[0]
+	ans, err := s.Ask(fmt.Sprintf(`FIND documents WHERE topic = "%s" TOP 8`, topic.Name), topic.Center)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Results) == 0 {
+		t.Fatal("no results via discovery")
+	}
+	for _, r := range ans.Results {
+		if r.Doc.Topics[0] != topic.Name {
+			t.Fatalf("off-topic result: %v", r.Doc.Topics)
+		}
+	}
+	if len(ans.Contracts) == 0 {
+		t.Fatal("no contracts")
+	}
+}
+
+func TestLateNodeJoinsDiscovery(t *testing.T) {
+	a := New(Config{Seed: 32, ConceptDim: 32})
+	g := workload.NewGenerator(32, 32, 8)
+	// Start with a couple of filler nodes so the overlay exists.
+	for i := 0; i < 3; i++ {
+		n, err := a.AddNode(workload.SourceName(i), DefaultEconomics(), DefaultBehavior())
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := g.GenCorpus(20, 1.1, 0)
+		for _, dd := range d {
+			dd.Doc.ID = fmt.Sprintf("s%d-%s", i, dd.Doc.ID)
+			dd.Doc.Concept = g.SampleConcept(1, 0.1)
+			dd.Doc.Topics = []string{g.Topics[1].Name}
+			if err := n.Ingest(dd.Doc); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	a.EnableOverlayDiscovery(DefaultDiscovery())
+
+	// A specialist for topic 5 joins after discovery is live.
+	late, err := a.AddNode("latecomer", DefaultEconomics(), DefaultBehavior())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		d := docstoreDoc(g, 5, fmt.Sprintf("late%02d", i))
+		if err := late.Ingest(&d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Give gossip time to absorb the newcomer.
+	a.Kernel().RunFor(defaultSettle())
+	found := a.Discover("iris", g.Topics[5].Center)
+	has := false
+	for _, n := range found {
+		if n == "latecomer" {
+			has = true
+		}
+	}
+	if !has {
+		t.Fatalf("latecomer not discoverable: %v", found)
+	}
+}
+
+// docstoreDoc builds a topical document for the latecomer test.
+func docstoreDoc(g *workload.Generator, topic int, id string) docstore.Document {
+	return docstore.Document{
+		ID:      id,
+		Title:   g.GenText(topic, 3),
+		Text:    g.GenText(topic, 10),
+		Topics:  []string{g.Topics[topic].Name},
+		Concept: g.SampleConcept(topic, 0.1),
+	}
+}
+
+// defaultSettle is how long gossip needs to absorb membership changes.
+func defaultSettle() time.Duration { return 2 * time.Minute }

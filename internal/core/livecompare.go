@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/feature"
+	"repro/internal/feedsys"
+)
+
+// LiveCompare implements the paper's §9 request to support "modifying a
+// query while it is being executed (e.g., adding new objects for comparison
+// into a query comparing two collections)": a standing comparison between a
+// growing set of reference objects (Iris's personal information base, her
+// annotations) and everything arriving on the agora's feeds. Objects can be
+// added while the comparison runs; matches accumulate, deduplicated, in one
+// inbox.
+type LiveCompare struct {
+	sess      *Session
+	threshold float64
+
+	mu      sync.Mutex
+	subIDs  []string
+	seen    map[string]bool
+	matches []Match
+	stopped bool
+}
+
+// Match pairs an arriving item with the reference object it resembled.
+type Match struct {
+	Item       feedsys.Item
+	ObjectIdx  int
+	Similarity float64
+}
+
+// StartCompare opens a live comparison against the given reference objects
+// (more may be added later with AddObject).
+func (s *Session) StartCompare(threshold float64, objects ...feature.Vector) (*LiveCompare, error) {
+	lc := &LiveCompare{sess: s, threshold: threshold, seen: make(map[string]bool)}
+	for _, obj := range objects {
+		if err := lc.AddObject(obj); err != nil {
+			lc.Stop()
+			return nil, err
+		}
+	}
+	return lc, nil
+}
+
+// AddObject extends the running comparison with another reference object —
+// the mid-flight query modification itself.
+func (lc *LiveCompare) AddObject(obj feature.Vector) error {
+	lc.mu.Lock()
+	if lc.stopped {
+		lc.mu.Unlock()
+		return fmt.Errorf("core: comparison already stopped")
+	}
+	idx := len(lc.subIDs)
+	lc.mu.Unlock()
+
+	id := lc.sess.agora.nextID("cmp")
+	err := lc.sess.agora.Feeds.Subscribe(&feedsys.Subscription{
+		ID: id, Owner: lc.sess.Profile.UserID,
+		Concept: obj.Clone(), Threshold: lc.threshold,
+		Deliver: func(it feedsys.Item) {
+			lc.mu.Lock()
+			defer lc.mu.Unlock()
+			if lc.stopped || lc.seen[it.ID] {
+				return
+			}
+			lc.seen[it.ID] = true
+			lc.matches = append(lc.matches, Match{
+				Item:       it,
+				ObjectIdx:  idx,
+				Similarity: feature.Cosine(obj, it.Concept),
+			})
+		},
+	})
+	if err != nil {
+		return err
+	}
+	lc.mu.Lock()
+	lc.subIDs = append(lc.subIDs, id)
+	lc.mu.Unlock()
+	return nil
+}
+
+// Objects returns the number of reference objects being compared.
+func (lc *LiveCompare) Objects() int {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	return len(lc.subIDs)
+}
+
+// Matches returns a copy of the accumulated matches, in arrival order.
+func (lc *LiveCompare) Matches() []Match {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	return append([]Match(nil), lc.matches...)
+}
+
+// Stop cancels the comparison's subscriptions.
+func (lc *LiveCompare) Stop() {
+	lc.mu.Lock()
+	ids := append([]string(nil), lc.subIDs...)
+	lc.stopped = true
+	lc.mu.Unlock()
+	for _, id := range ids {
+		_ = lc.sess.agora.Feeds.Unsubscribe(id)
+	}
+}

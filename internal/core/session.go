@@ -1,0 +1,541 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/ctxmodel"
+	"repro/internal/docstore"
+	"repro/internal/feature"
+	"repro/internal/feedsys"
+	"repro/internal/negotiate"
+	"repro/internal/optimizer"
+	"repro/internal/profile"
+	"repro/internal/qos"
+	"repro/internal/query"
+	"repro/internal/sim"
+	"repro/internal/social"
+	"repro/internal/uncertainty"
+)
+
+// Session is one consumer's connection to the agora: it carries the user's
+// profile, context detector, trust ledger, feed inbox, and the learned
+// beliefs that steer optimization.
+type Session struct {
+	agora    *Agora
+	Profile  *profile.Profile
+	Rules    ctxmodel.RuleSet
+	Context  ctxmodel.Context
+	Detector *ctxmodel.Detector
+	Ledger   *qos.ReputationLedger
+	Inbox    *feedsys.Inbox
+	learner  *profile.Learner
+	rng      *rand.Rand
+	// latencyBeliefs tracks observed per-source latencies (seconds).
+	latencyObs map[string][]float64
+	// Gamma is personalization strength; Beta is social re-rank strength.
+	Gamma float64
+	Beta  float64
+	// CompleteQueries enables personalized query completion: top
+	// positive-affinity profile terms are appended to the query text
+	// (§5: "completion of queries" as a profile application).
+	CompleteQueries bool
+	// MaxSources bounds plan size.
+	MaxSources int
+	// NegotiationRounds bounds each bilateral negotiation.
+	NegotiationRounds int
+	reranker          *social.Reranker
+}
+
+// NewSession opens a session for the given user profile (stored into the
+// agora's profile store).
+func (a *Agora) NewSession(p *profile.Profile) *Session {
+	a.Profiles.Put(p)
+	return &Session{
+		agora:             a,
+		Profile:           p.Clone(),
+		Detector:          ctxmodel.NewDetector(20),
+		Ledger:            qos.NewReputationLedger(0.98, 32),
+		Inbox:             feedsys.NewInbox(256, 0),
+		learner:           profile.NewLearner(),
+		rng:               a.kernel.Stream("session/" + p.UserID),
+		latencyObs:        make(map[string][]float64),
+		Gamma:             0.4,
+		Beta:              0,
+		MaxSources:        4,
+		NegotiationRounds: 16,
+		reranker:          social.NewReranker(a.Graph, a.ACL, a.Profiles),
+	}
+}
+
+// Answer is the outcome of one Ask.
+type Answer struct {
+	Results   []query.Result
+	Contracts []*qos.Contract
+	Outcomes  []qos.Outcome
+	Delivered qos.Vector
+	// PlanScore is the optimizer's predicted utility for the chosen plan.
+	PlanScore float64
+	// ContextLabel is the profile variant that was active.
+	ContextLabel string
+	// Negotiated reports how many sources required multi-round bargaining.
+	Negotiated int
+	Rounds     int
+}
+
+// Session errors.
+var (
+	ErrNoProviders = errors.New("core: no providers could be contracted")
+)
+
+// Ask runs the full pipeline on an AQL string. The optional concept vector
+// is the query-by-example payload (e.g. image features); nil falls back to
+// the user's interests.
+func (s *Session) Ask(aql string, concept feature.Vector) (*Answer, error) {
+	q, err := query.Parse(aql)
+	if err != nil {
+		return nil, err
+	}
+	return s.AskQuery(q, concept)
+}
+
+// Partial is one progressive per-source delivery during an Ask: results
+// stream to the caller as each contracted source settles, so the user can
+// "react immediately if something significant is found" (§9) instead of
+// waiting for the full fusion.
+type Partial struct {
+	Source    string
+	Results   []query.Result
+	Delivered qos.Vector
+	// SourcesDone / SourcesPlanned report progress through the plan.
+	SourcesDone    int
+	SourcesPlanned int
+}
+
+// AskProgressive is Ask with a progressive-delivery callback: onPartial is
+// invoked after each source settles (in plan order) with that source's raw
+// ranked results; the returned Answer is still the fully fused, personalized
+// final ranking.
+func (s *Session) AskProgressive(aql string, concept feature.Vector, onPartial func(Partial)) (*Answer, error) {
+	q, err := query.Parse(aql)
+	if err != nil {
+		return nil, err
+	}
+	return s.askPipeline(q, concept, onPartial)
+}
+
+// AskQuery runs the pipeline on a parsed query.
+func (s *Session) AskQuery(q *query.Query, concept feature.Vector) (*Answer, error) {
+	return s.askPipeline(q, concept, nil)
+}
+
+func (s *Session) askPipeline(q *query.Query, concept feature.Vector, onPartial func(Partial)) (*Answer, error) {
+	s.Detector.Observe(ctxmodel.ActionQuery)
+
+	// 1. Contextualize: find the active profile variant.
+	ctx := s.Detector.Infer(s.Context)
+	label := s.Rules.Activate(ctx)
+	interests, weights := s.Profile.ActiveView(label)
+
+	// 2. Personalize: complete the query text from the profile, and blend
+	// the query concept toward active interests.
+	if s.CompleteQueries && q.Text != "" {
+		q = s.completeQuery(q)
+	}
+	if len(concept) == 0 {
+		if interests.Norm() > 0 {
+			concept = interests.Clone()
+		}
+	} else if s.Gamma > 0 && interests.Norm() > 0 {
+		concept = feature.Blend(concept, interests, s.Gamma*0.5)
+	}
+
+	// 3. Optimize: choose sources under uncertainty (candidates come from
+	// overlay discovery when enabled).
+	ests := s.estimates(q, concept)
+	if len(ests) == 0 {
+		return nil, ErrNoProviders
+	}
+	obj := optimizer.Objective{Weights: weights, Risk: s.Profile.Risk, Budget: q.Want.Price}
+	plan, err := optimizer.Best(ests, obj, s.MaxSources)
+	if err != nil {
+		return nil, err
+	}
+	if len(plan.Sources) == 0 {
+		return nil, ErrNoProviders
+	}
+
+	ans := &Answer{ContextLabel: label, PlanScore: obj.Score(plan)}
+
+	// 4-6. Negotiate, execute, settle per source.
+	var lists [][]query.Result
+	var worstLatency time.Duration
+	var totalPaid float64
+	failed := map[string]bool{}
+	for _, est := range plan.Sources {
+		node := s.agora.Node(est.Source)
+		if node == nil {
+			continue
+		}
+		contract, deal, err := s.negotiateContract(q, node, weights)
+		if err != nil {
+			failed[est.Source] = true
+			continue
+		}
+		ans.Contracts = append(ans.Contracts, contract)
+		ans.Rounds += deal.Rounds
+		if deal.Rounds > 1 {
+			ans.Negotiated++
+		}
+		results, delivered, err := s.executeAt(node, q, concept, contract)
+		if err != nil {
+			failed[est.Source] = true
+			// Cancelled: provider compensates per contract.
+			if fee, cerr := contract.Cancel(); cerr == nil {
+				totalPaid -= fee
+			}
+			s.Ledger.RecordOutcome(node.Name, qos.Outcome{Fulfilled: false, Shortfall: 1})
+			continue
+		}
+		out, err := contract.Settle(delivered)
+		if err == nil {
+			ans.Outcomes = append(ans.Outcomes, out)
+			totalPaid += out.NetPaid
+			s.Ledger.RecordOutcome(node.Name, out)
+			s.observeLatency(node.Name, delivered.Latency)
+		}
+		if delivered.Latency > worstLatency {
+			worstLatency = delivered.Latency
+		}
+		lists = append(lists, results)
+		if onPartial != nil {
+			onPartial(Partial{
+				Source:         node.Name,
+				Results:        results,
+				Delivered:      delivered,
+				SourcesDone:    len(lists),
+				SourcesPlanned: len(plan.Sources),
+			})
+		}
+	}
+	if len(lists) == 0 {
+		// 6b. Mid-flight re-optimization: everything failed; try once more
+		// with the failures excluded.
+		plan2, rerr := optimizer.Reoptimize(ests, failed, 0, obj, s.MaxSources)
+		if rerr != nil || len(plan2.Sources) == 0 {
+			return nil, ErrNoProviders
+		}
+		for _, est := range plan2.Sources {
+			node := s.agora.Node(est.Source)
+			if node == nil || failed[est.Source] {
+				continue
+			}
+			contract, _, err := s.negotiateContract(q, node, weights)
+			if err != nil {
+				continue
+			}
+			results, delivered, err := s.executeAt(node, q, concept, contract)
+			if err != nil {
+				continue
+			}
+			if out, serr := contract.Settle(delivered); serr == nil {
+				ans.Outcomes = append(ans.Outcomes, out)
+				totalPaid += out.NetPaid
+				s.Ledger.RecordOutcome(node.Name, out)
+			}
+			ans.Contracts = append(ans.Contracts, contract)
+			if delivered.Latency > worstLatency {
+				worstLatency = delivered.Latency
+			}
+			lists = append(lists, results)
+		}
+		if len(lists) == 0 {
+			return nil, ErrNoProviders
+		}
+	}
+
+	// 7. Fuse and personalize the ranking.
+	merged := query.Merge(lists, q.TopK*3)
+	for i := range merged {
+		base := merged[i].Score
+		p := merged[i].Doc
+		score := s.Profile.PersonalScore(base, p.Concept, s.Gamma)
+		score *= s.Profile.TermBoost(p.Tokens())
+		merged[i].Score = score
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].Score != merged[j].Score {
+			return merged[i].Score > merged[j].Score
+		}
+		return merged[i].Doc.ID < merged[j].Doc.ID
+	})
+
+	// 8. Socialize: blend in the accessible circle's interests.
+	if s.Beta > 0 {
+		items := make([]social.Item, len(merged))
+		for i, r := range merged {
+			items[i] = social.Item{ID: r.Doc.ID, Score: r.Score, Concept: r.Doc.Concept}
+		}
+		ranked := s.reranker.Rerank(s.Profile, items, s.Beta)
+		byID := make(map[string]query.Result, len(merged))
+		for _, r := range merged {
+			byID[r.Doc.ID] = r
+		}
+		merged = merged[:0]
+		for _, it := range ranked {
+			r := byID[it.ID]
+			r.Score = it.Score
+			merged = append(merged, r)
+		}
+	}
+	if len(merged) > q.TopK {
+		merged = merged[:q.TopK]
+	}
+	ans.Results = merged
+
+	// Delivered aggregate QoS.
+	now := s.agora.kernel.Now()
+	ans.Delivered = qos.Vector{
+		Latency:      worstLatency,
+		Completeness: 0, // callers with ground truth compute this
+		Freshness:    query.MaxStaleness(merged, int64(now)),
+		Trust:        s.meanTrust(ans.Contracts),
+		Price:        totalPaid,
+	}
+	return ans, nil
+}
+
+func (s *Session) meanTrust(contracts []*qos.Contract) float64 {
+	if len(contracts) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, c := range contracts {
+		sum += s.Ledger.Trust(c.Provider)
+	}
+	return sum / float64(len(contracts))
+}
+
+// estimates builds optimizer inputs for the candidate sources (discovered
+// via the overlay when decentralized discovery is enabled, the full
+// registry otherwise), using the consumer's learned trust and latency
+// beliefs. The discovery concept steers semantic routing.
+func (s *Session) estimates(q *query.Query, concept feature.Vector) []optimizer.SourceEstimate {
+	var total int
+	names := s.agora.Discover(s.Profile.UserID, concept)
+	for _, name := range names {
+		n := s.agora.Node(name)
+		if len(q.Topics) == 0 {
+			total += n.TotalDocs()
+		} else {
+			for _, t := range q.Topics {
+				total += n.TopicCount(t)
+			}
+		}
+	}
+	var out []optimizer.SourceEstimate
+	for _, name := range names {
+		n := s.agora.Node(name)
+		if s.Ledger.Blacklisted(name, 0.25, 8) {
+			continue // the greengrocer rule: shop elsewhere
+		}
+		// Thompson sampling over the trust posterior: instead of the
+		// posterior mean we draw one plausible trust value per decision.
+		// Sources with little evidence sample widely and keep getting
+		// explored; well-observed shirkers concentrate low and are
+		// exploited away — no separate exploration knob needed.
+		belief := s.Ledger.Belief(name)
+		sampled := belief.Sample(s.rng)
+		trust := uncertainty.PriorBelief(sampled, belief.Strength()+2)
+		lat := s.latencyPrior(name)
+		out = append(out, n.EstimateFor(q.Topics, total, trust, lat))
+	}
+	return out
+}
+
+func (s *Session) latencyPrior(source string) uncertainty.Interval {
+	obs := s.latencyObs[source]
+	if len(obs) == 0 {
+		return uncertainty.MakeInterval(0.05, 2.0) // wide prior, seconds
+	}
+	lo, hi := obs[0], obs[0]
+	for _, x := range obs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return uncertainty.MakeInterval(lo, hi)
+}
+
+func (s *Session) observeLatency(source string, d time.Duration) {
+	obs := append(s.latencyObs[source], d.Seconds())
+	if len(obs) > 16 {
+		obs = obs[len(obs)-16:]
+	}
+	s.latencyObs[source] = obs
+}
+
+// negotiateContract bargains a package with the node and signs an SLA.
+func (s *Session) negotiateContract(q *query.Query, node *Node, weights qos.Weights) (*qos.Contract, negotiate.Deal, error) {
+	grid := s.packageGrid(q)
+	buyer := &negotiate.Negotiator{
+		Name:        s.Profile.UserID,
+		U:           negotiate.BuyerUtility{W: weights},
+		Reservation: 0.25,
+		Tactic:      s.buyerTactic(),
+		Candidates:  grid,
+	}
+	deal, err := negotiate.Run(buyer, node.seller(grid), s.NegotiationRounds)
+	if err != nil {
+		return nil, deal, err
+	}
+	c := &qos.Contract{
+		ID:          s.agora.nextID("sla"),
+		QueryID:     s.agora.nextID("q"),
+		Consumer:    s.Profile.UserID,
+		Provider:    node.Name,
+		Promised:    deal.Package,
+		Premium:     node.Econ.Premium,
+		PenaltyRate: node.Econ.PenaltyRate,
+	}
+	if err := c.Sign(s.agora.kernel.Now()); err != nil {
+		return nil, deal, err
+	}
+	return c, deal, nil
+}
+
+// completeQuery appends up to two strongly-liked profile terms that the
+// query doesn't already mention, returning a copy.
+func (s *Session) completeQuery(q *query.Query) *query.Query {
+	present := make(map[string]bool)
+	for _, t := range feature.Tokenize(q.Text) {
+		present[t] = true
+	}
+	added := 0
+	cp := *q
+	for _, term := range s.Profile.TopTerms(8) {
+		if added == 2 {
+			break
+		}
+		if s.Profile.TermAffinity[term] <= 0.3 || present[term] {
+			continue
+		}
+		cp.Text += " " + term
+		added++
+	}
+	return &cp
+}
+
+// buyerTactic maps the profile's negotiation style onto a tactic.
+func (s *Session) buyerTactic() negotiate.Tactic {
+	switch s.Profile.Style.Tactic {
+	case "boulware":
+		return negotiate.Boulware()
+	case "conceder":
+		return negotiate.Conceder()
+	case "tit-for-tat":
+		return negotiate.TitForTat{Reciprocity: 0.5 + s.Profile.Style.Aggressiveness}
+	default:
+		return negotiate.Linear()
+	}
+}
+
+// packageGrid builds the negotiable package space for a query.
+func (s *Session) packageGrid(q *query.Query) []qos.Vector {
+	template := qos.Vector{Latency: time.Second, Trust: 0.8}
+	if q.Want.Latency > 0 {
+		template.Latency = q.Want.Latency
+	}
+	if q.Want.Freshness > 0 {
+		template.Freshness = q.Want.Freshness
+	}
+	comp := []float64{0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	prices := []float64{0.5, 1, 1.5, 2, 3, 4, 6}
+	return negotiate.CandidateGrid(template, comp, prices)
+}
+
+// executeAt runs the subquery at a node, simulating its hidden behavior:
+// unavailability, latency, and contract shirking.
+func (s *Session) executeAt(node *Node, q *query.Query, concept feature.Vector, c *qos.Contract) ([]query.Result, qos.Vector, error) {
+	if !node.available(s.rng) {
+		return nil, qos.Vector{}, fmt.Errorf("core: %s unavailable", node.Name)
+	}
+	latency := node.sampleLatency(s.rng)
+	// Advance virtual time to account for the interaction.
+	s.agora.kernel.RunFor(latency)
+
+	sub := *q
+	sub.TopK = q.TopK * 2 // sources over-deliver; fusion trims
+	now := int64(s.agora.kernel.Now())
+	results := query.Execute(node.Store, &sub, concept, now)
+
+	honored := sim.Bernoulli(s.rng, node.Behavior.Reliability)
+	if !honored && len(results) > 1 {
+		// Shirk: deliver only half, late.
+		results = results[:len(results)/2]
+		latency += node.sampleLatency(s.rng)
+	}
+	// Delivered completeness relative to the promise: we proxy by how much
+	// of its own corpus promise the node returned (full pool = promised).
+	deliveredComp := c.Promised.Completeness
+	if !honored {
+		deliveredComp = c.Promised.Completeness / 2
+	}
+	delivered := qos.Vector{
+		Latency:      latency,
+		Completeness: deliveredComp,
+		Freshness:    query.MaxStaleness(results, now),
+		Trust:        c.Promised.Trust,
+		Price:        c.Promised.Price,
+	}
+	return results, delivered, nil
+}
+
+// Feedback lets the application report user reactions; the session learns
+// the profile and stores the update.
+func (s *Session) Feedback(events []profile.Event) {
+	s.learner.ObserveAll(s.Profile, events)
+	s.agora.Profiles.Put(s.Profile)
+}
+
+// Browse returns the freshest documents at a named source (the browsing
+// modality), recording the action for context detection.
+func (s *Session) Browse(source string, k int) ([]*docstore.Document, error) {
+	s.Detector.Observe(ctxmodel.ActionBrowse)
+	node := s.agora.Node(source)
+	if node == nil {
+		return nil, fmt.Errorf("core: unknown source %q", source)
+	}
+	if !node.available(s.rng) {
+		return nil, fmt.Errorf("core: %s unavailable", source)
+	}
+	s.agora.kernel.RunFor(node.sampleLatency(s.rng))
+	return node.Store.Freshest(k), nil
+}
+
+// Subscribe establishes a standing feed subscription matched against all
+// future ingests, delivering into the session's inbox.
+func (s *Session) Subscribe(terms []string, concept feature.Vector, threshold float64) (string, error) {
+	id := s.agora.nextID("sub")
+	err := s.agora.Feeds.Subscribe(&feedsys.Subscription{
+		ID: id, Owner: s.Profile.UserID,
+		Terms: terms, Concept: concept, Threshold: threshold,
+		Deliver: func(it feedsys.Item) {
+			s.Detector.Observe(ctxmodel.ActionFeedRead)
+			s.Inbox.Deliver(it)
+		},
+	})
+	if err != nil {
+		return "", err
+	}
+	return id, nil
+}
+
+// Unsubscribe cancels a standing subscription.
+func (s *Session) Unsubscribe(id string) error { return s.agora.Feeds.Unsubscribe(id) }

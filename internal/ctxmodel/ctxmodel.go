@@ -1,0 +1,203 @@
+// Package ctxmodel implements the paper's Contextualization pillar: a
+// context model over the dimensions Dey & Abowd identify (time, location,
+// task, other people's presence, preceding activity), rules that activate
+// context-conditioned profile variants, and inference of the current
+// context from the interaction stream (e.g., Iris browses at the start of a
+// project but poses direct queries when writing papers at the end).
+package ctxmodel
+
+import (
+	"sort"
+	"strings"
+)
+
+// Context captures the situation a user is operating in.
+type Context struct {
+	// Hour is the local hour of day, 0-23 (-1 = unknown).
+	Hour int
+	// Location is a coarse place label ("office", "home", "travel:paris").
+	Location string
+	// Task is what the user is doing ("explore", "write", "teach").
+	Task string
+	// Companions lists who else is present.
+	Companions []string
+	// Device is the interaction device ("desktop", "mobile").
+	Device string
+	// Preceding is the immediately preceding activity.
+	Preceding string
+}
+
+// HasCompanion reports whether the named person is present.
+func (c Context) HasCompanion(name string) bool {
+	for _, x := range c.Companions {
+		if x == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Similarity scores two contexts in [0,1]: fraction of comparable dimensions
+// that agree, with hours agreeing when within 3.
+func Similarity(a, b Context) float64 {
+	var agree, total float64
+	if a.Hour >= 0 && b.Hour >= 0 {
+		total++
+		d := a.Hour - b.Hour
+		if d < 0 {
+			d = -d
+		}
+		if d > 12 {
+			d = 24 - d
+		}
+		if d <= 3 {
+			agree++
+		}
+	}
+	cmp := func(x, y string) {
+		if x == "" || y == "" {
+			return
+		}
+		total++
+		if x == y {
+			agree++
+		}
+	}
+	cmp(a.Location, b.Location)
+	cmp(a.Task, b.Task)
+	cmp(a.Device, b.Device)
+	cmp(a.Preceding, b.Preceding)
+	if len(a.Companions) > 0 || len(b.Companions) > 0 {
+		total++
+		inter := 0
+		for _, x := range a.Companions {
+			if (Context{Companions: b.Companions}).HasCompanion(x) {
+				inter++
+			}
+		}
+		union := len(a.Companions) + len(b.Companions) - inter
+		if union > 0 && float64(inter)/float64(union) >= 0.5 {
+			agree++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return agree / total
+}
+
+// Condition is a conjunctive pattern over context dimensions; empty fields
+// are wildcards. HourFrom/HourTo define an inclusive circular range (e.g.
+// 22..6 covers the night); both -1 means any hour.
+type Condition struct {
+	HourFrom, HourTo int
+	Location         string
+	Task             string
+	Device           string
+	RequireCompanion string
+	ForbidCompanion  string
+}
+
+// Any matches every context.
+func Any() Condition { return Condition{HourFrom: -1, HourTo: -1} }
+
+// Matches reports whether ctx satisfies the condition.
+func (cd Condition) Matches(ctx Context) bool {
+	if cd.HourFrom >= 0 && cd.HourTo >= 0 && ctx.Hour >= 0 {
+		inRange := false
+		if cd.HourFrom <= cd.HourTo {
+			inRange = ctx.Hour >= cd.HourFrom && ctx.Hour <= cd.HourTo
+		} else {
+			inRange = ctx.Hour >= cd.HourFrom || ctx.Hour <= cd.HourTo
+		}
+		if !inRange {
+			return false
+		}
+	}
+	if cd.Location != "" && !matchLabel(cd.Location, ctx.Location) {
+		return false
+	}
+	if cd.Task != "" && cd.Task != ctx.Task {
+		return false
+	}
+	if cd.Device != "" && cd.Device != ctx.Device {
+		return false
+	}
+	if cd.RequireCompanion != "" && !ctx.HasCompanion(cd.RequireCompanion) {
+		return false
+	}
+	if cd.ForbidCompanion != "" && ctx.HasCompanion(cd.ForbidCompanion) {
+		return false
+	}
+	return true
+}
+
+// matchLabel supports prefix wildcards: "travel:*" matches "travel:paris".
+func matchLabel(pattern, value string) bool {
+	if strings.HasSuffix(pattern, "*") {
+		return strings.HasPrefix(value, strings.TrimSuffix(pattern, "*"))
+	}
+	return pattern == value
+}
+
+// Rule activates a profile variant when its condition matches; among
+// matching rules the highest Priority wins (ties: earlier registration).
+type Rule struct {
+	Condition Condition
+	Variant   string
+	Priority  int
+}
+
+// RuleSet is an ordered rule collection.
+type RuleSet struct {
+	rules []Rule
+}
+
+// Add appends a rule.
+func (rs *RuleSet) Add(r Rule) { rs.rules = append(rs.rules, r) }
+
+// Len returns the number of rules.
+func (rs *RuleSet) Len() int { return len(rs.rules) }
+
+// Activate returns the variant label for ctx, or "" when no rule matches.
+func (rs *RuleSet) Activate(ctx Context) string {
+	bestIdx := -1
+	for i, r := range rs.rules {
+		if !r.Condition.Matches(ctx) {
+			continue
+		}
+		if bestIdx == -1 || r.Priority > rs.rules[bestIdx].Priority {
+			bestIdx = i
+		}
+	}
+	if bestIdx < 0 {
+		return ""
+	}
+	return rs.rules[bestIdx].Variant
+}
+
+// ActivateAll returns every matching variant ordered by priority desc (then
+// registration order), for callers that blend variants.
+func (rs *RuleSet) ActivateAll(ctx Context) []string {
+	type match struct {
+		idx int
+		r   Rule
+	}
+	var ms []match
+	for i, r := range rs.rules {
+		if r.Condition.Matches(ctx) {
+			ms = append(ms, match{i, r})
+		}
+	}
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].r.Priority != ms[j].r.Priority {
+			return ms[i].r.Priority > ms[j].r.Priority
+		}
+		return ms[i].idx < ms[j].idx
+	})
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		out[i] = m.r.Variant
+	}
+	return out
+}

@@ -1,0 +1,178 @@
+package ctxmodel
+
+import "testing"
+
+func TestConditionMatching(t *testing.T) {
+	ctx := Context{Hour: 22, Location: "home", Task: "explore", Companions: []string{"kids"}, Device: "desktop"}
+
+	if !Any().Matches(ctx) {
+		t.Fatal("Any should match everything")
+	}
+	night := Condition{HourFrom: 21, HourTo: 6}
+	if !night.Matches(ctx) {
+		t.Fatal("circular hour range failed")
+	}
+	day := Condition{HourFrom: 8, HourTo: 18}
+	if day.Matches(ctx) {
+		t.Fatal("day range matched night context")
+	}
+	if !(Condition{HourFrom: -1, HourTo: -1, Location: "home"}).Matches(ctx) {
+		t.Fatal("location match failed")
+	}
+	if (Condition{HourFrom: -1, HourTo: -1, Location: "office"}).Matches(ctx) {
+		t.Fatal("wrong location matched")
+	}
+	// The paper's thriller example: forbidden companion.
+	noKids := Condition{HourFrom: -1, HourTo: -1, ForbidCompanion: "kids"}
+	if noKids.Matches(ctx) {
+		t.Fatal("forbidden companion present but matched")
+	}
+	withJason := Condition{HourFrom: -1, HourTo: -1, RequireCompanion: "jason"}
+	if withJason.Matches(ctx) {
+		t.Fatal("required companion absent but matched")
+	}
+}
+
+func TestConditionWildcardLocation(t *testing.T) {
+	c := Condition{HourFrom: -1, HourTo: -1, Location: "travel:*"}
+	if !c.Matches(Context{Location: "travel:paris"}) {
+		t.Fatal("prefix wildcard failed")
+	}
+	if c.Matches(Context{Location: "home"}) {
+		t.Fatal("wildcard overmatched")
+	}
+}
+
+func TestRuleSetPriority(t *testing.T) {
+	var rs RuleSet
+	rs.Add(Rule{Condition: Any(), Variant: "default", Priority: 0})
+	rs.Add(Rule{Condition: Condition{HourFrom: -1, HourTo: -1, Task: "write"}, Variant: "writing", Priority: 10})
+	rs.Add(Rule{Condition: Condition{HourFrom: -1, HourTo: -1, Location: "travel:*"}, Variant: "travel", Priority: 5})
+
+	if got := rs.Activate(Context{Task: "write", Location: "travel:rome"}); got != "writing" {
+		t.Fatalf("activate = %q", got)
+	}
+	if got := rs.Activate(Context{Location: "travel:rome"}); got != "travel" {
+		t.Fatalf("activate = %q", got)
+	}
+	if got := rs.Activate(Context{Location: "office"}); got != "default" {
+		t.Fatalf("activate = %q", got)
+	}
+	all := rs.ActivateAll(Context{Task: "write", Location: "travel:rome"})
+	if len(all) != 3 || all[0] != "writing" || all[1] != "travel" || all[2] != "default" {
+		t.Fatalf("activateAll = %v", all)
+	}
+}
+
+func TestRuleSetNoMatch(t *testing.T) {
+	var rs RuleSet
+	rs.Add(Rule{Condition: Condition{HourFrom: -1, HourTo: -1, Task: "teach"}, Variant: "teaching"})
+	if got := rs.Activate(Context{Task: "write"}); got != "" {
+		t.Fatalf("activate = %q, want empty", got)
+	}
+}
+
+func TestSimilarity(t *testing.T) {
+	a := Context{Hour: 10, Location: "office", Task: "write", Device: "desktop"}
+	same := Context{Hour: 11, Location: "office", Task: "write", Device: "desktop"}
+	diff := Context{Hour: 23, Location: "home", Task: "explore", Device: "mobile"}
+	if Similarity(a, same) <= Similarity(a, diff) {
+		t.Fatal("similar context should score higher")
+	}
+	if s := Similarity(a, same); s < 0.99 {
+		t.Fatalf("near-identical similarity = %v", s)
+	}
+	if s := Similarity(Context{Hour: -1}, Context{Hour: -1}); s != 0 {
+		t.Fatalf("no-dimension similarity = %v", s)
+	}
+	// Hour circularity: 23 vs 1 are 2 apart.
+	if Similarity(Context{Hour: 23}, Context{Hour: 1}) != 1 {
+		t.Fatal("circular hour distance broken")
+	}
+}
+
+func TestSimilarityCompanions(t *testing.T) {
+	a := Context{Companions: []string{"jason", "zoe"}}
+	b := Context{Companions: []string{"jason", "zoe"}}
+	c := Context{Companions: []string{"boss"}}
+	if Similarity(a, b) <= Similarity(a, c) {
+		t.Fatal("companion overlap should raise similarity")
+	}
+}
+
+func TestDetectorPhases(t *testing.T) {
+	d := NewDetector(10)
+	if d.Task() != "" {
+		t.Fatal("empty detector should return empty task")
+	}
+	for i := 0; i < 10; i++ {
+		d.Observe(ActionBrowse)
+	}
+	if d.Task() != TaskExplore {
+		t.Fatalf("task = %q", d.Task())
+	}
+	// Shift to query-heavy: window slides.
+	for i := 0; i < 10; i++ {
+		d.Observe(ActionQuery)
+	}
+	if d.Task() != TaskWrite {
+		t.Fatalf("task = %q", d.Task())
+	}
+	for i := 0; i < 10; i++ {
+		d.Observe(ActionFeedRead)
+	}
+	if d.Task() != TaskMonitor {
+		t.Fatalf("task = %q", d.Task())
+	}
+	for i := 0; i < 6; i++ {
+		d.Observe(ActionAnnotate)
+	}
+	if d.Task() != TaskCurate {
+		t.Fatalf("task = %q", d.Task())
+	}
+}
+
+func TestDetectorWindowBounded(t *testing.T) {
+	d := NewDetector(5)
+	for i := 0; i < 100; i++ {
+		d.Observe(ActionQuery)
+	}
+	if len(d.window) != 5 {
+		t.Fatalf("window len = %d", len(d.window))
+	}
+	c := d.Counts()
+	if c[ActionQuery] != 5 {
+		t.Fatalf("counts = %v", c)
+	}
+}
+
+func TestDetectorInfer(t *testing.T) {
+	d := NewDetector(10)
+	for i := 0; i < 10; i++ {
+		d.Observe(ActionBrowse)
+	}
+	ctx := d.Infer(Context{Location: "office"})
+	if ctx.Task != TaskExplore || ctx.Location != "office" {
+		t.Fatalf("inferred = %+v", ctx)
+	}
+	// Explicit task wins.
+	ctx = d.Infer(Context{Task: "teach"})
+	if ctx.Task != "teach" {
+		t.Fatalf("explicit task overridden: %+v", ctx)
+	}
+}
+
+func TestDetectorMixedPlurality(t *testing.T) {
+	d := NewDetector(10)
+	// 4 queries, 3 browses, 3 feed reads: no dominant mode, plurality = query.
+	for i := 0; i < 4; i++ {
+		d.Observe(ActionQuery)
+	}
+	for i := 0; i < 3; i++ {
+		d.Observe(ActionBrowse)
+		d.Observe(ActionFeedRead)
+	}
+	if d.Task() != TaskWrite {
+		t.Fatalf("plurality task = %q", d.Task())
+	}
+}

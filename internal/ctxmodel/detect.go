@@ -1,0 +1,101 @@
+package ctxmodel
+
+// Context inference from interaction streams. "Such context identification
+// will also be needed at run time so that the appropriate parts of the
+// user's profile become activated" (§8). The detector watches the mix of
+// recent interaction modes and classifies the user's task phase: a
+// browse-heavy window looks like project-start exploration, a query-heavy
+// window like end-of-project writing — the paper's own example.
+
+// Action is one observed interaction mode.
+type Action int
+
+// Interaction modes the detector distinguishes.
+const (
+	ActionQuery Action = iota
+	ActionBrowse
+	ActionFeedRead
+	ActionAnnotate
+)
+
+// Detector classifies task phase over a sliding window of actions.
+type Detector struct {
+	window []Action
+	size   int
+}
+
+// NewDetector returns a detector with the given sliding-window size.
+func NewDetector(windowSize int) *Detector {
+	if windowSize <= 0 {
+		windowSize = 20
+	}
+	return &Detector{size: windowSize}
+}
+
+// Observe appends an action, evicting the oldest beyond the window.
+func (d *Detector) Observe(a Action) {
+	d.window = append(d.window, a)
+	if len(d.window) > d.size {
+		d.window = d.window[len(d.window)-d.size:]
+	}
+}
+
+// Counts returns the action histogram over the window.
+func (d *Detector) Counts() map[Action]int {
+	out := make(map[Action]int, 4)
+	for _, a := range d.window {
+		out[a]++
+	}
+	return out
+}
+
+// Task phases the detector emits.
+const (
+	TaskExplore = "explore"
+	TaskWrite   = "write"
+	TaskMonitor = "monitor"
+	TaskCurate  = "curate"
+)
+
+// Task classifies the current phase. With no observations it returns "".
+func (d *Detector) Task() string {
+	n := len(d.window)
+	if n == 0 {
+		return ""
+	}
+	c := d.Counts()
+	frac := func(a Action) float64 { return float64(c[a]) / float64(n) }
+	switch {
+	case frac(ActionAnnotate) >= 0.4:
+		return TaskCurate
+	case frac(ActionFeedRead) >= 0.5:
+		return TaskMonitor
+	case frac(ActionQuery) >= 0.6:
+		return TaskWrite
+	case frac(ActionBrowse) >= 0.5:
+		return TaskExplore
+	default:
+		// Mixed: lean on the plurality mode.
+		best, bestN := TaskExplore, c[ActionBrowse]
+		if c[ActionQuery] > bestN {
+			best, bestN = TaskWrite, c[ActionQuery]
+		}
+		if c[ActionFeedRead] > bestN {
+			best, bestN = TaskMonitor, c[ActionFeedRead]
+		}
+		if c[ActionAnnotate] > bestN {
+			best = TaskCurate
+		}
+		return best
+	}
+}
+
+// Infer builds a Context by combining explicitly known dimensions with the
+// detected task.
+func (d *Detector) Infer(base Context) Context {
+	out := base
+	if out.Task == "" {
+		out.Task = d.Task()
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package docstore
+
+import (
+	"math"
+	"sort"
+)
+
+// invIndex is an inverted text index with TF-IDF ranking. It is rebuilt from
+// the primary map on recovery, so it needs no persistence of its own.
+type invIndex struct {
+	postings map[string]map[string]int // term -> docID -> tf
+	docLen   map[string]int            // docID -> token count
+	docs     int
+}
+
+func newInvIndex() *invIndex {
+	return &invIndex{
+		postings: make(map[string]map[string]int),
+		docLen:   make(map[string]int),
+	}
+}
+
+func (ix *invIndex) add(id string, tokens []string) {
+	if _, ok := ix.docLen[id]; ok {
+		ix.removeDoc(id)
+	}
+	ix.docLen[id] = len(tokens)
+	ix.docs++
+	for _, t := range tokens {
+		p, ok := ix.postings[t]
+		if !ok {
+			p = make(map[string]int)
+			ix.postings[t] = p
+		}
+		p[id]++
+	}
+}
+
+func (ix *invIndex) removeDoc(id string) {
+	if _, ok := ix.docLen[id]; !ok {
+		return
+	}
+	delete(ix.docLen, id)
+	ix.docs--
+	for t, p := range ix.postings {
+		if _, ok := p[id]; ok {
+			delete(p, id)
+			if len(p) == 0 {
+				delete(ix.postings, t)
+			}
+		}
+	}
+}
+
+// scored is a ranked text hit.
+type scored struct {
+	id    string
+	score float64
+}
+
+// search ranks documents matching the query tokens by TF-IDF with sublinear
+// TF and length normalization, returning the top k.
+func (ix *invIndex) search(tokens []string, k int) []scored {
+	if ix.docs == 0 || len(tokens) == 0 {
+		return nil
+	}
+	// Collapse duplicate query terms, keeping multiplicity as query TF.
+	qtf := make(map[string]int)
+	for _, t := range tokens {
+		qtf[t]++
+	}
+	acc := make(map[string]float64)
+	for t, qn := range qtf {
+		p, ok := ix.postings[t]
+		if !ok {
+			continue
+		}
+		idf := math.Log(1 + float64(ix.docs)/float64(1+len(p)))
+		qw := (1 + math.Log(float64(qn))) * idf
+		for id, tf := range p {
+			dw := (1 + math.Log(float64(tf))) * idf
+			acc[id] += qw * dw
+		}
+	}
+	out := make([]scored, 0, len(acc))
+	for id, s := range acc {
+		norm := math.Sqrt(float64(ix.docLen[id]) + 1)
+		out = append(out, scored{id: id, score: s / norm})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].score != out[j].score {
+			return out[i].score > out[j].score
+		}
+		return out[i].id < out[j].id
+	})
+	if k >= 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// termCount returns the number of distinct indexed terms.
+func (ix *invIndex) termCount() int { return len(ix.postings) }
+
+// df returns the document frequency of a term.
+func (ix *invIndex) df(term string) int { return len(ix.postings[term]) }

@@ -1,0 +1,147 @@
+package docstore
+
+import "math/rand"
+
+// skiplist is an ordered index over (key int64, id string) pairs, used for
+// ingestion-time range scans ("everything newer than t"). Keys are not
+// unique; (key, id) is. Deterministic given the seed.
+type skiplist struct {
+	head   *skipNode
+	level  int
+	length int
+	rng    *rand.Rand
+}
+
+const maxSkipLevel = 24
+
+type skipNode struct {
+	key  int64
+	id   string
+	next []*skipNode
+}
+
+func newSkiplist(seed int64) *skiplist {
+	return &skiplist{
+		head: &skipNode{next: make([]*skipNode, maxSkipLevel)},
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+}
+
+func (s *skiplist) len() int { return s.length }
+
+// less orders by key then id.
+func skipLess(k1 int64, id1 string, k2 int64, id2 string) bool {
+	if k1 != k2 {
+		return k1 < k2
+	}
+	return id1 < id2
+}
+
+func (s *skiplist) randomLevel() int {
+	lvl := 1
+	for lvl < maxSkipLevel && s.rng.Intn(4) == 0 {
+		lvl++
+	}
+	return lvl
+}
+
+// insert adds (key, id). Duplicate (key, id) pairs are ignored.
+func (s *skiplist) insert(key int64, id string) {
+	update := make([]*skipNode, maxSkipLevel)
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && skipLess(x.next[i].key, x.next[i].id, key, id) {
+			x = x.next[i]
+		}
+		update[i] = x
+	}
+	if s.level > 0 {
+		if n := update[0].next[0]; n != nil && n.key == key && n.id == id {
+			return
+		}
+	}
+	lvl := s.randomLevel()
+	if lvl > s.level {
+		for i := s.level; i < lvl; i++ {
+			update[i] = s.head
+		}
+		s.level = lvl
+	}
+	node := &skipNode{key: key, id: id, next: make([]*skipNode, lvl)}
+	for i := 0; i < lvl; i++ {
+		node.next[i] = update[i].next[i]
+		update[i].next[i] = node
+	}
+	s.length++
+}
+
+// remove deletes (key, id); it reports whether the pair existed.
+func (s *skiplist) remove(key int64, id string) bool {
+	update := make([]*skipNode, maxSkipLevel)
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && skipLess(x.next[i].key, x.next[i].id, key, id) {
+			x = x.next[i]
+		}
+		update[i] = x
+	}
+	var target *skipNode
+	if s.level > 0 {
+		target = update[0].next[0]
+	}
+	if target == nil || target.key != key || target.id != id {
+		return false
+	}
+	for i := 0; i < s.level; i++ {
+		if update[i].next[i] == target {
+			update[i].next[i] = target.next[i]
+		}
+	}
+	for s.level > 0 && s.head.next[s.level-1] == nil {
+		s.level--
+	}
+	s.length--
+	return true
+}
+
+// scanRange visits ids with key in [from, to] in ascending order, stopping
+// early if visit returns false.
+func (s *skiplist) scanRange(from, to int64, visit func(key int64, id string) bool) {
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].key < from {
+			x = x.next[i]
+		}
+	}
+	for n := x.next[0]; n != nil && n.key <= to; n = n.next[0] {
+		if !visit(n.key, n.id) {
+			return
+		}
+	}
+}
+
+// scanDescending visits ids with key <= max in descending key order. It
+// materializes the ascending walk (skiplists have no back pointers); callers
+// use it for "freshest first" with bounded counts.
+func (s *skiplist) scanDescending(max int64, limit int, visit func(key int64, id string) bool) {
+	type entry struct {
+		key int64
+		id  string
+	}
+	var all []entry
+	s.scanRange(-1<<63, max, func(k int64, id string) bool {
+		all = append(all, entry{k, id})
+		return true
+	})
+	for i := len(all) - 1; i >= 0; i-- {
+		if limit == 0 {
+			return
+		}
+		if !visit(all[i].key, all[i].id) {
+			return
+		}
+		if limit > 0 {
+			limit--
+		}
+	}
+}

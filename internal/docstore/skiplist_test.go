@@ -1,0 +1,158 @@
+package docstore
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSkiplistInsertScan(t *testing.T) {
+	s := newSkiplist(1)
+	keys := []int64{50, 10, 30, 20, 40}
+	for _, k := range keys {
+		s.insert(k, fmt.Sprintf("id%d", k))
+	}
+	if s.len() != 5 {
+		t.Fatalf("len = %d", s.len())
+	}
+	var got []int64
+	s.scanRange(15, 45, func(k int64, _ string) bool {
+		got = append(got, k)
+		return true
+	})
+	want := []int64{20, 30, 40}
+	if len(got) != len(want) {
+		t.Fatalf("scan = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scan = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSkiplistDuplicateKeyDifferentID(t *testing.T) {
+	s := newSkiplist(1)
+	s.insert(10, "a")
+	s.insert(10, "b")
+	s.insert(10, "a") // exact duplicate ignored
+	if s.len() != 2 {
+		t.Fatalf("len = %d, want 2", s.len())
+	}
+	var ids []string
+	s.scanRange(10, 10, func(_ int64, id string) bool {
+		ids = append(ids, id)
+		return true
+	})
+	if len(ids) != 2 || ids[0] != "a" || ids[1] != "b" {
+		t.Fatalf("ids = %v", ids)
+	}
+}
+
+func TestSkiplistRemove(t *testing.T) {
+	s := newSkiplist(1)
+	s.insert(1, "a")
+	s.insert(2, "b")
+	if !s.remove(1, "a") {
+		t.Fatal("remove existing failed")
+	}
+	if s.remove(1, "a") {
+		t.Fatal("remove missing succeeded")
+	}
+	if s.remove(2, "zz") {
+		t.Fatal("remove wrong id succeeded")
+	}
+	if s.len() != 1 {
+		t.Fatalf("len = %d", s.len())
+	}
+}
+
+func TestSkiplistScanEarlyStop(t *testing.T) {
+	s := newSkiplist(1)
+	for i := 0; i < 100; i++ {
+		s.insert(int64(i), fmt.Sprintf("d%d", i))
+	}
+	n := 0
+	s.scanRange(0, 99, func(int64, string) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestSkiplistDescending(t *testing.T) {
+	s := newSkiplist(1)
+	for i := 1; i <= 10; i++ {
+		s.insert(int64(i), fmt.Sprintf("d%d", i))
+	}
+	var got []int64
+	s.scanDescending(7, 3, func(k int64, _ string) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 3 || got[0] != 7 || got[1] != 6 || got[2] != 5 {
+		t.Fatalf("descending = %v", got)
+	}
+}
+
+func TestSkiplistMatchesSortedSliceProperty(t *testing.T) {
+	f := func(raw []int16, seed int64) bool {
+		s := newSkiplist(seed)
+		set := make(map[int64]bool)
+		for _, v := range raw {
+			k := int64(v)
+			s.insert(k, "x")
+			set[k] = true
+		}
+		var want []int64
+		for k := range set {
+			want = append(want, k)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		var got []int64
+		s.scanRange(-1<<62, 1<<62, func(k int64, _ string) bool {
+			got = append(got, k)
+			return true
+		})
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSkiplistRandomOps(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	s := newSkiplist(2)
+	live := make(map[[2]interface{}]bool)
+	for i := 0; i < 5000; i++ {
+		k := int64(r.Intn(200))
+		id := fmt.Sprintf("id%d", r.Intn(10))
+		key := [2]interface{}{k, id}
+		if r.Intn(2) == 0 {
+			s.insert(k, id)
+			live[key] = true
+		} else {
+			got := s.remove(k, id)
+			if got != live[key] {
+				t.Fatalf("remove(%d,%s) = %v, want %v", k, id, got, live[key])
+			}
+			delete(live, key)
+		}
+	}
+	if s.len() != len(live) {
+		t.Fatalf("len = %d, want %d", s.len(), len(live))
+	}
+}

@@ -1,0 +1,553 @@
+package docstore
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"repro/internal/feature"
+)
+
+// Options configures a Store.
+type Options struct {
+	// Dir is the durability directory. Empty means a purely in-memory
+	// store (used by simulations, which create hundreds of them).
+	Dir string
+	// ConceptDim is the dimensionality of document concept vectors; the
+	// LSH index requires it up front.
+	ConceptDim int
+	// LSHTables and LSHBits tune the vector index. Zero values pick
+	// sensible defaults.
+	LSHTables int
+	LSHBits   int
+	// Seed drives index randomness (LSH hyperplanes, skiplist levels).
+	Seed int64
+	// SyncEveryPut fsyncs the WAL after each Put/Delete when true.
+	// Simulations leave it false; the TCP node sets it.
+	SyncEveryPut bool
+	// CompactAfterBytes triggers automatic snapshot+truncate once the WAL
+	// exceeds this size. Zero disables auto-compaction.
+	CompactAfterBytes int64
+}
+
+// Store errors.
+var (
+	ErrNotFound = errors.New("docstore: document not found")
+	ErrClosed   = errors.New("docstore: store closed")
+	ErrEmptyID  = errors.New("docstore: empty document id")
+)
+
+// Store is a durable, indexed document store. All methods are safe for
+// concurrent use.
+type Store struct {
+	mu      sync.RWMutex
+	opts    Options
+	docs    map[string]*Document
+	inv     *invIndex
+	vec     *feature.LSH
+	byTime  *skiplist
+	byTopic map[string]map[string]bool
+	log     *wal
+	closed  bool
+
+	// Stats counters.
+	puts, deletes, searches uint64
+}
+
+// Open creates or recovers a store. With a Dir, it replays the snapshot and
+// WAL, truncating any torn tail left by a crash.
+func Open(opts Options) (*Store, error) {
+	if opts.ConceptDim <= 0 {
+		opts.ConceptDim = 64
+	}
+	if opts.LSHTables <= 0 {
+		opts.LSHTables = 6
+	}
+	if opts.LSHBits <= 0 {
+		opts.LSHBits = 10
+	}
+	s := &Store{
+		opts:    opts,
+		docs:    make(map[string]*Document),
+		inv:     newInvIndex(),
+		vec:     feature.NewLSH(opts.Seed, opts.ConceptDim, opts.LSHTables, opts.LSHBits),
+		byTime:  newSkiplist(opts.Seed + 1),
+		byTopic: make(map[string]map[string]bool),
+	}
+	if opts.Dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("docstore: creating dir: %w", err)
+	}
+	snapPath, walPath := snapshotPaths(opts.Dir)
+	apply := func(op uint8, payload []byte) error {
+		switch op {
+		case opPut:
+			d, err := unmarshalDocument(payload)
+			if err != nil {
+				return err
+			}
+			s.applyPut(d)
+		case opDelete:
+			s.applyDelete(string(payload))
+		}
+		return nil
+	}
+	if _, _, err := replayWAL(snapPath, apply); err != nil {
+		return nil, err
+	}
+	clean, torn, err := replayWAL(walPath, apply)
+	if err != nil {
+		return nil, err
+	}
+	if torn {
+		if err := truncateWAL(walPath, clean); err != nil {
+			return nil, err
+		}
+	}
+	s.log, err = openWAL(walPath)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// applyPut updates in-memory state only (no WAL).
+func (s *Store) applyPut(d *Document) {
+	if old, ok := s.docs[d.ID]; ok {
+		s.byTime.remove(old.CreatedAt, old.ID)
+		s.removeTopics(old)
+	}
+	s.docs[d.ID] = d
+	for _, t := range d.Topics {
+		set, ok := s.byTopic[t]
+		if !ok {
+			set = make(map[string]bool)
+			s.byTopic[t] = set
+		}
+		set[d.ID] = true
+	}
+	s.inv.add(d.ID, d.Tokens())
+	if len(d.Concept) > 0 {
+		s.vec.Put(d.ID, d.Concept)
+	} else {
+		s.vec.Delete(d.ID)
+	}
+	s.byTime.insert(d.CreatedAt, d.ID)
+}
+
+func (s *Store) applyDelete(id string) {
+	d, ok := s.docs[id]
+	if !ok {
+		return
+	}
+	delete(s.docs, id)
+	s.inv.removeDoc(id)
+	s.vec.Delete(id)
+	s.byTime.remove(d.CreatedAt, id)
+	s.removeTopics(d)
+}
+
+func (s *Store) removeTopics(d *Document) {
+	for _, t := range d.Topics {
+		if set, ok := s.byTopic[t]; ok {
+			delete(set, d.ID)
+			if len(set) == 0 {
+				delete(s.byTopic, t)
+			}
+		}
+	}
+}
+
+// Put stores (or replaces) a document durably.
+func (s *Store) Put(d *Document) error {
+	if d.ID == "" {
+		return ErrEmptyID
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	cp := d.Clone()
+	if s.log != nil {
+		if err := s.log.append(opPut, cp.marshal()); err != nil {
+			return err
+		}
+		if s.opts.SyncEveryPut {
+			if err := s.log.sync(); err != nil {
+				return err
+			}
+		} else if err := s.log.flush(); err != nil {
+			return err
+		}
+	}
+	s.applyPut(cp)
+	s.puts++
+	if s.log != nil && s.opts.CompactAfterBytes > 0 && s.log.size > s.opts.CompactAfterBytes {
+		if err := s.compactLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Delete removes a document durably. Deleting a missing id is a no-op
+// returning ErrNotFound.
+func (s *Store) Delete(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, ok := s.docs[id]; !ok {
+		return ErrNotFound
+	}
+	if s.log != nil {
+		if err := s.log.append(opDelete, []byte(id)); err != nil {
+			return err
+		}
+		if err := s.log.flush(); err != nil {
+			return err
+		}
+	}
+	s.applyDelete(id)
+	s.deletes++
+	return nil
+}
+
+// Get returns a copy of the document with the given id.
+func (s *Store) Get(id string) (*Document, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	d, ok := s.docs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	return d.Clone(), nil
+}
+
+// Len returns the number of stored documents.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.docs)
+}
+
+// Hit is a scored search result.
+type Hit struct {
+	Doc   *Document
+	Score float64
+}
+
+// SearchText ranks documents against a free-text query.
+func (s *Store) SearchText(query string, k int) []Hit {
+	tokens := feature.Tokenize(query)
+	s.mu.Lock()
+	s.searches++
+	s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	res := s.inv.search(tokens, k)
+	hits := make([]Hit, 0, len(res))
+	for _, r := range res {
+		if d, ok := s.docs[r.id]; ok {
+			hits = append(hits, Hit{Doc: d.Clone(), Score: r.score})
+		}
+	}
+	return hits
+}
+
+// SearchVector ranks documents by cosine similarity of concept vectors,
+// using the LSH index with exact fallback for small stores.
+func (s *Store) SearchVector(concept feature.Vector, k int) []Hit {
+	if concept.Norm() == 0 {
+		return nil // a zero vector matches nothing, not everything
+	}
+	s.mu.Lock()
+	s.searches++
+	s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var cands []feature.Candidate
+	if len(s.docs) <= 256 {
+		cands = s.vec.Scan(concept, k)
+	} else {
+		cands = s.vec.Query(concept, k)
+		if len(cands) < k {
+			cands = s.vec.Scan(concept, k)
+		}
+	}
+	hits := make([]Hit, 0, len(cands))
+	for _, c := range cands {
+		if d, ok := s.docs[c.ID]; ok {
+			hits = append(hits, Hit{Doc: d.Clone(), Score: c.Score})
+		}
+	}
+	return hits
+}
+
+// SearchVisual ranks image-bearing documents by low-level visual
+// similarity (color-histogram intersection blended with texture cosine) —
+// the "visible features" match of the paper's jewelry scenario. Documents
+// without visual features are skipped. The scan is exact: visual queries
+// are rarer than concept queries and the candidate set is only the
+// image-bearing subset.
+func (s *Store) SearchVisual(query feature.VisualFeatures, colorWeight float64, k int) []Hit {
+	if len(query.ColorHist) == 0 && len(query.Texture) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	s.searches++
+	s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	hits := make([]Hit, 0, 64)
+	for _, d := range s.docs {
+		if len(d.ColorHist) == 0 && len(d.Texture) == 0 {
+			continue
+		}
+		score := feature.VisualSimilarity(query, feature.VisualFeatures{
+			ColorHist: d.ColorHist, Texture: d.Texture,
+		}, colorWeight)
+		hits = append(hits, Hit{Doc: d.Clone(), Score: score})
+	}
+	sortHits(hits)
+	if k >= 0 && len(hits) > k {
+		hits = hits[:k]
+	}
+	return hits
+}
+
+// SearchHybrid blends text and vector scores: score = (1-alpha)*text +
+// alpha*vector, where each component is normalized to [0,1] over its own
+// candidate pool. This is the compound "feature set" knob experiment E1
+// sweeps.
+func (s *Store) SearchHybrid(query string, concept feature.Vector, alpha float64, k int) []Hit {
+	if alpha <= 0 {
+		return s.SearchText(query, k)
+	}
+	if alpha >= 1 {
+		return s.SearchVector(concept, k)
+	}
+	// Over-fetch both pools, then blend.
+	pool := k * 4
+	if pool < 32 {
+		pool = 32
+	}
+	text := s.SearchText(query, pool)
+	vec := s.SearchVector(concept, pool)
+	norm := func(hits []Hit) map[string]float64 {
+		out := make(map[string]float64, len(hits))
+		var max float64
+		for _, h := range hits {
+			if h.Score > max {
+				max = h.Score
+			}
+		}
+		if max == 0 {
+			return out
+		}
+		for _, h := range hits {
+			out[h.Doc.ID] = h.Score / max
+		}
+		return out
+	}
+	ts, vs := norm(text), norm(vec)
+	byID := make(map[string]*Document, len(text)+len(vec))
+	for _, h := range text {
+		byID[h.Doc.ID] = h.Doc
+	}
+	for _, h := range vec {
+		byID[h.Doc.ID] = h.Doc
+	}
+	hits := make([]Hit, 0, len(byID))
+	for id, d := range byID {
+		hits = append(hits, Hit{Doc: d, Score: (1-alpha)*ts[id] + alpha*vs[id]})
+	}
+	sortHits(hits)
+	if len(hits) > k {
+		hits = hits[:k]
+	}
+	return hits
+}
+
+// ByTopic returns up to k documents carrying the topic, newest first. It
+// walks the time index so old topical documents are found regardless of how
+// much newer off-topic content exists.
+func (s *Store) ByTopic(topic string, k int) []*Document {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	set := s.byTopic[topic]
+	if len(set) == 0 {
+		return nil
+	}
+	var out []*Document
+	s.byTime.scanDescending(1<<62, -1, func(_ int64, id string) bool {
+		if !set[id] {
+			return true
+		}
+		if d, ok := s.docs[id]; ok {
+			out = append(out, d.Clone())
+		}
+		return k <= 0 || len(out) < k
+	})
+	return out
+}
+
+// TopicCount returns how many documents carry the topic.
+func (s *Store) TopicCount(topic string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byTopic[topic])
+}
+
+// RecentSince returns documents with CreatedAt in [since, until], ascending.
+func (s *Store) RecentSince(since, until int64) []*Document {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []*Document
+	s.byTime.scanRange(since, until, func(_ int64, id string) bool {
+		if d, ok := s.docs[id]; ok {
+			out = append(out, d.Clone())
+		}
+		return true
+	})
+	return out
+}
+
+// Freshest returns up to k newest documents, newest first.
+func (s *Store) Freshest(k int) []*Document {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []*Document
+	s.byTime.scanDescending(1<<62, k, func(_ int64, id string) bool {
+		if d, ok := s.docs[id]; ok {
+			out = append(out, d.Clone())
+		}
+		return true
+	})
+	return out
+}
+
+// All visits every document (copies) in unspecified order.
+func (s *Store) All(visit func(*Document) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, d := range s.docs {
+		if !visit(d.Clone()) {
+			return
+		}
+	}
+}
+
+// Compact writes a snapshot of the current state and truncates the WAL.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.compactLocked()
+}
+
+func (s *Store) compactLocked() error {
+	if s.opts.Dir == "" {
+		return nil
+	}
+	snapPath, walPath := snapshotPaths(s.opts.Dir)
+	tmp := snapPath + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("docstore: creating snapshot: %w", err)
+	}
+	sw := &wal{f: f, w: bufio.NewWriterSize(f, 64<<10), path: tmp}
+	for _, d := range s.docs {
+		if err := sw.append(opPut, d.marshal()); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if err := sw.sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("docstore: closing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, snapPath); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("docstore: installing snapshot: %w", err)
+	}
+	// Reset the WAL.
+	if s.log != nil {
+		if err := s.log.close(); err != nil {
+			return err
+		}
+	}
+	if err := os.Truncate(walPath, 0); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("docstore: truncating wal: %w", err)
+	}
+	s.log, err = openWAL(walPath)
+	return err
+}
+
+// Close flushes and closes the store.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.log != nil {
+		return s.log.close()
+	}
+	return nil
+}
+
+// Stats reports operation counters and index sizes.
+type Stats struct {
+	Docs     int
+	Terms    int
+	Puts     uint64
+	Deletes  uint64
+	Searches uint64
+	WALBytes int64
+}
+
+// Stats returns a snapshot of store statistics.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := Stats{
+		Docs:     len(s.docs),
+		Terms:    s.inv.termCount(),
+		Puts:     s.puts,
+		Deletes:  s.deletes,
+		Searches: s.searches,
+	}
+	if s.log != nil {
+		st.WALBytes = s.log.size
+	}
+	return st
+}
+
+func sortHits(hits []Hit) {
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].Doc.ID < hits[j].Doc.ID
+	})
+}

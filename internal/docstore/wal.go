@@ -1,0 +1,160 @@
+package docstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Write-ahead log. Record layout:
+//
+//	op     uint8  (1 = put, 2 = delete)
+//	length uint32 (payload bytes)
+//	crc32  uint32 (IEEE over op byte + payload)
+//	payload [length]byte   (marshalled document for put, raw id for delete)
+//
+// Recovery replays records in order and stops cleanly at the first torn or
+// corrupt record (the tail that a crash may have half-written), truncating
+// the log there so subsequent appends are consistent.
+
+const (
+	opPut    = 1
+	opDelete = 2
+)
+
+// ErrCorruptRecord reports a record whose checksum failed mid-log (not at
+// the tail), which indicates real corruption rather than a torn write.
+var ErrCorruptRecord = errors.New("docstore: corrupt wal record")
+
+type wal struct {
+	f    *os.File
+	w    *bufio.Writer
+	path string
+	size int64
+}
+
+func openWAL(path string) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("docstore: opening wal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("docstore: stat wal: %w", err)
+	}
+	return &wal{f: f, w: bufio.NewWriterSize(f, 64<<10), path: path, size: st.Size()}, nil
+}
+
+func (l *wal) append(op uint8, payload []byte) error {
+	var hdr [9]byte
+	hdr[0] = op
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[:1])
+	crc.Write(payload)
+	binary.LittleEndian.PutUint32(hdr[5:], crc.Sum32())
+	if _, err := l.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("docstore: wal write: %w", err)
+	}
+	if _, err := l.w.Write(payload); err != nil {
+		return fmt.Errorf("docstore: wal write: %w", err)
+	}
+	l.size += int64(len(hdr)) + int64(len(payload))
+	return nil
+}
+
+func (l *wal) flush() error {
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("docstore: wal flush: %w", err)
+	}
+	return nil
+}
+
+// sync flushes buffers and fsyncs the file.
+func (l *wal) sync() error {
+	if err := l.flush(); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("docstore: wal sync: %w", err)
+	}
+	return nil
+}
+
+func (l *wal) close() error {
+	if err := l.flush(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}
+
+// replayWAL streams records from path, invoking apply per valid record.
+// It returns the byte offset of the clean prefix; a torn tail is reported
+// via tornTail=true so the caller can truncate.
+func replayWAL(path string, apply func(op uint8, payload []byte) error) (clean int64, tornTail bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return 0, false, nil
+		}
+		return 0, false, fmt.Errorf("docstore: opening wal for replay: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 64<<10)
+	var off int64
+	hdr := make([]byte, 9)
+	for {
+		if _, err := io.ReadFull(r, hdr); err != nil {
+			if errors.Is(err, io.EOF) {
+				return off, false, nil
+			}
+			// Partial header: torn tail.
+			return off, true, nil
+		}
+		op := hdr[0]
+		length := binary.LittleEndian.Uint32(hdr[1:])
+		want := binary.LittleEndian.Uint32(hdr[5:])
+		if length > wireMaxRecord {
+			return off, true, nil
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return off, true, nil // torn payload
+		}
+		crc := crc32.NewIEEE()
+		crc.Write(hdr[:1])
+		crc.Write(payload)
+		if crc.Sum32() != want {
+			return off, true, nil // corrupt/torn record: stop here
+		}
+		if op != opPut && op != opDelete {
+			return off, true, nil
+		}
+		if err := apply(op, payload); err != nil {
+			return off, false, err
+		}
+		off += int64(len(hdr)) + int64(length)
+	}
+}
+
+const wireMaxRecord = 64 << 20
+
+// truncateWAL cuts the log to size, removing a torn tail.
+func truncateWAL(path string, size int64) error {
+	if err := os.Truncate(path, size); err != nil {
+		return fmt.Errorf("docstore: truncating wal: %w", err)
+	}
+	return nil
+}
+
+// snapshotPaths returns (snapshot, wal) file paths inside dir.
+func snapshotPaths(dir string) (string, string) {
+	return filepath.Join(dir, "snapshot.agora"), filepath.Join(dir, "wal.agora")
+}

@@ -1,0 +1,129 @@
+package feature
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func textPart(voc *Vocabulary, text string, w float64) Part {
+	return Part{
+		Kind:    PartText,
+		Text:    voc.Vectorize(Tokenize(text)),
+		Concept: voc.Vectorize(Tokenize(text)).Project(32),
+		Weight:  w,
+	}
+}
+
+func imagePart(e *VisualExtractor, r *rand.Rand, concept Vector, w float64) Part {
+	return Part{
+		Kind:    PartImage,
+		Visual:  e.Extract(r, concept),
+		Concept: concept,
+		Weight:  w,
+	}
+}
+
+func testVocab() *Vocabulary {
+	v := NewVocabulary()
+	for _, s := range []string{
+		"gold ring byzantine filigree ancient",
+		"silver necklace celtic knot",
+		"auction catalog drawing flemish dutch",
+		"fashion magazine spring collection",
+		"traditional costume embroidery balkan",
+	} {
+		v.Observe(Tokenize(s))
+	}
+	return v
+}
+
+func TestCompoundSelfSimilarityIsOne(t *testing.T) {
+	voc := testVocab()
+	c := Compound{Parts: []Part{
+		textPart(voc, "gold ring byzantine", 2),
+		textPart(voc, "auction catalog drawing", 1),
+	}}
+	if s := CompoundSimilarity(c, c); !almostEq(s, 1, 1e-9) {
+		t.Fatalf("self similarity = %v", s)
+	}
+}
+
+func TestCompoundSimilaritySymmetric(t *testing.T) {
+	voc := testVocab()
+	a := Compound{Parts: []Part{
+		textPart(voc, "gold ring byzantine filigree", 2),
+		textPart(voc, "fashion magazine spring", 1),
+	}}
+	b := Compound{Parts: []Part{
+		textPart(voc, "gold byzantine ancient", 1),
+	}}
+	s1, s2 := CompoundSimilarity(a, b), CompoundSimilarity(b, a)
+	if !almostEq(s1, s2, 1e-9) {
+		t.Fatalf("asymmetric: %v vs %v", s1, s2)
+	}
+}
+
+func TestCompoundTopicalOrdering(t *testing.T) {
+	voc := testVocab()
+	page := Compound{Parts: []Part{
+		textPart(voc, "gold ring byzantine filigree ancient", 2),
+		textPart(voc, "fashion magazine spring collection", 1),
+	}}
+	catalogSame := Compound{Parts: []Part{
+		textPart(voc, "byzantine gold ring ancient", 1),
+		textPart(voc, "auction catalog", 1),
+	}}
+	catalogOther := Compound{Parts: []Part{
+		textPart(voc, "celtic knot silver necklace", 1),
+		textPart(voc, "auction catalog", 1),
+	}}
+	if CompoundSimilarity(page, catalogSame) <= CompoundSimilarity(page, catalogOther) {
+		t.Fatal("topically-matching compound should score higher")
+	}
+}
+
+func TestCrossModalMatching(t *testing.T) {
+	voc := testVocab()
+	e := NewVisualExtractor(1, 32, 12, 8, 0.05)
+	r := rand.New(rand.NewSource(1))
+	// A text part and an image part that share a concept vector should
+	// match better than ones that don't.
+	textJewel := textPart(voc, "gold ring byzantine filigree", 1)
+	imgJewel := imagePart(e, r, textJewel.Concept.Clone(), 1)
+	textCostume := textPart(voc, "traditional costume embroidery balkan", 1)
+	sJewel := PartSimilarity(textJewel, imgJewel)
+	sCross := PartSimilarity(textCostume, imgJewel)
+	if sJewel <= sCross {
+		t.Fatalf("cross-modal concept match failed: same=%v other=%v", sJewel, sCross)
+	}
+}
+
+func TestCompoundEmpty(t *testing.T) {
+	voc := testVocab()
+	c := Compound{Parts: []Part{textPart(voc, "gold ring", 1)}}
+	if s := CompoundSimilarity(c, Compound{}); s != 0 {
+		t.Fatalf("empty compound similarity = %v", s)
+	}
+	if s := CompoundSimilarity(Compound{}, Compound{}); s != 0 {
+		t.Fatalf("both-empty similarity = %v", s)
+	}
+}
+
+func TestCompoundSizeMismatchDilutes(t *testing.T) {
+	voc := testVocab()
+	one := Compound{Parts: []Part{textPart(voc, "gold ring byzantine", 1)}}
+	padded := Compound{Parts: []Part{
+		textPart(voc, "gold ring byzantine", 1),
+		textPart(voc, "auction catalog drawing flemish", 1),
+		textPart(voc, "fashion magazine spring collection", 1),
+	}}
+	if CompoundSimilarity(one, padded) >= CompoundSimilarity(one, one) {
+		t.Fatal("extra unmatched parts should dilute the score")
+	}
+}
+
+func TestPartKindString(t *testing.T) {
+	if PartText.String() != "text" || PartImage.String() != "image" || PartConcept.String() != "concept" {
+		t.Fatal("part kind names wrong")
+	}
+}

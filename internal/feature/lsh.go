@@ -1,0 +1,179 @@
+package feature
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// LSH is a random-hyperplane locality-sensitive hash index for cosine
+// similarity over dense vectors. It backs the docstore's vector index: an
+// Agora node must answer "find objects similar to this image" without a full
+// scan.
+//
+// Design: L independent tables, each hashing a vector to a b-bit signature
+// from b random hyperplanes. Candidates are the union of same-bucket entries
+// across tables; the caller re-scores candidates exactly.
+type LSH struct {
+	mu     sync.RWMutex
+	dim    int
+	bits   int
+	planes [][]Vector // [table][bit] hyperplane
+	tables []map[uint64][]string
+	items  map[string]Vector
+}
+
+// NewLSH builds an index for dim-dimensional vectors with the given number
+// of tables and bits per signature. More tables raise recall; more bits
+// raise precision.
+func NewLSH(seed int64, dim, tables, bits int) *LSH {
+	if tables <= 0 {
+		tables = 4
+	}
+	if bits <= 0 || bits > 63 {
+		bits = 12
+	}
+	r := rand.New(rand.NewSource(seed))
+	l := &LSH{
+		dim:    dim,
+		bits:   bits,
+		planes: make([][]Vector, tables),
+		tables: make([]map[uint64][]string, tables),
+		items:  make(map[string]Vector),
+	}
+	for t := 0; t < tables; t++ {
+		l.planes[t] = make([]Vector, bits)
+		for b := 0; b < bits; b++ {
+			p := make(Vector, dim)
+			for i := range p {
+				p[i] = r.NormFloat64()
+			}
+			l.planes[t][b] = p
+		}
+		l.tables[t] = make(map[uint64][]string)
+	}
+	return l
+}
+
+// Dim returns the indexed dimensionality.
+func (l *LSH) Dim() int { return l.dim }
+
+// Len returns the number of indexed items.
+func (l *LSH) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.items)
+}
+
+func (l *LSH) signature(t int, v Vector) uint64 {
+	var sig uint64
+	for b, plane := range l.planes[t] {
+		if v.Dot(plane) >= 0 {
+			sig |= 1 << uint(b)
+		}
+	}
+	return sig
+}
+
+// Put indexes v under id, replacing any previous vector for id.
+func (l *LSH) Put(id string, v Vector) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.items[id]; ok {
+		l.removeLocked(id)
+	}
+	cp := v.Clone()
+	l.items[id] = cp
+	for t := range l.tables {
+		sig := l.signature(t, cp)
+		l.tables[t][sig] = append(l.tables[t][sig], id)
+	}
+}
+
+// Delete removes id from the index; it reports whether it was present.
+func (l *LSH) Delete(id string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.items[id]; !ok {
+		return false
+	}
+	l.removeLocked(id)
+	return true
+}
+
+func (l *LSH) removeLocked(id string) {
+	v := l.items[id]
+	delete(l.items, id)
+	for t := range l.tables {
+		sig := l.signature(t, v)
+		bucket := l.tables[t][sig]
+		for i, b := range bucket {
+			if b == id {
+				bucket[i] = bucket[len(bucket)-1]
+				l.tables[t][sig] = bucket[:len(bucket)-1]
+				break
+			}
+		}
+		if len(l.tables[t][sig]) == 0 {
+			delete(l.tables[t], sig)
+		}
+	}
+}
+
+// Candidate is a scored index hit.
+type Candidate struct {
+	ID    string
+	Score float64
+}
+
+// Query returns up to k ids most cosine-similar to q among LSH candidates,
+// exactly re-scored and sorted descending. If the candidate set is smaller
+// than k the result is shorter; callers needing guaranteed recall can fall
+// back to Scan.
+func (l *LSH) Query(q Vector, k int) []Candidate {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	seen := make(map[string]bool)
+	var cands []Candidate
+	for t := range l.tables {
+		sig := l.signature(t, q)
+		for _, id := range l.tables[t][sig] {
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			cands = append(cands, Candidate{ID: id, Score: Cosine(q, l.items[id])})
+		}
+	}
+	return topCandidates(cands, k)
+}
+
+// Scan exactly scores every indexed vector against q — the ground-truth
+// (and slow) path used for recall measurement and small stores.
+func (l *LSH) Scan(q Vector, k int) []Candidate {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	cands := make([]Candidate, 0, len(l.items))
+	for id, v := range l.items {
+		cands = append(cands, Candidate{ID: id, Score: Cosine(q, v)})
+	}
+	return topCandidates(cands, k)
+}
+
+func topCandidates(cands []Candidate, k int) []Candidate {
+	sortCandidates(cands)
+	if k >= 0 && len(cands) > k {
+		cands = cands[:k]
+	}
+	return cands
+}
+
+func sortCandidates(cands []Candidate) {
+	// Ties break by ID so results are deterministic across runs.
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Score != cands[j].Score {
+			return cands[i].Score > cands[j].Score
+		}
+		return cands[i].ID < cands[j].ID
+	})
+}

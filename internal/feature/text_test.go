@@ -1,0 +1,136 @@
+package feature
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("The Folk-Jewelry of Europe, and its 12 styles!")
+	want := []string{"folk", "jewelry", "europe", "12", "styles"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("tokenize = %v, want %v", got, want)
+	}
+	if got := Tokenize(""); len(got) != 0 {
+		t.Fatalf("empty text tokens = %v", got)
+	}
+	if got := Tokenize("a I . ,"); len(got) != 0 {
+		t.Fatalf("stopword/short tokens leaked: %v", got)
+	}
+}
+
+func TestVocabularyObserveAndIDF(t *testing.T) {
+	v := NewVocabulary()
+	v.Observe([]string{"gold", "ring"})
+	v.Observe([]string{"gold", "necklace"})
+	v.Observe([]string{"silver", "ring"})
+	if v.Docs() != 3 {
+		t.Fatalf("docs = %d", v.Docs())
+	}
+	if v.Size() != 4 {
+		t.Fatalf("size = %d", v.Size())
+	}
+	// "gold" appears in 2 docs, "necklace" in 1: rarer term has higher IDF.
+	if v.IDF(v.Dim("necklace")) <= v.IDF(v.Dim("gold")) {
+		t.Fatal("rarer term should have higher IDF")
+	}
+	if v.Dim("platinum") != -1 {
+		t.Fatal("unknown term should map to -1")
+	}
+	if v.IDF(-1) != 0 || v.IDF(99) != 0 {
+		t.Fatal("out-of-range IDF should be 0")
+	}
+	if v.Term(v.Dim("gold")) != "gold" {
+		t.Fatal("term/dim roundtrip failed")
+	}
+}
+
+func TestVocabularyDFCountsOncePerDoc(t *testing.T) {
+	v := NewVocabulary()
+	v.Observe([]string{"gold", "gold", "gold"})
+	v.Observe([]string{"silver"})
+	// df(gold)=1 despite three occurrences; idf(gold)==idf(silver).
+	if math.Abs(v.IDF(v.Dim("gold"))-v.IDF(v.Dim("silver"))) > 1e-12 {
+		t.Fatal("df must count documents, not occurrences")
+	}
+}
+
+func TestVectorizeAndCosineSparse(t *testing.T) {
+	v := NewVocabulary()
+	docs := [][]string{
+		Tokenize("gold ring byzantine filigree"),
+		Tokenize("gold necklace modern minimal"),
+		Tokenize("silver ring celtic knot"),
+	}
+	for _, d := range docs {
+		v.Observe(d)
+	}
+	q := v.Vectorize(Tokenize("byzantine gold ring"))
+	s0 := CosineSparse(q, v.Vectorize(docs[0]))
+	s1 := CosineSparse(q, v.Vectorize(docs[1]))
+	s2 := CosineSparse(q, v.Vectorize(docs[2]))
+	if !(s0 > s1 && s0 > s2) {
+		t.Fatalf("best doc not ranked first: %v %v %v", s0, s1, s2)
+	}
+	if self := CosineSparse(q, q); !almostEq(self, 1, 1e-9) {
+		t.Fatalf("self cosine = %v", self)
+	}
+	// Unknown terms vanish.
+	empty := v.Vectorize([]string{"zzzz"})
+	if len(empty.Dims) != 0 {
+		t.Fatal("unknown-only query should vectorize empty")
+	}
+	if CosineSparse(q, empty) != 0 {
+		t.Fatal("cosine with empty should be 0")
+	}
+}
+
+func TestSparseDimsSorted(t *testing.T) {
+	v := NewVocabulary()
+	v.Observe(Tokenize("zebra yak xenon walrus vulture"))
+	sv := v.Vectorize(Tokenize("walrus zebra xenon"))
+	if !sort.IntsAreSorted(sv.Dims) {
+		t.Fatalf("dims not sorted: %v", sv.Dims)
+	}
+}
+
+func TestProjectPreservesSimilarityOrdering(t *testing.T) {
+	v := NewVocabulary()
+	corpus := [][]string{
+		Tokenize("gold ring byzantine filigree ancient greek jewel"),
+		Tokenize("gold necklace byzantine pendant greek"),
+		Tokenize("database transaction log recovery checkpoint index"),
+	}
+	for _, d := range corpus {
+		v.Observe(d)
+	}
+	a := v.Vectorize(corpus[0]).Project(64)
+	b := v.Vectorize(corpus[1]).Project(64)
+	c := v.Vectorize(corpus[2]).Project(64)
+	if Cosine(a, b) <= Cosine(a, c) {
+		t.Fatal("projection destroyed topical similarity ordering")
+	}
+}
+
+func TestProjectDeterministic(t *testing.T) {
+	f := func(dims []uint16, ws []uint8) bool {
+		n := len(dims)
+		if len(ws) < n {
+			n = len(ws)
+		}
+		sv := SparseVector{}
+		for i := 0; i < n; i++ {
+			sv.Dims = append(sv.Dims, int(dims[i]))
+			sv.Weights = append(sv.Weights, float64(ws[i]))
+		}
+		p1 := sv.Project(32)
+		p2 := sv.Project(32)
+		return reflect.DeepEqual(p1, p2) && len(p1) == 32
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,160 @@
+package feature
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestCosineBasics(t *testing.T) {
+	v := Vector{1, 0, 0}
+	w := Vector{0, 1, 0}
+	if c := Cosine(v, v); !almostEq(c, 1, 1e-12) {
+		t.Fatalf("self cosine = %v", c)
+	}
+	if c := Cosine(v, w); !almostEq(c, 0, 1e-12) {
+		t.Fatalf("orthogonal cosine = %v", c)
+	}
+	if c := Cosine(v, Vector{-1, 0, 0}); !almostEq(c, -1, 1e-12) {
+		t.Fatalf("opposite cosine = %v", c)
+	}
+	if c := Cosine(Vector{0, 0}, v); c != 0 {
+		t.Fatalf("zero-vector cosine = %v", c)
+	}
+}
+
+func TestCosineSymmetricAndBounded(t *testing.T) {
+	f := func(a, b []float64) bool {
+		v, w := Vector(a), Vector(b)
+		c1, c2 := Cosine(v, w), Cosine(w, v)
+		if math.IsNaN(c1) || c1 < -1 || c1 > 1 {
+			return false
+		}
+		return almostEq(c1, c2, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v := Vector{3, 4}
+	v.Normalize()
+	if !almostEq(v.Norm(), 1, 1e-12) {
+		t.Fatalf("norm after normalize = %v", v.Norm())
+	}
+	z := Vector{0, 0}
+	z.Normalize()
+	if z[0] != 0 || z[1] != 0 {
+		t.Fatal("zero vector should be unchanged")
+	}
+}
+
+func TestBlend(t *testing.T) {
+	v := Vector{1, 0}
+	w := Vector{0, 1}
+	b := Blend(v, w, 0.25)
+	if !almostEq(b[0], 0.75, 1e-12) || !almostEq(b[1], 0.25, 1e-12) {
+		t.Fatalf("blend = %v", b)
+	}
+	// Mismatched lengths: result has the longer length.
+	b2 := Blend(Vector{1}, Vector{0, 2}, 0.5)
+	if len(b2) != 2 || !almostEq(b2[1], 1, 1e-12) {
+		t.Fatalf("blend mismatched = %v", b2)
+	}
+}
+
+func TestHistogramIntersection(t *testing.T) {
+	a := Vector{0.5, 0.5}
+	if hi := HistogramIntersection(a, a); !almostEq(hi, 1, 1e-12) {
+		t.Fatalf("self intersection = %v", hi)
+	}
+	b := Vector{1, 0}
+	c := Vector{0, 1}
+	if hi := HistogramIntersection(b, c); hi != 0 {
+		t.Fatalf("disjoint intersection = %v", hi)
+	}
+}
+
+func TestHistogramIntersectionBoundedProperty(t *testing.T) {
+	f := func(a, b []uint8) bool {
+		v := make(Vector, len(a))
+		w := make(Vector, len(b))
+		for i, x := range a {
+			v[i] = float64(x)
+		}
+		for i, x := range b {
+			w[i] = float64(x)
+		}
+		hi := HistogramIntersection(v, w)
+		return hi >= 0 && hi <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	if j := Jaccard([]string{"a", "b"}, []string{"a", "b"}); !almostEq(j, 1, 1e-12) {
+		t.Fatalf("identical jaccard = %v", j)
+	}
+	if j := Jaccard([]string{"a"}, []string{"b"}); j != 0 {
+		t.Fatalf("disjoint jaccard = %v", j)
+	}
+	if j := Jaccard([]string{"a", "b"}, []string{"b", "c"}); !almostEq(j, 1.0/3, 1e-12) {
+		t.Fatalf("overlap jaccard = %v", j)
+	}
+	// Duplicates must not inflate.
+	if j := Jaccard([]string{"a", "a"}, []string{"a"}); !almostEq(j, 1, 1e-12) {
+		t.Fatalf("duplicate jaccard = %v", j)
+	}
+	if j := Jaccard(nil, nil); j != 0 {
+		t.Fatalf("empty jaccard = %v", j)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	scores := []float64{0.1, 0.9, 0.5, 0.9, 0.2}
+	top := TopK(scores, 3)
+	if len(top) != 3 {
+		t.Fatalf("len = %d", len(top))
+	}
+	if top[0] != 1 || top[1] != 3 || top[2] != 2 {
+		t.Fatalf("topk = %v (ties must break by index)", top)
+	}
+	if got := TopK(scores, 100); len(got) != len(scores) {
+		t.Fatal("k beyond length should clamp")
+	}
+}
+
+func TestMetricSimilarityBounded(t *testing.T) {
+	metrics := []Metric{MetricCosine, MetricHistogram, MetricInvL1}
+	f := func(a, b []uint8) bool {
+		v := make(Vector, len(a))
+		w := make(Vector, len(b))
+		for i, x := range a {
+			v[i] = float64(x) - 128
+		}
+		for i, x := range b {
+			w[i] = float64(x) - 128
+		}
+		for _, m := range metrics {
+			s := m.Similarity(v, w)
+			if math.IsNaN(s) || s < 0 || s > 1+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMetricString(t *testing.T) {
+	if MetricCosine.String() != "cosine" || MetricHistogram.String() != "histogram" || MetricInvL1.String() != "invL1" {
+		t.Fatal("metric names wrong")
+	}
+}

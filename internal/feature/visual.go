@@ -1,0 +1,108 @@
+package feature
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Visual features. The paper's scenario compares jewelry images by "visible
+// features, e.g., color histogram or texture". Without real images we
+// simulate extraction: every object carries a latent concept vector (its
+// ground truth), and the "extractor" renders that concept into a color
+// histogram and a texture vector with controllable noise. This preserves the
+// property the experiments need — objects about the same concept have
+// similar visual features, imperfectly.
+
+// VisualFeatures bundles the two classic low-level descriptors.
+type VisualFeatures struct {
+	ColorHist Vector // non-negative, sums to ~1
+	Texture   Vector // unit-norm response vector
+}
+
+// VisualExtractor simulates a feature extractor with a fixed random
+// projection from concept space to descriptor space plus per-extraction
+// noise. Two extractors with the same seed are the "same algorithm".
+type VisualExtractor struct {
+	colorProj []Vector // conceptDim x colorBins
+	texProj   []Vector // conceptDim x texDims
+	noise     float64
+}
+
+// NewVisualExtractor builds an extractor for the given concept
+// dimensionality with colorBins histogram buckets and texDims texture
+// responses. noise controls extraction error (0 = perfect).
+func NewVisualExtractor(seed int64, conceptDim, colorBins, texDims int, noise float64) *VisualExtractor {
+	r := rand.New(rand.NewSource(seed))
+	e := &VisualExtractor{noise: noise}
+	e.colorProj = randomProjection(r, conceptDim, colorBins)
+	e.texProj = randomProjection(r, conceptDim, texDims)
+	return e
+}
+
+func randomProjection(r *rand.Rand, in, out int) []Vector {
+	proj := make([]Vector, in)
+	for i := range proj {
+		row := make(Vector, out)
+		for j := range row {
+			row[j] = r.NormFloat64()
+		}
+		proj[i] = row
+	}
+	return proj
+}
+
+func project(proj []Vector, concept Vector) Vector {
+	if len(proj) == 0 {
+		return nil
+	}
+	out := make(Vector, len(proj[0]))
+	for i, c := range concept {
+		if i >= len(proj) || c == 0 {
+			continue
+		}
+		row := proj[i]
+		for j := range out {
+			out[j] += c * row[j]
+		}
+	}
+	return out
+}
+
+// Extract renders the latent concept vector into visual features, adding
+// extraction noise from r.
+func (e *VisualExtractor) Extract(r *rand.Rand, concept Vector) VisualFeatures {
+	color := project(e.colorProj, concept)
+	tex := project(e.texProj, concept)
+	for i := range color {
+		if e.noise > 0 {
+			color[i] += r.NormFloat64() * e.noise
+		}
+		// Histograms are non-negative: softplus squash.
+		color[i] = math.Log1p(math.Exp(color[i]))
+	}
+	var mass float64
+	for _, x := range color {
+		mass += x
+	}
+	if mass > 0 {
+		color.Scale(1 / mass)
+	}
+	if e.noise > 0 {
+		for i := range tex {
+			tex[i] += r.NormFloat64() * e.noise
+		}
+	}
+	tex.Normalize()
+	return VisualFeatures{ColorHist: color, Texture: tex}
+}
+
+// VisualSimilarity combines color and texture matches with the given weight
+// on color (1-weight on texture). Both components are in [0,1].
+func VisualSimilarity(a, b VisualFeatures, colorWeight float64) float64 {
+	c := HistogramIntersection(a.ColorHist, b.ColorHist)
+	t := Cosine(a.Texture, b.Texture)
+	if t < 0 {
+		t = 0
+	}
+	return colorWeight*c + (1-colorWeight)*t
+}

@@ -1,0 +1,76 @@
+package feature
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func unitConcept(dim, hot int) Vector {
+	v := make(Vector, dim)
+	v[hot] = 1
+	return v
+}
+
+func TestVisualExtractorHistogramValid(t *testing.T) {
+	e := NewVisualExtractor(1, 16, 12, 8, 0.1)
+	r := rand.New(rand.NewSource(2))
+	vf := e.Extract(r, unitConcept(16, 3))
+	var mass float64
+	for _, x := range vf.ColorHist {
+		if x < 0 {
+			t.Fatalf("negative histogram bin %v", x)
+		}
+		mass += x
+	}
+	if math.Abs(mass-1) > 1e-9 {
+		t.Fatalf("histogram mass = %v", mass)
+	}
+	if math.Abs(vf.Texture.Norm()-1) > 1e-9 {
+		t.Fatalf("texture norm = %v", vf.Texture.Norm())
+	}
+}
+
+func TestVisualSimilaritySameConceptHigher(t *testing.T) {
+	e := NewVisualExtractor(1, 16, 12, 8, 0.05)
+	r := rand.New(rand.NewSource(3))
+	a1 := e.Extract(r, unitConcept(16, 3))
+	a2 := e.Extract(r, unitConcept(16, 3))
+	b := e.Extract(r, unitConcept(16, 9))
+	same := VisualSimilarity(a1, a2, 0.5)
+	diff := VisualSimilarity(a1, b, 0.5)
+	if same <= diff {
+		t.Fatalf("same-concept similarity %v <= cross-concept %v", same, diff)
+	}
+}
+
+func TestVisualNoiseDegradesMatch(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	concept := unitConcept(16, 5)
+	clean := NewVisualExtractor(7, 16, 12, 8, 0.0)
+	noisy := NewVisualExtractor(7, 16, 12, 8, 1.5)
+	c1, c2 := clean.Extract(r, concept), clean.Extract(r, concept)
+	var noisySum, cleanSum float64
+	n := 30
+	for i := 0; i < n; i++ {
+		n1, n2 := noisy.Extract(r, concept), noisy.Extract(r, concept)
+		noisySum += VisualSimilarity(n1, n2, 0.5)
+		cleanSum += VisualSimilarity(c1, c2, 0.5)
+	}
+	if noisySum/float64(n) >= cleanSum/float64(n) {
+		t.Fatal("heavy noise should lower self-similarity")
+	}
+}
+
+func TestVisualSimilarityBounds(t *testing.T) {
+	e := NewVisualExtractor(9, 8, 10, 6, 0.3)
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 50; i++ {
+		a := e.Extract(r, unitConcept(8, r.Intn(8)))
+		b := e.Extract(r, unitConcept(8, r.Intn(8)))
+		s := VisualSimilarity(a, b, 0.5)
+		if s < 0 || s > 1+1e-9 {
+			t.Fatalf("similarity out of range: %v", s)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package feedsys
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/feature"
+)
+
+// TestMatcherConcurrentPubSub exercises concurrent subscribe, unsubscribe,
+// and publish; run with -race.
+func TestMatcherConcurrentPubSub(t *testing.T) {
+	m := NewMatcher(8, 1)
+	var delivered atomic.Int64
+	var wg sync.WaitGroup
+
+	// Stable base subscriptions.
+	for i := 0; i < 50; i++ {
+		err := m.Subscribe(&Subscription{
+			ID:      fmt.Sprintf("base%02d", i),
+			Terms:   []string{"gold"},
+			Deliver: func(Item) { delivered.Add(1) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Churning subscribers.
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				id := fmt.Sprintf("churn-%d-%d", w, i)
+				cv := make(feature.Vector, 8)
+				cv[i%8] = 1
+				if err := m.Subscribe(&Subscription{ID: id, Terms: []string{"silver"}, Concept: cv, Threshold: 0.5}); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := m.Unsubscribe(id); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	// Publishers.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				m.Publish(Item{ID: fmt.Sprintf("i%d", i), Text: "gold ring"})
+			}
+		}()
+	}
+	wg.Wait()
+	// 400 publishes × 50 stable matching subs.
+	if got := delivered.Load(); got != 400*50 {
+		t.Fatalf("delivered = %d, want %d", got, 400*50)
+	}
+	if m.Len() != 50 {
+		t.Fatalf("len = %d", m.Len())
+	}
+}
+
+// TestInboxConcurrent checks the inbox under parallel delivery.
+func TestInboxConcurrent(t *testing.T) {
+	in := NewInbox(1000, 0)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				in.Deliver(Item{ID: fmt.Sprintf("w%d-%d", w, i)})
+				_ = in.Len()
+				if i%10 == 0 {
+					_ = in.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if in.Len() != 800 {
+		t.Fatalf("len = %d", in.Len())
+	}
+}

@@ -1,0 +1,241 @@
+package feedsys
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/feature"
+)
+
+func concept(dim, hot int) feature.Vector {
+	v := make(feature.Vector, dim)
+	v[hot] = 1
+	return v
+}
+
+func TestSubscribeValidation(t *testing.T) {
+	m := NewMatcher(8, 1)
+	if err := m.Subscribe(&Subscription{ID: "s1"}); !errors.Is(err, ErrEmptySubscription) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := m.Subscribe(&Subscription{ID: "s1", Terms: []string{"gold"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Subscribe(&Subscription{ID: "s1", Terms: []string{"x"}}); !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := m.Unsubscribe("nope"); !errors.Is(err, ErrUnknownID) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := m.Unsubscribe("s1"); err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 0 {
+		t.Fatalf("len = %d", m.Len())
+	}
+}
+
+func TestTermConjunction(t *testing.T) {
+	m := NewMatcher(8, 1)
+	_ = m.Subscribe(&Subscription{ID: "both", Terms: []string{"dutch", "drawing"}})
+	_ = m.Subscribe(&Subscription{ID: "one", Terms: []string{"dutch"}})
+
+	got := m.Match(Item{Text: "a dutch drawing from the auction"})
+	ids := idsOf(got)
+	if !reflect.DeepEqual(ids, []string{"both", "one"}) {
+		t.Fatalf("ids = %v", ids)
+	}
+	got = m.Match(Item{Text: "a dutch painting"})
+	ids = idsOf(got)
+	if !reflect.DeepEqual(ids, []string{"one"}) {
+		t.Fatalf("ids = %v (conjunction must require all terms)", ids)
+	}
+	if got := m.Match(Item{Text: "unrelated text"}); len(got) != 0 {
+		t.Fatalf("spurious match: %v", idsOf(got))
+	}
+}
+
+func TestTermsNormalized(t *testing.T) {
+	m := NewMatcher(8, 1)
+	// Mixed case, punctuation, duplicate terms.
+	_ = m.Subscribe(&Subscription{ID: "s", Terms: []string{"Dutch!", "dutch", "DRAWING"}})
+	got := m.Match(Item{Text: "dutch drawing"})
+	if len(got) != 1 {
+		t.Fatalf("normalized terms failed: %v", idsOf(got))
+	}
+}
+
+func TestConceptPredicate(t *testing.T) {
+	m := NewMatcher(8, 1)
+	_ = m.Subscribe(&Subscription{ID: "jewel", Concept: concept(8, 2), Threshold: 0.8})
+	hit := m.Match(Item{Text: "whatever", Concept: concept(8, 2)})
+	if len(hit) != 1 || hit[0].ID != "jewel" {
+		t.Fatalf("concept match failed: %v", idsOf(hit))
+	}
+	miss := m.Match(Item{Text: "whatever", Concept: concept(8, 5)})
+	if len(miss) != 0 {
+		t.Fatalf("below-threshold matched: %v", idsOf(miss))
+	}
+	// Item without a concept cannot satisfy a concept predicate.
+	if got := m.Match(Item{Text: "whatever"}); len(got) != 0 {
+		t.Fatal("no-concept item matched concept predicate")
+	}
+}
+
+func TestCombinedPredicates(t *testing.T) {
+	m := NewMatcher(8, 1)
+	_ = m.Subscribe(&Subscription{ID: "s", Terms: []string{"auction"}, Concept: concept(8, 1), Threshold: 0.9})
+	if got := m.Match(Item{Text: "auction catalog", Concept: concept(8, 1)}); len(got) != 1 {
+		t.Fatal("combined predicate should match")
+	}
+	if got := m.Match(Item{Text: "auction catalog", Concept: concept(8, 3)}); len(got) != 0 {
+		t.Fatal("term hit but concept miss should not match")
+	}
+	if got := m.Match(Item{Text: "magazine", Concept: concept(8, 1)}); len(got) != 0 {
+		t.Fatal("concept hit but term miss should not match")
+	}
+}
+
+func TestIndexedEqualsLinear(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	vocab := []string{"gold", "silver", "ring", "brooch", "dutch", "flemish", "drawing", "auction", "museum", "dance"}
+	m := NewMatcher(8, 1)
+	lin := NewMatcher(8, 1)
+	lin.Linear = true
+	for i := 0; i < 300; i++ {
+		var terms []string
+		for _, w := range vocab {
+			if r.Intn(5) == 0 {
+				terms = append(terms, w)
+			}
+		}
+		var cv feature.Vector
+		var th float64
+		if r.Intn(2) == 0 {
+			cv = concept(8, r.Intn(8))
+			th = 0.7
+		}
+		if len(terms) == 0 && len(cv) == 0 {
+			terms = []string{vocab[r.Intn(len(vocab))]}
+		}
+		s := Subscription{ID: fmt.Sprintf("s%03d", i), Terms: terms, Concept: cv, Threshold: th}
+		s2 := s
+		if err := m.Subscribe(&s); err != nil {
+			t.Fatal(err)
+		}
+		if err := lin.Subscribe(&s2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		var text string
+		for _, w := range vocab {
+			if r.Intn(3) == 0 {
+				text += w + " "
+			}
+		}
+		it := Item{Text: text, Concept: concept(8, r.Intn(8))}
+		a, b := idsOf(m.Match(it)), idsOf(lin.Match(it))
+		// LSH may very rarely miss a concept-only candidate; require the
+		// term-indexed results to agree exactly and concept results to be a
+		// subset relationship with >= 95% agreement overall.
+		if !reflect.DeepEqual(a, b) {
+			missing := diffIDs(b, a)
+			if len(missing) > len(b)/20+1 {
+				t.Fatalf("item %d: indexed %v vs linear %v", i, a, b)
+			}
+		}
+	}
+}
+
+func idsOf(subs []*Subscription) []string {
+	out := make([]string, len(subs))
+	for i, s := range subs {
+		out[i] = s.ID
+	}
+	return out
+}
+
+func diffIDs(want, got []string) []string {
+	gotSet := make(map[string]bool, len(got))
+	for _, g := range got {
+		gotSet[g] = true
+	}
+	var out []string
+	for _, w := range want {
+		if !gotSet[w] {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+func TestPublishDelivers(t *testing.T) {
+	m := NewMatcher(8, 1)
+	var got []Item
+	_ = m.Subscribe(&Subscription{
+		ID: "s", Terms: []string{"auction"},
+		Deliver: func(it Item) { got = append(got, it) },
+	})
+	n := m.Publish(Item{ID: "i1", Text: "auction catalog"})
+	if n != 1 || len(got) != 1 || got[0].ID != "i1" {
+		t.Fatalf("publish: n=%d got=%v", n, got)
+	}
+	if m.Published != 1 || m.Matched != 1 {
+		t.Fatalf("stats: %d %d", m.Published, m.Matched)
+	}
+	if n := m.Publish(Item{ID: "i2", Text: "nothing"}); n != 0 {
+		t.Fatalf("n = %d", n)
+	}
+}
+
+func TestUnsubscribeStopsDelivery(t *testing.T) {
+	m := NewMatcher(8, 1)
+	count := 0
+	_ = m.Subscribe(&Subscription{ID: "s", Terms: []string{"gold"}, Deliver: func(Item) { count++ }})
+	m.Publish(Item{Text: "gold ring"})
+	_ = m.Unsubscribe("s")
+	m.Publish(Item{Text: "gold ring"})
+	if count != 1 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestConceptOnlyUnsubscribeCleansLSH(t *testing.T) {
+	m := NewMatcher(8, 1)
+	_ = m.Subscribe(&Subscription{ID: "c", Concept: concept(8, 1), Threshold: 0.5})
+	_ = m.Unsubscribe("c")
+	if got := m.Match(Item{Text: "x", Concept: concept(8, 1)}); len(got) != 0 {
+		t.Fatal("unsubscribed concept sub still matching")
+	}
+}
+
+func TestInboxWindowAndCap(t *testing.T) {
+	in := NewInbox(3, 10*time.Second)
+	for i := 0; i < 5; i++ {
+		in.Deliver(Item{ID: fmt.Sprintf("i%d", i), At: time.Duration(i) * time.Second})
+	}
+	if in.Len() != 3 {
+		t.Fatalf("len = %d, want cap 3", in.Len())
+	}
+	snap := in.Snapshot()
+	if snap[0].ID != "i2" || snap[2].ID != "i4" {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	// Window eviction: an item far in the future expels old ones.
+	in.Deliver(Item{ID: "late", At: time.Hour})
+	if in.Len() != 1 || in.Snapshot()[0].ID != "late" {
+		t.Fatalf("window eviction failed: %v", in.Snapshot())
+	}
+	// Drain clears.
+	if got := in.Drain(); len(got) != 1 {
+		t.Fatalf("drain = %v", got)
+	}
+	if in.Len() != 0 {
+		t.Fatal("drain did not clear")
+	}
+}

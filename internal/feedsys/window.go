@@ -1,0 +1,68 @@
+package feedsys
+
+import (
+	"sync"
+	"time"
+)
+
+// Inbox is a bounded per-subscriber buffer of delivered items with a
+// sliding time window, letting the UI side of multi-modal interaction show
+// "what arrived recently" and letting sessions rate-limit noisy feeds.
+type Inbox struct {
+	mu     sync.Mutex
+	items  []Item
+	max    int
+	window time.Duration
+}
+
+// NewInbox returns an inbox keeping at most max items no older than window
+// (relative to the newest item's At).
+func NewInbox(max int, window time.Duration) *Inbox {
+	if max <= 0 {
+		max = 128
+	}
+	return &Inbox{max: max, window: window}
+}
+
+// Deliver appends an item, evicting by size and window.
+func (in *Inbox) Deliver(it Item) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.items = append(in.items, it)
+	if in.window > 0 {
+		cutoff := it.At - in.window
+		i := 0
+		for i < len(in.items) && in.items[i].At < cutoff {
+			i++
+		}
+		in.items = in.items[i:]
+	}
+	if len(in.items) > in.max {
+		in.items = in.items[len(in.items)-in.max:]
+	}
+}
+
+// Snapshot returns a copy of the buffered items, oldest first.
+func (in *Inbox) Snapshot() []Item {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]Item, len(in.items))
+	copy(out, in.items)
+	return out
+}
+
+// Len returns the number of buffered items.
+func (in *Inbox) Len() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.items)
+}
+
+// Drain returns and clears the buffer.
+func (in *Inbox) Drain() []Item {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := in.items
+	in.items = nil
+	return out
+}

@@ -1,0 +1,164 @@
+// Package metrics provides the retrieval-quality and statistics helpers the
+// experiment harness reports: NDCG, precision/recall@k, MRR, Kendall tau,
+// summary statistics, and plain-text table rendering for EXPERIMENTS.md.
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// NDCG computes normalized discounted cumulative gain at k for a ranked
+// list of item ids against graded relevance (missing ids = 0 relevance).
+func NDCG(ranked []string, relevance map[string]float64, k int) float64 {
+	if k <= 0 || len(relevance) == 0 {
+		return 0
+	}
+	dcg := 0.0
+	for i, id := range ranked {
+		if i >= k {
+			break
+		}
+		rel := relevance[id]
+		if rel > 0 {
+			dcg += (math.Pow(2, rel) - 1) / math.Log2(float64(i)+2)
+		}
+	}
+	// Ideal ordering.
+	rels := make([]float64, 0, len(relevance))
+	for _, r := range relevance {
+		rels = append(rels, r)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(rels)))
+	idcg := 0.0
+	for i, r := range rels {
+		if i >= k {
+			break
+		}
+		if r > 0 {
+			idcg += (math.Pow(2, r) - 1) / math.Log2(float64(i)+2)
+		}
+	}
+	if idcg == 0 {
+		return 0
+	}
+	return dcg / idcg
+}
+
+// PrecisionAtK is the fraction of the top-k that is relevant.
+func PrecisionAtK(ranked []string, relevant map[string]bool, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	n := k
+	if len(ranked) < n {
+		n = len(ranked)
+	}
+	if n == 0 {
+		return 0
+	}
+	hit := 0
+	for i := 0; i < n; i++ {
+		if relevant[ranked[i]] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(k)
+}
+
+// RecallAtK is the fraction of relevant items found in the top-k.
+func RecallAtK(ranked []string, relevant map[string]bool, k int) float64 {
+	if len(relevant) == 0 {
+		return 0
+	}
+	hit := 0
+	for i, id := range ranked {
+		if i >= k {
+			break
+		}
+		if relevant[id] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(relevant))
+}
+
+// MRR is the mean reciprocal rank of the first relevant item (a single
+// query's contribution; callers average).
+func MRR(ranked []string, relevant map[string]bool) float64 {
+	for i, id := range ranked {
+		if relevant[id] {
+			return 1 / float64(i+1)
+		}
+	}
+	return 0
+}
+
+// KendallTau computes the rank-correlation between two orderings of the
+// same id set, in [-1, 1]. Ids missing from either list are ignored.
+func KendallTau(a, b []string) float64 {
+	posB := make(map[string]int, len(b))
+	for i, id := range b {
+		posB[id] = i
+	}
+	var shared []int // positions in b of a's shared items, in a's order
+	for _, id := range a {
+		if p, ok := posB[id]; ok {
+			shared = append(shared, p)
+		}
+	}
+	n := len(shared)
+	if n < 2 {
+		return 0
+	}
+	concordant, discordant := 0, 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if shared[i] < shared[j] {
+				concordant++
+			} else {
+				discordant++
+			}
+		}
+	}
+	total := concordant + discordant
+	return float64(concordant-discordant) / float64(total)
+}
+
+// Summary holds basic statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes summary statistics.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.StdDev = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s
+}

@@ -1,0 +1,140 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNDCGPerfectAndReversed(t *testing.T) {
+	rel := map[string]float64{"a": 3, "b": 2, "c": 1}
+	perfect := NDCG([]string{"a", "b", "c"}, rel, 3)
+	if math.Abs(perfect-1) > 1e-12 {
+		t.Fatalf("perfect NDCG = %v", perfect)
+	}
+	reversed := NDCG([]string{"c", "b", "a"}, rel, 3)
+	if reversed >= perfect || reversed <= 0 {
+		t.Fatalf("reversed NDCG = %v", reversed)
+	}
+	if NDCG([]string{"x", "y"}, rel, 2) != 0 {
+		t.Fatal("irrelevant ranking should be 0")
+	}
+	if NDCG(nil, nil, 5) != 0 {
+		t.Fatal("empty should be 0")
+	}
+}
+
+func TestNDCGCutoff(t *testing.T) {
+	rel := map[string]float64{"a": 1}
+	// "a" at position 6 contributes nothing at k=5.
+	ranked := []string{"x1", "x2", "x3", "x4", "x5", "a"}
+	if NDCG(ranked, rel, 5) != 0 {
+		t.Fatal("k cutoff ignored")
+	}
+	if NDCG(ranked, rel, 6) <= 0 {
+		t.Fatal("k=6 should see the hit")
+	}
+}
+
+func TestPrecisionRecall(t *testing.T) {
+	rel := map[string]bool{"a": true, "b": true, "c": true, "d": true}
+	ranked := []string{"a", "x", "b", "y", "z"}
+	if p := PrecisionAtK(ranked, rel, 5); p != 0.4 {
+		t.Fatalf("P@5 = %v", p)
+	}
+	if p := PrecisionAtK(ranked, rel, 1); p != 1 {
+		t.Fatalf("P@1 = %v", p)
+	}
+	if r := RecallAtK(ranked, rel, 5); r != 0.5 {
+		t.Fatalf("R@5 = %v", r)
+	}
+	if r := RecallAtK(ranked, rel, 1); r != 0.25 {
+		t.Fatalf("R@1 = %v", r)
+	}
+	if PrecisionAtK(nil, rel, 5) != 0 || RecallAtK(ranked, nil, 5) != 0 {
+		t.Fatal("degenerate cases")
+	}
+}
+
+func TestMRR(t *testing.T) {
+	rel := map[string]bool{"b": true}
+	if m := MRR([]string{"a", "b"}, rel); m != 0.5 {
+		t.Fatalf("MRR = %v", m)
+	}
+	if m := MRR([]string{"x"}, rel); m != 0 {
+		t.Fatalf("MRR no hit = %v", m)
+	}
+}
+
+func TestKendallTau(t *testing.T) {
+	a := []string{"a", "b", "c", "d"}
+	if tau := KendallTau(a, a); tau != 1 {
+		t.Fatalf("identical tau = %v", tau)
+	}
+	rev := []string{"d", "c", "b", "a"}
+	if tau := KendallTau(a, rev); tau != -1 {
+		t.Fatalf("reversed tau = %v", tau)
+	}
+	if tau := KendallTau(a, []string{"a"}); tau != 0 {
+		t.Fatalf("degenerate tau = %v", tau)
+	}
+	// Partial overlap only considers shared items.
+	if tau := KendallTau([]string{"a", "b", "z"}, []string{"a", "q", "b"}); tau != 1 {
+		t.Fatalf("overlap tau = %v", tau)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.StdDev-1.29099) > 0.001 {
+		t.Fatalf("stddev = %v", s.StdDev)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Mean != 0 {
+		t.Fatalf("empty summary = %+v", z)
+	}
+	one := Summarize([]float64{7})
+	if one.StdDev != 0 || one.Mean != 7 {
+		t.Fatalf("singleton = %+v", one)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("E0: smoke", "setting", "value", "note")
+	tb.AddRow("alpha", 0.123456, "ok")
+	tb.AddRow("beta", 1234.5, "wide")
+	tb.AddRow("gamma", 0.001, "tiny")
+	out := tb.String()
+	if !strings.Contains(out, "### E0: smoke") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "0.123") {
+		t.Fatalf("float trim wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "1234.5") {
+		t.Fatalf("wide float wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "0.0010") {
+		t.Fatalf("tiny float wrong:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// title, blank, header, separator, 3 rows.
+	if len(lines) != 7 {
+		t.Fatalf("line count = %d:\n%s", len(lines), out)
+	}
+	if tb.Rows() != 3 {
+		t.Fatalf("rows = %d", tb.Rows())
+	}
+	// All table lines equal width.
+	var widths []int
+	for _, l := range lines[2:] {
+		widths = append(widths, len(l))
+	}
+	for _, w := range widths {
+		if w != widths[0] {
+			t.Fatalf("ragged table:\n%s", out)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package negotiate
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/qos"
+)
+
+// Multi-attribute auctions: the other trading mechanism an agora market
+// supports besides bilateral alternating offers. The consumer issues a
+// call-for-offers with a scoring rule (its own multi-issue utility);
+// providers submit sealed package bids; the best-scoring package wins. In
+// the second-score variant the winner only has to match the runner-up's
+// score, so it can relax its package back to a more profitable point on
+// its own iso-score curve — the multi-attribute analogue of a Vickrey
+// auction, which makes truthful bidding the sensible provider strategy.
+
+// Bid is one provider's sealed offer.
+type Bid struct {
+	Provider string
+	Package  qos.Vector
+}
+
+// AuctionKind selects the payment/score rule.
+type AuctionKind int
+
+// Auction kinds.
+const (
+	// FirstScore: the winning package binds as bid.
+	FirstScore AuctionKind = iota
+	// SecondScore: the winner may degrade its package until its score
+	// matches the second-best bid (it keeps the surplus).
+	SecondScore
+)
+
+func (k AuctionKind) String() string {
+	if k == SecondScore {
+		return "second-score"
+	}
+	return "first-score"
+}
+
+// AuctionResult reports the outcome.
+type AuctionResult struct {
+	Winner       string
+	Package      qos.Vector
+	BuyerScore   float64
+	SecondScore  float64
+	Participants int
+}
+
+// Auction errors.
+var (
+	ErrNoBids          = errors.New("negotiate: no bids submitted")
+	ErrAllBelowReserve = errors.New("negotiate: every bid scored below the reserve")
+)
+
+// SealedBid picks each provider's bid: the candidate package maximizing the
+// buyer's announced scoring rule subject to the provider's own reservation
+// utility — the straightforward strategy under a scoring auction.
+func SealedBid(provider *Negotiator, scoring Utility) (qos.Vector, bool) {
+	best := qos.Vector{}
+	bestScore := -1.0
+	found := false
+	for _, c := range provider.Candidates {
+		if provider.U.Of(c) < provider.Reservation {
+			continue
+		}
+		if s := scoring.Of(c); s > bestScore {
+			bestScore = s
+			best = c
+			found = true
+		}
+	}
+	return best, found
+}
+
+// RunAuction collects sealed bids from the sellers under the buyer's
+// scoring rule and resolves the winner. reserve is the minimum buyer score
+// an acceptable package must reach.
+func RunAuction(kind AuctionKind, buyer *Negotiator, sellers []*Negotiator, reserve float64) (AuctionResult, error) {
+	var bids []Bid
+	for _, s := range sellers {
+		pkg, ok := SealedBid(s, buyer.U)
+		if !ok {
+			continue
+		}
+		bids = append(bids, Bid{Provider: s.Name, Package: pkg})
+	}
+	if len(bids) == 0 {
+		return AuctionResult{}, ErrNoBids
+	}
+	sort.Slice(bids, func(i, j int) bool {
+		si, sj := buyer.U.Of(bids[i].Package), buyer.U.Of(bids[j].Package)
+		if si != sj {
+			return si > sj
+		}
+		return bids[i].Provider < bids[j].Provider
+	})
+	best := bids[0]
+	bestScore := buyer.U.Of(best.Package)
+	if bestScore < reserve {
+		return AuctionResult{Participants: len(bids)}, ErrAllBelowReserve
+	}
+	second := reserve
+	if len(bids) > 1 {
+		if s := buyer.U.Of(bids[1].Package); s > second {
+			second = s
+		}
+	}
+	res := AuctionResult{
+		Winner:       best.Provider,
+		Package:      best.Package,
+		BuyerScore:   bestScore,
+		SecondScore:  second,
+		Participants: len(bids),
+	}
+	if kind == SecondScore {
+		// Let the winner slide to the cheapest (for it) package that still
+		// scores at least `second` for the buyer.
+		winner := findSeller(sellers, best.Provider)
+		if winner != nil {
+			relaxed := best.Package
+			relaxedProfit := winner.U.Of(best.Package)
+			for _, c := range winner.Candidates {
+				if buyer.U.Of(c) < second {
+					continue
+				}
+				if p := winner.U.Of(c); p > relaxedProfit {
+					relaxedProfit = p
+					relaxed = c
+				}
+			}
+			res.Package = relaxed
+			res.BuyerScore = buyer.U.Of(relaxed)
+		}
+	}
+	return res, nil
+}
+
+func findSeller(sellers []*Negotiator, name string) *Negotiator {
+	for _, s := range sellers {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package negotiate
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func auctionSellers(n int) []*Negotiator {
+	var out []*Negotiator
+	for i := 0; i < n; i++ {
+		s := stdSeller(Linear())
+		s.Name = fmt.Sprintf("seller%02d", i)
+		// Vary economics so bids differ.
+		s.U = SellerUtility{Cost: StandardCost(0.2+0.15*float64(i), 1.0+0.2*float64(i)), Scale: 6}
+		out = append(out, s)
+	}
+	return out
+}
+
+func TestAuctionPicksBestForBuyer(t *testing.T) {
+	buyer := stdBuyer(Linear())
+	sellers := auctionSellers(4)
+	res, err := RunAuction(FirstScore, buyer, sellers, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Participants != 4 {
+		t.Fatalf("participants = %d", res.Participants)
+	}
+	// The winning package's buyer score must be >= any other seller's best
+	// possible bid.
+	for _, s := range sellers {
+		pkg, ok := SealedBid(s, buyer.U)
+		if !ok {
+			continue
+		}
+		if buyer.U.Of(pkg) > res.BuyerScore+1e-9 {
+			t.Fatalf("auction missed a better bid from %s", s.Name)
+		}
+	}
+}
+
+func TestAuctionReserve(t *testing.T) {
+	buyer := stdBuyer(Linear())
+	sellers := auctionSellers(2)
+	if _, err := RunAuction(FirstScore, buyer, sellers, 0.999); !errors.Is(err, ErrAllBelowReserve) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := RunAuction(FirstScore, buyer, nil, 0.2); !errors.Is(err, ErrNoBids) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSecondScoreGivesWinnerSurplus(t *testing.T) {
+	buyer := stdBuyer(Linear())
+	sellers := auctionSellers(4)
+	first, err := RunAuction(FirstScore, buyer, sellers, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := RunAuction(SecondScore, buyer, sellers, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Winner != second.Winner {
+		t.Fatalf("winner changed: %s vs %s", first.Winner, second.Winner)
+	}
+	// Winner's profit under second-score >= under first-score.
+	winner := findSeller(sellers, first.Winner)
+	if winner.U.Of(second.Package) < winner.U.Of(first.Package)-1e-9 {
+		t.Fatal("second-score should not hurt the winner")
+	}
+	// And the buyer still gets at least the runner-up's score.
+	if second.BuyerScore < second.SecondScore-1e-9 {
+		t.Fatalf("buyer score %v below second score %v", second.BuyerScore, second.SecondScore)
+	}
+}
+
+func TestAuctionCompetitionHelpsBuyer(t *testing.T) {
+	buyer := stdBuyer(Linear())
+	// Average buyer score should not fall as more sellers compete.
+	few, err := RunAuction(FirstScore, buyer, auctionSellers(1), 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := RunAuction(FirstScore, buyer, auctionSellers(6), 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if many.BuyerScore < few.BuyerScore-1e-9 {
+		t.Fatalf("more competition lowered buyer score: %v vs %v", many.BuyerScore, few.BuyerScore)
+	}
+}
+
+func TestSealedBidRespectsReservation(t *testing.T) {
+	s := stdSeller(Linear())
+	// Costs exceed every price on the grid: nothing clears reservation.
+	s.U = SellerUtility{Cost: StandardCost(100, 1), Scale: 6}
+	if _, ok := SealedBid(s, stdBuyer(Linear()).U); ok {
+		t.Fatal("seller below reservation should not bid")
+	}
+}
+
+func TestAuctionKindString(t *testing.T) {
+	if FirstScore.String() != "first-score" || SecondScore.String() != "second-score" {
+		t.Fatal("names")
+	}
+}

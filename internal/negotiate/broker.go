@@ -1,0 +1,182 @@
+package negotiate
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/qos"
+)
+
+// Subcontracting. The paper: "such trading may also occur recursively, in
+// the sense that some nodes may play the role of intermediaries between
+// other nodes (subcontracting)." A Broker fulfills the parts of a
+// decomposed query from the providers it knows directly; parts it cannot
+// cover are delegated to sub-brokers, who add their own margin. Deeper
+// chains reach more of the market (higher completeness) at higher cost —
+// the trade-off experiment E5 measures.
+
+// Part is one decomposed piece of a query, labelled by topic.
+type Part struct {
+	Topic string
+	Value float64 // the consumer's value for covering this part
+}
+
+// Provider is a leaf market participant able to serve certain topics.
+type Provider struct {
+	Name   string
+	Topics map[string]bool
+	// Seller economics.
+	CostBase   float64
+	CostEffort float64
+	Tactic     Tactic
+}
+
+// sellerFor builds the provider's negotiator over the shared grid.
+func (p *Provider) sellerFor(grid []qos.Vector) *Negotiator {
+	t := p.Tactic
+	if t == nil {
+		t = Linear()
+	}
+	return &Negotiator{
+		Name:        p.Name,
+		U:           SellerUtility{Cost: StandardCost(p.CostBase, p.CostEffort), Scale: 8},
+		Reservation: 0.05,
+		Tactic:      t,
+		Candidates:  grid,
+	}
+}
+
+// Broker is an intermediary that procures parts from direct providers and,
+// failing that, from sub-brokers.
+type Broker struct {
+	Name      string
+	Providers []*Provider
+	Subs      []*Broker
+	// Margin is the multiplicative markup the broker adds when it
+	// subcontracts on someone's behalf.
+	Margin float64
+	// Weights are the broker's buying preferences when negotiating
+	// upstream.
+	Weights qos.Weights
+	Tactic  Tactic
+}
+
+// PartOutcome reports how one part was procured.
+type PartOutcome struct {
+	Part     Part
+	Covered  bool
+	Price    float64
+	Provider string
+	Depth    int // 0 = direct provider, 1 = via one sub-broker, ...
+	Rounds   int
+}
+
+// ProcureResult aggregates a procurement run.
+type ProcureResult struct {
+	Outcomes     []PartOutcome
+	TotalPrice   float64
+	Completeness float64 // fraction of parts covered
+	TotalRounds  int
+}
+
+// defaultGrid is the package space brokers and providers negotiate over.
+func defaultGrid() []qos.Vector {
+	completeness := []float64{0.6, 0.7, 0.8, 0.9, 1.0}
+	prices := []float64{0.5, 1, 1.5, 2, 3, 4, 6, 8}
+	return CandidateGrid(qos.Vector{Latency: time.Second, Trust: 0.8}, completeness, prices)
+}
+
+// Procure attempts to cover every part, descending at most maxDepth levels
+// of subcontracting. maxRounds bounds each bilateral negotiation.
+func (b *Broker) Procure(parts []Part, maxRounds, maxDepth int) ProcureResult {
+	var res ProcureResult
+	grid := defaultGrid()
+	for _, part := range parts {
+		out := b.procurePart(part, grid, maxRounds, maxDepth)
+		res.Outcomes = append(res.Outcomes, out)
+		if out.Covered {
+			res.TotalPrice += out.Price
+			res.TotalRounds += out.Rounds
+		}
+	}
+	if len(parts) > 0 {
+		covered := 0
+		for _, o := range res.Outcomes {
+			if o.Covered {
+				covered++
+			}
+		}
+		res.Completeness = float64(covered) / float64(len(parts))
+	}
+	return res
+}
+
+func (b *Broker) procurePart(part Part, grid []qos.Vector, maxRounds, maxDepth int) PartOutcome {
+	// Direct providers first: negotiate with every capable one, take the
+	// cheapest successful deal.
+	type bid struct {
+		price    float64
+		provider string
+		rounds   int
+	}
+	var bids []bid
+	for _, p := range b.Providers {
+		if !p.Topics[part.Topic] {
+			continue
+		}
+		buyer := b.buyer()
+		deal, err := Run(buyer, p.sellerFor(grid), maxRounds)
+		if err != nil {
+			continue
+		}
+		bids = append(bids, bid{price: deal.Package.Price, provider: p.Name, rounds: deal.Rounds})
+	}
+	sort.Slice(bids, func(i, j int) bool {
+		if bids[i].price != bids[j].price {
+			return bids[i].price < bids[j].price
+		}
+		return bids[i].provider < bids[j].provider
+	})
+	if len(bids) > 0 {
+		return PartOutcome{Part: part, Covered: true, Price: bids[0].price, Provider: bids[0].provider, Rounds: bids[0].rounds}
+	}
+	// Delegate to sub-brokers.
+	if maxDepth <= 0 {
+		return PartOutcome{Part: part}
+	}
+	best := PartOutcome{Part: part}
+	for _, sub := range b.Subs {
+		out := sub.procurePart(part, grid, maxRounds, maxDepth-1)
+		if !out.Covered {
+			continue
+		}
+		margin := sub.Margin
+		if margin < 1 {
+			margin = 1.2
+		}
+		out.Price *= margin
+		out.Depth++
+		if !best.Covered || out.Price < best.Price {
+			best = out
+		}
+	}
+	return best
+}
+
+func (b *Broker) buyer() *Negotiator {
+	w := b.Weights
+	if w == (qos.Weights{}) {
+		w = qos.Weights{Price: 3, Completeness: 2, Trust: 1, Latency: 1, Freshness: 1}
+	}
+	t := b.Tactic
+	if t == nil {
+		t = Linear()
+	}
+	return &Negotiator{
+		Name:        b.Name,
+		U:           BuyerUtility{W: w},
+		Reservation: 0.3,
+		Tactic:      t,
+		Candidates:  defaultGrid(),
+	}
+}

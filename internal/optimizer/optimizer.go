@@ -1,0 +1,161 @@
+// Package optimizer implements agora query optimization: choosing which
+// information sources to contract, at what QoS levels, for a decomposed
+// query — under uncertainty about source coverage, cost and behaviour. It
+// is where three of the paper's threads meet: uncertainty (estimates are
+// beliefs and intervals, not numbers), QoS (plans are points in QoS space,
+// optimization is multi-objective), and negotiation (plan cost reflects SLA
+// premiums and expected breach compensation).
+package optimizer
+
+import (
+	"errors"
+	"math"
+	"time"
+
+	"repro/internal/qos"
+	"repro/internal/uncertainty"
+)
+
+// SourceEstimate is what the optimizer believes about one candidate source
+// for the query at hand.
+type SourceEstimate struct {
+	Source string
+	// Coverage is the belief about the fraction of the relevant answer set
+	// this source alone can deliver.
+	Coverage uncertainty.BetaBelief
+	// Price is the uncertain price the source will charge (post-
+	// negotiation estimate).
+	Price uncertainty.Interval
+	// Latency is the uncertain response latency in seconds.
+	Latency uncertainty.Interval
+	// Trust is the belief the source delivers correct content.
+	Trust uncertainty.BetaBelief
+	// Staleness is the typical age of this source's content.
+	Staleness time.Duration
+	// Premium and PenaltyRate are the SLA terms the source offers.
+	Premium     float64
+	PenaltyRate float64
+}
+
+// Plan is a chosen subset of sources.
+type Plan struct {
+	Sources []SourceEstimate
+}
+
+// Predicted aggregates a plan's expected QoS vector. Completeness composes
+// as 1-Π(1-c_i) under an independence assumption (sources hold overlapping
+// but independently drawn slices of the answer set); latency is the max
+// (sources run in parallel); price and premium costs add; trust is the
+// coverage-weighted mean; freshness is the worst staleness.
+func (p Plan) Predicted() qos.Vector {
+	if len(p.Sources) == 0 {
+		return qos.Vector{}
+	}
+	missing := 1.0
+	var price, lat float64
+	var trustW, trustSum float64
+	var worstStale time.Duration
+	for _, s := range p.Sources {
+		// Deliverable coverage is the advertised coverage discounted by the
+		// belief the source honors its promises: a shirker's shop window
+		// counts for less (how the greengrocer loop steers future plans).
+		c := s.Coverage.Mean() * s.Trust.Mean()
+		missing *= 1 - c
+		premium := s.Premium
+		if premium < 1 {
+			premium = 1
+		}
+		price += s.Price.Mid() * premium
+		if l := s.Latency.Hi; l > lat {
+			lat = l
+		}
+		trustSum += c * s.Trust.Mean()
+		trustW += c
+		if s.Staleness > worstStale {
+			worstStale = s.Staleness
+		}
+	}
+	trust := 0.5
+	if trustW > 0 {
+		trust = trustSum / trustW
+	}
+	return qos.Vector{
+		Latency:      time.Duration(lat * float64(time.Second)),
+		Completeness: 1 - missing,
+		Freshness:    worstStale,
+		Trust:        trust,
+		Price:        price,
+	}
+}
+
+// Variance approximates the variance of the plan's completeness (the main
+// uncertain payoff dimension) by propagating per-source Beta variances
+// through the product form.
+func (p Plan) Variance() float64 {
+	// Var(1-Π(1-C_i)) = Var(Π(1-C_i)); first-order delta method:
+	// Π terms treated independently.
+	prod := 1.0
+	var rel float64 // sum of relative variances
+	for _, s := range p.Sources {
+		m := 1 - s.Coverage.Mean()
+		v := s.Coverage.Variance()
+		prod *= m
+		if m > 1e-9 {
+			rel += v / (m * m)
+		}
+	}
+	return prod * prod * rel
+}
+
+// ExpectedShortfallCost estimates the expected compensation the plan's
+// contracts return on breach (negotiation-aware optimization): each source
+// breaches its coverage promise with probability ~P(coverage < promised),
+// refunding penalty*premium*price*E[shortfall|breach]. We promise each
+// source its posterior-mean coverage, so breach probability ≈ 0.5 scaled by
+// belief confidence.
+func (p Plan) ExpectedShortfallCost() float64 {
+	var total float64
+	for _, s := range p.Sources {
+		sd := math.Sqrt(s.Coverage.Variance())
+		premium := s.Premium
+		if premium < 1 {
+			premium = 1
+		}
+		paid := s.Price.Mid() * premium
+		// Expected shortfall of a promise at the mean is ~sd/sqrt(2*pi)
+		// (normal approximation, one-sided).
+		expectedShortfall := sd / math.Sqrt(2*math.Pi)
+		total += s.PenaltyRate * paid * expectedShortfall
+	}
+	return total
+}
+
+// Optimizer errors.
+var ErrNoSources = errors.New("optimizer: no candidate sources")
+
+// Objective scores a plan for a particular user.
+type Objective struct {
+	Weights qos.Weights
+	Risk    uncertainty.RiskAttitude
+	// Budget caps acceptable plan price (0 = unlimited).
+	Budget float64
+}
+
+// Score evaluates a plan: the scalarized QoS utility of the predicted
+// vector, risk-adjusted by the completeness variance through the certainty
+// equivalent, minus normalized expected breach compensation already folded
+// into effective price.
+func (o Objective) Score(p Plan) float64 {
+	pred := p.Predicted()
+	// Breach compensation flows back to the consumer, lowering the
+	// effective price.
+	pred.Price -= p.ExpectedShortfallCost()
+	if pred.Price < 0 {
+		pred.Price = 0
+	}
+	if o.Budget > 0 && pred.Price > o.Budget {
+		return -1
+	}
+	base := o.Weights.Scalarize(pred)
+	return o.Risk.CertaintyEquivalent(base, p.Variance())
+}

@@ -1,0 +1,253 @@
+package optimizer
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/qos"
+	"repro/internal/uncertainty"
+)
+
+func est(name string, coverage, price, latSec float64) SourceEstimate {
+	return SourceEstimate{
+		Source:   name,
+		Coverage: uncertainty.PriorBelief(coverage, 30),
+		Price:    uncertainty.MakeInterval(price*0.8, price*1.2),
+		Latency:  uncertainty.MakeInterval(latSec*0.8, latSec*1.2),
+		Trust:    uncertainty.PriorBelief(0.8, 20),
+		Premium:  1.2, PenaltyRate: 0.4,
+	}
+}
+
+func balancedObj() Objective {
+	return Objective{Weights: qos.DefaultWeights(), Risk: uncertainty.Neutral()}
+}
+
+func TestPredictedComposition(t *testing.T) {
+	p := Plan{Sources: []SourceEstimate{est("a", 0.5, 2, 1), est("b", 0.5, 3, 2)}}
+	v := p.Predicted()
+	// Completeness 1 - 0.5*0.5 (approximately, beliefs have priors).
+	if v.Completeness < 0.6 || v.Completeness > 0.85 {
+		t.Fatalf("completeness = %v", v.Completeness)
+	}
+	// Latency = max hi.
+	if v.Latency < 2*time.Second {
+		t.Fatalf("latency = %v", v.Latency)
+	}
+	// Price = sum with premium.
+	if v.Price < 5 {
+		t.Fatalf("price = %v (should include premium)", v.Price)
+	}
+	if empty := (Plan{}).Predicted(); empty.Completeness != 0 {
+		t.Fatalf("empty plan predicted = %+v", empty)
+	}
+}
+
+func TestMoreSourcesMoreCompleteMoreExpensive(t *testing.T) {
+	one := Plan{Sources: []SourceEstimate{est("a", 0.4, 2, 1)}}
+	two := Plan{Sources: []SourceEstimate{est("a", 0.4, 2, 1), est("b", 0.4, 2, 1)}}
+	if two.Predicted().Completeness <= one.Predicted().Completeness {
+		t.Fatal("adding a source should raise completeness")
+	}
+	if two.Predicted().Price <= one.Predicted().Price {
+		t.Fatal("adding a source should raise price")
+	}
+}
+
+func TestBestExhaustiveBeatsSingles(t *testing.T) {
+	cands := []SourceEstimate{
+		est("cheap-partial", 0.3, 1, 0.5),
+		est("rich-pricey", 0.8, 6, 1),
+		est("mid", 0.5, 2, 1),
+	}
+	obj := balancedObj()
+	best, err := Best(cands, obj, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cands {
+		single := Plan{Sources: []SourceEstimate{c}}
+		if obj.Score(best) < obj.Score(single)-1e-12 {
+			t.Fatalf("best plan scored below single %s", c.Source)
+		}
+	}
+}
+
+func TestBestRespectsMaxSources(t *testing.T) {
+	var cands []SourceEstimate
+	for i := 0; i < 6; i++ {
+		cands = append(cands, est(fmt.Sprintf("s%d", i), 0.4, 1, 1))
+	}
+	best, err := Best(cands, balancedObj(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(best.Sources) > 2 {
+		t.Fatalf("plan has %d sources", len(best.Sources))
+	}
+}
+
+func TestBestEmpty(t *testing.T) {
+	if _, err := Best(nil, balancedObj(), 0); !errors.Is(err, ErrNoSources) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestGreedyOnLargeSet(t *testing.T) {
+	var cands []SourceEstimate
+	for i := 0; i < 30; i++ {
+		cands = append(cands, est(fmt.Sprintf("s%02d", i), 0.1+0.02*float64(i%10), 1+float64(i%5), 1))
+	}
+	best, err := Best(cands, balancedObj(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(best.Sources) == 0 || len(best.Sources) > 5 {
+		t.Fatalf("greedy plan size = %d", len(best.Sources))
+	}
+}
+
+func TestBudgetConstraint(t *testing.T) {
+	cands := []SourceEstimate{est("pricey", 0.9, 50, 1), est("cheap", 0.4, 1, 1)}
+	obj := balancedObj()
+	obj.Budget = 5
+	best, err := Best(cands, obj, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(best.Sources) != 1 || best.Sources[0].Source != "cheap" {
+		t.Fatalf("budget ignored: %+v", best.Sources)
+	}
+}
+
+func TestRiskAversionPrefersLowVariance(t *testing.T) {
+	// Same mean coverage; one belief is much weaker (higher variance).
+	confident := SourceEstimate{
+		Source: "confident", Coverage: uncertainty.PriorBelief(0.6, 200),
+		Price: uncertainty.Point(2), Latency: uncertainty.Point(1),
+		Trust: uncertainty.PriorBelief(0.8, 20), Premium: 1,
+	}
+	shaky := SourceEstimate{
+		Source: "shaky", Coverage: uncertainty.PriorBelief(0.6, 2),
+		Price: uncertainty.Point(2), Latency: uncertainty.Point(1),
+		Trust: uncertainty.PriorBelief(0.8, 20), Premium: 1,
+	}
+	averse := Objective{Weights: qos.DefaultWeights(), Risk: uncertainty.Averse(30)}
+	pc := Plan{Sources: []SourceEstimate{confident}}
+	ps := Plan{Sources: []SourceEstimate{shaky}}
+	if averse.Score(pc) <= averse.Score(ps) {
+		t.Fatalf("risk-averse should prefer confident source: %v vs %v", averse.Score(pc), averse.Score(ps))
+	}
+	neutral := balancedObj()
+	diff := neutral.Score(pc) - neutral.Score(ps)
+	if diff < -0.05 || diff > 0.05 {
+		t.Fatalf("risk-neutral gap should be small: %v", diff)
+	}
+}
+
+func TestExpectedShortfallCost(t *testing.T) {
+	strong := Plan{Sources: []SourceEstimate{{
+		Source: "s", Coverage: uncertainty.PriorBelief(0.5, 500),
+		Price: uncertainty.Point(10), Premium: 1, PenaltyRate: 0.5,
+	}}}
+	weak := Plan{Sources: []SourceEstimate{{
+		Source: "s", Coverage: uncertainty.PriorBelief(0.5, 2),
+		Price: uncertainty.Point(10), Premium: 1, PenaltyRate: 0.5,
+	}}}
+	if strong.ExpectedShortfallCost() >= weak.ExpectedShortfallCost() {
+		t.Fatal("shakier promises should carry higher expected compensation")
+	}
+	noPenalty := Plan{Sources: []SourceEstimate{{
+		Source: "s", Coverage: uncertainty.PriorBelief(0.5, 2),
+		Price: uncertainty.Point(10), Premium: 1, PenaltyRate: 0,
+	}}}
+	if noPenalty.ExpectedShortfallCost() != 0 {
+		t.Fatal("zero penalty rate should mean zero compensation")
+	}
+}
+
+func TestParetoPlans(t *testing.T) {
+	cands := []SourceEstimate{
+		est("a", 0.3, 1, 0.5),
+		est("b", 0.6, 3, 1),
+		est("c", 0.8, 7, 2),
+	}
+	front := ParetoPlans(cands, 0)
+	if len(front) == 0 {
+		t.Fatal("empty front")
+	}
+	// No front member dominates another.
+	for i := range front {
+		for j := range front {
+			if i != j && front[i].Predicted().Dominates(front[j].Predicted()) {
+				t.Fatalf("front member %d dominates %d", i, j)
+			}
+		}
+	}
+	if got := ParetoPlans(nil, 0); got != nil {
+		t.Fatal("nil candidates should yield nil front")
+	}
+}
+
+func TestParetoSamplingLargeSet(t *testing.T) {
+	var cands []SourceEstimate
+	for i := 0; i < 20; i++ {
+		cands = append(cands, est(fmt.Sprintf("s%02d", i), 0.1+0.04*float64(i%10), 1+float64(i%7), 0.5+0.2*float64(i%4)))
+	}
+	front := ParetoPlans(cands, 6)
+	if len(front) == 0 {
+		t.Fatal("sampled front empty")
+	}
+}
+
+func TestHypervolume(t *testing.T) {
+	cands := []SourceEstimate{est("a", 0.3, 1, 0.5), est("b", 0.6, 3, 1), est("c", 0.8, 7, 2)}
+	front := ParetoPlans(cands, 0)
+	hvFront := Hypervolume(front, 20, 10)
+	// A single mediocre plan must not beat the full front.
+	single := []Plan{{Sources: []SourceEstimate{cands[0]}}}
+	hvSingle := Hypervolume(single, 20, 10)
+	if hvFront < hvSingle {
+		t.Fatalf("front hv %v < single hv %v", hvFront, hvSingle)
+	}
+	if hvFront <= 0 {
+		t.Fatalf("hv = %v", hvFront)
+	}
+	if Hypervolume(nil, 20, 10) != 0 {
+		t.Fatal("empty hv should be 0")
+	}
+}
+
+func TestReoptimizeDropsFailedSources(t *testing.T) {
+	cands := []SourceEstimate{est("a", 0.6, 2, 1), est("b", 0.5, 2, 1), est("c", 0.4, 2, 1)}
+	plan, err := Reoptimize(cands, map[string]bool{"a": true}, 0.3, balancedObj(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range plan.Sources {
+		if s.Source == "a" {
+			t.Fatal("failed source re-selected")
+		}
+	}
+	// All failed -> error.
+	if _, err := Reoptimize(cands, map[string]bool{"a": true, "b": true, "c": true}, 0, balancedObj(), 0); !errors.Is(err, ErrNoSources) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReoptimizeShrinksMarginalValue(t *testing.T) {
+	cands := []SourceEstimate{est("a", 0.6, 2, 1)}
+	fresh, err := Reoptimize(cands, nil, 0, balancedObj(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	late, err := Reoptimize(cands, nil, 0.9, balancedObj(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if late.Predicted().Completeness >= fresh.Predicted().Completeness {
+		t.Fatal("already-covered mass should shrink predicted marginal completeness")
+	}
+}

@@ -1,0 +1,270 @@
+package profile
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"repro/internal/feature"
+	"repro/internal/uncertainty"
+)
+
+// Profile merging. The paper (§5): "generating a single, cohesive profile
+// from local ones collected for the same user at multiple information
+// sources presents the usual difficulties of data integration as well as
+// some specific ones ... e.g., dealing with inconsistent behavior at
+// different sources with respect to likes and dislikes."
+//
+// Merge combines per-source partial profiles of one user: interest vectors
+// are evidence-weighted averages; source-trust beliefs are pooled; term
+// affinities are combined with explicit conflict handling.
+
+// ConflictPolicy selects how contradictory term affinities merge.
+type ConflictPolicy int
+
+// Conflict policies.
+const (
+	// ConflictEvidence resolves by evidence-weighted average (default).
+	ConflictEvidence ConflictPolicy = iota
+	// ConflictDrop removes terms the sources disagree on — a conservative
+	// profile that asserts nothing contested.
+	ConflictDrop
+	// ConflictMajority keeps the sign the majority of sources support, at
+	// the average magnitude of the winning side.
+	ConflictMajority
+)
+
+// Conflict describes one detected disagreement.
+type Conflict struct {
+	Term    string
+	Values  []float64
+	Sources []string
+}
+
+// MergeResult is the merged profile plus an audit of conflicts found.
+type MergeResult struct {
+	Profile   *Profile
+	Conflicts []Conflict
+}
+
+// ErrNothingToMerge is returned when no input profiles are given.
+var ErrNothingToMerge = errors.New("profile: nothing to merge")
+
+// conflictThreshold: a term is conflicted when some source says clearly
+// positive and another clearly negative.
+const conflictThreshold = 0.1
+
+// Merge integrates partial profiles (labels name their origin, parallel to
+// parts) under the policy. All parts must belong to the same user.
+func Merge(parts []*Profile, labels []string, policy ConflictPolicy) (MergeResult, error) {
+	if len(parts) == 0 {
+		return MergeResult{}, ErrNothingToMerge
+	}
+	if len(labels) != len(parts) {
+		labels = make([]string, len(parts))
+		for i := range labels {
+			labels[i] = "src" + string(rune('A'+i%26))
+		}
+	}
+	dim := 0
+	for _, p := range parts {
+		if len(p.Interests) > dim {
+			dim = len(p.Interests)
+		}
+	}
+	merged := New(parts[0].UserID, dim)
+
+	// Interests: evidence-weighted mean.
+	var totalEvidence float64
+	for _, p := range parts {
+		w := p.Evidence
+		if w <= 0 {
+			w = 1
+		}
+		totalEvidence += w
+		for i, v := range p.Interests {
+			merged.Interests[i] += w * v
+		}
+	}
+	if totalEvidence > 0 {
+		merged.Interests.Scale(1 / totalEvidence)
+	}
+	merged.Evidence = totalEvidence
+
+	// Source trust: pool evidence by summing pseudo-counts beyond priors.
+	for _, p := range parts {
+		for src, b := range p.SourceTrust {
+			cur, ok := merged.SourceTrust[src]
+			if !ok {
+				cur = uncertainty.NewBelief()
+			}
+			cur.Alpha += b.Alpha - 1
+			cur.Beta += b.Beta - 1
+			merged.SourceTrust[src] = cur
+		}
+	}
+
+	// Term affinities with conflict detection.
+	type termObs struct {
+		vals    []float64
+		weights []float64
+		srcs    []string
+	}
+	obs := make(map[string]*termObs)
+	for i, p := range parts {
+		w := p.Evidence
+		if w <= 0 {
+			w = 1
+		}
+		for t, a := range p.TermAffinity {
+			o, ok := obs[t]
+			if !ok {
+				o = &termObs{}
+				obs[t] = o
+			}
+			o.vals = append(o.vals, a)
+			o.weights = append(o.weights, w)
+			o.srcs = append(o.srcs, labels[i])
+		}
+	}
+	var conflicts []Conflict
+	terms := make([]string, 0, len(obs))
+	for t := range obs {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	for _, t := range terms {
+		o := obs[t]
+		pos, neg := false, false
+		for _, v := range o.vals {
+			if v > conflictThreshold {
+				pos = true
+			}
+			if v < -conflictThreshold {
+				neg = true
+			}
+		}
+		conflicted := pos && neg
+		if conflicted {
+			conflicts = append(conflicts, Conflict{Term: t, Values: o.vals, Sources: o.srcs})
+		}
+		switch {
+		case conflicted && policy == ConflictDrop:
+			continue
+		case conflicted && policy == ConflictMajority:
+			var posN, negN int
+			var posSum, negSum float64
+			for _, v := range o.vals {
+				if v > 0 {
+					posN++
+					posSum += v
+				} else if v < 0 {
+					negN++
+					negSum += v
+				}
+			}
+			switch {
+			case posN > negN:
+				merged.TermAffinity[t] = posSum / float64(posN)
+			case negN > posN:
+				merged.TermAffinity[t] = negSum / float64(negN)
+			default:
+				// Tie: fall back to evidence weighting.
+				merged.TermAffinity[t] = weightedMean(o.vals, o.weights)
+			}
+		default:
+			merged.TermAffinity[t] = weightedMean(o.vals, o.weights)
+		}
+	}
+
+	// QoS weights and risk: evidence-weighted averages.
+	var wl, wc, wf, wt, wp, ra float64
+	for _, p := range parts {
+		w := p.Evidence
+		if w <= 0 {
+			w = 1
+		}
+		wl += w * p.Weights.Latency
+		wc += w * p.Weights.Completeness
+		wf += w * p.Weights.Freshness
+		wt += w * p.Weights.Trust
+		wp += w * p.Weights.Price
+		ra += w * p.Risk.A
+	}
+	if totalEvidence > 0 {
+		merged.Weights.Latency = wl / totalEvidence
+		merged.Weights.Completeness = wc / totalEvidence
+		merged.Weights.Freshness = wf / totalEvidence
+		merged.Weights.Trust = wt / totalEvidence
+		merged.Weights.Price = wp / totalEvidence
+		merged.Risk.A = ra / totalEvidence
+		merged.Risk.LossAversion = 1
+	}
+	return MergeResult{Profile: merged, Conflicts: conflicts}, nil
+}
+
+func weightedMean(vals, weights []float64) float64 {
+	var s, w float64
+	for i, v := range vals {
+		s += v * weights[i]
+		w += weights[i]
+	}
+	if w == 0 {
+		return 0
+	}
+	return s / w
+}
+
+// AffinityF1 compares a merged profile's term signs against ground truth
+// likes/dislikes — the merge-quality metric for experiment E7.
+func AffinityF1(p *Profile, likes, dislikes map[string]bool) float64 {
+	tp, fp, fn := 0.0, 0.0, 0.0
+	for t, a := range p.TermAffinity {
+		if math.Abs(a) <= conflictThreshold {
+			continue
+		}
+		if a > 0 {
+			if likes[t] {
+				tp++
+			} else {
+				fp++
+			}
+		} else {
+			if dislikes[t] {
+				tp++
+			} else {
+				fp++
+			}
+		}
+	}
+	for t := range likes {
+		if a, ok := p.TermAffinity[t]; !ok || a <= conflictThreshold {
+			fn++
+		}
+	}
+	for t := range dislikes {
+		if a, ok := p.TermAffinity[t]; !ok || a >= -conflictThreshold {
+			fn++
+		}
+	}
+	if tp == 0 {
+		return 0
+	}
+	prec := tp / (tp + fp)
+	rec := tp / (tp + fn)
+	return 2 * prec * rec / (prec + rec)
+}
+
+// isVectorClose reports max-abs difference within eps (test helper exposed
+// for reuse in integration checks).
+func isVectorClose(a, b feature.Vector, eps float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > eps {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,96 @@
+package profile
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/wire"
+)
+
+// Persistence for profile stores. Profiles are written as CRC-framed wire
+// records (one frame per profile), so a store survives process restarts —
+// "storage and indexing of profiles ... are technical problems that require
+// solutions also" (§5).
+
+// SaveTo writes every profile to w, one frame each.
+func (s *Store) SaveTo(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, uid := range s.Users() {
+		p := s.Get(uid)
+		if p == nil {
+			continue
+		}
+		if err := wire.WriteFrame(bw, wire.KindProfilePart, Marshal(p)); err != nil {
+			return fmt.Errorf("profile: saving %s: %w", uid, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadFrom reads frames written by SaveTo into the store (merging over any
+// existing contents by user id).
+func (s *Store) LoadFrom(r io.Reader) error {
+	br := bufio.NewReader(r)
+	for {
+		f, err := wire.ReadFrame(br)
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("profile: loading: %w", err)
+		}
+		if f.Kind != wire.KindProfilePart {
+			return fmt.Errorf("profile: unexpected frame %v", f.Kind)
+		}
+		p, err := Unmarshal(f.Payload)
+		if err != nil {
+			return err
+		}
+		s.Put(p)
+	}
+}
+
+// SaveFile writes the store to path atomically (temp file + rename).
+func (s *Store) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("profile: creating %s: %w", tmp, err)
+	}
+	if err := s.SaveTo(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("profile: syncing: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("profile: installing %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadFile reads a store saved with SaveFile. A missing file is not an
+// error (fresh start).
+func (s *Store) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		return fmt.Errorf("profile: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	return s.LoadFrom(f)
+}

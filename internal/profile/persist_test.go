@@ -1,0 +1,109 @@
+package profile
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/feature"
+	"repro/internal/uncertainty"
+)
+
+func populatedStore() *Store {
+	s := NewStore()
+	for i, uid := range []string{"iris", "jason", "zoe"} {
+		p := New(uid, 8)
+		p.Interests = concept(8, i)
+		p.TermAffinity["gold"] = float64(i) + 0.5
+		p.SourceTrust["museum"] = uncertainty.BetaBelief{Alpha: float64(i + 2), Beta: 1}
+		p.Evidence = float64(10 * (i + 1))
+		s.Put(p)
+	}
+	return s
+}
+
+func TestSaveLoadRoundtrip(t *testing.T) {
+	s := populatedStore()
+	var buf bytes.Buffer
+	if err := s.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewStore()
+	if err := s2.LoadFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s.Users(), s2.Users()) {
+		t.Fatalf("users: %v vs %v", s.Users(), s2.Users())
+	}
+	for _, uid := range s.Users() {
+		a, b := s.Get(uid), s2.Get(uid)
+		if a.Evidence != b.Evidence || !reflect.DeepEqual(a.TermAffinity, b.TermAffinity) {
+			t.Fatalf("%s mismatch", uid)
+		}
+		if feature.Cosine(a.Interests, b.Interests) < 0.999 {
+			t.Fatalf("%s interests mismatch", uid)
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "profiles.agora")
+	s := populatedStore()
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewStore()
+	if err := s2.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 3 {
+		t.Fatalf("loaded %d profiles", s2.Len())
+	}
+	// Missing file is a clean fresh start.
+	s3 := NewStore()
+	if err := s3.LoadFile(filepath.Join(t.TempDir(), "absent")); err != nil {
+		t.Fatal(err)
+	}
+	if s3.Len() != 0 {
+		t.Fatal("phantom profiles")
+	}
+}
+
+func TestLoadCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "profiles.agora")
+	s := populatedStore()
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewStore()
+	if err := s2.LoadFile(path); err == nil {
+		t.Fatal("corrupt file loaded silently")
+	}
+}
+
+func TestSaveFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "profiles.agora")
+	s := populatedStore()
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// No temp residue.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory entries: %d", len(entries))
+	}
+}

@@ -1,0 +1,215 @@
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/feature"
+	"repro/internal/qos"
+	"repro/internal/uncertainty"
+	"repro/internal/wire"
+)
+
+// Store holds profiles with lookup by user and similarity search across
+// users (the substrate socialization builds affinity on). Storage and
+// indexing of profiles is one of the §5 technical problems.
+type Store struct {
+	mu       sync.RWMutex
+	profiles map[string]*Profile
+}
+
+// NewStore returns an empty profile store.
+func NewStore() *Store {
+	return &Store{profiles: make(map[string]*Profile)}
+}
+
+// Put stores a copy of the profile.
+func (s *Store) Put(p *Profile) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.profiles[p.UserID] = p.Clone()
+}
+
+// Get returns a copy of a user's profile, or nil if absent.
+func (s *Store) Get(userID string) *Profile {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if p, ok := s.profiles[userID]; ok {
+		return p.Clone()
+	}
+	return nil
+}
+
+// Len returns the number of stored profiles.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.profiles)
+}
+
+// Users returns all user ids, sorted.
+func (s *Store) Users() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.profiles))
+	for u := range s.profiles {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SimilarUser is a scored profile-similarity hit.
+type SimilarUser struct {
+	UserID string
+	Score  float64
+}
+
+// MostSimilar returns up to k users most similar to p (excluding p's own
+// user id), sorted descending.
+func (s *Store) MostSimilar(p *Profile, k int) []SimilarUser {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]SimilarUser, 0, len(s.profiles))
+	for id, q := range s.profiles {
+		if id == p.UserID {
+			continue
+		}
+		out = append(out, SimilarUser{UserID: id, Score: Similarity(p, q)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].UserID < out[j].UserID
+	})
+	if k >= 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// Marshal serializes a profile with the wire codec.
+func Marshal(p *Profile) []byte {
+	w := wire.NewWriter(256)
+	w.String(p.UserID)
+	w.F64s(p.Interests)
+	// Term affinities, sorted for determinism.
+	terms := make([]string, 0, len(p.TermAffinity))
+	for t := range p.TermAffinity {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	w.Uvarint(uint64(len(terms)))
+	for _, t := range terms {
+		w.String(t)
+		w.F64(p.TermAffinity[t])
+	}
+	// Source trust.
+	srcs := make([]string, 0, len(p.SourceTrust))
+	for s := range p.SourceTrust {
+		srcs = append(srcs, s)
+	}
+	sort.Strings(srcs)
+	w.Uvarint(uint64(len(srcs)))
+	for _, s := range srcs {
+		b := p.SourceTrust[s]
+		w.String(s)
+		w.F64(b.Alpha)
+		w.F64(b.Beta)
+	}
+	w.F64(p.Weights.Latency)
+	w.F64(p.Weights.Completeness)
+	w.F64(p.Weights.Freshness)
+	w.F64(p.Weights.Trust)
+	w.F64(p.Weights.Price)
+	w.F64(p.Risk.A)
+	w.F64(p.Risk.LossAversion)
+	w.String(p.Style.Tactic)
+	w.F64(p.Style.Aggressiveness)
+	w.F64(p.Modality.Query)
+	w.F64(p.Modality.Browse)
+	w.F64(p.Modality.Feed)
+	w.F64(p.Evidence)
+	// Variants.
+	vlabels := make([]string, 0, len(p.Variants))
+	for l := range p.Variants {
+		vlabels = append(vlabels, l)
+	}
+	sort.Strings(vlabels)
+	w.Uvarint(uint64(len(vlabels)))
+	for _, l := range vlabels {
+		v := p.Variants[l]
+		w.String(l)
+		w.String(v.Label)
+		w.F64s(v.Interests)
+		w.Bool(v.Weights != nil)
+		if v.Weights != nil {
+			w.F64(v.Weights.Latency)
+			w.F64(v.Weights.Completeness)
+			w.F64(v.Weights.Freshness)
+			w.F64(v.Weights.Trust)
+			w.F64(v.Weights.Price)
+		}
+	}
+	return w.Bytes()
+}
+
+// Unmarshal decodes a profile serialized by Marshal.
+func Unmarshal(b []byte) (*Profile, error) {
+	r := wire.NewReader(b)
+	p := &Profile{
+		UserID:       r.String(),
+		Interests:    feature.Vector(r.F64s()),
+		TermAffinity: make(map[string]float64),
+		SourceTrust:  make(map[string]uncertainty.BetaBelief),
+		Variants:     make(map[string]*Variant),
+	}
+	nt := r.Uvarint()
+	for i := uint64(0); i < nt && r.Err() == nil; i++ {
+		t := r.String()
+		p.TermAffinity[t] = r.F64()
+	}
+	ns := r.Uvarint()
+	for i := uint64(0); i < ns && r.Err() == nil; i++ {
+		s := r.String()
+		p.SourceTrust[s] = uncertainty.BetaBelief{Alpha: r.F64(), Beta: r.F64()}
+	}
+	p.Weights.Latency = r.F64()
+	p.Weights.Completeness = r.F64()
+	p.Weights.Freshness = r.F64()
+	p.Weights.Trust = r.F64()
+	p.Weights.Price = r.F64()
+	p.Risk.A = r.F64()
+	p.Risk.LossAversion = r.F64()
+	p.Style.Tactic = r.String()
+	p.Style.Aggressiveness = r.F64()
+	p.Modality.Query = r.F64()
+	p.Modality.Browse = r.F64()
+	p.Modality.Feed = r.F64()
+	p.Evidence = r.F64()
+	nv := r.Uvarint()
+	for i := uint64(0); i < nv && r.Err() == nil; i++ {
+		key := r.String()
+		v := &Variant{Label: r.String(), Interests: feature.Vector(r.F64s())}
+		if r.Bool() {
+			w := qos.Weights{
+				Latency:      r.F64(),
+				Completeness: r.F64(),
+				Freshness:    r.F64(),
+				Trust:        r.F64(),
+				Price:        r.F64(),
+			}
+			v.Weights = &w
+		}
+		p.Variants[key] = v
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("profile: decoding: %w", err)
+	}
+	if p.Interests == nil {
+		p.Interests = feature.Vector{}
+	}
+	return p, nil
+}

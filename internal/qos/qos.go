@@ -1,0 +1,272 @@
+// Package qos models quality of service in the Open Agora. The paper's QoS
+// section: query results carry quality indicators beyond response time —
+// completeness, freshness, trustworthiness — and interactions are governed
+// by SLA contracts whose premium reflects the risk of the requested service;
+// breaking a contract obliges the breaker to compensate the other party.
+package qos
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Vector is a point in QoS space. Larger is better for Completeness and
+// Trust; smaller is better for Latency, Freshness (staleness bound), and
+// Price.
+type Vector struct {
+	// Latency is the end-to-end answer delay.
+	Latency time.Duration
+	// Completeness is the fraction of the relevant answer set delivered,
+	// in [0,1].
+	Completeness float64
+	// Freshness is the maximum staleness of delivered items.
+	Freshness time.Duration
+	// Trust is the believed probability the content is correct, in [0,1].
+	Trust float64
+	// Price is what the consumer pays, in agora credits.
+	Price float64
+}
+
+// Weights expresses a user's relative concern for each dimension. Weights
+// are non-negative; Scalarize normalizes internally so only ratios matter.
+type Weights struct {
+	Latency      float64
+	Completeness float64
+	Freshness    float64
+	Trust        float64
+	Price        float64
+}
+
+// DefaultWeights balances all dimensions.
+func DefaultWeights() Weights {
+	return Weights{Latency: 1, Completeness: 1, Freshness: 1, Trust: 1, Price: 1}
+}
+
+// refLatency and refFreshness normalize time dimensions into [0,1] scores:
+// a latency of 0 scores 1, refLatency scores ~0.5, and it decays beyond.
+const (
+	refLatency   = 2 * time.Second
+	refFreshness = time.Hour
+	refPrice     = 10.0
+)
+
+// score01 maps "smaller is better" x against a reference to (0,1].
+func score01(x, ref float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return ref / (ref + x)
+}
+
+// Scalarize folds a QoS vector into a single utility in [0,1] under the
+// weights. It is the weighted-sum baseline the multi-objective optimizer is
+// compared against, and the negotiation utility for single-number tactics.
+func (w Weights) Scalarize(v Vector) float64 {
+	total := w.Latency + w.Completeness + w.Freshness + w.Trust + w.Price
+	if total <= 0 {
+		return 0
+	}
+	s := w.Latency*score01(float64(v.Latency), float64(refLatency)) +
+		w.Completeness*clamp01(v.Completeness) +
+		w.Freshness*score01(float64(v.Freshness), float64(refFreshness)) +
+		w.Trust*clamp01(v.Trust) +
+		w.Price*score01(v.Price, refPrice)
+	return s / total
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// Dominates reports whether v is at least as good as o on every dimension
+// and strictly better on at least one (Pareto dominance).
+func (v Vector) Dominates(o Vector) bool {
+	geq := v.Latency <= o.Latency &&
+		v.Completeness >= o.Completeness &&
+		v.Freshness <= o.Freshness &&
+		v.Trust >= o.Trust &&
+		v.Price <= o.Price
+	if !geq {
+		return false
+	}
+	return v.Latency < o.Latency || v.Completeness > o.Completeness ||
+		v.Freshness < o.Freshness || v.Trust > o.Trust || v.Price < o.Price
+}
+
+// ParetoFront filters vectors to the non-dominated subset, preserving input
+// order among survivors.
+func ParetoFront(vs []Vector) []Vector {
+	var out []Vector
+	for i, v := range vs {
+		dominated := false
+		for j, o := range vs {
+			if i == j {
+				continue
+			}
+			if o.Dominates(v) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// ContractStatus tracks the SLA lifecycle.
+type ContractStatus int
+
+// Contract lifecycle states.
+const (
+	StatusProposed ContractStatus = iota
+	StatusSigned
+	StatusFulfilled
+	StatusBreached
+	StatusCancelled
+)
+
+func (s ContractStatus) String() string {
+	switch s {
+	case StatusProposed:
+		return "proposed"
+	case StatusSigned:
+		return "signed"
+	case StatusFulfilled:
+		return "fulfilled"
+	case StatusBreached:
+		return "breached"
+	case StatusCancelled:
+		return "cancelled"
+	default:
+		return "status(?)"
+	}
+}
+
+// Contract is an SLA between a consumer and a provider covering one query
+// (or subquery). Premium scales the base price for the promised QoS level;
+// PenaltyRate sets compensation per unit of shortfall on breach — the
+// "QoS premium paid according to the risk/uncertainty of the requested
+// service" from the paper.
+type Contract struct {
+	ID          string
+	QueryID     string
+	Consumer    string
+	Provider    string
+	Promised    Vector
+	Premium     float64 // multiplier >= 1 applied to Promised.Price
+	PenaltyRate float64 // fraction of paid price refunded per unit shortfall
+	Status      ContractStatus
+	SignedAt    time.Duration // virtual time
+	Deadline    time.Duration
+}
+
+// Contract errors.
+var (
+	ErrNotSigned     = errors.New("qos: contract not signed")
+	ErrAlreadyClosed = errors.New("qos: contract already settled")
+)
+
+// PaidPrice returns what the consumer pays upfront: base price times
+// premium.
+func (c *Contract) PaidPrice() float64 {
+	p := c.Premium
+	if p < 1 {
+		p = 1
+	}
+	return c.Promised.Price * p
+}
+
+// Outcome is the settlement of a contract against the actually delivered
+// QoS.
+type Outcome struct {
+	ContractID   string
+	Delivered    Vector
+	Fulfilled    bool
+	Shortfall    float64 // aggregate violation severity in [0,1+]
+	Compensation float64 // credits returned to the consumer
+	NetPaid      float64 // what the consumer ultimately paid
+}
+
+// Settle evaluates delivered QoS against the contract, transitioning it to
+// Fulfilled or Breached and computing compensation. Latency, completeness,
+// freshness and trust are each checked against the promise; shortfalls
+// accumulate proportionally.
+func (c *Contract) Settle(delivered Vector) (Outcome, error) {
+	switch c.Status {
+	case StatusSigned:
+	case StatusProposed:
+		return Outcome{}, ErrNotSigned
+	default:
+		return Outcome{}, fmt.Errorf("%w: %s", ErrAlreadyClosed, c.Status)
+	}
+	var shortfall float64
+	if c.Promised.Latency > 0 && delivered.Latency > c.Promised.Latency {
+		over := float64(delivered.Latency-c.Promised.Latency) / float64(c.Promised.Latency)
+		shortfall += math.Min(over, 1)
+	}
+	if delivered.Completeness < c.Promised.Completeness {
+		shortfall += c.Promised.Completeness - delivered.Completeness
+	}
+	if c.Promised.Freshness > 0 && delivered.Freshness > c.Promised.Freshness {
+		over := float64(delivered.Freshness-c.Promised.Freshness) / float64(c.Promised.Freshness)
+		shortfall += math.Min(over, 1)
+	}
+	if delivered.Trust < c.Promised.Trust {
+		shortfall += c.Promised.Trust - delivered.Trust
+	}
+	paid := c.PaidPrice()
+	out := Outcome{
+		ContractID: c.ID,
+		Delivered:  delivered,
+		Shortfall:  shortfall,
+	}
+	if shortfall <= 1e-9 {
+		c.Status = StatusFulfilled
+		out.Fulfilled = true
+		out.NetPaid = paid
+		return out, nil
+	}
+	c.Status = StatusBreached
+	comp := c.PenaltyRate * paid * shortfall
+	if comp > paid {
+		comp = paid
+	}
+	out.Compensation = comp
+	out.NetPaid = paid - comp
+	return out, nil
+}
+
+// Sign transitions a proposed contract to signed at the given virtual time.
+func (c *Contract) Sign(at time.Duration) error {
+	if c.Status != StatusProposed {
+		return fmt.Errorf("%w: %s", ErrAlreadyClosed, c.Status)
+	}
+	c.Status = StatusSigned
+	c.SignedAt = at
+	return nil
+}
+
+// Cancel unilaterally withdraws a contract before settlement; per the paper
+// the canceller compensates the other party. It returns the cancellation fee
+// (penalty rate against the paid price).
+func (c *Contract) Cancel() (fee float64, err error) {
+	if c.Status != StatusSigned && c.Status != StatusProposed {
+		return 0, fmt.Errorf("%w: %s", ErrAlreadyClosed, c.Status)
+	}
+	signed := c.Status == StatusSigned
+	c.Status = StatusCancelled
+	if !signed {
+		return 0, nil
+	}
+	return c.PenaltyRate * c.PaidPrice(), nil
+}

@@ -1,0 +1,286 @@
+package qos
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScalarizeMonotone(t *testing.T) {
+	w := DefaultWeights()
+	base := Vector{Latency: time.Second, Completeness: 0.8, Freshness: time.Hour, Trust: 0.8, Price: 5}
+	better := base
+	better.Completeness = 0.95
+	if w.Scalarize(better) <= w.Scalarize(base) {
+		t.Fatal("higher completeness should raise utility")
+	}
+	worse := base
+	worse.Latency = 10 * time.Second
+	if w.Scalarize(worse) >= w.Scalarize(base) {
+		t.Fatal("higher latency should lower utility")
+	}
+	cheaper := base
+	cheaper.Price = 1
+	if w.Scalarize(cheaper) <= w.Scalarize(base) {
+		t.Fatal("lower price should raise utility")
+	}
+}
+
+func TestScalarizeBounds(t *testing.T) {
+	f := func(lat, fresh uint32, comp, trust, price float64) bool {
+		v := Vector{
+			Latency:      time.Duration(lat),
+			Completeness: math.Mod(math.Abs(comp), 2) - 0.5, // may stray out of [0,1]
+			Freshness:    time.Duration(fresh),
+			Trust:        math.Mod(math.Abs(trust), 2) - 0.5,
+			Price:        math.Abs(price),
+		}
+		s := DefaultWeights().Scalarize(v)
+		return s >= 0 && s <= 1 && !math.IsNaN(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScalarizeZeroWeights(t *testing.T) {
+	if got := (Weights{}).Scalarize(Vector{Completeness: 1}); got != 0 {
+		t.Fatalf("zero weights = %v", got)
+	}
+}
+
+func TestWeightsEmphasis(t *testing.T) {
+	fast := Vector{Latency: 100 * time.Millisecond, Completeness: 0.5, Trust: 0.5, Price: 5}
+	complete := Vector{Latency: 5 * time.Second, Completeness: 0.99, Trust: 0.5, Price: 5}
+	speedFirst := Weights{Latency: 10, Completeness: 1, Price: 1, Trust: 1, Freshness: 1}
+	completeFirst := Weights{Latency: 1, Completeness: 10, Price: 1, Trust: 1, Freshness: 1}
+	if speedFirst.Scalarize(fast) <= speedFirst.Scalarize(complete) {
+		t.Fatal("speed-first user should prefer the fast answer")
+	}
+	if completeFirst.Scalarize(complete) <= completeFirst.Scalarize(fast) {
+		t.Fatal("completeness-first user should prefer the complete answer")
+	}
+}
+
+func TestDominates(t *testing.T) {
+	a := Vector{Latency: time.Second, Completeness: 0.9, Freshness: time.Hour, Trust: 0.9, Price: 5}
+	b := a
+	b.Price = 6
+	if !a.Dominates(b) {
+		t.Fatal("a should dominate b (cheaper, equal elsewhere)")
+	}
+	if b.Dominates(a) {
+		t.Fatal("b cannot dominate a")
+	}
+	if a.Dominates(a) {
+		t.Fatal("no strict improvement -> no dominance")
+	}
+	c := a
+	c.Latency = 500 * time.Millisecond
+	c.Completeness = 0.5
+	if a.Dominates(c) || c.Dominates(a) {
+		t.Fatal("trade-off pair should be incomparable")
+	}
+}
+
+func TestParetoFront(t *testing.T) {
+	vs := []Vector{
+		{Latency: 1 * time.Second, Completeness: 0.9, Price: 5},
+		{Latency: 2 * time.Second, Completeness: 0.9, Price: 5},  // dominated
+		{Latency: 3 * time.Second, Completeness: 0.99, Price: 5}, // tradeoff
+		{Latency: 1 * time.Second, Completeness: 0.9, Price: 9},  // dominated
+	}
+	front := ParetoFront(vs)
+	if len(front) != 2 {
+		t.Fatalf("front size = %d: %v", len(front), front)
+	}
+}
+
+func TestContractLifecycleFulfilled(t *testing.T) {
+	c := &Contract{
+		ID: "c1", Promised: Vector{Latency: time.Second, Completeness: 0.8, Trust: 0.7, Price: 4},
+		Premium: 1.5, PenaltyRate: 0.5,
+	}
+	if _, err := c.Settle(Vector{}); !errors.Is(err, ErrNotSigned) {
+		t.Fatalf("settle unsigned: %v", err)
+	}
+	if err := c.Sign(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Sign(10 * time.Second); err == nil {
+		t.Fatal("double sign should fail")
+	}
+	out, err := c.Settle(Vector{Latency: 500 * time.Millisecond, Completeness: 0.9, Trust: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Fulfilled || out.Compensation != 0 {
+		t.Fatalf("outcome = %+v", out)
+	}
+	if math.Abs(out.NetPaid-6) > 1e-9 { // 4 * 1.5
+		t.Fatalf("net paid = %v", out.NetPaid)
+	}
+	if c.Status != StatusFulfilled {
+		t.Fatalf("status = %v", c.Status)
+	}
+	if _, err := c.Settle(Vector{}); !errors.Is(err, ErrAlreadyClosed) {
+		t.Fatal("double settle should fail")
+	}
+}
+
+func TestContractBreachCompensation(t *testing.T) {
+	c := &Contract{
+		ID: "c1", Promised: Vector{Latency: time.Second, Completeness: 0.9, Price: 10},
+		Premium: 2, PenaltyRate: 0.5,
+	}
+	if err := c.Sign(0); err != nil {
+		t.Fatal(err)
+	}
+	// Delivered: double the latency (shortfall 1 capped) and completeness
+	// short by 0.4 -> shortfall 1.4.
+	out, err := c.Settle(Vector{Latency: 3 * time.Second, Completeness: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Fulfilled {
+		t.Fatal("should breach")
+	}
+	if c.Status != StatusBreached {
+		t.Fatalf("status = %v", c.Status)
+	}
+	wantShortfall := 1.0 + 0.4
+	if math.Abs(out.Shortfall-wantShortfall) > 1e-9 {
+		t.Fatalf("shortfall = %v, want %v", out.Shortfall, wantShortfall)
+	}
+	paid := 20.0
+	wantComp := 0.5 * paid * wantShortfall
+	if wantComp > paid {
+		wantComp = paid
+	}
+	if math.Abs(out.Compensation-wantComp) > 1e-9 {
+		t.Fatalf("compensation = %v, want %v", out.Compensation, wantComp)
+	}
+	if math.Abs(out.NetPaid-(paid-wantComp)) > 1e-9 {
+		t.Fatalf("net = %v", out.NetPaid)
+	}
+}
+
+func TestCompensationCappedAtPaid(t *testing.T) {
+	c := &Contract{Promised: Vector{Completeness: 1, Price: 10}, Premium: 1, PenaltyRate: 5}
+	_ = c.Sign(0)
+	out, err := c.Settle(Vector{Completeness: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Compensation > c.PaidPrice() {
+		t.Fatalf("compensation %v exceeds paid %v", out.Compensation, c.PaidPrice())
+	}
+	if out.NetPaid < 0 {
+		t.Fatalf("net paid negative: %v", out.NetPaid)
+	}
+}
+
+func TestContractCancel(t *testing.T) {
+	c := &Contract{Promised: Vector{Price: 10}, Premium: 1, PenaltyRate: 0.3}
+	// Cancel before signing: free.
+	fee, err := c.Cancel()
+	if err != nil || fee != 0 {
+		t.Fatalf("fee = %v err = %v", fee, err)
+	}
+	c2 := &Contract{Promised: Vector{Price: 10}, Premium: 1, PenaltyRate: 0.3}
+	_ = c2.Sign(0)
+	fee, err = c2.Cancel()
+	if err != nil || math.Abs(fee-3) > 1e-9 {
+		t.Fatalf("signed cancel fee = %v err = %v", fee, err)
+	}
+	if _, err := c2.Cancel(); err == nil {
+		t.Fatal("double cancel should fail")
+	}
+}
+
+func TestPremiumFloor(t *testing.T) {
+	c := &Contract{Promised: Vector{Price: 10}, Premium: 0.5}
+	if c.PaidPrice() != 10 {
+		t.Fatalf("premium below 1 must not discount: %v", c.PaidPrice())
+	}
+}
+
+func TestReputationLedger(t *testing.T) {
+	l := NewReputationLedger(1, 10)
+	if tr := l.Trust("unknown"); tr != 0.5 {
+		t.Fatalf("unknown trust = %v", tr)
+	}
+	for i := 0; i < 20; i++ {
+		l.RecordOutcome("good", Outcome{Fulfilled: true})
+		l.RecordOutcome("bad", Outcome{Fulfilled: false, Shortfall: 1})
+	}
+	if l.Trust("good") < 0.8 {
+		t.Fatalf("good trust = %v", l.Trust("good"))
+	}
+	if l.Trust("bad") > 0.2 {
+		t.Fatalf("bad trust = %v", l.Trust("bad"))
+	}
+	ranked := l.Ranked()
+	if len(ranked) != 2 || ranked[0] != "good" {
+		t.Fatalf("ranked = %v", ranked)
+	}
+	if !l.Blacklisted("bad", 0.3, 5) {
+		t.Fatal("bad should be blacklisted")
+	}
+	if l.Blacklisted("good", 0.3, 5) {
+		t.Fatal("good should not be blacklisted")
+	}
+	if l.Blacklisted("unknown", 0.9, 1) {
+		t.Fatal("unknown cannot be blacklisted")
+	}
+}
+
+func TestReputationGradedBreach(t *testing.T) {
+	l := NewReputationLedger(1, 10)
+	for i := 0; i < 30; i++ {
+		l.RecordOutcome("meh", Outcome{Fulfilled: false, Shortfall: 0.2})
+	}
+	tr := l.Trust("meh")
+	// Mild breaches count at most half a success: trust lands mid-low,
+	// clearly below a fulfilled record but above a total shirker.
+	if tr < 0.25 || tr > 0.55 {
+		t.Fatalf("mild breaches should land mid-low trust, got %v", tr)
+	}
+}
+
+func TestReputationHistoryBounded(t *testing.T) {
+	l := NewReputationLedger(1, 5)
+	for i := 0; i < 20; i++ {
+		l.RecordOutcome("p", Outcome{Fulfilled: true})
+	}
+	if h := l.History("p"); len(h) != 5 {
+		t.Fatalf("history len = %d", len(h))
+	}
+}
+
+func TestReputationDecayForgets(t *testing.T) {
+	fast := NewReputationLedger(0.5, 10)
+	slow := NewReputationLedger(0.999, 10)
+	for i := 0; i < 50; i++ {
+		fast.RecordOutcome("p", Outcome{Fulfilled: true})
+		slow.RecordOutcome("p", Outcome{Fulfilled: true})
+	}
+	// After a run of failures, the fast-decay ledger should forgive/forget
+	// the old good record faster — i.e. reflect recent behaviour more.
+	for i := 0; i < 10; i++ {
+		fast.RecordOutcome("p", Outcome{Fulfilled: false, Shortfall: 1})
+		slow.RecordOutcome("p", Outcome{Fulfilled: false, Shortfall: 1})
+	}
+	if fast.Trust("p") >= slow.Trust("p") {
+		t.Fatalf("fast decay %v should track recent failures below slow %v",
+			fast.Trust("p"), slow.Trust("p"))
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if StatusSigned.String() != "signed" || StatusBreached.String() != "breached" {
+		t.Fatal("status names")
+	}
+}

@@ -1,0 +1,129 @@
+package qos
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/uncertainty"
+)
+
+// ReputationLedger accumulates contract outcomes into per-provider quality
+// beliefs. This implements the paper's greengrocer: "if the vegetables are
+// not as fresh as promised, in time, her trust is reduced and she shops for
+// vegetables elsewhere."
+type ReputationLedger struct {
+	mu      sync.RWMutex
+	beliefs map[string]uncertainty.BetaBelief
+	decay   float64 // applied per observation window
+	history map[string][]Outcome
+	keepN   int
+}
+
+// NewReputationLedger returns a ledger. decay in (0,1] discounts old
+// evidence each time RecordOutcome is called for a provider; keepN bounds
+// per-provider history retained for inspection.
+func NewReputationLedger(decay float64, keepN int) *ReputationLedger {
+	if decay <= 0 || decay > 1 {
+		decay = 0.99
+	}
+	if keepN <= 0 {
+		keepN = 32
+	}
+	return &ReputationLedger{
+		beliefs: make(map[string]uncertainty.BetaBelief),
+		decay:   decay,
+		history: make(map[string][]Outcome),
+		keepN:   keepN,
+	}
+}
+
+// RecordOutcome folds a settled contract into the provider's belief.
+// Fulfilled counts as success; a breach counts as graded failure weighted by
+// shortfall.
+func (l *ReputationLedger) RecordOutcome(provider string, out Outcome) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.beliefs[provider]
+	if !ok {
+		b = uncertainty.NewBelief()
+	}
+	b = b.Decay(l.decay)
+	if out.Fulfilled {
+		b = b.Observe(true)
+	} else {
+		// A broken promise costs reputation beyond its magnitude: even a
+		// mild breach counts at most half a success, so habitual small
+		// shirkers cannot maintain high trust by under-promising.
+		sf := out.Shortfall
+		if sf > 1 {
+			sf = 1
+		}
+		b = b.ObserveWeighted((1 - sf) * 0.5)
+	}
+	l.beliefs[provider] = b
+	h := append(l.history[provider], out)
+	if len(h) > l.keepN {
+		h = h[len(h)-l.keepN:]
+	}
+	l.history[provider] = h
+}
+
+// Trust returns the posterior mean quality of a provider (0.5 when
+// unknown — the uninformative prior).
+func (l *ReputationLedger) Trust(provider string) float64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	b, ok := l.beliefs[provider]
+	if !ok {
+		return 0.5
+	}
+	return b.Mean()
+}
+
+// Belief returns the full posterior for a provider.
+func (l *ReputationLedger) Belief(provider string) uncertainty.BetaBelief {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if b, ok := l.beliefs[provider]; ok {
+		return b
+	}
+	return uncertainty.NewBelief()
+}
+
+// History returns retained outcomes for a provider (copy).
+func (l *ReputationLedger) History(provider string) []Outcome {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return append([]Outcome(nil), l.history[provider]...)
+}
+
+// Ranked returns providers sorted by trust descending (ties by name), among
+// those ever observed.
+func (l *ReputationLedger) Ranked() []string {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make([]string, 0, len(l.beliefs))
+	for p := range l.beliefs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ti, tj := l.beliefs[out[i]].Mean(), l.beliefs[out[j]].Mean()
+		if ti != tj {
+			return ti > tj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// Blacklisted reports whether a provider's trust has fallen below the
+// threshold with enough evidence to be confident (strength >= minObs).
+func (l *ReputationLedger) Blacklisted(provider string, threshold float64, minObs float64) bool {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	b, ok := l.beliefs[provider]
+	if !ok {
+		return false
+	}
+	return b.Strength() >= minObs && b.Mean() < threshold
+}

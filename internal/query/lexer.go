@@ -1,0 +1,126 @@
+// Package query implements AQL, the small query language agora consumers
+// speak, along with query decomposition into per-source subqueries and
+// top-k result merging. An AQL query looks like:
+//
+//	FIND catalogs
+//	WHERE text ~ "byzantine gold ring"
+//	  AND topic = "jewelry"
+//	  AND similar > 0.7
+//	  AND fresh < 7d
+//	TOP 10
+//	QOS completeness >= 0.8, latency <= 2s, price <= 5
+//
+// The similar predicate applies to the concept vector attached to the query
+// at execution time (e.g. extracted from an image Iris is holding).
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokString
+	tokNumber
+	tokDuration
+	tokOp // ~ = < > <= >= ,
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// SyntaxError reports a lexing or parsing failure with position context.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("query: syntax error at %d: %s", e.Pos, e.Msg)
+}
+
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '"':
+			j := i + 1
+			var sb strings.Builder
+			for j < n && input[j] != '"' {
+				if input[j] == '\\' && j+1 < n {
+					j++
+				}
+				sb.WriteByte(input[j])
+				j++
+			}
+			if j >= n {
+				return nil, &SyntaxError{Pos: i, Msg: "unterminated string"}
+			}
+			toks = append(toks, token{tokString, sb.String(), i})
+			i = j + 1
+		case c == ',' || c == '~' || c == '=':
+			toks = append(toks, token{tokOp, string(c), i})
+			i++
+		case c == '<' || c == '>':
+			op := string(c)
+			if i+1 < n && input[i+1] == '=' {
+				op += "="
+				i++
+			}
+			toks = append(toks, token{tokOp, op, i})
+			i++
+		case c >= '0' && c <= '9' || c == '.':
+			j := i
+			for j < n && (input[j] >= '0' && input[j] <= '9' || input[j] == '.') {
+				j++
+			}
+			num := input[i:j]
+			// Duration suffix?
+			k := j
+			for k < n && isLetterByte(input[k]) {
+				k++
+			}
+			if k > j {
+				suffix := strings.ToLower(input[j:k])
+				switch suffix {
+				case "ms", "s", "m", "h", "d", "w":
+					toks = append(toks, token{tokDuration, num + suffix, i})
+					i = k
+					continue
+				default:
+					return nil, &SyntaxError{Pos: j, Msg: fmt.Sprintf("unknown duration unit %q", suffix)}
+				}
+			}
+			toks = append(toks, token{tokNumber, num, i})
+			i = j
+		case isLetterByte(c):
+			j := i
+			for j < n && (isLetterByte(input[j]) || input[j] >= '0' && input[j] <= '9' || input[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{tokIdent, strings.ToLower(input[i:j]), i})
+			i = j
+		default:
+			return nil, &SyntaxError{Pos: i, Msg: fmt.Sprintf("unexpected character %q", rune(c))}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", n})
+	return toks, nil
+}
+
+func isLetterByte(b byte) bool {
+	return unicode.IsLetter(rune(b))
+}

@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Distributions used across the agora simulations. Every sampler takes an
+// explicit *rand.Rand so that callers control which kernel stream feeds it.
+
+// Exp samples an exponential duration with the given mean.
+func Exp(r *rand.Rand, mean time.Duration) time.Duration {
+	if mean <= 0 {
+		return 0
+	}
+	return time.Duration(r.ExpFloat64() * float64(mean))
+}
+
+// Pareto samples a Pareto-distributed duration with minimum xm and shape
+// alpha. Heavy-tailed latencies (alpha near 2) model wide-area links.
+func Pareto(r *rand.Rand, xm time.Duration, alpha float64) time.Duration {
+	if xm <= 0 || alpha <= 0 {
+		return xm
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return time.Duration(float64(xm) / math.Pow(u, 1/alpha))
+}
+
+// LogNormal samples exp(N(mu, sigma)) scaled into a duration where mu/sigma
+// are in log-nanoseconds space of the supplied median.
+func LogNormal(r *rand.Rand, median time.Duration, sigma float64) time.Duration {
+	if median <= 0 {
+		return 0
+	}
+	return time.Duration(float64(median) * math.Exp(r.NormFloat64()*sigma))
+}
+
+// Zipf draws ranks in [0, n) with exponent s >= 1 skew via the stdlib
+// generator. A fresh generator per (r, s, n) would churn allocations, so
+// callers that sample in a loop should construct a ZipfSource.
+type ZipfSource struct {
+	z *rand.Zipf
+	n int
+}
+
+// NewZipfSource returns a Zipf rank sampler over [0, n). The skew parameter
+// s must be > 1 per math/rand; s around 1.1 gives the classic web-like skew.
+func NewZipfSource(r *rand.Rand, s float64, n int) *ZipfSource {
+	if n <= 0 {
+		n = 1
+	}
+	if s <= 1 {
+		s = 1.0001
+	}
+	return &ZipfSource{z: rand.NewZipf(r, s, 1, uint64(n-1)), n: n}
+}
+
+// Next returns the next rank in [0, n).
+func (zs *ZipfSource) Next() int { return int(zs.z.Uint64()) }
+
+// N returns the size of the rank space.
+func (zs *ZipfSource) N() int { return zs.n }
+
+// Bernoulli reports true with probability p.
+func Bernoulli(r *rand.Rand, p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Beta samples from a Beta(a, b) distribution using Jöhnk/gamma method.
+// Source quality beliefs in the uncertainty package are Beta-distributed,
+// and workload generation draws hidden source qualities from here.
+func Beta(r *rand.Rand, a, b float64) float64 {
+	x := Gamma(r, a)
+	y := Gamma(r, b)
+	if x+y == 0 {
+		return 0.5
+	}
+	return x / (x + y)
+}
+
+// Gamma samples from a Gamma(shape, 1) distribution using the
+// Marsaglia–Tsang method.
+func Gamma(r *rand.Rand, shape float64) float64 {
+	if shape <= 0 {
+		return 0
+	}
+	if shape < 1 {
+		// Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+		u := r.Float64()
+		for u == 0 {
+			u = r.Float64()
+		}
+		return Gamma(r, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1.0 / math.Sqrt(9*d)
+	for {
+		x := r.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// Percentile returns the p-quantile (0..1) of samples using linear
+// interpolation. It sorts a copy; callers on hot paths should pre-sort and
+// use PercentileSorted.
+func Percentile(samples []time.Duration, p float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	cp := make([]time.Duration, len(samples))
+	copy(cp, samples)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	return PercentileSorted(cp, p)
+}
+
+// PercentileSorted is Percentile over already-sorted samples.
+func PercentileSorted(sorted []time.Duration, p float64) time.Duration {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[n-1]
+	}
+	pos := p * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo] + time.Duration(frac*float64(sorted[hi]-sorted[lo]))
+}

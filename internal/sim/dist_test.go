@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestExpMean(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	var sum time.Duration
+	n := 20000
+	for i := 0; i < n; i++ {
+		sum += Exp(r, 100*time.Millisecond)
+	}
+	mean := float64(sum) / float64(n)
+	want := float64(100 * time.Millisecond)
+	if math.Abs(mean-want)/want > 0.05 {
+		t.Fatalf("exp mean %.0f, want ~%.0f", mean, want)
+	}
+}
+
+func TestParetoMinimum(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		d := Pareto(r, 10*time.Millisecond, 2.0)
+		if d < 10*time.Millisecond {
+			t.Fatalf("pareto sample %v below minimum", d)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	zs := NewZipfSource(r, 1.2, 100)
+	counts := make([]int, 100)
+	for i := 0; i < 50000; i++ {
+		counts[zs.Next()]++
+	}
+	if counts[0] <= counts[50]*2 {
+		t.Fatalf("zipf not skewed: rank0=%d rank50=%d", counts[0], counts[50])
+	}
+}
+
+func TestBetaRange(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func(a, b uint8) bool {
+		av := float64(a%50)/10 + 0.1
+		bv := float64(b%50)/10 + 0.1
+		x := Beta(r, av, bv)
+		return x >= 0 && x <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBetaMean(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	a, b := 8.0, 2.0
+	var sum float64
+	n := 20000
+	for i := 0; i < n; i++ {
+		sum += Beta(r, a, b)
+	}
+	mean := sum / float64(n)
+	want := a / (a + b)
+	if math.Abs(mean-want) > 0.01 {
+		t.Fatalf("beta mean %.3f, want %.3f", mean, want)
+	}
+}
+
+func TestGammaMean(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for _, shape := range []float64{0.5, 1, 2, 5} {
+		var sum float64
+		n := 20000
+		for i := 0; i < n; i++ {
+			sum += Gamma(r, shape)
+		}
+		mean := sum / float64(n)
+		if math.Abs(mean-shape)/shape > 0.06 {
+			t.Fatalf("gamma(%v) mean %.3f, want %.3f", shape, mean, shape)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	var s []time.Duration
+	for i := 1; i <= 100; i++ {
+		s = append(s, time.Duration(i)*time.Millisecond)
+	}
+	if p := Percentile(s, 0.5); p < 50*time.Millisecond || p > 51*time.Millisecond {
+		t.Fatalf("p50 = %v", p)
+	}
+	if p := Percentile(s, 0.99); p < 99*time.Millisecond {
+		t.Fatalf("p99 = %v", p)
+	}
+	if p := Percentile(s, 0); p != time.Millisecond {
+		t.Fatalf("p0 = %v", p)
+	}
+	if p := Percentile(s, 1); p != 100*time.Millisecond {
+		t.Fatalf("p100 = %v", p)
+	}
+	if p := Percentile(nil, 0.5); p != 0 {
+		t.Fatalf("empty percentile = %v", p)
+	}
+}
+
+func TestPercentileSortedProperty(t *testing.T) {
+	f := func(raw []int16, pRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s := make([]time.Duration, len(raw))
+		for i, v := range raw {
+			s[i] = time.Duration(int(v)+40000) * time.Microsecond
+		}
+		p := float64(pRaw) / 255
+		got := Percentile(s, p)
+		// The percentile must lie within [min, max].
+		min, max := s[0], s[0]
+		for _, v := range s {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		return got >= min && got <= max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

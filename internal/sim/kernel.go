@@ -1,0 +1,257 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The Open Agora of the paper is a distributed environment of independent
+// information systems. To evaluate its protocols reproducibly we run them on
+// a simulated network: virtual time, a single event loop, and seeded random
+// streams. The kernel is deliberately single-threaded — determinism is the
+// point — and all concurrency in the simulated world is expressed as events.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is virtual simulation time. It uses time.Duration since the start of
+// the simulation so that latency arithmetic reads naturally.
+type Time = time.Duration
+
+// Event is a scheduled callback in virtual time.
+type event struct {
+	at   Time
+	seq  uint64 // tie-breaker: FIFO among simultaneous events
+	fn   func()
+	dead bool
+	idx  int
+}
+
+// Handle identifies a scheduled event and allows cancellation.
+type Handle struct {
+	ev *event
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op. It reports whether the event was
+// still pending.
+func (h Handle) Cancel() bool {
+	if h.ev == nil || h.ev.dead {
+		return false
+	}
+	h.ev.dead = true
+	return true
+}
+
+// Pending reports whether the event has not yet fired or been cancelled.
+func (h Handle) Pending() bool { return h.ev != nil && !h.ev.dead }
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// Kernel is a discrete-event simulator. The zero value is not usable; use
+// NewKernel.
+type Kernel struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	rng     *rand.Rand
+	seed    int64
+	stopped bool
+	fired   uint64
+	streams map[string]*rand.Rand
+}
+
+// NewKernel returns a kernel whose randomness derives entirely from seed.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{
+		rng:     rand.New(rand.NewSource(seed)),
+		seed:    seed,
+		streams: make(map[string]*rand.Rand),
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Seed returns the seed the kernel was created with.
+func (k *Kernel) Seed() int64 { return k.seed }
+
+// Fired returns the number of events executed so far.
+func (k *Kernel) Fired() uint64 { return k.fired }
+
+// Pending returns the number of events still scheduled (including cancelled
+// events not yet reaped).
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// Rand returns the kernel's root random stream.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Stream returns a named random stream derived deterministically from the
+// kernel seed and the name. Separate subsystems should use separate streams
+// so that adding randomness in one does not perturb another.
+func (k *Kernel) Stream(name string) *rand.Rand {
+	if r, ok := k.streams[name]; ok {
+		return r
+	}
+	var h uint64 = 1469598103934665603 // FNV-1a offset basis
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	r := rand.New(rand.NewSource(k.seed ^ int64(h)))
+	k.streams[name] = r
+	return r
+}
+
+// ErrStopped is returned by Run variants when Stop was called.
+var ErrStopped = errors.New("sim: kernel stopped")
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it is always a logic error in a discrete-event model.
+func (k *Kernel) At(t Time, fn func()) Handle {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, k.now))
+	}
+	ev := &event{at: t, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.queue, ev)
+	return Handle{ev: ev}
+}
+
+// After schedules fn to run d after the current virtual time. Negative d is
+// clamped to zero.
+func (k *Kernel) After(d time.Duration, fn func()) Handle {
+	if d < 0 {
+		d = 0
+	}
+	return k.At(k.now+d, fn)
+}
+
+// Every schedules fn to run now+d and then every d thereafter until the
+// returned handle is cancelled. fn observes the tick's scheduled time via
+// Now.
+func (k *Kernel) Every(d time.Duration, fn func()) *Ticker {
+	if d <= 0 {
+		panic("sim: Every requires positive period")
+	}
+	t := &Ticker{k: k, period: d, fn: fn}
+	t.h = k.After(d, t.tick)
+	return t
+}
+
+// Ticker is a recurring event created by Every.
+type Ticker struct {
+	k       *Kernel
+	period  time.Duration
+	fn      func()
+	h       Handle
+	stopped bool
+}
+
+func (t *Ticker) tick() {
+	if t.stopped {
+		return
+	}
+	t.fn()
+	if !t.stopped {
+		t.h = t.k.After(t.period, t.tick)
+	}
+}
+
+// Stop cancels the ticker.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	t.h.Cancel()
+}
+
+// Stop halts Run after the current event completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// step executes the next pending event, returning false when none remain.
+func (k *Kernel) step() bool {
+	for len(k.queue) > 0 {
+		ev := heap.Pop(&k.queue).(*event)
+		if ev.dead {
+			continue
+		}
+		if ev.at < k.now {
+			panic("sim: time went backwards")
+		}
+		k.now = ev.at
+		ev.dead = true
+		k.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Stop is called. It returns
+// ErrStopped in the latter case.
+func (k *Kernel) Run() error {
+	k.stopped = false
+	for !k.stopped {
+		if !k.step() {
+			return nil
+		}
+	}
+	return ErrStopped
+}
+
+// RunUntil executes events with scheduled time <= deadline. Events beyond
+// the deadline remain queued; virtual time advances to deadline if the queue
+// drains earlier. Returns ErrStopped if Stop was called.
+func (k *Kernel) RunUntil(deadline Time) error {
+	k.stopped = false
+	for !k.stopped {
+		if len(k.queue) == 0 {
+			break
+		}
+		next := k.queue[0]
+		if next.dead {
+			heap.Pop(&k.queue)
+			continue
+		}
+		if next.at > deadline {
+			break
+		}
+		k.step()
+	}
+	if k.stopped {
+		return ErrStopped
+	}
+	if k.now < deadline {
+		k.now = deadline
+	}
+	return nil
+}
+
+// RunFor advances the simulation by d of virtual time.
+func (k *Kernel) RunFor(d time.Duration) error { return k.RunUntil(k.now + d) }

@@ -1,0 +1,223 @@
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// LatencyModel assigns a one-way delay to a message between two simulated
+// endpoints. Models must be deterministic given the kernel's random stream.
+type LatencyModel interface {
+	// Delay returns the one-way latency for a message from src to dst of
+	// the given size in bytes.
+	Delay(r *rand.Rand, src, dst int, size int) time.Duration
+}
+
+// FixedLatency delays every message by the same amount. Useful in tests.
+type FixedLatency time.Duration
+
+// Delay implements LatencyModel.
+func (f FixedLatency) Delay(_ *rand.Rand, _, _ int, _ int) time.Duration {
+	return time.Duration(f)
+}
+
+// WANLatency models wide-area links: a per-pair base delay derived from
+// coordinates on a ring (so that latency is a metric and stable per pair),
+// plus log-normal jitter, plus a bandwidth term per byte.
+type WANLatency struct {
+	// Base is the mean base one-way delay between antipodal nodes.
+	Base time.Duration
+	// Jitter is the sigma of the log-normal jitter factor (0 = none).
+	Jitter float64
+	// BytesPerSec models serialization delay; 0 disables the size term.
+	BytesPerSec float64
+	// Nodes is the size of the ring used to derive pairwise distance.
+	Nodes int
+}
+
+// Delay implements LatencyModel.
+func (w WANLatency) Delay(r *rand.Rand, src, dst int, size int) time.Duration {
+	n := w.Nodes
+	if n <= 1 {
+		n = 2
+	}
+	d := src - dst
+	if d < 0 {
+		d = -d
+	}
+	if d > n/2 {
+		d = n - d
+	}
+	frac := float64(d)/float64(n/2)*0.9 + 0.1 // never exactly zero
+	base := time.Duration(frac * float64(w.Base))
+	if w.Jitter > 0 {
+		base = LogNormal(r, base, w.Jitter)
+	}
+	if w.BytesPerSec > 0 && size > 0 {
+		base += time.Duration(float64(size) / w.BytesPerSec * float64(time.Second))
+	}
+	return base
+}
+
+// Message is an opaque payload delivered between simulated endpoints.
+type Message struct {
+	From    int
+	To      int
+	Kind    string
+	Payload any
+	Size    int
+	SentAt  Time
+}
+
+// Endpoint receives messages delivered by a Network.
+type Endpoint interface {
+	// Deliver is invoked inside the simulation loop when a message
+	// arrives. Implementations must not block.
+	Deliver(msg Message)
+}
+
+// Network delivers messages between registered endpoints with latency and
+// loss, driven by a Kernel.
+type Network struct {
+	k         *Kernel
+	latency   LatencyModel
+	lossProb  float64
+	endpoints map[int]Endpoint
+	down      map[int]bool
+	rng       *rand.Rand
+
+	// Stats
+	Sent      uint64
+	Delivered uint64
+	Dropped   uint64
+	Bytes     uint64
+}
+
+// NewNetwork creates a network on kernel k using the given latency model and
+// message loss probability (0..1).
+func NewNetwork(k *Kernel, lm LatencyModel, lossProb float64) *Network {
+	return &Network{
+		k:         k,
+		latency:   lm,
+		lossProb:  lossProb,
+		endpoints: make(map[int]Endpoint),
+		down:      make(map[int]bool),
+		rng:       k.Stream("network"),
+	}
+}
+
+// Attach registers an endpoint under id, replacing any previous endpoint.
+func (n *Network) Attach(id int, ep Endpoint) { n.endpoints[id] = ep }
+
+// Detach removes an endpoint; in-flight messages to it are dropped on
+// arrival.
+func (n *Network) Detach(id int) { delete(n.endpoints, id) }
+
+// SetDown marks a node as crashed (true) or recovered (false). Messages to
+// and from down nodes are dropped, modeling churn.
+func (n *Network) SetDown(id int, down bool) {
+	if down {
+		n.down[id] = true
+	} else {
+		delete(n.down, id)
+	}
+}
+
+// IsDown reports whether a node is currently marked down.
+func (n *Network) IsDown(id int) bool { return n.down[id] }
+
+// Send schedules delivery of msg. Loss and churn are applied at send and
+// delivery time respectively.
+func (n *Network) Send(msg Message) {
+	n.Sent++
+	n.Bytes += uint64(msg.Size)
+	if n.down[msg.From] {
+		n.Dropped++
+		return
+	}
+	if n.lossProb > 0 && Bernoulli(n.rng, n.lossProb) {
+		n.Dropped++
+		return
+	}
+	msg.SentAt = n.k.Now()
+	delay := n.latency.Delay(n.rng, msg.From, msg.To, msg.Size)
+	n.k.After(delay, func() {
+		if n.down[msg.To] {
+			n.Dropped++
+			return
+		}
+		ep, ok := n.endpoints[msg.To]
+		if !ok {
+			n.Dropped++
+			return
+		}
+		n.Delivered++
+		ep.Deliver(msg)
+	})
+}
+
+// Kernel returns the kernel driving this network.
+func (n *Network) Kernel() *Kernel { return n.k }
+
+// ChurnProcess repeatedly crashes and recovers random nodes.
+type ChurnProcess struct {
+	net      *Network
+	ids      []int
+	rate     float64 // fraction of nodes cycled per minute
+	downFor  time.Duration
+	ticker   *Ticker
+	rng      *rand.Rand
+	onChange func(id int, down bool)
+	Events   int
+}
+
+// StartChurn begins a churn process over the given node ids: ratePerMin is
+// the percentage of the population that fails per simulated minute (e.g. 10
+// means 10%/min); each failed node recovers after downFor. onChange
+// (optional) observes transitions.
+func StartChurn(net *Network, ids []int, ratePerMin float64, downFor time.Duration, onChange func(id int, down bool)) *ChurnProcess {
+	cp := &ChurnProcess{
+		net:      net,
+		ids:      ids,
+		rate:     ratePerMin,
+		downFor:  downFor,
+		rng:      net.k.Stream("churn"),
+		onChange: onChange,
+	}
+	if ratePerMin <= 0 || len(ids) == 0 {
+		return cp
+	}
+	// Tick once a second; expected failures per tick = (rate%/100)*n/60.
+	perTick := ratePerMin / 100 * float64(len(ids)) / 60.0
+	cp.ticker = net.k.Every(time.Second, func() {
+		failures := int(perTick)
+		if Bernoulli(cp.rng, perTick-float64(failures)) {
+			failures++
+		}
+		for i := 0; i < failures; i++ {
+			id := cp.ids[cp.rng.Intn(len(cp.ids))]
+			if cp.net.IsDown(id) {
+				continue
+			}
+			cp.Events++
+			cp.net.SetDown(id, true)
+			if cp.onChange != nil {
+				cp.onChange(id, true)
+			}
+			cp.net.k.After(cp.downFor, func() {
+				cp.net.SetDown(id, false)
+				if cp.onChange != nil {
+					cp.onChange(id, false)
+				}
+			})
+		}
+	})
+	return cp
+}
+
+// Stop halts the churn process; already-failed nodes still recover.
+func (cp *ChurnProcess) Stop() {
+	if cp.ticker != nil {
+		cp.ticker.Stop()
+	}
+}

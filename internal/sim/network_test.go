@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+type collector struct {
+	got []Message
+}
+
+func (c *collector) Deliver(m Message) { c.got = append(c.got, m) }
+
+func TestNetworkDelivery(t *testing.T) {
+	k := NewKernel(1)
+	net := NewNetwork(k, FixedLatency(10*time.Millisecond), 0)
+	a, b := &collector{}, &collector{}
+	net.Attach(1, a)
+	net.Attach(2, b)
+	net.Send(Message{From: 1, To: 2, Kind: "ping", Size: 10})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.got) != 1 || b.got[0].Kind != "ping" {
+		t.Fatalf("b got %v", b.got)
+	}
+	if len(a.got) != 0 {
+		t.Fatal("a should receive nothing")
+	}
+	if k.Now() != 10*time.Millisecond {
+		t.Fatalf("delivery latency wrong: %v", k.Now())
+	}
+	if net.Delivered != 1 || net.Sent != 1 {
+		t.Fatalf("stats: %+v", net)
+	}
+}
+
+func TestNetworkLoss(t *testing.T) {
+	k := NewKernel(1)
+	net := NewNetwork(k, FixedLatency(time.Millisecond), 1.0)
+	c := &collector{}
+	net.Attach(2, c)
+	for i := 0; i < 50; i++ {
+		net.Send(Message{From: 1, To: 2})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.got) != 0 {
+		t.Fatalf("loss=1.0 but delivered %d", len(c.got))
+	}
+	if net.Dropped != 50 {
+		t.Fatalf("dropped = %d", net.Dropped)
+	}
+}
+
+func TestNetworkDownNode(t *testing.T) {
+	k := NewKernel(1)
+	net := NewNetwork(k, FixedLatency(time.Millisecond), 0)
+	c := &collector{}
+	net.Attach(2, c)
+	net.SetDown(2, true)
+	net.Send(Message{From: 1, To: 2})
+	_ = k.Run()
+	if len(c.got) != 0 {
+		t.Fatal("down node received a message")
+	}
+	net.SetDown(2, false)
+	net.Send(Message{From: 1, To: 2})
+	_ = k.Run()
+	if len(c.got) != 1 {
+		t.Fatal("recovered node should receive")
+	}
+}
+
+func TestNetworkDownSender(t *testing.T) {
+	k := NewKernel(1)
+	net := NewNetwork(k, FixedLatency(time.Millisecond), 0)
+	c := &collector{}
+	net.Attach(2, c)
+	net.SetDown(1, true)
+	net.Send(Message{From: 1, To: 2})
+	_ = k.Run()
+	if len(c.got) != 0 {
+		t.Fatal("message from down sender delivered")
+	}
+}
+
+func TestWANLatencySymmetricAndPositive(t *testing.T) {
+	k := NewKernel(1)
+	lm := WANLatency{Base: 100 * time.Millisecond, Nodes: 64}
+	r := k.Stream("t")
+	for i := 0; i < 64; i++ {
+		for j := 0; j < 64; j += 7 {
+			d1 := lm.Delay(r, i, j, 0)
+			d2 := lm.Delay(r, j, i, 0)
+			if d1 != d2 {
+				t.Fatalf("asymmetric latency %v vs %v", d1, d2)
+			}
+			if d1 <= 0 {
+				t.Fatalf("non-positive latency between %d and %d", i, j)
+			}
+			if d1 > 110*time.Millisecond {
+				t.Fatalf("latency above base: %v", d1)
+			}
+		}
+	}
+}
+
+func TestWANLatencySizeTerm(t *testing.T) {
+	lm := WANLatency{Base: 10 * time.Millisecond, Nodes: 8, BytesPerSec: 1e6}
+	k := NewKernel(1)
+	small := lm.Delay(k.Rand(), 0, 1, 0)
+	big := lm.Delay(k.Rand(), 0, 1, 1e6)
+	if big-small < 900*time.Millisecond {
+		t.Fatalf("1MB at 1MB/s should add ~1s, got %v", big-small)
+	}
+}
+
+func TestChurnProcess(t *testing.T) {
+	k := NewKernel(5)
+	net := NewNetwork(k, FixedLatency(time.Millisecond), 0)
+	ids := make([]int, 100)
+	for i := range ids {
+		ids[i] = i
+	}
+	downs, ups := 0, 0
+	cp := StartChurn(net, ids, 30, 5*time.Second, func(id int, down bool) {
+		if down {
+			downs++
+		} else {
+			ups++
+		}
+	})
+	if err := k.RunUntil(2 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	cp.Stop()
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 30%/min over 2 min on 100 nodes ~ 60 events (minus repeats on
+	// already-down nodes); expect a healthy number.
+	if downs < 20 {
+		t.Fatalf("churn produced only %d failures", downs)
+	}
+	if ups != downs {
+		t.Fatalf("every failure should recover: downs=%d ups=%d", downs, ups)
+	}
+	for _, id := range ids {
+		if net.IsDown(id) {
+			t.Fatalf("node %d still down after full recovery run", id)
+		}
+	}
+}
+
+func TestChurnZeroRate(t *testing.T) {
+	k := NewKernel(1)
+	net := NewNetwork(k, FixedLatency(time.Millisecond), 0)
+	cp := StartChurn(net, []int{1, 2, 3}, 0, time.Second, nil)
+	if err := k.RunUntil(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if cp.Events != 0 {
+		t.Fatal("zero-rate churn produced events")
+	}
+}

@@ -1,0 +1,77 @@
+package social
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/profile"
+)
+
+// Privacy-respecting profile publishing (§6): beyond all-or-nothing ACL
+// scopes, a user can publish a *noised* view of their profile — useful
+// enough for affinity computation and social re-ranking, but not an exact
+// record of their interests. Interests get Laplace noise calibrated by a
+// privacy parameter epsilon (smaller = more private, per the differential-
+// privacy convention); term affinities are coarsened to signs and
+// subsampled, dropping the long tail that identifies a person.
+
+// NoisyView returns a privacy-degraded copy of p for publication.
+//   - Interests: Laplace(1/epsilon)-noised per coordinate, renormalized.
+//   - TermAffinity: only terms with |affinity| >= termFloor survive, each
+//     published as just its sign (±0.5), and each surviving term is kept
+//     with probability keepProb.
+//   - SourceTrust and Variants are never published.
+func NoisyView(p *profile.Profile, epsilon float64, termFloor, keepProb float64, r *rand.Rand) *profile.Profile {
+	if epsilon <= 0 {
+		epsilon = 0.1
+	}
+	out := profile.New(p.UserID, len(p.Interests))
+	// Per-coordinate scale shrinks with dimensionality so epsilon controls
+	// the total distortion magnitude, not the per-axis one.
+	scale := 1 / epsilon
+	if n := len(p.Interests); n > 0 {
+		scale /= math.Sqrt(float64(n))
+	}
+	for i, v := range p.Interests {
+		out.Interests[i] = v + laplace(r, scale)
+	}
+	out.Interests.Normalize()
+	for t, a := range p.TermAffinity {
+		if math.Abs(a) < termFloor {
+			continue
+		}
+		if r.Float64() > keepProb {
+			continue
+		}
+		if a > 0 {
+			out.TermAffinity[t] = 0.5
+		} else {
+			out.TermAffinity[t] = -0.5
+		}
+	}
+	out.Evidence = 0 // published views carry no evidence weight
+	return out
+}
+
+// laplace samples Laplace(0, scale).
+func laplace(r *rand.Rand, scale float64) float64 {
+	u := r.Float64() - 0.5
+	if u == 0 {
+		return 0
+	}
+	sign := 1.0
+	if u < 0 {
+		sign = -1
+		u = -u
+	}
+	return -sign * scale * math.Log(1-2*u)
+}
+
+// PublishNoisy stores a noised view of the owner's profile into the store
+// under the owner's id and grants grantee interest+term access to it — the
+// publish-privately workflow.
+func PublishNoisy(store *profile.Store, acl *ACL, owner *profile.Profile, grantee string, epsilon float64, r *rand.Rand) {
+	view := NoisyView(owner, epsilon, 0.3, 0.7, r)
+	store.Put(view)
+	acl.Grant(owner.UserID, grantee, ScopeInterests|ScopeTerms)
+}

@@ -1,0 +1,119 @@
+package social
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/feature"
+	"repro/internal/profile"
+	"repro/internal/uncertainty"
+)
+
+func richProfile() *profile.Profile {
+	p := profile.New("iris", 16)
+	p.Interests = concept(16, 2)
+	p.TermAffinity["gold"] = 1.2
+	p.TermAffinity["ring"] = 0.8
+	p.TermAffinity["whisper"] = 0.05 // identifying long-tail term
+	p.TermAffinity["spam"] = -0.9
+	p.SourceTrust["museum"] = uncertainty.BetaBelief{Alpha: 9, Beta: 1}
+	p.Variants["travel"] = &profile.Variant{Label: "travel"}
+	p.Evidence = 120
+	return p
+}
+
+func TestNoisyViewPrivacyUtilityTradeoff(t *testing.T) {
+	p := richProfile()
+	r := rand.New(rand.NewSource(1))
+	trials := 40
+	var simLoose, simTight float64
+	for i := 0; i < trials; i++ {
+		loose := NoisyView(p, 10, 0.3, 1, r)   // weak privacy
+		tight := NoisyView(p, 0.05, 0.3, 1, r) // strong privacy
+		simLoose += feature.Cosine(p.Interests, loose.Interests)
+		simTight += feature.Cosine(p.Interests, tight.Interests)
+	}
+	simLoose /= float64(trials)
+	simTight /= float64(trials)
+	if simLoose <= simTight {
+		t.Fatalf("more privacy should mean less fidelity: loose=%v tight=%v", simLoose, simTight)
+	}
+	if simLoose < 0.9 {
+		t.Fatalf("weak privacy should stay useful: %v", simLoose)
+	}
+	if simTight > 0.6 {
+		t.Fatalf("strong privacy should blur interests: %v", simTight)
+	}
+}
+
+func TestNoisyViewRedactsSensitiveParts(t *testing.T) {
+	p := richProfile()
+	r := rand.New(rand.NewSource(2))
+	v := NoisyView(p, 5, 0.3, 1, r)
+	if len(v.SourceTrust) != 0 {
+		t.Fatal("source trust must never be published")
+	}
+	if len(v.Variants) != 0 {
+		t.Fatal("context variants must never be published")
+	}
+	if v.Evidence != 0 {
+		t.Fatal("evidence weight must be stripped")
+	}
+	// Long-tail identifying term dropped; strong terms kept as signs only.
+	if _, ok := v.TermAffinity["whisper"]; ok {
+		t.Fatal("sub-floor term leaked")
+	}
+	if a := v.TermAffinity["gold"]; a != 0.5 {
+		t.Fatalf("strong term should publish as +0.5, got %v", a)
+	}
+	if a := v.TermAffinity["spam"]; a != -0.5 {
+		t.Fatalf("negative term should publish as -0.5, got %v", a)
+	}
+}
+
+func TestNoisyViewSubsampling(t *testing.T) {
+	p := profile.New("iris", 4)
+	for i := 0; i < 200; i++ {
+		p.TermAffinity[string(rune('a'+i%26))+string(rune('a'+i/26))] = 1
+	}
+	r := rand.New(rand.NewSource(3))
+	v := NoisyView(p, 5, 0.3, 0.5, r)
+	kept := len(v.TermAffinity)
+	if kept < 60 || kept > 140 {
+		t.Fatalf("keepProb=0.5 kept %d of 200", kept)
+	}
+}
+
+func TestPublishNoisyWorkflow(t *testing.T) {
+	store := profile.NewStore()
+	acl := NewACL()
+	p := richProfile()
+	r := rand.New(rand.NewSource(4))
+	PublishNoisy(store, acl, p, "jason", 2, r)
+
+	published := store.Get("iris")
+	if published == nil {
+		t.Fatal("nothing published")
+	}
+	view := acl.View(published, "jason")
+	if view == nil {
+		t.Fatal("grantee cannot see the published view")
+	}
+	// The published view approximates but does not equal the original.
+	sim := feature.Cosine(p.Interests, view.Interests)
+	if sim < 0.3 || math.Abs(sim-1) < 1e-9 {
+		t.Fatalf("published view fidelity = %v", sim)
+	}
+	// Reranking works off the published view.
+	g := NewGraph()
+	g.AddEdge("iris", "jason", 1)
+	jason := profile.New("jason", 16)
+	store.Put(jason)
+	rr := NewReranker(g, acl, store)
+	items := []Item{{ID: "x", Score: 0.5, Concept: concept(16, 2)}, {ID: "y", Score: 0.5, Concept: concept(16, 9)}}
+	out := rr.Rerank(jason, items, 0.8)
+	if out[0].ID != "x" {
+		t.Fatalf("noisy published profile failed to steer rerank: %+v", out)
+	}
+}

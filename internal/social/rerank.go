@@ -1,0 +1,149 @@
+package social
+
+import (
+	"sort"
+
+	"repro/internal/feature"
+	"repro/internal/profile"
+)
+
+// Social re-ranking: "socialization implies that other people's profiles
+// should be used concurrently as well to affect the relevance of an
+// information item" (§6). The Reranker blends the user's own score with the
+// affinity-weighted interest of their accessible circle.
+
+// Item is a scored candidate with its concept vector.
+type Item struct {
+	ID      string
+	Score   float64
+	Concept feature.Vector
+}
+
+// Reranker holds the pieces needed to apply social influence.
+type Reranker struct {
+	Graph *Graph
+	ACL   *ACL
+	Store *profile.Store
+	// Restart and Iters tune the proximity walk.
+	Restart float64
+	Iters   int
+	// TopFriends bounds how many circle members are consulted.
+	TopFriends int
+}
+
+// NewReranker wires a reranker with sensible defaults.
+func NewReranker(g *Graph, acl *ACL, store *profile.Store) *Reranker {
+	return &Reranker{Graph: g, ACL: acl, Store: store, Restart: 0.15, Iters: 25, TopFriends: 8}
+}
+
+// circleMember is an accessible friend with affinity weight.
+type circleMember struct {
+	p        *profile.Profile
+	affinity float64
+}
+
+// circle resolves the user's accessible, affinity-ranked circle.
+func (r *Reranker) circle(me *profile.Profile) []circleMember {
+	prox := r.Graph.Proximity(me.UserID, r.Restart, r.Iters)
+	var out []circleMember
+	for _, uid := range r.Store.Users() {
+		if uid == me.UserID {
+			continue
+		}
+		full := r.Store.Get(uid)
+		if full == nil {
+			continue
+		}
+		view := r.ACL.View(full, me.UserID)
+		if view == nil {
+			continue // nothing shared with me
+		}
+		aff := Affinity(me, view, prox)
+		if aff <= 0 {
+			continue
+		}
+		out = append(out, circleMember{p: view, affinity: aff})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].affinity != out[j].affinity {
+			return out[i].affinity > out[j].affinity
+		}
+		return out[i].p.UserID < out[j].p.UserID
+	})
+	if r.TopFriends > 0 && len(out) > r.TopFriends {
+		out = out[:r.TopFriends]
+	}
+	return out
+}
+
+// Rerank re-scores items: score' = (1-beta)*score + beta*socialScore, where
+// socialScore is the affinity-weighted mean of circle members' interest in
+// the item. beta = 0 returns the input order.
+func (r *Reranker) Rerank(me *profile.Profile, items []Item, beta float64) []Item {
+	out := make([]Item, len(items))
+	copy(out, items)
+	if beta <= 0 {
+		return out
+	}
+	if beta > 1 {
+		beta = 1
+	}
+	circle := r.circle(me)
+	if len(circle) == 0 {
+		return out
+	}
+	var affTotal float64
+	for _, m := range circle {
+		affTotal += m.affinity
+	}
+	for i := range out {
+		var social float64
+		for _, m := range circle {
+			interest := feature.Cosine(m.p.Interests, out[i].Concept)
+			if interest < 0 {
+				interest = 0
+			}
+			social += m.affinity * interest
+		}
+		if affTotal > 0 {
+			social /= affTotal
+		}
+		out[i].Score = (1-beta)*out[i].Score + beta*social
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// LearnAffinityFromCoActivity strengthens graph edges between users who act
+// on the same items — "establishing profile similarity (or other
+// association) through cross-user activity observations" (§6). acts maps
+// user → set of item ids acted on; every co-action adds increment to the
+// pair's edge.
+func LearnAffinityFromCoActivity(g *Graph, acts map[string]map[string]bool, increment float64) {
+	users := make([]string, 0, len(acts))
+	for u := range acts {
+		users = append(users, u)
+	}
+	sort.Strings(users)
+	for i := 0; i < len(users); i++ {
+		for j := i + 1; j < len(users); j++ {
+			a, b := users[i], users[j]
+			var shared int
+			for item := range acts[a] {
+				if acts[b][item] {
+					shared++
+				}
+			}
+			if shared == 0 {
+				continue
+			}
+			w := g.Neighbors(a)[b] + increment*float64(shared)
+			g.AddEdge(a, b, w)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+// Package social implements the paper's Socialization pillar: other
+// people's profiles, suitably access-controlled and weighted by affinity to
+// the current user, influence the relevance of information items. Affinity
+// combines profile similarity with social-graph proximity; profile sharing
+// respects per-part access grants.
+package social
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/feature"
+	"repro/internal/profile"
+	"repro/internal/uncertainty"
+)
+
+// Graph is a weighted undirected social graph over user ids. Safe for
+// concurrent use.
+type Graph struct {
+	mu  sync.RWMutex
+	adj map[string]map[string]float64
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{adj: make(map[string]map[string]float64)}
+}
+
+// AddEdge links a and b with the given positive weight (replacing any
+// existing edge). Self-edges are ignored.
+func (g *Graph) AddEdge(a, b string, w float64) {
+	if a == b || w <= 0 {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.edge(a, b, w)
+	g.edge(b, a, w)
+}
+
+func (g *Graph) edge(from, to string, w float64) {
+	m, ok := g.adj[from]
+	if !ok {
+		m = make(map[string]float64)
+		g.adj[from] = m
+	}
+	m[to] = w
+}
+
+// Neighbors returns a copy of a user's adjacency.
+func (g *Graph) Neighbors(u string) map[string]float64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make(map[string]float64, len(g.adj[u]))
+	for k, v := range g.adj[u] {
+		out[k] = v
+	}
+	return out
+}
+
+// Users returns all user ids present, sorted.
+func (g *Graph) Users() []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]string, 0, len(g.adj))
+	for u := range g.adj {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Proximity computes random-walk-with-restart proximity from seed:
+// the stationary distribution of a walker that at each step restarts at the
+// seed with probability restart, otherwise moves along edge weights.
+// Standard personalized-PageRank iteration; iters around 30 converges for
+// social-scale graphs.
+func (g *Graph) Proximity(seed string, restart float64, iters int) map[string]float64 {
+	if restart <= 0 || restart >= 1 {
+		restart = 0.15
+	}
+	if iters <= 0 {
+		iters = 30
+	}
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	cur := map[string]float64{seed: 1}
+	for it := 0; it < iters; it++ {
+		next := map[string]float64{seed: restart}
+		for u, mass := range cur {
+			nbrs := g.adj[u]
+			if len(nbrs) == 0 {
+				// Dangling mass returns to the seed.
+				next[seed] += (1 - restart) * mass
+				continue
+			}
+			var total float64
+			for _, w := range nbrs {
+				total += w
+			}
+			for v, w := range nbrs {
+				next[v] += (1 - restart) * mass * (w / total)
+			}
+		}
+		cur = next
+	}
+	return cur
+}
+
+// Affinity combines profile similarity and graph proximity, the paper's
+// "profile similarity or other association". proximity should come from
+// Proximity(seed=a) and is rescaled against the seed's self-mass.
+func Affinity(a, b *profile.Profile, proximity map[string]float64) float64 {
+	sim := profile.Similarity(a, b)
+	var prox float64
+	if proximity != nil {
+		self := proximity[a.UserID]
+		if self > 0 {
+			prox = proximity[b.UserID] / self
+			if prox > 1 {
+				prox = 1
+			}
+		}
+	}
+	return 0.6*sim + 0.4*prox
+}
+
+// Scope is a bitmask of profile parts an owner can share.
+type Scope uint8
+
+// Shareable profile parts.
+const (
+	ScopeInterests Scope = 1 << iota
+	ScopeTerms
+	ScopeTrust
+)
+
+// ScopeAll grants everything.
+const ScopeAll = ScopeInterests | ScopeTerms | ScopeTrust
+
+// ACL records per-owner grants: which scopes each grantee may read.
+// "The set of others' profiles and queries that someone has access to must
+// be restricted based on access rights" (§6).
+type ACL struct {
+	mu     sync.RWMutex
+	grants map[string]map[string]Scope
+}
+
+// NewACL returns an empty ACL (nothing shared).
+func NewACL() *ACL {
+	return &ACL{grants: make(map[string]map[string]Scope)}
+}
+
+// Grant lets grantee read the given scopes of owner's profile.
+func (a *ACL) Grant(owner, grantee string, s Scope) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	m, ok := a.grants[owner]
+	if !ok {
+		m = make(map[string]Scope)
+		a.grants[owner] = m
+	}
+	m[grantee] |= s
+}
+
+// Revoke removes scopes from a grant.
+func (a *ACL) Revoke(owner, grantee string, s Scope) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if m, ok := a.grants[owner]; ok {
+		m[grantee] &^= s
+		if m[grantee] == 0 {
+			delete(m, grantee)
+		}
+	}
+}
+
+// Allowed returns the scopes grantee may read of owner (owners see all of
+// their own profile).
+func (a *ACL) Allowed(owner, grantee string) Scope {
+	if owner == grantee {
+		return ScopeAll
+	}
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.grants[owner][grantee]
+}
+
+// View returns the portion of owner's profile that grantee may read, as a
+// redacted copy. Denied parts are zeroed. Returns nil when nothing is
+// shared.
+func (a *ACL) View(owner *profile.Profile, grantee string) *profile.Profile {
+	s := a.Allowed(owner.UserID, grantee)
+	if s == 0 {
+		return nil
+	}
+	v := owner.Clone()
+	if s&ScopeInterests == 0 {
+		v.Interests = make(feature.Vector, len(v.Interests))
+	}
+	if s&ScopeTerms == 0 {
+		v.TermAffinity = map[string]float64{}
+	}
+	if s&ScopeTrust == 0 {
+		v.SourceTrust = map[string]uncertainty.BetaBelief{}
+	}
+	return v
+}

@@ -1,0 +1,211 @@
+package social
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/feature"
+	"repro/internal/profile"
+)
+
+func concept(dim, hot int) feature.Vector {
+	v := make(feature.Vector, dim)
+	v[hot] = 1
+	return v
+}
+
+func TestGraphBasics(t *testing.T) {
+	g := NewGraph()
+	g.AddEdge("a", "b", 1)
+	g.AddEdge("b", "c", 2)
+	g.AddEdge("a", "a", 5) // self edge ignored
+	g.AddEdge("a", "x", 0) // non-positive ignored
+	nb := g.Neighbors("b")
+	if len(nb) != 2 || nb["a"] != 1 || nb["c"] != 2 {
+		t.Fatalf("neighbors = %v", nb)
+	}
+	users := g.Users()
+	if len(users) != 3 {
+		t.Fatalf("users = %v", users)
+	}
+	// Neighbors returns a copy.
+	nb["a"] = 99
+	if g.Neighbors("b")["a"] != 1 {
+		t.Fatal("Neighbors leaked internal map")
+	}
+}
+
+func TestProximityDecaysWithDistance(t *testing.T) {
+	g := NewGraph()
+	// Chain a-b-c-d plus a strong direct tie a-e.
+	g.AddEdge("a", "b", 1)
+	g.AddEdge("b", "c", 1)
+	g.AddEdge("c", "d", 1)
+	g.AddEdge("a", "e", 3)
+	prox := g.Proximity("a", 0.15, 40)
+	if prox["a"] <= prox["b"] {
+		t.Fatal("self proximity should dominate")
+	}
+	if prox["b"] <= prox["c"] || prox["c"] <= prox["d"] {
+		t.Fatalf("proximity should decay along the chain: %v", prox)
+	}
+	if prox["e"] <= prox["b"] {
+		t.Fatal("stronger tie should mean higher proximity")
+	}
+	// Mass should be ~1.
+	var mass float64
+	for _, v := range prox {
+		mass += v
+	}
+	if math.Abs(mass-1) > 0.01 {
+		t.Fatalf("proximity mass = %v", mass)
+	}
+}
+
+func TestProximityIsolatedSeed(t *testing.T) {
+	g := NewGraph()
+	g.AddEdge("x", "y", 1)
+	prox := g.Proximity("loner", 0.15, 10)
+	if prox["loner"] < 0.99 {
+		t.Fatalf("isolated seed should keep all mass: %v", prox)
+	}
+}
+
+func TestAffinityBlends(t *testing.T) {
+	a, b := profile.New("a", 8), profile.New("b", 8)
+	a.Interests = concept(8, 1)
+	b.Interests = concept(8, 1)
+	g := NewGraph()
+	g.AddEdge("a", "b", 1)
+	prox := g.Proximity("a", 0.15, 30)
+	withGraph := Affinity(a, b, prox)
+	withoutGraph := Affinity(a, b, nil)
+	if withGraph <= withoutGraph {
+		t.Fatal("graph tie should raise affinity")
+	}
+	if withGraph > 1 {
+		t.Fatalf("affinity = %v", withGraph)
+	}
+}
+
+func TestACLScopes(t *testing.T) {
+	acl := NewACL()
+	owner := profile.New("iris", 4)
+	owner.Interests = concept(4, 1)
+	owner.TermAffinity["gold"] = 1
+
+	if v := acl.View(owner, "jason"); v != nil {
+		t.Fatal("no grant should mean no view")
+	}
+	if acl.Allowed("iris", "iris") != ScopeAll {
+		t.Fatal("owner sees own profile")
+	}
+	acl.Grant("iris", "jason", ScopeInterests)
+	v := acl.View(owner, "jason")
+	if v == nil || feature.Cosine(v.Interests, owner.Interests) < 0.99 {
+		t.Fatal("interests should be visible")
+	}
+	if len(v.TermAffinity) != 0 {
+		t.Fatal("terms should be redacted")
+	}
+	acl.Grant("iris", "jason", ScopeTerms)
+	v = acl.View(owner, "jason")
+	if v.TermAffinity["gold"] != 1 {
+		t.Fatal("terms should now be visible")
+	}
+	acl.Revoke("iris", "jason", ScopeInterests|ScopeTerms)
+	if acl.View(owner, "jason") != nil {
+		t.Fatal("revoked grant should deny")
+	}
+}
+
+func buildRerankWorld(t *testing.T) (*Reranker, *profile.Profile) {
+	t.Helper()
+	g := NewGraph()
+	acl := NewACL()
+	store := profile.NewStore()
+
+	me := profile.New("iris", 8)
+	me.Interests = concept(8, 1)
+	store.Put(me)
+
+	friend := profile.New("jason", 8)
+	friend.Interests = concept(8, 3) // friend loves concept 3
+	store.Put(friend)
+	g.AddEdge("iris", "jason", 2)
+	acl.Grant("jason", "iris", ScopeAll)
+
+	stranger := profile.New("zoe", 8)
+	stranger.Interests = concept(8, 5)
+	store.Put(stranger) // no edge, no grant
+
+	return NewReranker(g, acl, store), me
+}
+
+func TestRerankBoostsFriendInterests(t *testing.T) {
+	r, me := buildRerankWorld(t)
+	items := []Item{
+		{ID: "friendPick", Score: 0.50, Concept: concept(8, 3)},
+		{ID: "neutral", Score: 0.52, Concept: concept(8, 6)},
+	}
+	out := r.Rerank(me, items, 0.5)
+	if out[0].ID != "friendPick" {
+		t.Fatalf("social rerank order: %v, %v", out[0], out[1])
+	}
+	// beta=0 keeps original order.
+	out0 := r.Rerank(me, items, 0)
+	if out0[0].ID != "friendPick" && out0[0].Score != items[0].Score {
+		t.Fatal("beta=0 should not rescore")
+	}
+	if out0[0].Score != items[0].Score && out0[1].Score != items[1].Score {
+		t.Fatal("beta=0 must preserve scores")
+	}
+}
+
+func TestRerankIgnoresInaccessibleProfiles(t *testing.T) {
+	r, me := buildRerankWorld(t)
+	// Item matching only the stranger's interest must get no boost.
+	items := []Item{
+		{ID: "strangerPick", Score: 0.5, Concept: concept(8, 5)},
+		{ID: "friendPick", Score: 0.5, Concept: concept(8, 3)},
+	}
+	out := r.Rerank(me, items, 0.6)
+	if out[0].ID != "friendPick" {
+		t.Fatalf("inaccessible profile influenced ranking: %+v", out)
+	}
+}
+
+func TestRerankNoCircle(t *testing.T) {
+	g := NewGraph()
+	acl := NewACL()
+	store := profile.NewStore()
+	me := profile.New("iris", 8)
+	store.Put(me)
+	r := NewReranker(g, acl, store)
+	items := []Item{{ID: "a", Score: 0.9}, {ID: "b", Score: 0.1}}
+	out := r.Rerank(me, items, 0.8)
+	if out[0].ID != "a" || out[0].Score != 0.9 {
+		t.Fatalf("no-circle rerank changed scores: %+v", out)
+	}
+}
+
+func TestLearnAffinityFromCoActivity(t *testing.T) {
+	g := NewGraph()
+	acts := map[string]map[string]bool{
+		"iris":  {"doc1": true, "doc2": true, "doc3": true},
+		"jason": {"doc2": true, "doc3": true},
+		"zoe":   {"doc9": true},
+	}
+	LearnAffinityFromCoActivity(g, acts, 0.5)
+	if w := g.Neighbors("iris")["jason"]; math.Abs(w-1.0) > 1e-9 {
+		t.Fatalf("iris-jason weight = %v, want 1.0 (2 shared * 0.5)", w)
+	}
+	if _, ok := g.Neighbors("iris")["zoe"]; ok {
+		t.Fatal("no co-activity should mean no edge")
+	}
+	// Repeated observation accumulates.
+	LearnAffinityFromCoActivity(g, acts, 0.5)
+	if w := g.Neighbors("iris")["jason"]; math.Abs(w-2.0) > 1e-9 {
+		t.Fatalf("accumulated weight = %v, want 2.0", w)
+	}
+}

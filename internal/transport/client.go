@@ -1,0 +1,208 @@
+package transport
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/feature"
+	"repro/internal/wire"
+)
+
+// Client is a consumer connection to one agora node over TCP.
+type Client struct {
+	conn   net.Conn
+	r      *bufio.Reader
+	wmu    sync.Mutex
+	mu     sync.Mutex
+	nextID uint64
+
+	// pending query results by query id.
+	pending map[string]chan wire.QueryResult
+	pongs   chan []byte
+	// Feed delivers pushed feed items; buffered, drops when full.
+	Feed chan wire.FeedItem
+	// RemoteID is the server's node id from the handshake.
+	RemoteID string
+	closed   bool
+	readErr  error
+	done     chan struct{}
+}
+
+// Dial connects and performs the hello handshake.
+func Dial(addr, clientID string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	c := &Client{
+		conn:    conn,
+		r:       bufio.NewReader(conn),
+		pending: make(map[string]chan wire.QueryResult),
+		pongs:   make(chan []byte, 4),
+		Feed:    make(chan wire.FeedItem, 64),
+		done:    make(chan struct{}),
+	}
+	hello := wire.Hello{NodeID: clientID}
+	if err := c.send(wire.KindHello, hello.Marshal()); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	// Synchronous ack before starting the demux loop.
+	if timeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(timeout))
+	}
+	f, err := wire.ReadFrame(c.r)
+	if err != nil || f.Kind != wire.KindHelloAck {
+		conn.Close()
+		return nil, fmt.Errorf("transport: handshake failed: %v", err)
+	}
+	conn.SetReadDeadline(time.Time{})
+	ack, err := wire.UnmarshalHello(f.Payload)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c.RemoteID = ack.NodeID
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *Client) send(kind wire.Kind, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return wire.WriteFrame(c.conn, kind, payload)
+}
+
+func (c *Client) readLoop() {
+	defer close(c.done)
+	for {
+		f, err := wire.ReadFrame(c.r)
+		if err != nil {
+			c.mu.Lock()
+			c.readErr = err
+			for _, ch := range c.pending {
+				close(ch)
+			}
+			c.pending = make(map[string]chan wire.QueryResult)
+			c.mu.Unlock()
+			close(c.Feed)
+			return
+		}
+		switch f.Kind {
+		case wire.KindQueryResult:
+			res, err := wire.UnmarshalQueryResult(f.Payload)
+			if err != nil {
+				continue
+			}
+			c.mu.Lock()
+			ch, ok := c.pending[res.QueryID]
+			if ok {
+				delete(c.pending, res.QueryID)
+			}
+			c.mu.Unlock()
+			if ok {
+				ch <- res
+				close(ch)
+			}
+		case wire.KindFeedItem:
+			item, err := wire.UnmarshalFeedItem(f.Payload)
+			if err != nil {
+				continue
+			}
+			select {
+			case c.Feed <- item:
+			default: // drop on backpressure
+			}
+		case wire.KindPong:
+			select {
+			case c.pongs <- f.Payload:
+			default:
+			}
+		}
+	}
+}
+
+// ErrTimeout reports an expired client-side wait.
+var ErrTimeout = errors.New("transport: timeout")
+
+// Ping round-trips a ping.
+func (c *Client) Ping(timeout time.Duration) (time.Duration, error) {
+	start := time.Now()
+	if err := c.send(wire.KindPing, []byte("ping")); err != nil {
+		return 0, err
+	}
+	select {
+	case <-c.pongs:
+		return time.Since(start), nil
+	case <-time.After(timeout):
+		return 0, ErrTimeout
+	case <-c.done:
+		return 0, c.err()
+	}
+}
+
+func (c *Client) err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.readErr != nil {
+		return c.readErr
+	}
+	return errors.New("transport: connection closed")
+}
+
+// Query sends a query (free text or full AQL in text) and waits for the
+// result.
+func (c *Client) Query(text string, concept feature.Vector, topK int, timeout time.Duration) (wire.QueryResult, error) {
+	c.mu.Lock()
+	c.nextID++
+	id := fmt.Sprintf("q%d", c.nextID)
+	ch := make(chan wire.QueryResult, 1)
+	c.pending[id] = ch
+	c.mu.Unlock()
+	q := wire.Query{ID: id, Text: text, Concept: concept, TopK: uint32(topK)}
+	if err := c.send(wire.KindQuery, q.Marshal()); err != nil {
+		return wire.QueryResult{}, err
+	}
+	select {
+	case res, ok := <-ch:
+		if !ok {
+			return wire.QueryResult{}, c.err()
+		}
+		return res, nil
+	case <-time.After(timeout):
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return wire.QueryResult{}, ErrTimeout
+	}
+}
+
+// Subscribe registers a standing subscription; matching feed items arrive
+// on c.Feed.
+func (c *Client) Subscribe(subID string, terms []string, concept feature.Vector, threshold float64) error {
+	s := wire.Subscribe{SubID: subID, Terms: terms, Concept: concept, Threshold: threshold}
+	return c.send(wire.KindSubscribe, s.Marshal())
+}
+
+// Unsubscribe cancels a subscription.
+func (c *Client) Unsubscribe(subID string) error {
+	return c.send(wire.KindUnsubscribe, []byte(subID))
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.conn.Close()
+	<-c.done
+	return err
+}

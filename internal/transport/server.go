@@ -1,0 +1,257 @@
+// Package transport runs agora nodes over real TCP sockets using the wire
+// codec — the deployment path proving the protocols work outside the
+// simulator. cmd/agora-node serves a document store; cmd/agora-query is the
+// matching consumer CLI.
+package transport
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/docstore"
+	"repro/internal/feature"
+	"repro/internal/query"
+	"repro/internal/wire"
+)
+
+// Server exposes one docstore as an agora provider on TCP.
+type Server struct {
+	NodeID string
+	Store  *docstore.Store
+	Logf   func(format string, args ...any)
+
+	mu        sync.Mutex
+	ln        net.Listener
+	conns     map[net.Conn]*connState
+	subs      map[string]*subscription // subID -> sub
+	closed    bool
+	wg        sync.WaitGroup
+	Served    uint64
+	Delivered uint64
+}
+
+type connState struct {
+	conn net.Conn
+	wmu  sync.Mutex
+}
+
+type subscription struct {
+	sub  wire.Subscribe
+	conn *connState
+}
+
+// NewServer wraps a store.
+func NewServer(nodeID string, store *docstore.Store) *Server {
+	return &Server{
+		NodeID: nodeID,
+		Store:  store,
+		Logf:   log.Printf,
+		conns:  make(map[net.Conn]*connState),
+		subs:   make(map[string]*subscription),
+	}
+}
+
+// Serve accepts connections on ln until Close. It blocks.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("transport: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("transport: accept: %w", err)
+		}
+		cs := &connState{conn: conn}
+		s.mu.Lock()
+		s.conns[conn] = cs
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(cs)
+		}()
+	}
+}
+
+// Close stops the server and all connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) dropConn(cs *connState) {
+	s.mu.Lock()
+	delete(s.conns, cs.conn)
+	for id, sub := range s.subs {
+		if sub.conn == cs {
+			delete(s.subs, id)
+		}
+	}
+	s.mu.Unlock()
+	cs.conn.Close()
+}
+
+func (s *Server) send(cs *connState, kind wire.Kind, payload []byte) error {
+	cs.wmu.Lock()
+	defer cs.wmu.Unlock()
+	return wire.WriteFrame(cs.conn, kind, payload)
+}
+
+func (s *Server) handle(cs *connState) {
+	defer s.dropConn(cs)
+	r := bufio.NewReader(cs.conn)
+	for {
+		f, err := wire.ReadFrame(r)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.Logf("transport: %s: read: %v", cs.conn.RemoteAddr(), err)
+			}
+			return
+		}
+		switch f.Kind {
+		case wire.KindHello:
+			hello, err := wire.UnmarshalHello(f.Payload)
+			if err != nil {
+				s.Logf("transport: bad hello: %v", err)
+				return
+			}
+			ack := wire.Hello{NodeID: s.NodeID, Topics: nil, Capacity: int64(s.Store.Len())}
+			if err := s.send(cs, wire.KindHelloAck, ack.Marshal()); err != nil {
+				return
+			}
+			_ = hello
+		case wire.KindPing:
+			if err := s.send(cs, wire.KindPong, f.Payload); err != nil {
+				return
+			}
+		case wire.KindQuery:
+			s.serveQuery(cs, f.Payload)
+		case wire.KindSubscribe:
+			sub, err := wire.UnmarshalSubscribe(f.Payload)
+			if err != nil {
+				s.Logf("transport: bad subscribe: %v", err)
+				continue
+			}
+			s.mu.Lock()
+			s.subs[sub.SubID] = &subscription{sub: sub, conn: cs}
+			s.mu.Unlock()
+		case wire.KindUnsubscribe:
+			s.mu.Lock()
+			delete(s.subs, string(f.Payload))
+			s.mu.Unlock()
+		default:
+			s.Logf("transport: unexpected frame %v", f.Kind)
+		}
+	}
+}
+
+func (s *Server) serveQuery(cs *connState, payload []byte) {
+	wq, err := wire.UnmarshalQuery(payload)
+	if err != nil {
+		s.Logf("transport: bad query: %v", err)
+		return
+	}
+	start := time.Now()
+	var q *query.Query
+	if wq.Text != "" && wq.Text[0] == 'F' || len(wq.Text) > 5 && wq.Text[:5] == "find " {
+		// Allow full AQL in the text field.
+		if parsed, perr := query.Parse(wq.Text); perr == nil {
+			q = parsed
+		}
+	}
+	if q == nil {
+		q = &query.Query{Text: wq.Text, TopK: int(wq.TopK)}
+		if q.TopK <= 0 {
+			q.TopK = 10
+		}
+	}
+	results := query.Execute(s.Store, q, feature.Vector(wq.Concept), time.Now().UnixNano())
+	resp := wire.QueryResult{QueryID: wq.ID, From: s.NodeID, Elapsed: time.Since(start).Seconds()}
+	for _, r := range results {
+		resp.Items = append(resp.Items, wire.ResultItem{
+			DocID: r.Doc.ID, Source: s.NodeID, Score: r.Score, Snippet: r.Doc.Snippet(80),
+		})
+	}
+	s.mu.Lock()
+	s.Served++
+	s.mu.Unlock()
+	if err := s.send(cs, wire.KindQueryResult, resp.Marshal()); err != nil {
+		s.Logf("transport: send result: %v", err)
+	}
+}
+
+// PublishFeed pushes a new document to matching subscribers (callers invoke
+// it after ingesting content).
+func (s *Server) PublishFeed(d *docstore.Document, seq uint64) {
+	item := wire.FeedItem{
+		FeedID: s.NodeID, DocID: d.ID, Source: s.NodeID,
+		Text: d.Title + " " + d.Text, Concept: d.Concept, Seq: seq,
+	}
+	tokens := feature.Tokenize(item.Text)
+	tokenSet := make(map[string]bool, len(tokens))
+	for _, t := range tokens {
+		tokenSet[t] = true
+	}
+	s.mu.Lock()
+	var targets []*connState
+	for _, sub := range s.subs {
+		if matchesSub(sub.sub, tokenSet, d.Concept) {
+			targets = append(targets, sub.conn)
+		}
+	}
+	s.mu.Unlock()
+	payload := item.Marshal()
+	for _, cs := range targets {
+		if err := s.send(cs, wire.KindFeedItem, payload); err == nil {
+			s.mu.Lock()
+			s.Delivered++
+			s.mu.Unlock()
+		}
+	}
+}
+
+func matchesSub(sub wire.Subscribe, tokenSet map[string]bool, concept feature.Vector) bool {
+	for _, t := range sub.Terms {
+		for _, tok := range feature.Tokenize(t) {
+			if !tokenSet[tok] {
+				return false
+			}
+		}
+	}
+	if len(sub.Concept) > 0 {
+		if len(concept) == 0 {
+			return false
+		}
+		if feature.Cosine(feature.Vector(sub.Concept), concept) < sub.Threshold {
+			return false
+		}
+	}
+	return true
+}

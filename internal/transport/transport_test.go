@@ -1,0 +1,236 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/docstore"
+	"repro/internal/feature"
+	"repro/internal/wire"
+)
+
+func startServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	st, err := docstore.Open(docstore.Options{ConceptDim: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		v := make(feature.Vector, 8)
+		v[i%8] = 1
+		if err := st.Put(&docstore.Document{
+			ID:      fmt.Sprintf("d%02d", i),
+			Title:   fmt.Sprintf("gold ring number %d", i),
+			Text:    "byzantine filigree ancient jewelry",
+			Concept: v, CreatedAt: int64(i), Provenance: "srv",
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := NewServer("museum-tcp", st)
+	srv.Logf = t.Logf
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return srv, ln.Addr().String()
+}
+
+func TestHandshakeAndPing(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr, "iris", 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.RemoteID != "museum-tcp" {
+		t.Fatalf("remote id = %q", c.RemoteID)
+	}
+	rtt, err := c.Ping(2 * time.Second)
+	if err != nil || rtt <= 0 {
+		t.Fatalf("ping: %v %v", rtt, err)
+	}
+}
+
+func TestQueryOverTCP(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr, "iris", 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	res, err := c.Query("gold ring byzantine", nil, 5, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Items) == 0 {
+		t.Fatal("no items")
+	}
+	if res.From != "museum-tcp" || res.Items[0].Source != "museum-tcp" {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.Elapsed < 0 {
+		t.Fatal("negative elapsed")
+	}
+}
+
+func TestAQLOverTCP(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr, "iris", 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	res, err := c.Query(`FIND documents WHERE text ~ "gold ring" TOP 2`, nil, 10, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Items) != 2 {
+		t.Fatalf("AQL TOP ignored: %d items", len(res.Items))
+	}
+}
+
+func TestConcurrentQueries(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr, "iris", 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 20)
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := c.Query("gold", nil, 3, 5*time.Second)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if len(res.Items) == 0 {
+				errs <- fmt.Errorf("empty result")
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestFeedSubscription(t *testing.T) {
+	srv, addr := startServer(t)
+	c, err := Dial(addr, "iris", 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Subscribe("s1", []string{"auction"}, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Give the server a beat to register the subscription.
+	time.Sleep(50 * time.Millisecond)
+	srv.PublishFeed(&docstore.Document{ID: "new1", Title: "auction catalog item"}, 1)
+	srv.PublishFeed(&docstore.Document{ID: "new2", Title: "unrelated magazine"}, 2)
+	select {
+	case item := <-c.Feed:
+		if item.DocID != "new1" {
+			t.Fatalf("item = %+v", item)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no feed item")
+	}
+	// The non-matching item must not arrive.
+	select {
+	case item := <-c.Feed:
+		t.Fatalf("unexpected item %+v", item)
+	case <-time.After(200 * time.Millisecond):
+	}
+	// Unsubscribe stops deliveries.
+	if err := c.Unsubscribe("s1"); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	srv.PublishFeed(&docstore.Document{ID: "new3", Title: "auction again"}, 3)
+	select {
+	case item := <-c.Feed:
+		t.Fatalf("delivered after unsubscribe: %+v", item)
+	case <-time.After(200 * time.Millisecond):
+	}
+}
+
+func TestMultipleClients(t *testing.T) {
+	_, addr := startServer(t)
+	var clients []*Client
+	for i := 0; i < 5; i++ {
+		c, err := Dial(addr, fmt.Sprintf("u%d", i), 2*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients = append(clients, c)
+	}
+	for _, c := range clients {
+		if _, err := c.Query("gold", nil, 2, 2*time.Second); err != nil {
+			t.Fatal(err)
+		}
+		c.Close()
+	}
+}
+
+func TestServerCloseUnblocksClients(t *testing.T) {
+	srv, addr := startServer(t)
+	c, err := Dial(addr, "iris", 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv.Close()
+	// Further queries fail promptly rather than hanging.
+	if _, err := c.Query("gold", nil, 2, 2*time.Second); err == nil {
+		t.Fatal("query after server close should fail")
+	}
+}
+
+func TestServerSurvivesGarbageBytes(t *testing.T) {
+	srv, addr := startServer(t)
+	// Raw connection spewing garbage: the server must drop it without
+	// crashing or wedging other clients.
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := raw.Write([]byte("this is not an agora frame at all 1234567890")); err != nil {
+		t.Fatal(err)
+	}
+	raw.Close()
+
+	// A frame with a corrupted checksum likewise.
+	raw2, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := wire.EncodeFrame(nil, wire.KindQuery, []byte("payload"))
+	frame[len(frame)-1] ^= 0xFF
+	if _, err := raw2.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	raw2.Close()
+
+	// A healthy client still gets service.
+	c, err := Dial(addr, "iris", 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Query("gold", nil, 3, 2*time.Second); err != nil {
+		t.Fatalf("healthy client starved after garbage: %v", err)
+	}
+	_ = srv
+}

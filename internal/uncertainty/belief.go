@@ -1,0 +1,156 @@
+package uncertainty
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// BetaBelief is a Beta(alpha, beta) posterior over a hidden success
+// probability — the agora's belief about a source's quality (correctness,
+// completeness, honesty) learned from repeated interactions. The paper notes
+// that "responding sources may or may not be well-known and trusted"; these
+// beliefs are how a node comes to know.
+type BetaBelief struct {
+	Alpha float64
+	Beta  float64
+}
+
+// NewBelief returns the uninformative prior Beta(1, 1).
+func NewBelief() BetaBelief { return BetaBelief{Alpha: 1, Beta: 1} }
+
+// PriorBelief returns a Beta belief equivalent to `weight` pseudo-
+// observations at probability p — how reputation carried from elsewhere is
+// seeded.
+func PriorBelief(p float64, weight float64) BetaBelief {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	if weight <= 0 {
+		weight = 2
+	}
+	return BetaBelief{Alpha: 1 + p*weight, Beta: 1 + (1-p)*weight}
+}
+
+// Observe updates the posterior with one success/failure.
+func (b BetaBelief) Observe(success bool) BetaBelief {
+	if success {
+		b.Alpha++
+	} else {
+		b.Beta++
+	}
+	return b
+}
+
+// ObserveWeighted updates with fractional evidence (e.g. "delivered 70% of
+// promised completeness" counts as 0.7 success, 0.3 failure).
+func (b BetaBelief) ObserveWeighted(success float64) BetaBelief {
+	if success < 0 {
+		success = 0
+	}
+	if success > 1 {
+		success = 1
+	}
+	b.Alpha += success
+	b.Beta += 1 - success
+	return b
+}
+
+// Decay discounts old evidence toward the prior by factor g in (0,1]; g=1 is
+// no decay. Reputation systems use this so sources cannot coast forever on
+// ancient good behavior.
+func (b BetaBelief) Decay(g float64) BetaBelief {
+	if g >= 1 {
+		return b
+	}
+	if g < 0 {
+		g = 0
+	}
+	return BetaBelief{Alpha: 1 + (b.Alpha-1)*g, Beta: 1 + (b.Beta-1)*g}
+}
+
+// Mean returns the posterior mean.
+func (b BetaBelief) Mean() float64 { return b.Alpha / (b.Alpha + b.Beta) }
+
+// Variance returns the posterior variance.
+func (b BetaBelief) Variance() float64 {
+	s := b.Alpha + b.Beta
+	return b.Alpha * b.Beta / (s * s * (s + 1))
+}
+
+// Strength returns the evidence weight (alpha+beta-2, the number of
+// observations absorbed beyond the prior).
+func (b BetaBelief) Strength() float64 { return b.Alpha + b.Beta - 2 }
+
+// Sample draws from the posterior (for Thompson-sampling source selection).
+func (b BetaBelief) Sample(r *rand.Rand) float64 {
+	return sim.Beta(r, b.Alpha, b.Beta)
+}
+
+// Interval returns an approximate central credible interval using the
+// normal approximation clipped to [0,1]; z=1.96 gives ~95%.
+func (b BetaBelief) Interval(z float64) (lo, hi float64) {
+	m := b.Mean()
+	sd := math.Sqrt(b.Variance())
+	lo, hi = m-z*sd, m+z*sd
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// Interval is a closed real interval used for uncertain cost and cardinality
+// estimates in the optimizer: "this subquery will cost between Lo and Hi".
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Point returns a degenerate interval.
+func Point(x float64) Interval { return Interval{x, x} }
+
+// MakeInterval orders its endpoints.
+func MakeInterval(a, b float64) Interval {
+	if a > b {
+		a, b = b, a
+	}
+	return Interval{a, b}
+}
+
+// Mid returns the midpoint.
+func (iv Interval) Mid() float64 { return (iv.Lo + iv.Hi) / 2 }
+
+// Width returns Hi - Lo.
+func (iv Interval) Width() float64 { return iv.Hi - iv.Lo }
+
+// Add returns the interval sum.
+func (iv Interval) Add(o Interval) Interval { return Interval{iv.Lo + o.Lo, iv.Hi + o.Hi} }
+
+// Scale multiplies both endpoints by a non-negative factor.
+func (iv Interval) Scale(a float64) Interval {
+	if a < 0 {
+		return Interval{iv.Hi * a, iv.Lo * a}
+	}
+	return Interval{iv.Lo * a, iv.Hi * a}
+}
+
+// Union returns the smallest interval containing both.
+func (iv Interval) Union(o Interval) Interval {
+	lo, hi := iv.Lo, iv.Hi
+	if o.Lo < lo {
+		lo = o.Lo
+	}
+	if o.Hi > hi {
+		hi = o.Hi
+	}
+	return Interval{lo, hi}
+}
+
+// Contains reports whether x lies in the interval.
+func (iv Interval) Contains(x float64) bool { return x >= iv.Lo && x <= iv.Hi }

@@ -1,0 +1,140 @@
+// Package uncertainty implements the probabilistic machinery the paper's
+// Uncertainty section calls for: calibrating raw match scores into match
+// probabilities, maintaining Beta-distributed beliefs about source quality,
+// propagating uncertain cost estimates as intervals, and evaluating risky
+// outcomes under user-specific risk attitudes.
+package uncertainty
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Calibrator maps raw similarity scores (any real feature-match output) to
+// calibrated match probabilities using isotonic regression (pool-adjacent-
+// violators), the standard non-parametric calibration method. A calibrated
+// score answers the paper's question "given a metric value, how likely is
+// this actually a match for the user?".
+type Calibrator struct {
+	// Breakpoints of the fitted step function: scores ascending, probs
+	// non-decreasing.
+	scores []float64
+	probs  []float64
+}
+
+// ErrNoData is returned when fitting with no observations.
+var ErrNoData = errors.New("uncertainty: no calibration data")
+
+// FitCalibrator fits isotonic regression to (score, matched) observations.
+func FitCalibrator(scores []float64, matched []bool) (*Calibrator, error) {
+	if len(scores) == 0 || len(scores) != len(matched) {
+		return nil, fmt.Errorf("%w: %d scores, %d labels", ErrNoData, len(scores), len(matched))
+	}
+	type obs struct {
+		s float64
+		y float64
+	}
+	data := make([]obs, len(scores))
+	for i := range scores {
+		y := 0.0
+		if matched[i] {
+			y = 1
+		}
+		data[i] = obs{scores[i], y}
+	}
+	sort.Slice(data, func(i, j int) bool { return data[i].s < data[j].s })
+
+	// Pool adjacent violators over blocks.
+	type block struct {
+		sum  float64
+		n    float64
+		minS float64
+		maxS float64
+	}
+	blocks := make([]block, 0, len(data))
+	for _, d := range data {
+		blocks = append(blocks, block{sum: d.y, n: 1, minS: d.s, maxS: d.s})
+		for len(blocks) >= 2 {
+			a, b := blocks[len(blocks)-2], blocks[len(blocks)-1]
+			if a.sum/a.n <= b.sum/b.n {
+				break
+			}
+			blocks = blocks[:len(blocks)-2]
+			blocks = append(blocks, block{
+				sum: a.sum + b.sum, n: a.n + b.n,
+				minS: a.minS, maxS: b.maxS,
+			})
+		}
+	}
+	c := &Calibrator{}
+	for _, b := range blocks {
+		c.scores = append(c.scores, b.maxS)
+		c.probs = append(c.probs, b.sum/b.n)
+	}
+	return c, nil
+}
+
+// Prob returns the calibrated match probability for a raw score. Scores
+// below the first breakpoint get the first block's probability; above the
+// last, the last's.
+func (c *Calibrator) Prob(score float64) float64 {
+	if len(c.scores) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(c.scores, score)
+	if i >= len(c.probs) {
+		i = len(c.probs) - 1
+	}
+	return c.probs[i]
+}
+
+// Levels returns the number of distinct probability levels (fitted blocks).
+func (c *Calibrator) Levels() int { return len(c.probs) }
+
+// CalibrationError computes the expected calibration error (ECE) of a
+// score→probability function against labeled data, using equal-width bins
+// over predicted probability. Lower is better; experiment E1 reports it.
+func CalibrationError(predict func(float64) float64, scores []float64, matched []bool, bins int) float64 {
+	if bins <= 0 {
+		bins = 10
+	}
+	type bin struct {
+		sumP, sumY, n float64
+	}
+	bs := make([]bin, bins)
+	for i, s := range scores {
+		p := predict(s)
+		if p < 0 {
+			p = 0
+		}
+		if p > 1 {
+			p = 1
+		}
+		idx := int(p * float64(bins))
+		if idx == bins {
+			idx = bins - 1
+		}
+		bs[idx].sumP += p
+		if matched[i] {
+			bs[idx].sumY++
+		}
+		bs[idx].n++
+	}
+	var ece float64
+	total := float64(len(scores))
+	if total == 0 {
+		return 0
+	}
+	for _, b := range bs {
+		if b.n == 0 {
+			continue
+		}
+		gap := b.sumP/b.n - b.sumY/b.n
+		if gap < 0 {
+			gap = -gap
+		}
+		ece += (b.n / total) * gap
+	}
+	return ece
+}

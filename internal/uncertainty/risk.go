@@ -1,0 +1,74 @@
+package uncertainty
+
+import "math"
+
+// Risk attitudes. The paper: uncertainty at the user level is "in direct
+// relation to risk, which is rather difficult to model, as different
+// attitudes towards risk make people behave very differently under
+// uncertainty" (citing Machina's survey of choice under uncertainty). We use
+// the standard CARA (constant absolute risk aversion) family: utility
+// u(x) = (1 - e^{-a x}) / a for a != 0, u(x) = x for a = 0. Positive a is
+// risk-averse, negative risk-seeking.
+
+// RiskAttitude is the CARA coefficient plus a loss-aversion multiplier in
+// the prospect-theory spirit (losses weighed lambda times gains).
+type RiskAttitude struct {
+	// A is the CARA coefficient. 0 = risk-neutral, >0 averse, <0 seeking.
+	A float64
+	// LossAversion scales negative outcomes; 1 disables. Typical human
+	// estimates sit near 2.25.
+	LossAversion float64
+}
+
+// Neutral returns a risk-neutral attitude.
+func Neutral() RiskAttitude { return RiskAttitude{A: 0, LossAversion: 1} }
+
+// Averse returns a risk-averse attitude with the given coefficient.
+func Averse(a float64) RiskAttitude { return RiskAttitude{A: math.Abs(a), LossAversion: 1} }
+
+// Seeking returns a risk-seeking attitude with the given coefficient.
+func Seeking(a float64) RiskAttitude { return RiskAttitude{A: -math.Abs(a), LossAversion: 1} }
+
+// Utility maps a monetary-like outcome to utility under the attitude.
+func (ra RiskAttitude) Utility(x float64) float64 {
+	if ra.LossAversion > 1 && x < 0 {
+		x *= ra.LossAversion
+	}
+	if ra.A == 0 {
+		return x
+	}
+	return (1 - math.Exp(-ra.A*x)) / ra.A
+}
+
+// Outcome is a probabilistic result (value with probability).
+type Outcome struct {
+	Value float64
+	Prob  float64
+}
+
+// ExpectedUtility evaluates a lottery. Probabilities need not sum to 1
+// (missing mass is an implicit zero-value outcome).
+func (ra RiskAttitude) ExpectedUtility(lottery []Outcome) float64 {
+	var eu, mass float64
+	for _, o := range lottery {
+		eu += o.Prob * ra.Utility(o.Value)
+		mass += o.Prob
+	}
+	if rest := 1 - mass; rest > 0 {
+		eu += rest * ra.Utility(0)
+	}
+	return eu
+}
+
+// CertaintyEquivalent inverts the CARA utility of a normal-approximated
+// payoff with the given mean and variance: CE = mu - a*sigma^2/2. This is
+// the closed form the optimizer uses to price uncertain plans per user: a
+// risk-averse Iris pays a premium for low-variance plans.
+func (ra RiskAttitude) CertaintyEquivalent(mean, variance float64) float64 {
+	return mean - ra.A*variance/2
+}
+
+// PreferLottery reports whether the attitude prefers lottery a to b.
+func (ra RiskAttitude) PreferLottery(a, b []Outcome) bool {
+	return ra.ExpectedUtility(a) > ra.ExpectedUtility(b)
+}

@@ -1,0 +1,110 @@
+package uncertainty
+
+import (
+	"errors"
+	"math"
+)
+
+// Risk-profile estimation from observed choices — the paper's §5 closing
+// research question: "optimizing queries according to different risk
+// profiles of individuals, establishing those profiles through
+// observations". Every time a user picks between two uncertain plans (a
+// safe-but-modest one and a risky-but-rich one), the choice carries
+// evidence about their CARA coefficient. FitRiskAttitude recovers it by
+// maximum likelihood under a softmax (logit) choice model — the standard
+// econometric treatment of noisy human choices.
+
+// LotteryChoice is one observed decision between two lotteries; Chose is
+// the index (0 or 1) the user picked.
+type LotteryChoice struct {
+	Options [2][]Outcome
+	Chose   int
+}
+
+// ErrNoChoices is returned when fitting with no observations.
+var ErrNoChoices = errors.New("uncertainty: no observed choices")
+
+// FitRiskAttitude estimates the CARA coefficient from observed choices by
+// grid-searched maximum likelihood under a softmax choice rule with
+// temperature tau (larger tau = noisier chooser; 1 is a reasonable
+// default). The search covers A in [-2, 2], which spans strongly
+// risk-seeking to strongly risk-averse behaviour on unit-scale payoffs.
+func FitRiskAttitude(choices []LotteryChoice, tau float64) (RiskAttitude, error) {
+	if len(choices) == 0 {
+		return RiskAttitude{}, ErrNoChoices
+	}
+	if tau <= 0 {
+		tau = 1
+	}
+	best := RiskAttitude{LossAversion: 1}
+	bestLL := math.Inf(-1)
+	// Coarse-to-fine grid: 0.05 resolution over [-2, 2].
+	for a := -2.0; a <= 2.0+1e-9; a += 0.05 {
+		ra := RiskAttitude{A: a, LossAversion: 1}
+		ll := logLikelihood(ra, choices, tau)
+		if ll > bestLL {
+			bestLL = ll
+			best = ra
+		}
+	}
+	// Refine around the winner.
+	center := best.A
+	for a := center - 0.05; a <= center+0.05+1e-9; a += 0.005 {
+		ra := RiskAttitude{A: a, LossAversion: 1}
+		if ll := logLikelihood(ra, choices, tau); ll > bestLL {
+			bestLL = ll
+			best = ra
+		}
+	}
+	return best, nil
+}
+
+func logLikelihood(ra RiskAttitude, choices []LotteryChoice, tau float64) float64 {
+	var ll float64
+	for _, c := range choices {
+		u0 := ra.ExpectedUtility(c.Options[0])
+		u1 := ra.ExpectedUtility(c.Options[1])
+		// Softmax probability of the observed choice.
+		var pChosen float64
+		d := (u1 - u0) / tau
+		// Numerically stable logistic.
+		p1 := 1 / (1 + math.Exp(-d))
+		if c.Chose == 1 {
+			pChosen = p1
+		} else {
+			pChosen = 1 - p1
+		}
+		if pChosen < 1e-12 {
+			pChosen = 1e-12
+		}
+		ll += math.Log(pChosen)
+	}
+	return ll
+}
+
+// RiskProfiler accumulates choices online and re-fits on demand — the
+// session-side profiling loop (observe → fit → use in the optimizer).
+type RiskProfiler struct {
+	choices []LotteryChoice
+	tau     float64
+}
+
+// NewRiskProfiler returns a profiler with the given choice-noise
+// temperature (<=0 picks 1).
+func NewRiskProfiler(tau float64) *RiskProfiler {
+	if tau <= 0 {
+		tau = 1
+	}
+	return &RiskProfiler{tau: tau}
+}
+
+// Observe records one decision.
+func (rp *RiskProfiler) Observe(c LotteryChoice) { rp.choices = append(rp.choices, c) }
+
+// N returns the number of observed choices.
+func (rp *RiskProfiler) N() int { return len(rp.choices) }
+
+// Fit returns the current maximum-likelihood attitude.
+func (rp *RiskProfiler) Fit() (RiskAttitude, error) {
+	return FitRiskAttitude(rp.choices, rp.tau)
+}

@@ -1,0 +1,106 @@
+package uncertainty
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// synthChoices simulates a user with hidden attitude making noisy choices
+// between random safe/risky lottery pairs.
+func synthChoices(r *rand.Rand, hidden RiskAttitude, n int, tau float64) []LotteryChoice {
+	var out []LotteryChoice
+	for i := 0; i < n; i++ {
+		safeVal := 2 + 4*r.Float64()
+		riskyHi := safeVal*1.5 + 3*r.Float64()
+		p := 0.3 + 0.4*r.Float64()
+		safe := []Outcome{{Value: safeVal, Prob: 1}}
+		risky := []Outcome{{Value: riskyHi, Prob: p}, {Value: 0, Prob: 1 - p}}
+		c := LotteryChoice{Options: [2][]Outcome{safe, risky}}
+		u0 := hidden.ExpectedUtility(safe)
+		u1 := hidden.ExpectedUtility(risky)
+		p1 := 1 / (1 + math.Exp(-(u1-u0)/tau))
+		if r.Float64() < p1 {
+			c.Chose = 1
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+func TestFitRecoversHiddenAttitude(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for _, hidden := range []RiskAttitude{
+		Averse(0.8), Neutral(), Seeking(0.5),
+	} {
+		choices := synthChoices(r, hidden, 400, 0.3)
+		got, err := FitRiskAttitude(choices, 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got.A-hidden.A) > 0.3 {
+			t.Fatalf("hidden A=%v recovered as %v", hidden.A, got.A)
+		}
+	}
+}
+
+func TestFitSeparatesAttitudes(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	averse := synthChoices(r, Averse(1.0), 200, 0.3)
+	seeking := synthChoices(r, Seeking(1.0), 200, 0.3)
+	fa, err := FitRiskAttitude(averse, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := FitRiskAttitude(seeking, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa.A <= 0 {
+		t.Fatalf("averse user fitted as A=%v", fa.A)
+	}
+	if fs.A >= 0 {
+		t.Fatalf("seeking user fitted as A=%v", fs.A)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := FitRiskAttitude(nil, 1); !errors.Is(err, ErrNoChoices) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRiskProfilerOnline(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	hidden := Averse(0.7)
+	rp := NewRiskProfiler(0.3)
+	if _, err := rp.Fit(); err == nil {
+		t.Fatal("empty profiler should not fit")
+	}
+	// Accuracy improves with observations.
+	var errAt50, errAt500 float64
+	for _, c := range synthChoices(r, hidden, 500, 0.3) {
+		rp.Observe(c)
+		if rp.N() == 50 {
+			got, err := rp.Fit()
+			if err != nil {
+				t.Fatal(err)
+			}
+			errAt50 = math.Abs(got.A - hidden.A)
+		}
+	}
+	got, err := rp.Fit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	errAt500 = math.Abs(got.A - hidden.A)
+	if errAt500 > 0.25 {
+		t.Fatalf("500-choice fit error = %v", errAt500)
+	}
+	// Not strictly monotone sample-by-sample, but 500 should not be much
+	// worse than 50.
+	if errAt500 > errAt50+0.2 {
+		t.Fatalf("fit degraded with data: %v -> %v", errAt50, errAt500)
+	}
+}

@@ -1,0 +1,250 @@
+package uncertainty
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitCalibratorMonotone(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	var scores []float64
+	var labels []bool
+	for i := 0; i < 2000; i++ {
+		s := r.Float64()
+		scores = append(scores, s)
+		labels = append(labels, r.Float64() < s*s) // true prob = s^2
+	}
+	c, err := FitCalibrator(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fitted probabilities must be non-decreasing in score.
+	prev := -1.0
+	for _, s := range []float64{0, 0.1, 0.3, 0.5, 0.7, 0.9, 1} {
+		p := c.Prob(s)
+		if p < prev-1e-12 {
+			t.Fatalf("calibrated prob decreasing at %v: %v < %v", s, p, prev)
+		}
+		prev = p
+	}
+	// Calibration should be decent: prob(0.9) near 0.81, prob(0.3) near 0.09.
+	if p := c.Prob(0.9); math.Abs(p-0.81) > 0.12 {
+		t.Fatalf("prob(0.9) = %v, want ~0.81", p)
+	}
+	if p := c.Prob(0.3); math.Abs(p-0.09) > 0.1 {
+		t.Fatalf("prob(0.3) = %v, want ~0.09", p)
+	}
+}
+
+func TestFitCalibratorErrors(t *testing.T) {
+	if _, err := FitCalibrator(nil, nil); !errors.Is(err, ErrNoData) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := FitCalibrator([]float64{1}, []bool{true, false}); !errors.Is(err, ErrNoData) {
+		t.Fatalf("mismatched lengths err = %v", err)
+	}
+}
+
+func TestCalibratorMonotoneProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		scores := make([]float64, len(raw))
+		labels := make([]bool, len(raw))
+		for i, v := range raw {
+			scores[i] = float64(v%100) / 100
+			labels[i] = v%3 == 0
+		}
+		c, err := FitCalibrator(scores, labels)
+		if err != nil {
+			return false
+		}
+		sorted := append([]float64(nil), scores...)
+		sort.Float64s(sorted)
+		prev := -1.0
+		for _, s := range sorted {
+			p := c.Prob(s)
+			if p < prev-1e-12 || p < 0 || p > 1 {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCalibrationErrorDiscriminates(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	var scores []float64
+	var labels []bool
+	for i := 0; i < 3000; i++ {
+		s := r.Float64()
+		scores = append(scores, s)
+		labels = append(labels, r.Float64() < s*s)
+	}
+	c, err := FitCalibrator(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eceCal := CalibrationError(c.Prob, scores, labels, 10)
+	eceRaw := CalibrationError(func(s float64) float64 { return s }, scores, labels, 10)
+	if eceCal >= eceRaw {
+		t.Fatalf("calibration didn't help: cal=%v raw=%v", eceCal, eceRaw)
+	}
+	if eceCal > 0.08 {
+		t.Fatalf("calibrated ECE too high: %v", eceCal)
+	}
+}
+
+func TestCalibrationErrorEmpty(t *testing.T) {
+	if e := CalibrationError(func(float64) float64 { return 0.5 }, nil, nil, 10); e != 0 {
+		t.Fatalf("empty ECE = %v", e)
+	}
+}
+
+func TestBetaBeliefConvergence(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	hidden := 0.73
+	b := NewBelief()
+	for i := 0; i < 3000; i++ {
+		b = b.Observe(r.Float64() < hidden)
+	}
+	if math.Abs(b.Mean()-hidden) > 0.03 {
+		t.Fatalf("belief mean %v, hidden %v", b.Mean(), hidden)
+	}
+	if b.Variance() > 0.001 {
+		t.Fatalf("variance should shrink: %v", b.Variance())
+	}
+	lo, hi := b.Interval(1.96)
+	if lo > hidden || hi < hidden {
+		t.Fatalf("95%% interval [%v,%v] misses %v", lo, hi, hidden)
+	}
+}
+
+func TestBeliefWeightedAndDecay(t *testing.T) {
+	b := NewBelief().ObserveWeighted(0.7)
+	if math.Abs(b.Alpha-1.7) > 1e-12 || math.Abs(b.Beta-1.3) > 1e-12 {
+		t.Fatalf("weighted update: %+v", b)
+	}
+	// Decay pulls toward the prior but preserves the mean direction.
+	strong := BetaBelief{Alpha: 100, Beta: 10}
+	d := strong.Decay(0.5)
+	if d.Strength() >= strong.Strength() {
+		t.Fatal("decay should reduce evidence")
+	}
+	if d.Mean() < 0.5 {
+		t.Fatal("decay should not flip the mean")
+	}
+	same := strong.Decay(1)
+	if same != strong {
+		t.Fatal("decay(1) should be identity")
+	}
+}
+
+func TestPriorBelief(t *testing.T) {
+	b := PriorBelief(0.9, 10)
+	if math.Abs(b.Mean()-((1+9.0)/(12.0))) > 1e-9 {
+		t.Fatalf("prior mean = %v", b.Mean())
+	}
+	// Clamps.
+	if PriorBelief(-1, 10).Mean() > PriorBelief(1, 10).Mean() {
+		t.Fatal("clamped priors ordered wrong")
+	}
+}
+
+func TestBeliefSampleInRange(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	b := BetaBelief{Alpha: 3, Beta: 7}
+	for i := 0; i < 200; i++ {
+		x := b.Sample(r)
+		if x < 0 || x > 1 {
+			t.Fatalf("sample out of range: %v", x)
+		}
+	}
+}
+
+func TestIntervalArithmetic(t *testing.T) {
+	a := MakeInterval(3, 1) // reordered
+	if a.Lo != 1 || a.Hi != 3 {
+		t.Fatalf("MakeInterval = %+v", a)
+	}
+	b := Point(2)
+	sum := a.Add(b)
+	if sum.Lo != 3 || sum.Hi != 5 {
+		t.Fatalf("add = %+v", sum)
+	}
+	sc := a.Scale(2)
+	if sc.Lo != 2 || sc.Hi != 6 {
+		t.Fatalf("scale = %+v", sc)
+	}
+	neg := a.Scale(-1)
+	if neg.Lo != -3 || neg.Hi != -1 {
+		t.Fatalf("negative scale = %+v", neg)
+	}
+	u := a.Union(Interval{0, 1.5})
+	if u.Lo != 0 || u.Hi != 3 {
+		t.Fatalf("union = %+v", u)
+	}
+	if !a.Contains(2) || a.Contains(5) {
+		t.Fatal("contains wrong")
+	}
+	if a.Mid() != 2 || a.Width() != 2 {
+		t.Fatal("mid/width wrong")
+	}
+}
+
+func TestRiskAttitudes(t *testing.T) {
+	// A fair coin for 10 or 0 vs a sure 5.
+	lottery := []Outcome{{Value: 10, Prob: 0.5}, {Value: 0, Prob: 0.5}}
+	sure := []Outcome{{Value: 5, Prob: 1}}
+	if Neutral().PreferLottery(lottery, sure) || Neutral().PreferLottery(sure, lottery) {
+		t.Fatal("risk-neutral should be indifferent")
+	}
+	if !Averse(0.5).PreferLottery(sure, lottery) {
+		t.Fatal("risk-averse should prefer the sure thing")
+	}
+	if !Seeking(0.5).PreferLottery(lottery, sure) {
+		t.Fatal("risk-seeking should prefer the lottery")
+	}
+}
+
+func TestCertaintyEquivalent(t *testing.T) {
+	ra := Averse(0.4)
+	ceLow := ra.CertaintyEquivalent(10, 1)
+	ceHigh := ra.CertaintyEquivalent(10, 25)
+	if ceHigh >= ceLow {
+		t.Fatal("more variance should lower CE for the averse")
+	}
+	if Neutral().CertaintyEquivalent(10, 100) != 10 {
+		t.Fatal("neutral CE should be the mean")
+	}
+	if Seeking(0.4).CertaintyEquivalent(10, 25) <= 10 {
+		t.Fatal("seeking CE should exceed the mean")
+	}
+}
+
+func TestLossAversion(t *testing.T) {
+	ra := RiskAttitude{A: 0, LossAversion: 2}
+	if ra.Utility(-5) != -10 {
+		t.Fatalf("loss utility = %v", ra.Utility(-5))
+	}
+	if ra.Utility(5) != 5 {
+		t.Fatalf("gain utility = %v", ra.Utility(5))
+	}
+}
+
+func TestExpectedUtilityImplicitZero(t *testing.T) {
+	// 30% chance of 10, rest implicit 0.
+	eu := Neutral().ExpectedUtility([]Outcome{{Value: 10, Prob: 0.3}})
+	if math.Abs(eu-3) > 1e-12 {
+		t.Fatalf("eu = %v", eu)
+	}
+}

@@ -1,0 +1,275 @@
+// Package wire implements the Open Agora message codec: a compact,
+// versioned, CRC-checked binary framing used by the real TCP transport and
+// by any component that needs a stable byte representation of agora
+// messages (persistence, digests).
+//
+// Encoding rules: little-endian fixed-width integers, float64 as IEEE-754
+// bits, strings and byte slices length-prefixed with uvarint, slices
+// count-prefixed with uvarint. The codec is hand-rolled rather than gob so
+// the format is stable across Go versions and language-independent.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Encoding errors.
+var (
+	ErrShortBuffer = errors.New("wire: short buffer")
+	ErrTooLarge    = errors.New("wire: length exceeds limit")
+	ErrChecksum    = errors.New("wire: checksum mismatch")
+	ErrBadMagic    = errors.New("wire: bad magic")
+	ErrVersion     = errors.New("wire: unsupported version")
+)
+
+// MaxBlob bounds any single string/byte field to keep a corrupt length
+// prefix from allocating unbounded memory.
+const MaxBlob = 16 << 20
+
+// Writer serializes primitives into a growing buffer.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns a writer with the given initial capacity.
+func NewWriter(capacity int) *Writer {
+	return &Writer{buf: make([]byte, 0, capacity)}
+}
+
+// Bytes returns the encoded bytes. The slice aliases the writer's buffer.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of bytes written.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Reset clears the buffer for reuse.
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
+// U8 writes a byte.
+func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+
+// U32 writes a fixed 32-bit little-endian integer.
+func (w *Writer) U32(v uint32) {
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, v)
+}
+
+// U64 writes a fixed 64-bit little-endian integer.
+func (w *Writer) U64(v uint64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, v)
+}
+
+// I64 writes a signed 64-bit integer.
+func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
+// Uvarint writes an unsigned varint.
+func (w *Writer) Uvarint(v uint64) {
+	w.buf = binary.AppendUvarint(w.buf, v)
+}
+
+// F64 writes a float64 as IEEE-754 bits.
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// Bool writes a boolean as one byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// String writes a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.Uvarint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// Blob writes a length-prefixed byte slice.
+func (w *Writer) Blob(b []byte) {
+	w.Uvarint(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// F64s writes a count-prefixed float64 slice.
+func (w *Writer) F64s(v []float64) {
+	w.Uvarint(uint64(len(v)))
+	for _, x := range v {
+		w.F64(x)
+	}
+}
+
+// Strings writes a count-prefixed string slice.
+func (w *Writer) Strings(v []string) {
+	w.Uvarint(uint64(len(v)))
+	for _, s := range v {
+		w.String(s)
+	}
+}
+
+// Reader deserializes primitives from a byte slice. Errors are sticky: after
+// the first failure every subsequent read returns the zero value, and Err
+// reports the first error, so decode functions can read a whole struct and
+// check once.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader returns a reader over buf.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// Err returns the first error encountered, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+func (r *Reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.buf) {
+		r.fail(ErrShortBuffer)
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// U8 reads a byte.
+func (r *Reader) U8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U32 reads a fixed 32-bit integer.
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a fixed 64-bit integer.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// I64 reads a signed 64-bit integer.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// Uvarint reads an unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail(ErrShortBuffer)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// F64 reads a float64.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Bool reads a boolean.
+func (r *Reader) Bool() bool { return r.U8() != 0 }
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.Uvarint()
+	if n > MaxBlob {
+		r.fail(fmt.Errorf("%w: string %d", ErrTooLarge, n))
+		return ""
+	}
+	b := r.take(int(n))
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// Blob reads a length-prefixed byte slice (copied).
+func (r *Reader) Blob() []byte {
+	n := r.Uvarint()
+	if n > MaxBlob {
+		r.fail(fmt.Errorf("%w: blob %d", ErrTooLarge, n))
+		return nil
+	}
+	b := r.take(int(n))
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+
+// F64s reads a count-prefixed float64 slice.
+func (r *Reader) F64s() []float64 {
+	n := r.Uvarint()
+	if n > MaxBlob/8 {
+		r.fail(fmt.Errorf("%w: f64s %d", ErrTooLarge, n))
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.F64()
+	}
+	if r.err != nil {
+		return nil
+	}
+	return out
+}
+
+// Strings reads a count-prefixed string slice.
+func (r *Reader) Strings() []string {
+	n := r.Uvarint()
+	if n > MaxBlob {
+		r.fail(fmt.Errorf("%w: strings %d", ErrTooLarge, n))
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]string, 0, min(int(n), 4096))
+	for i := uint64(0); i < n; i++ {
+		out = append(out, r.String())
+		if r.err != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

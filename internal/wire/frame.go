@@ -1,0 +1,153 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Frame layout:
+//
+//	magic   uint16 = 0xA60A ("Agora")
+//	version uint8  = 1
+//	kind    uint8
+//	length  uint32 (payload bytes)
+//	crc32   uint32 (IEEE, over payload)
+//	payload [length]byte
+const (
+	Magic       = 0xA60A
+	Version     = 1
+	headerSize  = 2 + 1 + 1 + 4 + 4
+	maxFrameLen = 64 << 20
+)
+
+// Kind identifies a message type inside a frame.
+type Kind uint8
+
+// Message kinds spoken by agora nodes.
+const (
+	KindHello Kind = iota + 1
+	KindHelloAck
+	KindGossip
+	KindQuery
+	KindQueryResult
+	KindCallForOffers
+	KindOffer
+	KindCounterOffer
+	KindAccept
+	KindReject
+	KindContract
+	KindDelivery
+	KindBreach
+	KindFeedItem
+	KindSubscribe
+	KindUnsubscribe
+	KindProfilePart
+	KindCollabOp
+	KindPing
+	KindPong
+)
+
+var kindNames = map[Kind]string{
+	KindHello: "hello", KindHelloAck: "helloAck", KindGossip: "gossip",
+	KindQuery: "query", KindQueryResult: "queryResult",
+	KindCallForOffers: "callForOffers", KindOffer: "offer",
+	KindCounterOffer: "counterOffer", KindAccept: "accept",
+	KindReject: "reject", KindContract: "contract",
+	KindDelivery: "delivery", KindBreach: "breach",
+	KindFeedItem: "feedItem", KindSubscribe: "subscribe",
+	KindUnsubscribe: "unsubscribe", KindProfilePart: "profilePart",
+	KindCollabOp: "collabOp", KindPing: "ping", KindPong: "pong",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Frame is a decoded message envelope.
+type Frame struct {
+	Kind    Kind
+	Payload []byte
+}
+
+// EncodeFrame appends the framed message to dst and returns the result.
+func EncodeFrame(dst []byte, kind Kind, payload []byte) []byte {
+	dst = binary.LittleEndian.AppendUint16(dst, Magic)
+	dst = append(dst, Version, byte(kind))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
+	dst = append(dst, payload...)
+	return dst
+}
+
+// DecodeFrame parses one frame from buf, returning the frame and the number
+// of bytes consumed. It returns ErrShortBuffer if buf does not hold a
+// complete frame yet (callers accumulating a stream retry with more data).
+func DecodeFrame(buf []byte) (Frame, int, error) {
+	if len(buf) < headerSize {
+		return Frame{}, 0, ErrShortBuffer
+	}
+	if binary.LittleEndian.Uint16(buf) != Magic {
+		return Frame{}, 0, ErrBadMagic
+	}
+	if buf[2] != Version {
+		return Frame{}, 0, fmt.Errorf("%w: %d", ErrVersion, buf[2])
+	}
+	kind := Kind(buf[3])
+	length := binary.LittleEndian.Uint32(buf[4:])
+	if length > maxFrameLen {
+		return Frame{}, 0, fmt.Errorf("%w: frame %d", ErrTooLarge, length)
+	}
+	want := binary.LittleEndian.Uint32(buf[8:])
+	total := headerSize + int(length)
+	if len(buf) < total {
+		return Frame{}, 0, ErrShortBuffer
+	}
+	payload := buf[headerSize:total]
+	if crc32.ChecksumIEEE(payload) != want {
+		return Frame{}, 0, ErrChecksum
+	}
+	out := make([]byte, length)
+	copy(out, payload)
+	return Frame{Kind: kind, Payload: out}, total, nil
+}
+
+// WriteFrame writes one framed message to w.
+func WriteFrame(w io.Writer, kind Kind, payload []byte) error {
+	buf := EncodeFrame(make([]byte, 0, headerSize+len(payload)), kind, payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one framed message from a buffered reader.
+func ReadFrame(r *bufio.Reader) (Frame, error) {
+	header := make([]byte, headerSize)
+	if _, err := io.ReadFull(r, header); err != nil {
+		return Frame{}, err
+	}
+	if binary.LittleEndian.Uint16(header) != Magic {
+		return Frame{}, ErrBadMagic
+	}
+	if header[2] != Version {
+		return Frame{}, fmt.Errorf("%w: %d", ErrVersion, header[2])
+	}
+	kind := Kind(header[3])
+	length := binary.LittleEndian.Uint32(header[4:])
+	if length > maxFrameLen {
+		return Frame{}, fmt.Errorf("%w: frame %d", ErrTooLarge, length)
+	}
+	want := binary.LittleEndian.Uint32(header[8:])
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return Frame{}, fmt.Errorf("wire: reading payload: %w", err)
+	}
+	if crc32.ChecksumIEEE(payload) != want {
+		return Frame{}, ErrChecksum
+	}
+	return Frame{Kind: kind, Payload: payload}, nil
+}

@@ -1,0 +1,323 @@
+package wire
+
+// Self-contained message DTOs. Higher layers (query, qos, negotiate) convert
+// their richer types to/from these; keeping only primitives here prevents
+// import cycles and keeps the wire format independent of in-memory
+// representations.
+
+// Hello announces a node joining the overlay.
+type Hello struct {
+	NodeID   string
+	Addr     string
+	Topics   []string // advertised expertise, for semantic routing
+	Capacity int64
+}
+
+// Marshal encodes the message.
+func (m *Hello) Marshal() []byte {
+	w := NewWriter(64)
+	w.String(m.NodeID)
+	w.String(m.Addr)
+	w.Strings(m.Topics)
+	w.I64(m.Capacity)
+	return w.Bytes()
+}
+
+// UnmarshalHello decodes a Hello.
+func UnmarshalHello(b []byte) (Hello, error) {
+	r := NewReader(b)
+	m := Hello{
+		NodeID:   r.String(),
+		Addr:     r.String(),
+		Topics:   r.Strings(),
+		Capacity: r.I64(),
+	}
+	return m, r.Err()
+}
+
+// Gossip carries a membership sample.
+type Gossip struct {
+	From  string
+	Peers []string // "id addr" pairs, flattened
+}
+
+// Marshal encodes the message.
+func (m *Gossip) Marshal() []byte {
+	w := NewWriter(64)
+	w.String(m.From)
+	w.Strings(m.Peers)
+	return w.Bytes()
+}
+
+// UnmarshalGossip decodes a Gossip.
+func UnmarshalGossip(b []byte) (Gossip, error) {
+	r := NewReader(b)
+	m := Gossip{From: r.String(), Peers: r.Strings()}
+	return m, r.Err()
+}
+
+// QoSTerms is the flat wire form of a QoS vector / SLA terms.
+type QoSTerms struct {
+	Price        float64
+	LatencyMs    float64
+	Completeness float64
+	FreshnessSec float64
+	Trust        float64
+	Premium      float64
+	PenaltyRate  float64
+}
+
+func (q *QoSTerms) encode(w *Writer) {
+	w.F64(q.Price)
+	w.F64(q.LatencyMs)
+	w.F64(q.Completeness)
+	w.F64(q.FreshnessSec)
+	w.F64(q.Trust)
+	w.F64(q.Premium)
+	w.F64(q.PenaltyRate)
+}
+
+func decodeQoSTerms(r *Reader) QoSTerms {
+	return QoSTerms{
+		Price:        r.F64(),
+		LatencyMs:    r.F64(),
+		Completeness: r.F64(),
+		FreshnessSec: r.F64(),
+		Trust:        r.F64(),
+		Premium:      r.F64(),
+		PenaltyRate:  r.F64(),
+	}
+}
+
+// Query is a wire query: free text plus an optional concept vector and the
+// QoS the consumer wants.
+type Query struct {
+	ID      string
+	From    string
+	Text    string
+	Concept []float64
+	TopK    uint32
+	TTL     uint32
+	Want    QoSTerms
+}
+
+// Marshal encodes the message.
+func (m *Query) Marshal() []byte {
+	w := NewWriter(128)
+	w.String(m.ID)
+	w.String(m.From)
+	w.String(m.Text)
+	w.F64s(m.Concept)
+	w.U32(m.TopK)
+	w.U32(m.TTL)
+	m.Want.encode(w)
+	return w.Bytes()
+}
+
+// UnmarshalQuery decodes a Query.
+func UnmarshalQuery(b []byte) (Query, error) {
+	r := NewReader(b)
+	m := Query{
+		ID:      r.String(),
+		From:    r.String(),
+		Text:    r.String(),
+		Concept: r.F64s(),
+		TopK:    r.U32(),
+		TTL:     r.U32(),
+		Want:    decodeQoSTerms(r),
+	}
+	return m, r.Err()
+}
+
+// ResultItem is one scored answer.
+type ResultItem struct {
+	DocID   string
+	Source  string
+	Score   float64
+	Snippet string
+}
+
+// QueryResult returns scored items for a query.
+type QueryResult struct {
+	QueryID string
+	From    string
+	Items   []ResultItem
+	Elapsed float64 // seconds, provider-side
+}
+
+// Marshal encodes the message.
+func (m *QueryResult) Marshal() []byte {
+	w := NewWriter(256)
+	w.String(m.QueryID)
+	w.String(m.From)
+	w.Uvarint(uint64(len(m.Items)))
+	for _, it := range m.Items {
+		w.String(it.DocID)
+		w.String(it.Source)
+		w.F64(it.Score)
+		w.String(it.Snippet)
+	}
+	w.F64(m.Elapsed)
+	return w.Bytes()
+}
+
+// UnmarshalQueryResult decodes a QueryResult.
+func UnmarshalQueryResult(b []byte) (QueryResult, error) {
+	r := NewReader(b)
+	m := QueryResult{QueryID: r.String(), From: r.String()}
+	n := r.Uvarint()
+	if n > MaxBlob {
+		return m, ErrTooLarge
+	}
+	for i := uint64(0); i < n && r.Err() == nil; i++ {
+		m.Items = append(m.Items, ResultItem{
+			DocID:   r.String(),
+			Source:  r.String(),
+			Score:   r.F64(),
+			Snippet: r.String(),
+		})
+	}
+	m.Elapsed = r.F64()
+	return m, r.Err()
+}
+
+// Offer is one side's proposal in a negotiation round.
+type Offer struct {
+	NegotiationID string
+	QueryID       string
+	From          string
+	Round         uint32
+	Terms         QoSTerms
+	Expire        int64 // virtual/real nanos after which the offer is void
+}
+
+// Marshal encodes the message.
+func (m *Offer) Marshal() []byte {
+	w := NewWriter(128)
+	w.String(m.NegotiationID)
+	w.String(m.QueryID)
+	w.String(m.From)
+	w.U32(m.Round)
+	m.Terms.encode(w)
+	w.I64(m.Expire)
+	return w.Bytes()
+}
+
+// UnmarshalOffer decodes an Offer.
+func UnmarshalOffer(b []byte) (Offer, error) {
+	r := NewReader(b)
+	m := Offer{
+		NegotiationID: r.String(),
+		QueryID:       r.String(),
+		From:          r.String(),
+		Round:         r.U32(),
+		Terms:         decodeQoSTerms(r),
+		Expire:        r.I64(),
+	}
+	return m, r.Err()
+}
+
+// Contract is a signed SLA between consumer and provider.
+type Contract struct {
+	ID       string
+	QueryID  string
+	Consumer string
+	Provider string
+	Terms    QoSTerms
+	SignedAt int64
+}
+
+// Marshal encodes the message.
+func (m *Contract) Marshal() []byte {
+	w := NewWriter(128)
+	w.String(m.ID)
+	w.String(m.QueryID)
+	w.String(m.Consumer)
+	w.String(m.Provider)
+	m.Terms.encode(w)
+	w.I64(m.SignedAt)
+	return w.Bytes()
+}
+
+// UnmarshalContract decodes a Contract.
+func UnmarshalContract(b []byte) (Contract, error) {
+	r := NewReader(b)
+	m := Contract{
+		ID:       r.String(),
+		QueryID:  r.String(),
+		Consumer: r.String(),
+		Provider: r.String(),
+		Terms:    decodeQoSTerms(r),
+		SignedAt: r.I64(),
+	}
+	return m, r.Err()
+}
+
+// FeedItem is one item pushed on a continuous feed.
+type FeedItem struct {
+	FeedID  string
+	DocID   string
+	Source  string
+	Text    string
+	Concept []float64
+	Seq     uint64
+}
+
+// Marshal encodes the message.
+func (m *FeedItem) Marshal() []byte {
+	w := NewWriter(128)
+	w.String(m.FeedID)
+	w.String(m.DocID)
+	w.String(m.Source)
+	w.String(m.Text)
+	w.F64s(m.Concept)
+	w.U64(m.Seq)
+	return w.Bytes()
+}
+
+// UnmarshalFeedItem decodes a FeedItem.
+func UnmarshalFeedItem(b []byte) (FeedItem, error) {
+	r := NewReader(b)
+	m := FeedItem{
+		FeedID:  r.String(),
+		DocID:   r.String(),
+		Source:  r.String(),
+		Text:    r.String(),
+		Concept: r.F64s(),
+		Seq:     r.U64(),
+	}
+	return m, r.Err()
+}
+
+// Subscribe registers a standing interest with a provider.
+type Subscribe struct {
+	SubID     string
+	From      string
+	Terms     []string  // textual predicate terms (all must match)
+	Concept   []float64 // similarity predicate; empty disables
+	Threshold float64
+}
+
+// Marshal encodes the message.
+func (m *Subscribe) Marshal() []byte {
+	w := NewWriter(96)
+	w.String(m.SubID)
+	w.String(m.From)
+	w.Strings(m.Terms)
+	w.F64s(m.Concept)
+	w.F64(m.Threshold)
+	return w.Bytes()
+}
+
+// UnmarshalSubscribe decodes a Subscribe.
+func UnmarshalSubscribe(b []byte) (Subscribe, error) {
+	r := NewReader(b)
+	m := Subscribe{
+		SubID:     r.String(),
+		From:      r.String(),
+		Terms:     r.Strings(),
+		Concept:   r.F64s(),
+		Threshold: r.F64(),
+	}
+	return m, r.Err()
+}

@@ -1,0 +1,400 @@
+// Package workload generates the synthetic data the experiments run on:
+// a concept space with topic clusters, document corpora with per-source
+// specialization, simulated users with ground-truth interests and QoS
+// archetypes, social graphs, and query streams. The paper's scenario has no
+// public dataset (museum holdings, auction catalogs, fashion magazines), so
+// this generator produces workloads with the same *structure*: topically
+// clustered multimedia documents spread over specialized, independently
+// owned sources — with ground truth retained so experiments can score
+// personalization and completeness exactly.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/docstore"
+	"repro/internal/feature"
+	"repro/internal/qos"
+	"repro/internal/sim"
+	"repro/internal/uncertainty"
+)
+
+// topicNames seed the synthetic domain with the paper's flavor.
+var topicNames = []string{
+	"jewelry", "folkdance", "costume", "ceramics", "tapestry",
+	"drawing", "sculpture", "manuscript", "coin", "furniture",
+	"icon", "embroidery", "glasswork", "weaponry", "music",
+	"architecture",
+}
+
+// Topic is one cluster in concept space with its own vocabulary.
+type Topic struct {
+	ID     int
+	Name   string
+	Center feature.Vector
+	Vocab  []string
+}
+
+// Generator produces deterministic synthetic workloads from a seed.
+type Generator struct {
+	rng    *rand.Rand
+	Dim    int
+	Topics []Topic
+	// Common vocabulary shared by all topics (stopword-ish noise).
+	Common []string
+}
+
+// NewGenerator builds a generator with the given concept dimensionality and
+// number of topics (capped at the dimension for separable clusters).
+func NewGenerator(seed int64, dim, numTopics int) *Generator {
+	if dim < 8 {
+		dim = 8
+	}
+	if numTopics <= 0 || numTopics > len(topicNames) {
+		numTopics = len(topicNames)
+	}
+	if numTopics > dim {
+		numTopics = dim
+	}
+	g := &Generator{rng: rand.New(rand.NewSource(seed)), Dim: dim}
+	for i := 0; i < numTopics; i++ {
+		center := make(feature.Vector, dim)
+		center[i] = 1
+		// Slight off-axis component so topics are not perfectly orthogonal
+		// (real topics overlap).
+		center[(i+1)%dim] = 0.25
+		center.Normalize()
+		vocab := make([]string, 0, 24)
+		for w := 0; w < 24; w++ {
+			vocab = append(vocab, fmt.Sprintf("%s%s", topicNames[i], syllable(g.rng, w)))
+		}
+		g.Topics = append(g.Topics, Topic{ID: i, Name: topicNames[i], Center: center, Vocab: vocab})
+	}
+	for w := 0; w < 40; w++ {
+		g.Common = append(g.Common, fmt.Sprintf("common%s", syllable(g.rng, w)))
+	}
+	return g
+}
+
+var syllables = []string{"ba", "ko", "ri", "ta", "mu", "se", "lo", "vi", "ne", "dra", "phi", "ster", "gon", "lith", "mar"}
+
+func syllable(r *rand.Rand, n int) string {
+	a := syllables[n%len(syllables)]
+	b := syllables[r.Intn(len(syllables))]
+	return a + b + fmt.Sprint(n)
+}
+
+// Doc is a generated document plus its ground truth.
+type Doc struct {
+	Doc     *docstore.Document
+	TopicID int
+}
+
+// SampleConcept draws a document/user concept vector near a topic center
+// with Gaussian noise of total magnitude ~noise (scaled by 1/sqrt(dim) per
+// coordinate so the parameter is dimension-independent).
+func (g *Generator) SampleConcept(topicID int, noise float64) feature.Vector {
+	c := g.Topics[topicID].Center.Clone()
+	per := noise / math.Sqrt(float64(len(c)))
+	for i := range c {
+		c[i] += g.rng.NormFloat64() * per
+	}
+	return c.Normalize()
+}
+
+// GenText produces nWords of text: topical words mixed with common noise.
+func (g *Generator) GenText(topicID, nWords int) string {
+	t := g.Topics[topicID]
+	out := ""
+	for i := 0; i < nWords; i++ {
+		if i > 0 {
+			out += " "
+		}
+		if g.rng.Float64() < 0.7 {
+			out += t.Vocab[g.rng.Intn(len(t.Vocab))]
+		} else {
+			out += g.Common[g.rng.Intn(len(g.Common))]
+		}
+	}
+	return out
+}
+
+// GenCorpus produces n documents with Zipf-skewed topic popularity, stamped
+// with increasing CreatedAt times spread over the given span (nanos).
+func (g *Generator) GenCorpus(n int, skew float64, span int64) []Doc {
+	return g.GenCorpusNoisy(n, skew, span, 0.15, nil)
+}
+
+// GenCorpusNoisy is GenCorpus with explicit concept noise and, when a
+// visual extractor is supplied, simulated image features (color histogram
+// and texture) rendered from each document's latent topic — the "visible
+// features" the paper's jewelry scenario matches on.
+func (g *Generator) GenCorpusNoisy(n int, skew float64, span int64, conceptNoise float64, ve *feature.VisualExtractor) []Doc {
+	zipf := sim.NewZipfSource(g.rng, skew, len(g.Topics))
+	kinds := []docstore.Kind{
+		docstore.KindArticle, docstore.KindHolding, docstore.KindCatalogEntry,
+		docstore.KindMagazine, docstore.KindThesis,
+	}
+	docs := make([]Doc, 0, n)
+	for i := 0; i < n; i++ {
+		topic := zipf.Next()
+		t := g.Topics[topic]
+		at := int64(0)
+		if span > 0 {
+			at = int64(float64(span) * float64(i) / float64(n))
+		}
+		d := &docstore.Document{
+			ID:        fmt.Sprintf("doc%05d", i),
+			Kind:      kinds[g.rng.Intn(len(kinds))],
+			Title:     fmt.Sprintf("%s %s", t.Name, g.GenText(topic, 3)),
+			Text:      g.GenText(topic, 30),
+			Topics:    []string{t.Name},
+			Concept:   g.SampleConcept(topic, conceptNoise),
+			CreatedAt: at,
+		}
+		if ve != nil {
+			// Photograph the item, not the topic prototype: visuals
+			// inherit the document's own concept noise plus extraction
+			// noise, like a real camera-and-extractor pipeline.
+			vf := ve.Extract(g.rng, d.Concept)
+			d.ColorHist = vf.ColorHist
+			d.Texture = vf.Texture
+		}
+		docs = append(docs, Doc{Doc: d, TopicID: topic})
+	}
+	return docs
+}
+
+// AssignToSources distributes docs over numSources sources. specialization
+// in [0,1]: 0 = uniform random, 1 = each source holds only its own topics
+// (topics are partitioned round-robin over sources). Provenance is set on
+// each document.
+func (g *Generator) AssignToSources(docs []Doc, numSources int, specialization float64) [][]Doc {
+	if numSources <= 0 {
+		numSources = 1
+	}
+	out := make([][]Doc, numSources)
+	for _, d := range docs {
+		var src int
+		if g.rng.Float64() < specialization {
+			src = d.TopicID % numSources
+		} else {
+			src = g.rng.Intn(numSources)
+		}
+		d.Doc.Provenance = SourceName(src)
+		out[src] = append(out[src], d)
+	}
+	return out
+}
+
+// SourceName renders the canonical name for source i.
+func SourceName(i int) string { return fmt.Sprintf("source%02d", i) }
+
+// Archetype is a QoS preference profile from the paper's examples: Iris is
+// "quick and goal-driven" when shopping for clothes, relaxed elsewhere.
+type Archetype int
+
+// User archetypes.
+const (
+	ArchBalanced Archetype = iota
+	ArchSpeedFirst
+	ArchQualityFirst
+	ArchFrugal
+)
+
+// Weights maps an archetype to QoS weights.
+func (a Archetype) Weights() qos.Weights {
+	switch a {
+	case ArchSpeedFirst:
+		return qos.Weights{Latency: 5, Completeness: 1, Freshness: 1, Trust: 1, Price: 1}
+	case ArchQualityFirst:
+		return qos.Weights{Latency: 1, Completeness: 4, Freshness: 2, Trust: 3, Price: 0.5}
+	case ArchFrugal:
+		return qos.Weights{Latency: 1, Completeness: 1, Freshness: 1, Trust: 1, Price: 5}
+	default:
+		return qos.DefaultWeights()
+	}
+}
+
+// User is a simulated user with ground truth.
+type User struct {
+	ID        string
+	Interests []int // topic ids, primary first
+	Concept   feature.Vector
+	Archetype Archetype
+	Risk      uncertainty.RiskAttitude
+}
+
+// GenUsers produces n users, each interested in 1-3 topics.
+func (g *Generator) GenUsers(n int) []User {
+	users := make([]User, 0, n)
+	for i := 0; i < n; i++ {
+		k := 1 + g.rng.Intn(3)
+		seen := map[int]bool{}
+		var topics []int
+		for len(topics) < k {
+			t := g.rng.Intn(len(g.Topics))
+			if !seen[t] {
+				seen[t] = true
+				topics = append(topics, t)
+			}
+		}
+		concept := make(feature.Vector, g.Dim)
+		for rank, t := range topics {
+			w := 1.0 / float64(rank+1)
+			c := g.Topics[t].Center
+			for j := range concept {
+				concept[j] += w * c[j]
+			}
+		}
+		concept.Normalize()
+		var risk uncertainty.RiskAttitude
+		switch g.rng.Intn(3) {
+		case 0:
+			risk = uncertainty.Neutral()
+		case 1:
+			risk = uncertainty.Averse(0.5 + g.rng.Float64())
+		default:
+			risk = uncertainty.Seeking(0.3 + 0.5*g.rng.Float64())
+		}
+		users = append(users, User{
+			ID:        fmt.Sprintf("user%03d", i),
+			Interests: topics,
+			Concept:   concept,
+			Archetype: Archetype(g.rng.Intn(4)),
+			Risk:      risk,
+		})
+	}
+	return users
+}
+
+// QueryFor generates a query for a user: a topic drawn from their interests
+// (primary topic with probability ~0.6), query text from that topic's
+// vocabulary, and the topic's concept with noise.
+func (g *Generator) QueryFor(u User) (text string, concept feature.Vector, topicID int) {
+	topicID = u.Interests[0]
+	if len(u.Interests) > 1 && g.rng.Float64() > 0.6 {
+		topicID = u.Interests[1+g.rng.Intn(len(u.Interests)-1)]
+	}
+	return g.GenText(topicID, 4), g.SampleConcept(topicID, 0.1), topicID
+}
+
+// RelevantSet returns the ids of documents about the given topic — the
+// ground-truth relevant set for completeness/NDCG scoring.
+func RelevantSet(docs []Doc, topicID int) map[string]bool {
+	out := make(map[string]bool)
+	for _, d := range docs {
+		if d.TopicID == topicID {
+			out[d.Doc.ID] = true
+		}
+	}
+	return out
+}
+
+// GradedRelevance returns graded relevance for NDCG: docs of the user's
+// primary topic grade 3, secondary topics grade 1.
+func GradedRelevance(docs []Doc, u User) map[string]float64 {
+	grade := make(map[int]float64)
+	for rank, t := range u.Interests {
+		if rank == 0 {
+			grade[t] = 3
+		} else {
+			grade[t] = 1
+		}
+	}
+	out := make(map[string]float64)
+	for _, d := range docs {
+		if gr, ok := grade[d.TopicID]; ok {
+			out[d.Doc.ID] = gr
+		}
+	}
+	return out
+}
+
+// WattsStrogatz generates a small-world social graph over the user ids:
+// ring lattice of degree k, each edge rewired with probability beta.
+// Returned as undirected pairs.
+func (g *Generator) WattsStrogatz(ids []string, k int, beta float64) [][2]string {
+	n := len(ids)
+	if n < 3 || k < 2 {
+		return nil
+	}
+	if k >= n {
+		k = n - 1
+	}
+	type edge struct{ a, b int }
+	var edges []edge
+	seen := make(map[[2]int]bool)
+	addEdge := func(a, b int) {
+		if a == b {
+			return
+		}
+		if a > b {
+			a, b = b, a
+		}
+		if seen[[2]int{a, b}] {
+			return
+		}
+		seen[[2]int{a, b}] = true
+		edges = append(edges, edge{a, b})
+	}
+	for i := 0; i < n; i++ {
+		for j := 1; j <= k/2; j++ {
+			target := (i + j) % n
+			if beta > 0 && g.rng.Float64() < beta {
+				target = g.rng.Intn(n)
+			}
+			addEdge(i, target)
+		}
+	}
+	out := make([][2]string, 0, len(edges))
+	for _, e := range edges {
+		out = append(out, [2]string{ids[e.a], ids[e.b]})
+	}
+	return out
+}
+
+// BarabasiAlbert generates a preferential-attachment social graph over the
+// user ids: each new node attaches m edges to existing nodes with
+// probability proportional to their degree, producing the hub-dominated
+// degree distribution of real social networks (contrast with the
+// small-world Watts–Strogatz generator).
+func (g *Generator) BarabasiAlbert(ids []string, m int) [][2]string {
+	n := len(ids)
+	if n < 3 || m < 1 {
+		return nil
+	}
+	if m >= n {
+		m = n - 1
+	}
+	var edges [][2]string
+	// degreeBag holds node indices repeated by degree; sampling from it is
+	// sampling proportional to degree.
+	var degreeBag []int
+	// Seed clique among the first m+1 nodes.
+	for i := 0; i <= m; i++ {
+		for j := i + 1; j <= m; j++ {
+			edges = append(edges, [2]string{ids[i], ids[j]})
+			degreeBag = append(degreeBag, i, j)
+		}
+	}
+	for v := m + 1; v < n; v++ {
+		attached := map[int]bool{}
+		for len(attached) < m {
+			u := degreeBag[g.rng.Intn(len(degreeBag))]
+			if u == v || attached[u] {
+				continue
+			}
+			attached[u] = true
+			edges = append(edges, [2]string{ids[v], ids[u]})
+			degreeBag = append(degreeBag, v, u)
+		}
+	}
+	return edges
+}
+
+// Rand exposes the generator's random stream for callers needing coupled
+// randomness (e.g. visual extraction noise).
+func (g *Generator) Rand() *rand.Rand { return g.rng }

@@ -1,0 +1,241 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/feature"
+)
+
+func TestGeneratorDeterministic(t *testing.T) {
+	g1 := NewGenerator(7, 32, 8)
+	g2 := NewGenerator(7, 32, 8)
+	d1 := g1.GenCorpus(50, 1.2, 1000)
+	d2 := g2.GenCorpus(50, 1.2, 1000)
+	for i := range d1 {
+		if d1[i].Doc.ID != d2[i].Doc.ID || d1[i].TopicID != d2[i].TopicID || d1[i].Doc.Text != d2[i].Doc.Text {
+			t.Fatalf("nondeterministic at %d", i)
+		}
+	}
+}
+
+func TestTopicsSeparable(t *testing.T) {
+	g := NewGenerator(1, 32, 8)
+	for i, a := range g.Topics {
+		for j, b := range g.Topics {
+			c := feature.Cosine(a.Center, b.Center)
+			if i == j && c < 0.99 {
+				t.Fatalf("self cosine %v", c)
+			}
+			if i != j && c > 0.7 {
+				t.Fatalf("topics %d,%d too close: %v", i, j, c)
+			}
+		}
+	}
+}
+
+func TestCorpusZipfSkew(t *testing.T) {
+	g := NewGenerator(2, 32, 8)
+	docs := g.GenCorpus(2000, 1.3, 0)
+	counts := make([]int, 8)
+	for _, d := range docs {
+		counts[d.TopicID]++
+	}
+	max, min := counts[0], counts[0]
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+		if c < min {
+			min = c
+		}
+	}
+	if max < min*3 {
+		t.Fatalf("zipf not skewed: %v", counts)
+	}
+	// Documents carry their topic vocabulary.
+	d := docs[0]
+	topicName := g.Topics[d.TopicID].Name
+	if !strings.Contains(d.Doc.Title, topicName) {
+		t.Fatalf("title %q missing topic %q", d.Doc.Title, topicName)
+	}
+	if len(d.Doc.Concept) != 32 {
+		t.Fatal("concept dim wrong")
+	}
+}
+
+func TestCorpusTimestampsMonotone(t *testing.T) {
+	g := NewGenerator(3, 32, 4)
+	docs := g.GenCorpus(100, 1.2, 1_000_000)
+	for i := 1; i < len(docs); i++ {
+		if docs[i].Doc.CreatedAt < docs[i-1].Doc.CreatedAt {
+			t.Fatal("timestamps not monotone")
+		}
+	}
+	if docs[len(docs)-1].Doc.CreatedAt >= 1_000_000 {
+		t.Fatal("timestamps exceed span")
+	}
+}
+
+func TestAssignToSourcesSpecialization(t *testing.T) {
+	g := NewGenerator(4, 32, 8)
+	docs := g.GenCorpus(1000, 1.1, 0)
+	perfect := g.AssignToSources(docs, 4, 1.0)
+	for src, list := range perfect {
+		for _, d := range list {
+			if d.TopicID%4 != src {
+				t.Fatalf("specialized source %d holds topic %d", src, d.TopicID)
+			}
+			if d.Doc.Provenance != SourceName(src) {
+				t.Fatalf("provenance = %q", d.Doc.Provenance)
+			}
+		}
+	}
+	// Uniform: every source holds a mix of topics.
+	g2 := NewGenerator(5, 32, 8)
+	docs2 := g2.GenCorpus(1000, 1.1, 0)
+	uniform := g2.AssignToSources(docs2, 4, 0)
+	for src, list := range uniform {
+		topics := map[int]bool{}
+		for _, d := range list {
+			topics[d.TopicID] = true
+		}
+		if len(topics) < 4 {
+			t.Fatalf("uniform source %d too specialized: %d topics", src, len(topics))
+		}
+	}
+}
+
+func TestGenUsers(t *testing.T) {
+	g := NewGenerator(6, 32, 8)
+	users := g.GenUsers(50)
+	if len(users) != 50 {
+		t.Fatal("count")
+	}
+	for _, u := range users {
+		if len(u.Interests) < 1 || len(u.Interests) > 3 {
+			t.Fatalf("interests = %v", u.Interests)
+		}
+		// Concept aligns best with the primary topic among the user's topics.
+		primary := feature.Cosine(u.Concept, g.Topics[u.Interests[0]].Center)
+		for _, other := range u.Interests[1:] {
+			if feature.Cosine(u.Concept, g.Topics[other].Center) > primary+1e-9 {
+				t.Fatal("primary interest should dominate concept")
+			}
+		}
+	}
+	// Archetype weights differ.
+	if ArchSpeedFirst.Weights() == ArchQualityFirst.Weights() {
+		t.Fatal("archetype weights identical")
+	}
+}
+
+func TestQueryForUsesInterestTopics(t *testing.T) {
+	g := NewGenerator(7, 32, 8)
+	users := g.GenUsers(10)
+	for _, u := range users {
+		for i := 0; i < 10; i++ {
+			_, concept, topic := g.QueryFor(u)
+			found := false
+			for _, t2 := range u.Interests {
+				if t2 == topic {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("query topic %d not in interests %v", topic, u.Interests)
+			}
+			if feature.Cosine(concept, g.Topics[topic].Center) < 0.8 {
+				t.Fatal("query concept far from topic center")
+			}
+		}
+	}
+}
+
+func TestRelevantAndGraded(t *testing.T) {
+	g := NewGenerator(8, 32, 8)
+	docs := g.GenCorpus(300, 1.1, 0)
+	rel := RelevantSet(docs, 2)
+	for _, d := range docs {
+		if rel[d.Doc.ID] != (d.TopicID == 2) {
+			t.Fatal("relevant set wrong")
+		}
+	}
+	u := User{ID: "u", Interests: []int{1, 4}}
+	graded := GradedRelevance(docs, u)
+	for _, d := range docs {
+		want := 0.0
+		switch d.TopicID {
+		case 1:
+			want = 3
+		case 4:
+			want = 1
+		}
+		if graded[d.Doc.ID] != want {
+			t.Fatalf("grade for topic %d = %v", d.TopicID, graded[d.Doc.ID])
+		}
+	}
+}
+
+func TestWattsStrogatz(t *testing.T) {
+	g := NewGenerator(9, 32, 8)
+	ids := make([]string, 30)
+	for i := range ids {
+		ids[i] = SourceName(i)
+	}
+	edges := g.WattsStrogatz(ids, 4, 0.1)
+	if len(edges) == 0 {
+		t.Fatal("no edges")
+	}
+	// Roughly n*k/2 edges (some lost to dedup on rewiring).
+	if len(edges) < 30*4/2-15 {
+		t.Fatalf("edge count = %d", len(edges))
+	}
+	for _, e := range edges {
+		if e[0] == e[1] {
+			t.Fatal("self edge")
+		}
+	}
+	if got := g.WattsStrogatz(ids[:2], 4, 0.1); got != nil {
+		t.Fatal("tiny graph should be nil")
+	}
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	g := NewGenerator(10, 32, 8)
+	ids := make([]string, 60)
+	for i := range ids {
+		ids[i] = SourceName(i)
+	}
+	edges := g.BarabasiAlbert(ids, 2)
+	if len(edges) == 0 {
+		t.Fatal("no edges")
+	}
+	// m(n-m-1) + m(m+1)/2 edges expected.
+	want := 2*(60-3) + 3
+	if len(edges) != want {
+		t.Fatalf("edges = %d, want %d", len(edges), want)
+	}
+	deg := map[string]int{}
+	for _, e := range edges {
+		if e[0] == e[1] {
+			t.Fatal("self edge")
+		}
+		deg[e[0]]++
+		deg[e[1]]++
+	}
+	// Preferential attachment produces hubs: max degree well above the
+	// mean (which is ~2m ≈ 4).
+	max := 0
+	for _, d := range deg {
+		if d > max {
+			max = d
+		}
+	}
+	if max < 8 {
+		t.Fatalf("no hubs formed: max degree %d", max)
+	}
+	if got := g.BarabasiAlbert(ids[:2], 2); got != nil {
+		t.Fatal("tiny graph should be nil")
+	}
+}
