@@ -1,0 +1,30 @@
+# Developer entry points. Tier-1 verification remains
+# `go build ./... && go test ./...` (see ROADMAP.md); `make check` runs
+# that plus vet and the race-detector suites the telemetry layer relies on.
+
+GO ?= go
+
+.PHONY: build test race vet check bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The telemetry and transport packages carry concurrent load tests that are
+# only meaningful under the race detector.
+race:
+	$(GO) test -race ./internal/telemetry ./internal/transport ./internal/docstore ./internal/core
+
+vet:
+	$(GO) vet ./...
+
+check: build vet test race
+
+# Full experiment suite as benchmarks (see bench_test.go at the repo root).
+bench:
+	$(GO) test -bench . -benchtime 1x -run XXX
+
+clean:
+	$(GO) clean ./...

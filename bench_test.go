@@ -46,3 +46,4 @@ func BenchmarkE16ReputationLearning(b *testing.B) { runExperiment(b, bench.E16Re
 func BenchmarkE17LSHAblation(b *testing.B)        { runExperiment(b, bench.E17LSHAblation) }
 func BenchmarkE18Discovery(b *testing.B)          { runExperiment(b, bench.E18DiscoveryVsRegistry) }
 func BenchmarkE19RiskProfiling(b *testing.B)      { runExperiment(b, bench.E19RiskProfiling) }
+func BenchmarkE20Telemetry(b *testing.B)          { runExperiment(b, bench.E20TelemetryOverhead) }

@@ -8,18 +8,25 @@
 //
 // With -demo the node seeds itself with a generated corpus so the pair can
 // be tried immediately.
+//
+// Observability: -debug-addr starts an introspection HTTP listener with
+// /debug/vars (expvar, including the live telemetry snapshot),
+// /debug/pprof/* (CPU/heap profiling), and /debug/telemetry (JSON counters,
+// latency histograms with p50/p95/p99, and recent query traces).
+// -log-level picks the verbosity threshold (debug|info|warn|error|off).
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"time"
 
 	"repro/internal/docstore"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 	"repro/internal/workload"
 )
@@ -31,14 +38,25 @@ func main() {
 	demo := flag.Bool("demo", false, "seed with a generated demo corpus")
 	demoDocs := flag.Int("demo-docs", 500, "demo corpus size")
 	seed := flag.Int64("seed", 11, "demo corpus seed")
+	debugAddr := flag.String("debug-addr", "", "HTTP introspection address (/debug/vars, /debug/pprof/*, /debug/telemetry); empty disables")
+	logLevel := flag.String("log-level", "info", "log threshold: debug|info|warn|error|off")
 	flag.Parse()
+
+	lvl, err := telemetry.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "agora-node:", err)
+		os.Exit(2)
+	}
+	logger := telemetry.NewLogger(os.Stderr, lvl)
+	reg := telemetry.NewRegistry()
 
 	store, err := docstore.Open(docstore.Options{
 		Dir: *dir, ConceptDim: 32, Seed: *seed, SyncEveryPut: *dir != "",
-		CompactAfterBytes: 64 << 20,
+		CompactAfterBytes: 64 << 20, Telemetry: reg,
 	})
 	if err != nil {
-		log.Fatalf("agora-node: %v", err)
+		logger.Errorf("agora-node: %v", err)
+		os.Exit(1)
 	}
 	defer store.Close()
 
@@ -47,28 +65,50 @@ func main() {
 		for _, d := range g.GenCorpus(*demoDocs, 1.2, int64(24*time.Hour)) {
 			d.Doc.Provenance = *id
 			if err := store.Put(d.Doc); err != nil {
-				log.Fatalf("agora-node: seeding: %v", err)
+				logger.Errorf("agora-node: seeding: %v", err)
+				os.Exit(1)
 			}
 		}
-		log.Printf("agora-node: seeded %d demo documents", store.Len())
+		logger.Infof("agora-node: seeded %d demo documents", store.Len())
 	}
 
 	srv := transport.NewServer(*id, store)
+	srv.Log = logger
+	srv.SetTelemetry(reg)
+
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			logger.Errorf("agora-node: debug listener: %v", err)
+			os.Exit(1)
+		}
+		telemetry.PublishExpvar("telemetry", reg)
+		go func() {
+			if herr := http.Serve(dln, telemetry.DebugMux(reg)); herr != nil {
+				logger.Warnf("agora-node: debug server: %v", herr)
+			}
+		}()
+		logger.Infof("agora-node: debug endpoints on http://%s/debug/{vars,pprof,telemetry}", dln.Addr())
+	}
+
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
-		log.Fatalf("agora-node: %v", err)
+		logger.Errorf("agora-node: %v", err)
+		os.Exit(1)
 	}
-	log.Printf("agora-node: %q serving %d documents on %s", *id, store.Len(), ln.Addr())
+	logger.Infof("agora-node: %q serving %d documents on %s", *id, store.Len(), ln.Addr())
 
 	done := make(chan os.Signal, 1)
 	signal.Notify(done, os.Interrupt)
 	go func() {
 		<-done
 		fmt.Println()
-		log.Printf("agora-node: shutting down (served %d queries)", srv.Served)
+		logger.Infof("agora-node: shutting down (served %d queries, delivered %d feed items)",
+			srv.Served(), srv.Delivered())
 		srv.Close()
 	}()
 	if err := srv.Serve(ln); err != nil {
-		log.Fatalf("agora-node: %v", err)
+		logger.Errorf("agora-node: %v", err)
+		os.Exit(1)
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"repro/internal/ctxmodel"
 	"repro/internal/metrics"
 	"repro/internal/profile"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -33,7 +34,8 @@ func main() {
 	nSources := flag.Int("sources", 5, "provider count")
 	flag.Parse()
 
-	a := core.New(core.Config{Seed: *seed, ConceptDim: 32})
+	reg := telemetry.NewRegistry()
+	a := core.New(core.Config{Seed: *seed, ConceptDim: 32, Telemetry: reg})
 	g := workload.NewGenerator(*seed, 32, 8)
 	docs := g.GenCorpus(*nDocs, 1.2, int64(30*24*time.Hour))
 	for i, list := range g.AssignToSources(docs, *nSources, 0.7) {
@@ -88,6 +90,13 @@ func main() {
 			printHelp()
 		case "topics":
 			fmt.Println(strings.Join(topics, ", "))
+		case `\stats`, "stats":
+			snap := reg.Snapshot()
+			if len(snap.Counters) == 0 && len(snap.Histograms) == 0 {
+				fmt.Println("  no telemetry yet — ask something first")
+				continue
+			}
+			snap.RenderText(os.Stdout)
 		case "sources":
 			for _, name := range a.Nodes() {
 				n := a.Node(name)
@@ -218,6 +227,7 @@ func printHelp() {
   context <loc> [task]     set your context (activates profile variants)
   feedback <docID> save|skip  teach your profile
   topics                   the concept space's topic names
+  \stats                   runtime telemetry: counters, latency histograms, traces
   quit                     leave
 `)
 }

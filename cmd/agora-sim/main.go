@@ -13,11 +13,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/profile"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -28,9 +30,11 @@ func main() {
 	nUsers := flag.Int("users", 8, "consumer count")
 	nQueries := flag.Int("queries", 60, "queries per consumer")
 	discovery := flag.Bool("discovery", false, "locate sources via the semantic overlay instead of the registry")
+	showTelemetry := flag.Bool("telemetry", true, "print the runtime telemetry report at end of run")
 	flag.Parse()
 
-	a := core.New(core.Config{Seed: *seed, ConceptDim: 32})
+	reg := telemetry.NewRegistry()
+	a := core.New(core.Config{Seed: *seed, ConceptDim: 32, Telemetry: reg})
 	g := workload.NewGenerator(*seed, 32, 8)
 	docs := g.GenCorpus(*nDocs, 1.2, int64(24*time.Hour))
 	bySource := g.AssignToSources(docs, *nSources, 0.7)
@@ -126,4 +130,10 @@ func main() {
 		summary.AddRow("overlay gossip msgs", gm)
 	}
 	fmt.Print(summary.String())
+
+	if *showTelemetry {
+		fmt.Println("## Runtime telemetry (wall-clock)")
+		fmt.Println()
+		reg.Snapshot().RenderText(os.Stdout)
+	}
 }

@@ -10,8 +10,10 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/telemetry"
 )
 
 // Result is one experiment's output: the table plus headline numbers that
@@ -64,19 +66,45 @@ func Suite() []Experiment {
 		{"E17", "Ablation: LSH vector-index parameters", E17LSHAblation},
 		{"E18", "Integration: registry vs overlay discovery", E18DiscoveryVsRegistry},
 		{"E19", "Personalization: risk-profile recovery & use", E19RiskProfiling},
+		{"E20", "Substrate: telemetry overhead & instrument coherence", E20TelemetryOverhead},
 	}
 }
 
 // RunAll executes the full suite at the given scale, rendering each table.
+// Per-experiment wall time is recorded through the telemetry package itself
+// (bench.<ID> histograms) and summarized in a closing runtime-cost table —
+// the harness eats its own observability dog food.
 func RunAll(w io.Writer, seed int64, scale float64) []*Result {
+	reg := telemetry.NewRegistry()
 	var out []*Result
 	for _, e := range Suite() {
 		fmt.Fprintf(w, "## %s — %s\n\n", e.ID, e.Title)
+		start := time.Now()
 		r := e.Run(seed, scale)
+		reg.Histogram("bench." + e.ID).Observe(time.Since(start))
 		r.Render(w)
 		out = append(out, r)
 	}
+	renderRuntimes(w, reg.Snapshot(), out)
 	return out
+}
+
+// renderRuntimes prints the harness's own per-experiment runtime-cost table
+// from a telemetry snapshot.
+func renderRuntimes(w io.Writer, snap telemetry.Snapshot, results []*Result) {
+	fmt.Fprintf(w, "## Harness runtime cost (wall-clock)\n\n")
+	tbl := metrics.NewTable("per-experiment runtime", "experiment", "seconds")
+	total := 0.0
+	for _, r := range results {
+		h, ok := snap.Histograms["bench."+r.ID]
+		if !ok {
+			continue
+		}
+		tbl.AddRow(r.ID, h.Sum)
+		total += h.Sum
+	}
+	tbl.AddRow("total", total)
+	tbl.Render(w)
 }
 
 // scaleInt scales a base count, with a floor.

@@ -281,9 +281,25 @@ func TestE19Shapes(t *testing.T) {
 	}
 }
 
+func TestE20Shapes(t *testing.T) {
+	r := E20TelemetryOverhead(20, testScale)
+	h := r.Headline
+	// Every issued query must be visible to the instruments, and the
+	// histogram count must agree with the counter (snapshot coherence).
+	if h["coherent"] != 1 {
+		t.Fatalf("telemetry snapshot incoherent: asks=%v queries=%v", h["ask_count"], h["queries"])
+	}
+	if h["ask_count"] != h["queries"] {
+		t.Fatalf("ask counter %v != issued %v", h["ask_count"], h["queries"])
+	}
+	if h["traces_kept"] == 0 {
+		t.Fatalf("trace ring retained nothing")
+	}
+}
+
 func TestSuiteListsAllExperiments(t *testing.T) {
 	suite := Suite()
-	if len(suite) != 19 {
+	if len(suite) != 20 {
 		t.Fatalf("suite size = %d", len(suite))
 	}
 	seen := map[string]bool{}
@@ -303,7 +319,7 @@ func TestRunAllSmoke(t *testing.T) {
 		t.Skip("full suite in short mode")
 	}
 	results := RunAll(io.Discard, 42, 0.2)
-	if len(results) != 19 {
+	if len(results) != 20 {
 		t.Fatalf("results = %d", len(results))
 	}
 	for _, r := range results {

@@ -21,6 +21,7 @@ import (
 	"repro/internal/qos"
 	"repro/internal/sim"
 	"repro/internal/social"
+	"repro/internal/telemetry"
 	"repro/internal/uncertainty"
 )
 
@@ -28,6 +29,44 @@ import (
 type Config struct {
 	Seed       int64
 	ConceptDim int
+	// Telemetry receives runtime counters, latency histograms, and
+	// per-query trace spans from every session pipeline. Nil disables
+	// instrumentation: the hot path then performs only nil-receiver no-ops
+	// and allocates nothing extra.
+	Telemetry *telemetry.Registry
+}
+
+// pipelineTel caches resolved instruments once per Agora so the ask hot
+// path is plain atomic ops (or nil no-ops), never registry map lookups.
+type pipelineTel struct {
+	reg               *telemetry.Registry
+	asks              *telemetry.Counter
+	askErrors         *telemetry.Counter
+	negotiateFailures *telemetry.Counter
+	executeFailures   *telemetry.Counter
+	askLat            *telemetry.Histogram
+	planLat           *telemetry.Histogram
+	negotiateLat      *telemetry.Histogram
+	executeLat        *telemetry.Histogram
+	mergeLat          *telemetry.Histogram
+}
+
+func newPipelineTel(reg *telemetry.Registry) pipelineTel {
+	if reg == nil {
+		return pipelineTel{}
+	}
+	return pipelineTel{
+		reg:               reg,
+		asks:              reg.Counter("core.ask"),
+		askErrors:         reg.Counter("core.ask.errors"),
+		negotiateFailures: reg.Counter("core.negotiate.failures"),
+		executeFailures:   reg.Counter("core.execute.failures"),
+		askLat:            reg.Histogram("core.ask.latency"),
+		planLat:           reg.Histogram("core.plan.latency"),
+		negotiateLat:      reg.Histogram("core.negotiate.latency"),
+		executeLat:        reg.Histogram("core.execute.latency"),
+		mergeLat:          reg.Histogram("core.merge.latency"),
+	}
 }
 
 // Agora is the marketplace: the registry of provider nodes plus the shared
@@ -45,6 +84,7 @@ type Agora struct {
 	rng      *rand.Rand
 	seq      uint64
 	disc     *discovery
+	tel      pipelineTel
 }
 
 // New creates an empty agora on a fresh simulation kernel.
@@ -62,8 +102,12 @@ func New(cfg Config) *Agora {
 		ACL:      social.NewACL(),
 		Feeds:    feedsys.NewMatcher(cfg.ConceptDim, cfg.Seed+99),
 		rng:      k.Stream("core"),
+		tel:      newPipelineTel(cfg.Telemetry),
 	}
 }
+
+// Telemetry returns the registry the agora reports into (nil if disabled).
+func (a *Agora) Telemetry() *telemetry.Registry { return a.tel.reg }
 
 // Kernel exposes the simulation kernel (virtual clock).
 func (a *Agora) Kernel() *sim.Kernel { return a.kernel }

@@ -84,6 +84,7 @@ func (a *Agora) EnableOverlayDiscovery(cfg DiscoveryConfig) {
 	}
 	net := sim.NewNetwork(a.kernel, cfg.Latency, cfg.Loss)
 	ov := overlay.New(net, cfg.Overlay)
+	ov.SetTelemetry(a.tel.reg)
 	d := &discovery{cfg: cfg, net: net, ov: ov, ids: make(map[string]int)}
 	for i, name := range a.order {
 		ov.AddNode(i, &discoveryHandler{node: a.nodes[name]})

@@ -18,6 +18,7 @@ import (
 	"repro/internal/query"
 	"repro/internal/sim"
 	"repro/internal/social"
+	"repro/internal/telemetry"
 	"repro/internal/uncertainty"
 )
 
@@ -132,10 +133,32 @@ func (s *Session) AskQuery(q *query.Query, concept feature.Vector) (*Answer, err
 	return s.askPipeline(q, concept, nil)
 }
 
+// askPipeline wraps the pipeline run with telemetry: one `ask` trace per
+// query (spans: plan → negotiate(source) → execute(source) → merge), the
+// ask counter, and the end-to-end latency histogram. With telemetry
+// disabled every instrument is a nil no-op.
 func (s *Session) askPipeline(q *query.Query, concept feature.Vector, onPartial func(Partial)) (*Answer, error) {
+	tel := &s.agora.tel
+	start := time.Now()
+	tr := tel.reg.StartTrace("ask", q.Text)
+	ans, err := s.runPipeline(tr, q, concept, onPartial)
+	tel.asks.Inc()
+	if err != nil {
+		tel.askErrors.Inc()
+		tr.Fail(err)
+	}
+	tel.askLat.Observe(time.Since(start))
+	tr.Finish()
+	return ans, err
+}
+
+func (s *Session) runPipeline(tr *telemetry.Trace, q *query.Query, concept feature.Vector, onPartial func(Partial)) (*Answer, error) {
+	tel := &s.agora.tel
 	s.Detector.Observe(ctxmodel.ActionQuery)
 
 	// 1. Contextualize: find the active profile variant.
+	spPlan := tr.Span("plan", "")
+	planStart := time.Now()
 	ctx := s.Detector.Infer(s.Context)
 	label := s.Rules.Activate(ctx)
 	interests, weights := s.Profile.ActiveView(label)
@@ -157,16 +180,21 @@ func (s *Session) askPipeline(q *query.Query, concept feature.Vector, onPartial 
 	// overlay discovery when enabled).
 	ests := s.estimates(q, concept)
 	if len(ests) == 0 {
+		spPlan.Fail(ErrNoProviders)
 		return nil, ErrNoProviders
 	}
 	obj := optimizer.Objective{Weights: weights, Risk: s.Profile.Risk, Budget: q.Want.Price}
 	plan, err := optimizer.Best(ests, obj, s.MaxSources)
 	if err != nil {
+		spPlan.Fail(err)
 		return nil, err
 	}
 	if len(plan.Sources) == 0 {
+		spPlan.Fail(ErrNoProviders)
 		return nil, ErrNoProviders
 	}
+	spPlan.End()
+	tel.planLat.Observe(time.Since(planStart))
 
 	ans := &Answer{ContextLabel: label, PlanScore: obj.Score(plan)}
 
@@ -180,7 +208,7 @@ func (s *Session) askPipeline(q *query.Query, concept feature.Vector, onPartial 
 		if node == nil {
 			continue
 		}
-		contract, deal, err := s.negotiateContract(q, node, weights)
+		contract, deal, err := s.negotiateTraced(tr, q, node, weights)
 		if err != nil {
 			failed[est.Source] = true
 			continue
@@ -190,7 +218,7 @@ func (s *Session) askPipeline(q *query.Query, concept feature.Vector, onPartial 
 		if deal.Rounds > 1 {
 			ans.Negotiated++
 		}
-		results, delivered, err := s.executeAt(node, q, concept, contract)
+		results, delivered, err := s.executeTraced(tr, node, q, concept, contract)
 		if err != nil {
 			failed[est.Source] = true
 			// Cancelled: provider compensates per contract.
@@ -233,11 +261,11 @@ func (s *Session) askPipeline(q *query.Query, concept feature.Vector, onPartial 
 			if node == nil || failed[est.Source] {
 				continue
 			}
-			contract, _, err := s.negotiateContract(q, node, weights)
+			contract, _, err := s.negotiateTraced(tr, q, node, weights)
 			if err != nil {
 				continue
 			}
-			results, delivered, err := s.executeAt(node, q, concept, contract)
+			results, delivered, err := s.executeTraced(tr, node, q, concept, contract)
 			if err != nil {
 				continue
 			}
@@ -258,6 +286,8 @@ func (s *Session) askPipeline(q *query.Query, concept feature.Vector, onPartial 
 	}
 
 	// 7. Fuse and personalize the ranking.
+	spMerge := tr.Span("merge", "")
+	mergeStart := time.Now()
 	merged := query.Merge(lists, q.TopK*3)
 	for i := range merged {
 		base := merged[i].Score
@@ -295,6 +325,8 @@ func (s *Session) askPipeline(q *query.Query, concept feature.Vector, onPartial 
 		merged = merged[:q.TopK]
 	}
 	ans.Results = merged
+	spMerge.End()
+	tel.mergeLat.Observe(time.Since(mergeStart))
 
 	// Delivered aggregate QoS.
 	now := s.agora.kernel.Now()
@@ -379,6 +411,40 @@ func (s *Session) observeLatency(source string, d time.Duration) {
 		obs = obs[len(obs)-16:]
 	}
 	s.latencyObs[source] = obs
+}
+
+// negotiateTraced runs negotiateContract inside a `negotiate(source)` span,
+// feeding the negotiation histogram and failure counter.
+func (s *Session) negotiateTraced(tr *telemetry.Trace, q *query.Query, node *Node, weights qos.Weights) (*qos.Contract, negotiate.Deal, error) {
+	tel := &s.agora.tel
+	sp := tr.Span("negotiate", node.Name)
+	start := time.Now()
+	contract, deal, err := s.negotiateContract(q, node, weights)
+	if err != nil {
+		sp.Fail(err)
+		tel.negotiateFailures.Inc()
+		return nil, deal, err
+	}
+	sp.End()
+	tel.negotiateLat.Observe(time.Since(start))
+	return contract, deal, nil
+}
+
+// executeTraced runs executeAt inside an `execute(source)` span, feeding
+// the execution histogram and failure counter.
+func (s *Session) executeTraced(tr *telemetry.Trace, node *Node, q *query.Query, concept feature.Vector, c *qos.Contract) ([]query.Result, qos.Vector, error) {
+	tel := &s.agora.tel
+	sp := tr.Span("execute", node.Name)
+	start := time.Now()
+	results, delivered, err := s.executeAt(node, q, concept, c)
+	if err != nil {
+		sp.Fail(err)
+		tel.executeFailures.Inc()
+		return nil, delivered, err
+	}
+	sp.End()
+	tel.executeLat.Observe(time.Since(start))
+	return results, delivered, nil
 }
 
 // negotiateContract bargains a package with the node and signs an SLA.

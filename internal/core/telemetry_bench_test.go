@@ -1,0 +1,57 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/profile"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// benchWorld is buildWorld without the *testing.T plumbing, with the
+// telemetry registry as the only variable between the Off/On benchmarks.
+// Compare the two with -benchmem: the nil-registry path must not add
+// allocations over the uninstrumented baseline (nil instruments are
+// no-ops), and the enabled path's cost should stay in the noise of a full
+// pipeline run.
+func benchWorld(b *testing.B, reg *telemetry.Registry) (*Session, string, []float64) {
+	b.Helper()
+	a := New(Config{Seed: 1, ConceptDim: 32, Telemetry: reg})
+	g := workload.NewGenerator(1, 32, 8)
+	docs := g.GenCorpus(600, 1.2, int64(time.Hour))
+	for i, list := range g.AssignToSources(docs, 4, 0.8) {
+		n, err := a.AddNode(workload.SourceName(i), DefaultEconomics(), DefaultBehavior())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, d := range list {
+			if err := n.Ingest(d.Doc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	p := profile.New("bench", 32)
+	topic := g.Topics[0]
+	p.Interests = topic.Center.Clone()
+	s := a.NewSession(p)
+	aql := fmt.Sprintf(`FIND documents WHERE text ~ "%s" AND topic = "%s" TOP 10`,
+		topic.Vocab[0]+" "+topic.Vocab[1], topic.Name)
+	return s, aql, topic.Center
+}
+
+func benchmarkAsk(b *testing.B, reg *telemetry.Registry) {
+	s, aql, concept := benchWorld(b, reg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Ask(aql, concept); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAskTelemetryOff(b *testing.B) { benchmarkAsk(b, nil) }
+
+func BenchmarkAskTelemetryOn(b *testing.B) { benchmarkAsk(b, telemetry.NewRegistry()) }

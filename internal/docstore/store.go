@@ -7,8 +7,10 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/feature"
+	"repro/internal/telemetry"
 )
 
 // Options configures a Store.
@@ -31,6 +33,38 @@ type Options struct {
 	// CompactAfterBytes triggers automatic snapshot+truncate once the WAL
 	// exceeds this size. Zero disables auto-compaction.
 	CompactAfterBytes int64
+	// Telemetry receives per-operation latency histograms and counters
+	// (docstore.put, docstore.search.*, docstore.compact, WAL replay).
+	// Nil disables instrumentation.
+	Telemetry *telemetry.Registry
+}
+
+// storeTel caches resolved instruments; with a nil registry every field is
+// nil and each call site degrades to a nil-receiver no-op.
+type storeTel struct {
+	puts, deletes, searches, walRecords                            *telemetry.Counter
+	putLat, deleteLat, textLat, vectorLat, visualLat, hybridLat    *telemetry.Histogram
+	compactLat, replayLat                                          *telemetry.Histogram
+}
+
+func newStoreTel(reg *telemetry.Registry) storeTel {
+	if reg == nil {
+		return storeTel{}
+	}
+	return storeTel{
+		puts:       reg.Counter("docstore.puts"),
+		deletes:    reg.Counter("docstore.deletes"),
+		searches:   reg.Counter("docstore.searches"),
+		walRecords: reg.Counter("docstore.wal.records.replayed"),
+		putLat:     reg.Histogram("docstore.put"),
+		deleteLat:  reg.Histogram("docstore.delete"),
+		textLat:    reg.Histogram("docstore.search.text"),
+		vectorLat:  reg.Histogram("docstore.search.vector"),
+		visualLat:  reg.Histogram("docstore.search.visual"),
+		hybridLat:  reg.Histogram("docstore.search.hybrid"),
+		compactLat: reg.Histogram("docstore.compact"),
+		replayLat:  reg.Histogram("docstore.wal.replay"),
+	}
 }
 
 // Store errors.
@@ -52,6 +86,7 @@ type Store struct {
 	byTopic map[string]map[string]bool
 	log     *wal
 	closed  bool
+	tel     storeTel
 
 	// Stats counters.
 	puts, deletes, searches uint64
@@ -76,6 +111,7 @@ func Open(opts Options) (*Store, error) {
 		vec:     feature.NewLSH(opts.Seed, opts.ConceptDim, opts.LSHTables, opts.LSHBits),
 		byTime:  newSkiplist(opts.Seed + 1),
 		byTopic: make(map[string]map[string]bool),
+		tel:     newStoreTel(opts.Telemetry),
 	}
 	if opts.Dir == "" {
 		return s, nil
@@ -85,6 +121,7 @@ func Open(opts Options) (*Store, error) {
 	}
 	snapPath, walPath := snapshotPaths(opts.Dir)
 	apply := func(op uint8, payload []byte) error {
+		s.tel.walRecords.Inc()
 		switch op {
 		case opPut:
 			d, err := unmarshalDocument(payload)
@@ -97,6 +134,7 @@ func Open(opts Options) (*Store, error) {
 		}
 		return nil
 	}
+	replayStart := time.Now()
 	if _, _, err := replayWAL(snapPath, apply); err != nil {
 		return nil, err
 	}
@@ -104,6 +142,7 @@ func Open(opts Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.tel.replayLat.Observe(time.Since(replayStart))
 	if torn {
 		if err := truncateWAL(walPath, clean); err != nil {
 			return nil, err
@@ -168,6 +207,7 @@ func (s *Store) Put(d *Document) error {
 	if d.ID == "" {
 		return ErrEmptyID
 	}
+	start := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -188,17 +228,20 @@ func (s *Store) Put(d *Document) error {
 	}
 	s.applyPut(cp)
 	s.puts++
+	s.tel.puts.Inc()
 	if s.log != nil && s.opts.CompactAfterBytes > 0 && s.log.size > s.opts.CompactAfterBytes {
 		if err := s.compactLocked(); err != nil {
 			return err
 		}
 	}
+	s.tel.putLat.Observe(time.Since(start))
 	return nil
 }
 
 // Delete removes a document durably. Deleting a missing id is a no-op
 // returning ErrNotFound.
 func (s *Store) Delete(id string) error {
+	start := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -217,6 +260,8 @@ func (s *Store) Delete(id string) error {
 	}
 	s.applyDelete(id)
 	s.deletes++
+	s.tel.deletes.Inc()
+	s.tel.deleteLat.Observe(time.Since(start))
 	return nil
 }
 
@@ -249,10 +294,10 @@ type Hit struct {
 
 // SearchText ranks documents against a free-text query.
 func (s *Store) SearchText(query string, k int) []Hit {
+	start := time.Now()
+	defer func() { s.tel.textLat.Observe(time.Since(start)) }()
 	tokens := feature.Tokenize(query)
-	s.mu.Lock()
-	s.searches++
-	s.mu.Unlock()
+	s.countSearch()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	res := s.inv.search(tokens, k)
@@ -271,9 +316,9 @@ func (s *Store) SearchVector(concept feature.Vector, k int) []Hit {
 	if concept.Norm() == 0 {
 		return nil // a zero vector matches nothing, not everything
 	}
-	s.mu.Lock()
-	s.searches++
-	s.mu.Unlock()
+	start := time.Now()
+	defer func() { s.tel.vectorLat.Observe(time.Since(start)) }()
+	s.countSearch()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	var cands []feature.Candidate
@@ -304,9 +349,9 @@ func (s *Store) SearchVisual(query feature.VisualFeatures, colorWeight float64, 
 	if len(query.ColorHist) == 0 && len(query.Texture) == 0 {
 		return nil
 	}
-	s.mu.Lock()
-	s.searches++
-	s.mu.Unlock()
+	start := time.Now()
+	defer func() { s.tel.visualLat.Observe(time.Since(start)) }()
+	s.countSearch()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	hits := make([]Hit, 0, 64)
@@ -337,6 +382,8 @@ func (s *Store) SearchHybrid(query string, concept feature.Vector, alpha float64
 	if alpha >= 1 {
 		return s.SearchVector(concept, k)
 	}
+	start := time.Now()
+	defer func() { s.tel.hybridLat.Observe(time.Since(start)) }()
 	// Over-fetch both pools, then blend.
 	pool := k * 4
 	if pool < 32 {
@@ -448,14 +495,25 @@ func (s *Store) All(visit func(*Document) bool) {
 	}
 }
 
+// countSearch bumps both the internal stats counter and telemetry.
+func (s *Store) countSearch() {
+	s.mu.Lock()
+	s.searches++
+	s.mu.Unlock()
+	s.tel.searches.Inc()
+}
+
 // Compact writes a snapshot of the current state and truncates the WAL.
 func (s *Store) Compact() error {
+	start := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return ErrClosed
 	}
-	return s.compactLocked()
+	err := s.compactLocked()
+	s.tel.compactLat.Observe(time.Since(start))
+	return err
 }
 
 func (s *Store) compactLocked() error {

@@ -95,7 +95,9 @@ func MRR(ranked []string, relevant map[string]bool) float64 {
 }
 
 // KendallTau computes the rank-correlation between two orderings of the
-// same id set, in [-1, 1]. Ids missing from either list are ignored.
+// same id set, in [-1, 1]. Ids missing from either list are ignored, so
+// disjoint lists — or lists sharing a single id — carry no ordering signal
+// and yield 0 rather than NaN. An exact reversal of ≥2 shared ids is -1.
 func KendallTau(a, b []string) float64 {
 	posB := make(map[string]int, len(b))
 	for i, id := range b {
@@ -134,15 +136,24 @@ type Summary struct {
 	Max    float64
 }
 
-// Summarize computes summary statistics.
+// Summarize computes summary statistics. NaN samples are dropped — one
+// poisoned measurement must not wipe out a whole report — and N counts only
+// the samples kept. Infinities are honest extremes: they are kept and
+// propagate into Min/Max/Mean as IEEE arithmetic dictates.
 func Summarize(xs []float64) Summary {
-	s := Summary{N: len(xs)}
+	kept := xs[:0:0]
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			kept = append(kept, x)
+		}
+	}
+	s := Summary{N: len(kept)}
 	if s.N == 0 {
 		return s
 	}
-	s.Min, s.Max = xs[0], xs[0]
+	s.Min, s.Max = kept[0], kept[0]
 	var sum float64
-	for _, x := range xs {
+	for _, x := range kept {
 		sum += x
 		if x < s.Min {
 			s.Min = x
@@ -154,7 +165,7 @@ func Summarize(xs []float64) Summary {
 	s.Mean = sum / float64(s.N)
 	if s.N > 1 {
 		var ss float64
-		for _, x := range xs {
+		for _, x := range kept {
 			d := x - s.Mean
 			ss += d * d
 		}

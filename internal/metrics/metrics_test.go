@@ -84,6 +84,35 @@ func TestKendallTau(t *testing.T) {
 	}
 }
 
+func TestKendallTauEdgeCases(t *testing.T) {
+	// Disjoint id sets: no shared pairs, no signal — 0, never NaN.
+	if tau := KendallTau([]string{"a", "b"}, []string{"x", "y"}); tau != 0 {
+		t.Fatalf("disjoint tau = %v", tau)
+	}
+	// A single shared element cannot order anything.
+	if tau := KendallTau([]string{"a", "b", "c"}, []string{"c", "x", "y"}); tau != 0 {
+		t.Fatalf("single-shared tau = %v", tau)
+	}
+	// Exact reversal of the shared subsequence amid noise is still -1.
+	if tau := KendallTau([]string{"a", "b", "c", "z"}, []string{"q", "c", "b", "a"}); tau != -1 {
+		t.Fatalf("noisy reversal tau = %v", tau)
+	}
+	// Both empty.
+	if tau := KendallTau(nil, nil); tau != 0 {
+		t.Fatalf("empty tau = %v", tau)
+	}
+	// Result is always finite.
+	for _, pair := range [][2][]string{
+		{{"a"}, {"a"}},
+		{{"a", "b"}, {"b", "a"}},
+		{nil, {"a"}},
+	} {
+		if tau := KendallTau(pair[0], pair[1]); math.IsNaN(tau) || math.IsInf(tau, 0) {
+			t.Fatalf("non-finite tau %v for %v", tau, pair)
+		}
+	}
+}
+
 func TestSummarize(t *testing.T) {
 	s := Summarize([]float64{1, 2, 3, 4})
 	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
@@ -98,6 +127,30 @@ func TestSummarize(t *testing.T) {
 	one := Summarize([]float64{7})
 	if one.StdDev != 0 || one.Mean != 7 {
 		t.Fatalf("singleton = %+v", one)
+	}
+}
+
+func TestSummarizeNaNAndInf(t *testing.T) {
+	nan := math.NaN()
+	// NaN samples are dropped; the rest summarize normally.
+	s := Summarize([]float64{1, nan, 3, nan})
+	if s.N != 2 || s.Mean != 2 || s.Min != 1 || s.Max != 3 {
+		t.Fatalf("NaN-poisoned summary = %+v", s)
+	}
+	if math.IsNaN(s.StdDev) {
+		t.Fatalf("stddev poisoned: %v", s.StdDev)
+	}
+	// All-NaN collapses to the empty summary.
+	if z := Summarize([]float64{nan, nan}); z.N != 0 || z.Mean != 0 {
+		t.Fatalf("all-NaN summary = %+v", z)
+	}
+	// Infinities are kept and propagate to the extremes and mean.
+	inf := Summarize([]float64{1, math.Inf(1), 2})
+	if inf.N != 3 || !math.IsInf(inf.Max, 1) || !math.IsInf(inf.Mean, 1) || inf.Min != 1 {
+		t.Fatalf("inf summary = %+v", inf)
+	}
+	if neg := Summarize([]float64{math.Inf(-1), 5}); !math.IsInf(neg.Min, -1) || neg.Max != 5 {
+		t.Fatalf("neg-inf summary = %+v", neg)
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/feature"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Strategy selects how a query spreads through the overlay.
@@ -116,6 +117,28 @@ type Overlay struct {
 	// Stats
 	QueryMsgs  uint64
 	GossipMsgs uint64
+
+	tel overlayTel
+}
+
+// overlayTel mirrors the overlay's routing effort into a telemetry
+// registry so operators can see dissemination cost per strategy.
+type overlayTel struct {
+	queryMsgs, gossipMsgs, answers *telemetry.Counter
+}
+
+// SetTelemetry registers routing counters (overlay.query.msgs,
+// overlay.gossip.msgs, overlay.answers) in reg. Nil disables.
+func (ov *Overlay) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		ov.tel = overlayTel{}
+		return
+	}
+	ov.tel = overlayTel{
+		queryMsgs:  reg.Counter("overlay.query.msgs"),
+		gossipMsgs: reg.Counter("overlay.gossip.msgs"),
+		answers:    reg.Counter("overlay.answers"),
+	}
 }
 
 // New creates an overlay over the given simulated network.
@@ -197,6 +220,7 @@ func (ov *Overlay) gossipRound() {
 		peer := n.view[ov.rng.Intn(len(n.view))]
 		sample := n.sampleView(ov.cfg.ViewSize / 2)
 		ov.GossipMsgs++
+		ov.tel.gossipMsgs.Inc()
 		ov.net.Send(sim.Message{
 			From: n.ID, To: peer, Kind: "gossip",
 			Payload: gossipPayload{from: n.ID, sample: sample},
@@ -337,6 +361,7 @@ func (n *Node) receiveQuery(q QueryMsg) {
 	n.seenQuery[q.ID] = true
 	if payload := n.handler.HandleQuery(q); payload != nil {
 		n.Answered++
+		n.ov.tel.answers.Inc()
 		ans := Answer{QueryID: q.ID, From: n.ID, Payload: payload, HopAt: n.ov.net.Kernel().Now()}
 		if n.ID == q.Origin {
 			if collect, ok := n.ov.answer[q.ID]; ok {
@@ -437,6 +462,7 @@ func (n *Node) forwardSemantic(q QueryMsg) {
 func (n *Node) sendQuery(peer int, q QueryMsg) {
 	n.Forwarded++
 	n.ov.QueryMsgs++
+	n.ov.tel.queryMsgs.Inc()
 	n.ov.net.Send(sim.Message{
 		From: n.ID, To: peer, Kind: "query", Payload: q,
 		Size: 64 + 8*len(q.Concept) + len(q.Text),

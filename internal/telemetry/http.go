@@ -1,0 +1,50 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns the /debug/telemetry endpoint: the full Snapshot as
+// indented JSON (counters, gauges, histograms with quantiles, recent
+// traces with per-span durations).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot())
+	})
+}
+
+// DebugMux builds the node introspection surface:
+//
+//	/debug/vars       — expvar (memstats, cmdline, anything Publish'd)
+//	/debug/pprof/*    — CPU/heap/goroutine/trace profiling
+//	/debug/telemetry  — JSON Snapshot of reg
+//
+// Mounted on its own mux so the debug listener can bind a separate
+// (firewalled) address from the data-plane port.
+func DebugMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/telemetry", reg.Handler())
+	return mux
+}
+
+// PublishExpvar exposes the registry under the given expvar name so
+// /debug/vars includes the live snapshot. Safe to call twice (expvar
+// itself panics on duplicate names; we check first).
+func PublishExpvar(name string, reg *Registry) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return reg.Snapshot() }))
+}

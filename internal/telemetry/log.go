@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level orders log severities.
+type Level int32
+
+// Levels, least to most severe. LevelOff silences everything.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+	LevelOff
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	case LevelOff:
+		return "off"
+	default:
+		return fmt.Sprintf("level(%d)", int32(l))
+	}
+}
+
+// ParseLevel maps a flag string onto a Level.
+func ParseLevel(s string) (Level, error) {
+	switch s {
+	case "debug":
+		return LevelDebug, nil
+	case "info", "":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	case "off", "none":
+		return LevelOff, nil
+	}
+	return LevelInfo, fmt.Errorf("telemetry: unknown log level %q", s)
+}
+
+// Logger is a minimal leveled logger: one writer, an atomic threshold, and
+// timestamped lines. A nil *Logger discards everything, so components can
+// hold one unconditionally.
+type Logger struct {
+	mu     sync.Mutex
+	out    io.Writer
+	level  atomic.Int32
+	prefix string
+}
+
+// NewLogger writes lines at or above min to out.
+func NewLogger(out io.Writer, min Level) *Logger {
+	l := &Logger{out: out}
+	l.level.Store(int32(min))
+	return l
+}
+
+// WithPrefix returns a logger on the same writer and current threshold
+// whose lines are stamped with prefix (e.g. "transport: ").
+func (l *Logger) WithPrefix(prefix string) *Logger {
+	if l == nil {
+		return nil
+	}
+	nl := NewLogger(l.out, l.Level())
+	nl.prefix = prefix
+	return nl
+}
+
+var defaultLogger = NewLogger(os.Stderr, LevelInfo)
+
+// DefaultLogger returns the process-wide stderr logger at info level.
+func DefaultLogger() *Logger { return defaultLogger }
+
+// SetLevel changes the threshold.
+func (l *Logger) SetLevel(min Level) {
+	if l != nil {
+		l.level.Store(int32(min))
+	}
+}
+
+// Level returns the current threshold (LevelOff on nil).
+func (l *Logger) Level() Level {
+	if l == nil {
+		return LevelOff
+	}
+	return Level(l.level.Load())
+}
+
+// Enabled reports whether lv would be written.
+func (l *Logger) Enabled(lv Level) bool {
+	return l != nil && lv >= l.Level() && l.Level() != LevelOff
+}
+
+func (l *Logger) logf(lv Level, format string, args ...any) {
+	if !l.Enabled(lv) {
+		return
+	}
+	ts := time.Now().Format("2006-01-02 15:04:05.000")
+	line := fmt.Sprintf(format, args...)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.prefix != "" {
+		fmt.Fprintf(l.out, "%s %-5s %s%s\n", ts, lv, l.prefix, line)
+		return
+	}
+	fmt.Fprintf(l.out, "%s %-5s %s\n", ts, lv, line)
+}
+
+// Debugf logs at debug level.
+func (l *Logger) Debugf(format string, args ...any) { l.logf(LevelDebug, format, args...) }
+
+// Infof logs at info level.
+func (l *Logger) Infof(format string, args ...any) { l.logf(LevelInfo, format, args...) }
+
+// Warnf logs at warn level.
+func (l *Logger) Warnf(format string, args ...any) { l.logf(LevelWarn, format, args...) }
+
+// Errorf logs at error level.
+func (l *Logger) Errorf(format string, args ...any) { l.logf(LevelError, format, args...) }

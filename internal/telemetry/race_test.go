@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentInstruments hammers one registry from many goroutines —
+// counters, gauges, histograms, traces, and concurrent snapshots — and then
+// checks the final totals are exact. Run under -race this is the telemetry
+// layer's concurrency regression test.
+func TestConcurrentInstruments(t *testing.T) {
+	const goroutines = 8
+	const perG = 2000
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := r.Counter("requests")
+			h := r.Histogram("latency")
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				h.Observe(time.Duration(1+i%250) * time.Millisecond)
+				r.Gauge("inflight").Add(1)
+				r.Gauge("inflight").Add(-1)
+				if i%100 == 0 {
+					tr := r.StartTrace("ask", "load")
+					tr.Span("execute", "src").End()
+					tr.Finish()
+				}
+			}
+		}(g)
+	}
+	// Concurrent readers must not trip the race detector.
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				_ = r.Snapshot()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+
+	const want = goroutines * perG
+	snap := r.Snapshot()
+	if got := snap.Counters["requests"]; got != want {
+		t.Fatalf("requests = %d, want %d", got, want)
+	}
+	h := snap.Histograms["latency"]
+	if h.Count != want {
+		t.Fatalf("histogram count = %d, want %d", h.Count, want)
+	}
+	if !(h.P50 <= h.P95 && h.P95 <= h.P99 && h.P99 <= h.Max) {
+		t.Fatalf("quantiles not monotone: %+v", h)
+	}
+	if h.Min != 0.001 || h.Max != 0.250 {
+		t.Fatalf("min/max = %g/%g", h.Min, h.Max)
+	}
+	if snap.Gauges["inflight"] != 0 {
+		t.Fatalf("inflight gauge = %g", snap.Gauges["inflight"])
+	}
+	wantSum := float64(goroutines) * sumMillis(perG) / 1e3
+	if diff := snap.Histograms["latency"].Sum - wantSum; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("sum = %g, want %g", snap.Histograms["latency"].Sum, wantSum)
+	}
+}
+
+// sumMillis reproduces the per-goroutine sum of (1 + i%250) ms samples.
+func sumMillis(n int) float64 {
+	var total float64
+	for i := 0; i < n; i++ {
+		total += float64(1 + i%250)
+	}
+	return total
+}

@@ -1,0 +1,37 @@
+package telemetry
+
+// Snapshot is a coherent-enough point-in-time view of a registry: every
+// instrument is read atomically (individual instruments may be mid-update
+// relative to each other under live load, but each value is itself exact).
+// It marshals directly to the /debug/telemetry JSON document.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	Traces     []TraceSnapshot              `json:"traces"`
+}
+
+// Snapshot captures all instruments and the recent-trace ring (newest
+// first). A nil registry yields an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	counters, gauges, hists := r.instrumentNames()
+	for _, name := range counters {
+		s.Counters[name] = r.Counter(name).Value()
+	}
+	for _, name := range gauges {
+		s.Gauges[name] = r.Gauge(name).Value()
+	}
+	for _, name := range hists {
+		s.Histograms[name] = r.Histogram(name).Snapshot()
+	}
+	s.Traces = r.traces.recent()
+	return s
+}

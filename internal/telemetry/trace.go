@@ -1,0 +1,189 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Span is one timed step inside a trace. Spans form a tree: the pipeline
+// root (`ask`) has children like `plan`, `negotiate(source)`,
+// `execute(source)`, `merge`. Methods no-op on nil, so fully disabled
+// tracing costs nothing at call sites.
+type Span struct {
+	tr       *Trace
+	name     string
+	detail   string // e.g. the source a negotiate/execute span targets
+	start    time.Time
+	duration time.Duration
+	err      string
+	children []*Span
+	mu       sync.Mutex
+}
+
+// Child starts a nested span.
+func (sp *Span) Child(name, detail string) *Span {
+	if sp == nil {
+		return nil
+	}
+	c := &Span{tr: sp.tr, name: name, detail: detail, start: time.Now()}
+	sp.mu.Lock()
+	sp.children = append(sp.children, c)
+	sp.mu.Unlock()
+	return c
+}
+
+// End closes the span.
+func (sp *Span) End() {
+	if sp != nil {
+		sp.duration = time.Since(sp.start)
+	}
+}
+
+// Fail closes the span recording an error.
+func (sp *Span) Fail(err error) {
+	if sp == nil {
+		return
+	}
+	sp.duration = time.Since(sp.start)
+	if err != nil {
+		sp.err = err.Error()
+	}
+}
+
+// Trace is one end-to-end pipeline execution. Finish() publishes it into
+// the registry's ring of recent traces.
+type Trace struct {
+	ring   *traceRing
+	op     string
+	detail string
+	begin  time.Time
+	root   *Span
+}
+
+// StartTrace opens a trace whose root span is named op; detail is free-form
+// context (e.g. the query text). Nil registry returns a nil trace whose
+// entire span API no-ops without allocating.
+func (r *Registry) StartTrace(op, detail string) *Trace {
+	if r == nil {
+		return nil
+	}
+	now := time.Now()
+	t := &Trace{ring: r.traces, op: op, detail: detail, begin: now}
+	t.root = &Span{name: op, detail: detail, start: now}
+	t.root.tr = t
+	return t
+}
+
+// Span starts a direct child of the trace root.
+func (t *Trace) Span(name, detail string) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root.Child(name, detail)
+}
+
+// Fail marks the whole trace as failed.
+func (t *Trace) Fail(err error) {
+	if t == nil || err == nil {
+		return
+	}
+	t.root.err = err.Error()
+}
+
+// Finish closes the root span and publishes the trace.
+func (t *Trace) Finish() {
+	if t == nil {
+		return
+	}
+	t.root.End()
+	t.ring.push(t.snapshot())
+}
+
+// SpanSnapshot is the serializable form of a span. Offsets and durations
+// are nanoseconds relative to the trace start.
+type SpanSnapshot struct {
+	Name     string         `json:"name"`
+	Detail   string         `json:"detail,omitempty"`
+	OffsetNS int64          `json:"offset_ns"`
+	DurNS    int64          `json:"dur_ns"`
+	Err      string         `json:"err,omitempty"`
+	Children []SpanSnapshot `json:"children,omitempty"`
+}
+
+// TraceSnapshot is the serializable form of a whole trace.
+type TraceSnapshot struct {
+	Op    string       `json:"op"`
+	Query string       `json:"query,omitempty"`
+	Begin time.Time    `json:"begin"`
+	Root  SpanSnapshot `json:"root"`
+}
+
+func (t *Trace) snapshot() TraceSnapshot {
+	return TraceSnapshot{Op: t.op, Query: t.detail, Begin: t.begin, Root: t.root.view(t.begin)}
+}
+
+func (sp *Span) view(begin time.Time) SpanSnapshot {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	v := SpanSnapshot{
+		Name:     sp.name,
+		Detail:   sp.detail,
+		OffsetNS: sp.start.Sub(begin).Nanoseconds(),
+		DurNS:    sp.duration.Nanoseconds(),
+		Err:      sp.err,
+	}
+	for _, c := range sp.children {
+		v.Children = append(v.Children, c.view(begin))
+	}
+	return v
+}
+
+// traceRing retains the last cap traces.
+type traceRing struct {
+	mu   sync.Mutex
+	buf  []TraceSnapshot
+	next int
+	full bool
+}
+
+func newTraceRing(capacity int) *traceRing {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &traceRing{buf: make([]TraceSnapshot, capacity)}
+}
+
+func (tr *traceRing) push(t TraceSnapshot) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	tr.buf[tr.next] = t
+	tr.next = (tr.next + 1) % len(tr.buf)
+	if tr.next == 0 {
+		tr.full = true
+	}
+	tr.mu.Unlock()
+}
+
+// recent returns traces newest-first.
+func (tr *traceRing) recent() []TraceSnapshot {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	n := tr.next
+	if tr.full {
+		n = len(tr.buf)
+	}
+	out := make([]TraceSnapshot, 0, n)
+	for i := 0; i < n; i++ {
+		idx := tr.next - 1 - i
+		if idx < 0 {
+			idx += len(tr.buf)
+		}
+		out = append(out, tr.buf[idx])
+	}
+	return out
+}

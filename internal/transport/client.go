@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/feature"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -30,10 +31,37 @@ type Client struct {
 	closed   bool
 	readErr  error
 	done     chan struct{}
+	tel      clientTel
+}
+
+// clientTel caches resolved telemetry instruments for client round-trips.
+type clientTel struct {
+	queries, timeouts, feedDropped *telemetry.Counter
+	queryRTT, pingRTT              *telemetry.Histogram
+}
+
+func newClientTel(reg *telemetry.Registry) clientTel {
+	if reg == nil {
+		return clientTel{}
+	}
+	return clientTel{
+		queries:     reg.Counter("transport.client.queries"),
+		timeouts:    reg.Counter("transport.client.timeouts"),
+		feedDropped: reg.Counter("transport.client.feed.dropped"),
+		queryRTT:    reg.Histogram("transport.client.query"),
+		pingRTT:     reg.Histogram("transport.client.ping"),
+	}
 }
 
 // Dial connects and performs the hello handshake.
 func Dial(addr, clientID string, timeout time.Duration) (*Client, error) {
+	return DialWithTelemetry(addr, clientID, timeout, nil)
+}
+
+// DialWithTelemetry is Dial with client round-trip instruments (query/ping
+// RTT histograms, timeout and feed-drop counters) registered in reg before
+// the demux loop starts, keeping the accounting race-free.
+func DialWithTelemetry(addr, clientID string, timeout time.Duration, reg *telemetry.Registry) (*Client, error) {
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
@@ -45,6 +73,7 @@ func Dial(addr, clientID string, timeout time.Duration) (*Client, error) {
 		pongs:   make(chan []byte, 4),
 		Feed:    make(chan wire.FeedItem, 64),
 		done:    make(chan struct{}),
+		tel:     newClientTel(reg),
 	}
 	hello := wire.Hello{NodeID: clientID}
 	if err := c.send(wire.KindHello, hello.Marshal()); err != nil {
@@ -116,6 +145,7 @@ func (c *Client) readLoop() {
 			select {
 			case c.Feed <- item:
 			default: // drop on backpressure
+				c.tel.feedDropped.Inc()
 			}
 		case wire.KindPong:
 			select {
@@ -137,8 +167,11 @@ func (c *Client) Ping(timeout time.Duration) (time.Duration, error) {
 	}
 	select {
 	case <-c.pongs:
-		return time.Since(start), nil
+		rtt := time.Since(start)
+		c.tel.pingRTT.Observe(rtt)
+		return rtt, nil
 	case <-time.After(timeout):
+		c.tel.timeouts.Inc()
 		return 0, ErrTimeout
 	case <-c.done:
 		return 0, c.err()
@@ -157,6 +190,7 @@ func (c *Client) err() error {
 // Query sends a query (free text or full AQL in text) and waits for the
 // result.
 func (c *Client) Query(text string, concept feature.Vector, topK int, timeout time.Duration) (wire.QueryResult, error) {
+	start := time.Now()
 	c.mu.Lock()
 	c.nextID++
 	id := fmt.Sprintf("q%d", c.nextID)
@@ -172,11 +206,14 @@ func (c *Client) Query(text string, concept feature.Vector, topK int, timeout ti
 		if !ok {
 			return wire.QueryResult{}, c.err()
 		}
+		c.tel.queries.Inc()
+		c.tel.queryRTT.Observe(time.Since(start))
 		return res, nil
 	case <-time.After(timeout):
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
+		c.tel.timeouts.Inc()
 		return wire.QueryResult{}, ErrTimeout
 	}
 }

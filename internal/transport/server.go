@@ -9,14 +9,15 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/docstore"
 	"repro/internal/feature"
 	"repro/internal/query"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -24,17 +25,63 @@ import (
 type Server struct {
 	NodeID string
 	Store  *docstore.Store
-	Logf   func(format string, args ...any)
+	// Log is the leveled logger for server events (read errors, malformed
+	// frames). Defaults to telemetry.DefaultLogger(); nil silences.
+	Log *telemetry.Logger
+	// Logf, when set, overrides Log for every message (test hook).
+	Logf func(format string, args ...any)
 
-	mu        sync.Mutex
-	ln        net.Listener
-	conns     map[net.Conn]*connState
-	subs      map[string]*subscription // subID -> sub
-	closed    bool
-	wg        sync.WaitGroup
-	Served    uint64
-	Delivered uint64
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]*connState
+	subs   map[string]*subscription // subID -> sub
+	closed bool
+	wg     sync.WaitGroup
+
+	// served/delivered are incremented from per-connection goroutines and
+	// read by operators mid-flight (shutdown logging, debug endpoints) —
+	// atomics, not bare fields, or -race rightly objects.
+	served    atomic.Uint64
+	delivered atomic.Uint64
+	telPtr    atomic.Pointer[serverTel]
 }
+
+// serverTel caches resolved telemetry instruments for the request path.
+type serverTel struct {
+	queries, feedDelivered, conns, readErrors *telemetry.Counter
+	queryLat                                  *telemetry.Histogram
+}
+
+// SetTelemetry registers the server's instruments in reg. Safe to call at
+// any time, including while serving. Nil reg disables instrumentation.
+func (s *Server) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		s.telPtr.Store(nil)
+		return
+	}
+	s.telPtr.Store(&serverTel{
+		queries:       reg.Counter("transport.server.queries"),
+		feedDelivered: reg.Counter("transport.server.feed.delivered"),
+		conns:         reg.Counter("transport.server.conns"),
+		readErrors:    reg.Counter("transport.server.read.errors"),
+		queryLat:      reg.Histogram("transport.server.query"),
+	})
+}
+
+// tel returns the current instrument set; the zero value (all nil
+// instruments, every call a no-op) when telemetry is disabled.
+func (s *Server) tel() serverTel {
+	if t := s.telPtr.Load(); t != nil {
+		return *t
+	}
+	return serverTel{}
+}
+
+// Served returns how many queries the server has answered.
+func (s *Server) Served() uint64 { return s.served.Load() }
+
+// Delivered returns how many feed items have been pushed to subscribers.
+func (s *Server) Delivered() uint64 { return s.delivered.Load() }
 
 type connState struct {
 	conn net.Conn
@@ -51,10 +98,20 @@ func NewServer(nodeID string, store *docstore.Store) *Server {
 	return &Server{
 		NodeID: nodeID,
 		Store:  store,
-		Logf:   log.Printf,
+		Log:    telemetry.DefaultLogger(),
 		conns:  make(map[net.Conn]*connState),
 		subs:   make(map[string]*subscription),
 	}
+}
+
+// warnf routes a warning through Logf when set (tests), the leveled logger
+// otherwise.
+func (s *Server) warnf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+		return
+	}
+	s.Log.Warnf(format, args...)
 }
 
 // Serve accepts connections on ln until Close. It blocks.
@@ -78,6 +135,7 @@ func (s *Server) Serve(ln net.Listener) error {
 			return fmt.Errorf("transport: accept: %w", err)
 		}
 		cs := &connState{conn: conn}
+		s.tel().conns.Inc()
 		s.mu.Lock()
 		s.conns[conn] = cs
 		s.mu.Unlock()
@@ -131,7 +189,8 @@ func (s *Server) handle(cs *connState) {
 		f, err := wire.ReadFrame(r)
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-				s.Logf("transport: %s: read: %v", cs.conn.RemoteAddr(), err)
+				s.tel().readErrors.Inc()
+				s.warnf("transport: %s: read: %v", cs.conn.RemoteAddr(), err)
 			}
 			return
 		}
@@ -139,7 +198,7 @@ func (s *Server) handle(cs *connState) {
 		case wire.KindHello:
 			hello, err := wire.UnmarshalHello(f.Payload)
 			if err != nil {
-				s.Logf("transport: bad hello: %v", err)
+				s.warnf("transport: bad hello: %v", err)
 				return
 			}
 			ack := wire.Hello{NodeID: s.NodeID, Topics: nil, Capacity: int64(s.Store.Len())}
@@ -156,7 +215,7 @@ func (s *Server) handle(cs *connState) {
 		case wire.KindSubscribe:
 			sub, err := wire.UnmarshalSubscribe(f.Payload)
 			if err != nil {
-				s.Logf("transport: bad subscribe: %v", err)
+				s.warnf("transport: bad subscribe: %v", err)
 				continue
 			}
 			s.mu.Lock()
@@ -167,7 +226,7 @@ func (s *Server) handle(cs *connState) {
 			delete(s.subs, string(f.Payload))
 			s.mu.Unlock()
 		default:
-			s.Logf("transport: unexpected frame %v", f.Kind)
+			s.warnf("transport: unexpected frame %v", f.Kind)
 		}
 	}
 }
@@ -175,7 +234,7 @@ func (s *Server) handle(cs *connState) {
 func (s *Server) serveQuery(cs *connState, payload []byte) {
 	wq, err := wire.UnmarshalQuery(payload)
 	if err != nil {
-		s.Logf("transport: bad query: %v", err)
+		s.warnf("transport: bad query: %v", err)
 		return
 	}
 	start := time.Now()
@@ -199,11 +258,12 @@ func (s *Server) serveQuery(cs *connState, payload []byte) {
 			DocID: r.Doc.ID, Source: s.NodeID, Score: r.Score, Snippet: r.Doc.Snippet(80),
 		})
 	}
-	s.mu.Lock()
-	s.Served++
-	s.mu.Unlock()
+	s.served.Add(1)
+	tel := s.tel()
+	tel.queries.Inc()
+	tel.queryLat.Observe(time.Since(start))
 	if err := s.send(cs, wire.KindQueryResult, resp.Marshal()); err != nil {
-		s.Logf("transport: send result: %v", err)
+		s.warnf("transport: send result: %v", err)
 	}
 }
 
@@ -230,9 +290,8 @@ func (s *Server) PublishFeed(d *docstore.Document, seq uint64) {
 	payload := item.Marshal()
 	for _, cs := range targets {
 		if err := s.send(cs, wire.KindFeedItem, payload); err == nil {
-			s.mu.Lock()
-			s.Delivered++
-			s.mu.Unlock()
+			s.delivered.Add(1)
+			s.tel().feedDelivered.Inc()
 		}
 	}
 }
