@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet check bench clean
+.PHONY: build test race vet check bench bench-suite clean
 
 build:
 	$(GO) build ./...
@@ -22,8 +22,13 @@ vet:
 
 check: build vet test race
 
-# Full experiment suite as benchmarks (see bench_test.go at the repo root).
+# Ask-pipeline perf baseline: the sequential/parallel BenchmarkAsk pair,
+# archived as JSON so future PRs have a trajectory to diff against.
 bench:
+	$(GO) test -run XXX -bench Ask -benchmem . | $(GO) run ./cmd/benchjson | tee BENCH_ask.json
+
+# Full experiment suite as benchmarks (see bench_test.go at the repo root).
+bench-suite:
 	$(GO) test -bench . -benchtime 1x -run XXX
 
 clean:

@@ -32,6 +32,7 @@ func main() {
 	seed := flag.Int64("seed", 7, "world seed")
 	nDocs := flag.Int("docs", 1500, "corpus size")
 	nSources := flag.Int("sources", 5, "provider count")
+	concurrency := flag.Int("concurrency", 0, "ask fan-out width: goroutines per ask (0 = min(plan size, GOMAXPROCS), 1 = sequential)")
 	flag.Parse()
 
 	reg := telemetry.NewRegistry()
@@ -60,6 +61,7 @@ func main() {
 	p := profile.New("you", 32)
 	sess := a.NewSession(p)
 	sess.CompleteQueries = true
+	sess.Concurrency = *concurrency
 
 	var topics []string
 	for _, t := range g.Topics {

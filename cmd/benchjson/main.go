@@ -1,0 +1,98 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// document on stdout, so benchmark runs can be archived and diffed across
+// PRs (the Makefile's bench target tees it into BENCH_ask.json):
+//
+//	go test -run XXX -bench Ask -benchmem | go run ./cmd/benchjson
+//
+// Only lines it understands are consumed; everything else (PASS, ok,
+// harness chatter) is ignored, so it is safe to pipe a whole test run in.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Line is one parsed benchmark result.
+type Line struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Report is the archived document.
+type Report struct {
+	Goos       string `json:"goos,omitempty"`
+	Goarch     string `json:"goarch,omitempty"`
+	Pkg        string `json:"pkg,omitempty"`
+	CPU        string `json:"cpu,omitempty"`
+	Benchmarks []Line `json:"benchmarks"`
+}
+
+func parseLine(fields []string) (Line, bool) {
+	// Benchmark<Name>[-P] N ns/op [B/op] [allocs/op]
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Line{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Line{}, false
+	}
+	ns, err := strconv.ParseFloat(fields[2], 64)
+	if err != nil || fields[3] != "ns/op" {
+		return Line{}, false
+	}
+	l := Line{Name: fields[0], Iterations: iters, NsPerOp: ns}
+	for i := 4; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseInt(fields[i], 10, 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "B/op":
+			l.BytesPerOp = v
+		case "allocs/op":
+			l.AllocsPerOp = v
+		}
+	}
+	return l, true
+}
+
+func main() {
+	rep := Report{Benchmarks: []Line{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		default:
+			if l, ok := parseLine(strings.Fields(line)); ok {
+				rep.Benchmarks = append(rep.Benchmarks, l)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -67,6 +67,7 @@ func Suite() []Experiment {
 		{"E18", "Integration: registry vs overlay discovery", E18DiscoveryVsRegistry},
 		{"E19", "Personalization: risk-profile recovery & use", E19RiskProfiling},
 		{"E20", "Substrate: telemetry overhead & instrument coherence", E20TelemetryOverhead},
+		{"E21", "Pipeline: parallel source fan-out & hedged tail latency", E21ParallelFanout},
 	}
 }
 

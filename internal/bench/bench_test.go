@@ -297,9 +297,38 @@ func TestE20Shapes(t *testing.T) {
 	}
 }
 
+func TestE21Shapes(t *testing.T) {
+	r := E21ParallelFanout(21, testScale)
+	h := r.Headline
+	// Parallel answers must match sequential ones item for item — the
+	// fan-out is a latency optimization, never a semantic change.
+	if h["deterministic"] != 1 {
+		t.Fatal("parallel fan-out diverged from sequential answers")
+	}
+	// The market-visit claim: at 4 sources the trip costs like the
+	// slowest stall, so the fan-out should at least halve p50 latency.
+	if h["speedup_p50_4src"] < 2 {
+		t.Fatalf("4-source fan-out speedup %.2f < 2", h["speedup_p50_4src"])
+	}
+	// More stalls, more win: 8 sources should beat 2 sources.
+	if h["speedup_p50_8src"] <= h["speedup_p50_2src"] {
+		t.Fatalf("speedup not growing with sources: %v", h)
+	}
+	// On the fat-tailed market the backup attempt must actually fire and
+	// must rescue a substantial share of deadline abandonments (a hedged
+	// source is only dropped when both attempts miss the deadline).
+	if h["hedge_attempts"] == 0 {
+		t.Fatal("no hedge ever fired on the fat-tailed market")
+	}
+	if h["hedge_rescued_frac"] < 0.25 {
+		t.Fatalf("hedging rescued only %.0f%% of timeouts: off=%.3f on=%.3f",
+			h["hedge_rescued_frac"]*100, h["hedge_off_timeout_rate"], h["hedge_on_timeout_rate"])
+	}
+}
+
 func TestSuiteListsAllExperiments(t *testing.T) {
 	suite := Suite()
-	if len(suite) != 20 {
+	if len(suite) != 21 {
 		t.Fatalf("suite size = %d", len(suite))
 	}
 	seen := map[string]bool{}
@@ -319,7 +348,7 @@ func TestRunAllSmoke(t *testing.T) {
 		t.Skip("full suite in short mode")
 	}
 	results := RunAll(io.Discard, 42, 0.2)
-	if len(results) != 20 {
+	if len(results) != 21 {
 		t.Fatalf("results = %d", len(results))
 	}
 	for _, r := range results {

@@ -34,6 +34,12 @@ type Config struct {
 	// instrumentation: the hot path then performs only nil-receiver no-ops
 	// and allocates nothing extra.
 	Telemetry *telemetry.Registry
+	// LatencyScale converts simulated provider latencies into real
+	// wall-clock waits during query execution: a source whose drawn
+	// latency is d sleeps d*LatencyScale before answering. Zero (the
+	// default) keeps provider latency purely virtual. Benchmarks set a
+	// small scale so the fan-out's wall-clock behavior is observable.
+	LatencyScale float64
 }
 
 // pipelineTel caches resolved instruments once per Agora so the ask hot
@@ -44,6 +50,9 @@ type pipelineTel struct {
 	askErrors         *telemetry.Counter
 	negotiateFailures *telemetry.Counter
 	executeFailures   *telemetry.Counter
+	hedges            *telemetry.Counter
+	hedgeWins         *telemetry.Counter
+	deadlineTimeouts  *telemetry.Counter
 	askLat            *telemetry.Histogram
 	planLat           *telemetry.Histogram
 	negotiateLat      *telemetry.Histogram
@@ -61,6 +70,9 @@ func newPipelineTel(reg *telemetry.Registry) pipelineTel {
 		askErrors:         reg.Counter("core.ask.errors"),
 		negotiateFailures: reg.Counter("core.negotiate.failures"),
 		executeFailures:   reg.Counter("core.execute.failures"),
+		hedges:            reg.Counter("core.execute.hedges"),
+		hedgeWins:         reg.Counter("core.execute.hedge_wins"),
+		deadlineTimeouts:  reg.Counter("core.execute.deadline_timeouts"),
 		askLat:            reg.Histogram("core.ask.latency"),
 		planLat:           reg.Histogram("core.plan.latency"),
 		negotiateLat:      reg.Histogram("core.negotiate.latency"),
@@ -72,7 +84,13 @@ func newPipelineTel(reg *telemetry.Registry) pipelineTel {
 // Agora is the marketplace: the registry of provider nodes plus the shared
 // social fabric (profiles, graph, ACLs) and the feed bus.
 type Agora struct {
-	mu       sync.RWMutex
+	mu sync.RWMutex
+	// kmu serializes every access to the simulation kernel. The kernel is
+	// deliberately single-threaded (see internal/sim); with the ask
+	// pipeline fanning out across goroutines and providers churning
+	// concurrently, all clock reads and advances funnel through now() and
+	// advance(). Lock order: a.mu before a.kmu; node.mu is a leaf.
+	kmu      sync.Mutex
 	cfg      Config
 	kernel   *sim.Kernel
 	nodes    map[string]*Node
@@ -109,8 +127,28 @@ func New(cfg Config) *Agora {
 // Telemetry returns the registry the agora reports into (nil if disabled).
 func (a *Agora) Telemetry() *telemetry.Registry { return a.tel.reg }
 
-// Kernel exposes the simulation kernel (virtual clock).
+// Kernel exposes the simulation kernel (virtual clock). The kernel is not
+// safe for concurrent use; callers driving it directly must not overlap
+// with in-flight Asks (the pipeline serializes its own access internally).
 func (a *Agora) Kernel() *sim.Kernel { return a.kernel }
+
+// now reads the virtual clock under the kernel lock.
+func (a *Agora) now() sim.Time {
+	a.kmu.Lock()
+	defer a.kmu.Unlock()
+	return a.kernel.Now()
+}
+
+// advance moves virtual time forward by d, running any events that come
+// due, under the kernel lock.
+func (a *Agora) advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	a.kmu.Lock()
+	defer a.kmu.Unlock()
+	a.kernel.RunFor(d)
+}
 
 // ConceptDim returns the concept-space dimensionality.
 func (a *Agora) ConceptDim() int { return a.cfg.ConceptDim }
@@ -154,6 +192,9 @@ type Node struct {
 	Econ     NodeEconomics
 	Behavior NodeBehavior
 	agora    *Agora
+	// mu guards the advertisement below: sessions read it while planning
+	// concurrently with ingest churn.
+	mu sync.RWMutex
 	// topicCounts advertises content per topic (the node's "shop window").
 	topicCounts map[string]int
 	totalDocs   int
@@ -215,6 +256,7 @@ func (n *Node) Ingest(d *docstore.Document) error {
 	if err := n.Store.Put(d); err != nil {
 		return err
 	}
+	n.mu.Lock()
 	n.totalDocs++
 	for _, t := range d.Topics {
 		n.topicCounts[t]++
@@ -222,23 +264,34 @@ func (n *Node) Ingest(d *docstore.Document) error {
 	if len(d.Concept) > 0 {
 		n.contentVec.Add(d.Concept)
 	}
+	n.mu.Unlock()
 	n.agora.Feeds.Publish(feedsys.Item{
 		ID: d.ID, FeedID: n.Name, Source: n.Name, Text: d.Title + " " + d.Text,
-		Concept: d.Concept, At: n.agora.kernel.Now(),
+		Concept: d.Concept, At: n.agora.now(),
 	})
 	return nil
 }
 
 // ContentVector advertises the node's aggregate content direction.
 func (n *Node) ContentVector() feature.Vector {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	return n.contentVec.Clone().Normalize()
 }
 
 // TopicCount returns the advertised number of documents for a topic.
-func (n *Node) TopicCount(topic string) int { return n.topicCounts[topic] }
+func (n *Node) TopicCount(topic string) int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.topicCounts[topic]
+}
 
 // TotalDocs returns the advertised corpus size.
-func (n *Node) TotalDocs() int { return n.totalDocs }
+func (n *Node) TotalDocs() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.totalDocs
+}
 
 // seller builds the node's negotiator over a package grid derived from the
 // consumer's ask.
@@ -271,6 +324,7 @@ func (n *Node) sampleLatency(r *rand.Rand) time.Duration {
 // learned beliefs (trust ledger). totalForTopics is the corpus-wide count
 // for those topics (coverage denominator).
 func (n *Node) EstimateFor(topics []string, totalForTopics int, trust uncertainty.BetaBelief, latencyPrior uncertainty.Interval) optimizer.SourceEstimate {
+	n.mu.RLock()
 	holding := 0
 	if len(topics) == 0 {
 		holding = n.totalDocs
@@ -279,6 +333,7 @@ func (n *Node) EstimateFor(topics []string, totalForTopics int, trust uncertaint
 			holding += n.topicCounts[t]
 		}
 	}
+	n.mu.RUnlock()
 	cov := 0.0
 	if totalForTopics > 0 {
 		cov = float64(holding) / float64(totalForTopics)

@@ -82,6 +82,8 @@ func (a *Agora) EnableOverlayDiscovery(cfg DiscoveryConfig) {
 	if cfg.TTL <= 0 {
 		cfg.TTL = 5
 	}
+	a.kmu.Lock()
+	defer a.kmu.Unlock()
 	net := sim.NewNetwork(a.kernel, cfg.Latency, cfg.Loss)
 	ov := overlay.New(net, cfg.Overlay)
 	ov.SetTelemetry(a.tel.reg)
@@ -120,7 +122,9 @@ func (a *Agora) joinDiscovery(n *Node) {
 	}
 	id := len(a.disc.ids)
 	a.disc.ids[n.Name] = id
+	a.kmu.Lock()
 	a.disc.ov.AddNode(id, &discoveryHandler{node: n})
+	a.kmu.Unlock()
 }
 
 // Discover routes a discovery probe through the overlay and returns the
@@ -155,6 +159,7 @@ func (a *Agora) Discover(origin string, concept feature.Vector) []string {
 	}
 	var found []string
 	seen := map[string]bool{}
+	a.kmu.Lock()
 	d.ov.Query(q, func(ans overlay.Answer) {
 		if name, ok := ans.Payload.(string); ok && !seen[name] {
 			seen[name] = true
@@ -163,6 +168,7 @@ func (a *Agora) Discover(origin string, concept feature.Vector) []string {
 	})
 	a.kernel.RunFor(d.cfg.Budget)
 	d.ov.CloseQuery(qid)
+	a.kmu.Unlock()
 	return found
 }
 

@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/ctxmodel"
@@ -48,7 +50,19 @@ type Session struct {
 	MaxSources int
 	// NegotiationRounds bounds each bilateral negotiation.
 	NegotiationRounds int
-	reranker          *social.Reranker
+	// Concurrency bounds the worker pool that fans the pipeline's
+	// negotiate→execute→settle stages out across planned sources. Zero
+	// picks min(len(plan.Sources), GOMAXPROCS); 1 degrades to strictly
+	// sequential execution. Any setting returns byte-identical answers:
+	// per-source randomness is drawn in plan order before workers launch,
+	// results land in plan-order slots before fusion, and all shared
+	// state is applied after the join in plan order.
+	Concurrency int
+	// DisableHedge turns off the backup attempt that normally fires when
+	// a source runs past the p95 of its latency prior (used by
+	// experiments to isolate the hedging win).
+	DisableHedge bool
+	reranker     *social.Reranker
 }
 
 // NewSession opens a session for the given user profile (stored into the
@@ -117,9 +131,10 @@ type Partial struct {
 }
 
 // AskProgressive is Ask with a progressive-delivery callback: onPartial is
-// invoked after each source settles (in plan order) with that source's raw
-// ranked results; the returned Answer is still the fully fused, personalized
-// final ranking.
+// invoked from the asking goroutine as each contracted source settles (in
+// completion order, so the fastest stall is seen first) with that source's
+// raw ranked results; the returned Answer is still the fully fused,
+// personalized final ranking.
 func (s *Session) AskProgressive(aql string, concept feature.Vector, onPartial func(Partial)) (*Answer, error) {
 	q, err := query.Parse(aql)
 	if err != nil {
@@ -198,57 +213,47 @@ func (s *Session) runPipeline(tr *telemetry.Trace, q *query.Query, concept featu
 
 	ans := &Answer{ContextLabel: label, PlanScore: obj.Score(plan)}
 
-	// 4-6. Negotiate, execute, settle per source.
+	// 4-6. Negotiate, execute, settle per source — a concurrent fan-out
+	// over the planned stalls. Results come back in plan-order slots;
+	// shared state (ledger, latency beliefs, answer aggregates) is applied
+	// here, after the join, in plan order, so any Concurrency setting
+	// yields identical answers and identical learned state.
 	var lists [][]query.Result
 	var worstLatency time.Duration
 	var totalPaid float64
 	failed := map[string]bool{}
-	for _, est := range plan.Sources {
-		node := s.agora.Node(est.Source)
-		if node == nil {
-			continue
-		}
-		contract, deal, err := s.negotiateTraced(tr, q, node, weights)
-		if err != nil {
-			failed[est.Source] = true
-			continue
-		}
-		ans.Contracts = append(ans.Contracts, contract)
-		ans.Rounds += deal.Rounds
-		if deal.Rounds > 1 {
-			ans.Negotiated++
-		}
-		results, delivered, err := s.executeTraced(tr, node, q, concept, contract)
-		if err != nil {
-			failed[est.Source] = true
-			// Cancelled: provider compensates per contract.
-			if fee, cerr := contract.Cancel(); cerr == nil {
-				totalPaid -= fee
+	apply := func(slots []sourceResult) {
+		for i := range slots {
+			r := &slots[i]
+			if r.contract != nil {
+				ans.Contracts = append(ans.Contracts, r.contract)
 			}
-			s.Ledger.RecordOutcome(node.Name, qos.Outcome{Fulfilled: false, Shortfall: 1})
-			continue
-		}
-		out, err := contract.Settle(delivered)
-		if err == nil {
-			ans.Outcomes = append(ans.Outcomes, out)
-			totalPaid += out.NetPaid
-			s.Ledger.RecordOutcome(node.Name, out)
-			s.observeLatency(node.Name, delivered.Latency)
-		}
-		if delivered.Latency > worstLatency {
-			worstLatency = delivered.Latency
-		}
-		lists = append(lists, results)
-		if onPartial != nil {
-			onPartial(Partial{
-				Source:         node.Name,
-				Results:        results,
-				Delivered:      delivered,
-				SourcesDone:    len(lists),
-				SourcesPlanned: len(plan.Sources),
-			})
+			if r.span > worstLatency {
+				worstLatency = r.span
+			}
+			if r.err != nil {
+				failed[r.source] = true
+				if r.contract != nil {
+					// Cancelled: provider compensates per contract.
+					totalPaid -= r.refund
+					s.Ledger.RecordOutcome(r.source, qos.Outcome{Fulfilled: false, Shortfall: 1})
+				}
+				continue
+			}
+			ans.Rounds += r.rounds
+			if r.rounds > 1 {
+				ans.Negotiated++
+			}
+			if r.settled {
+				ans.Outcomes = append(ans.Outcomes, r.outcome)
+				totalPaid += r.outcome.NetPaid
+				s.Ledger.RecordOutcome(r.source, r.outcome)
+				s.observeLatency(r.source, r.delivered.Latency)
+			}
+			lists = append(lists, r.results)
 		}
 	}
+	apply(s.fanOut(tr, q, concept, plan.Sources, weights, nil, len(plan.Sources), onPartial))
 	if len(lists) == 0 {
 		// 6b. Mid-flight re-optimization: everything failed; try once more
 		// with the failures excluded.
@@ -256,34 +261,14 @@ func (s *Session) runPipeline(tr *telemetry.Trace, q *query.Query, concept featu
 		if rerr != nil || len(plan2.Sources) == 0 {
 			return nil, ErrNoProviders
 		}
-		for _, est := range plan2.Sources {
-			node := s.agora.Node(est.Source)
-			if node == nil || failed[est.Source] {
-				continue
-			}
-			contract, _, err := s.negotiateTraced(tr, q, node, weights)
-			if err != nil {
-				continue
-			}
-			results, delivered, err := s.executeTraced(tr, node, q, concept, contract)
-			if err != nil {
-				continue
-			}
-			if out, serr := contract.Settle(delivered); serr == nil {
-				ans.Outcomes = append(ans.Outcomes, out)
-				totalPaid += out.NetPaid
-				s.Ledger.RecordOutcome(node.Name, out)
-			}
-			ans.Contracts = append(ans.Contracts, contract)
-			if delivered.Latency > worstLatency {
-				worstLatency = delivered.Latency
-			}
-			lists = append(lists, results)
-		}
+		apply(s.fanOut(tr, q, concept, plan2.Sources, weights, failed, len(plan2.Sources), nil))
 		if len(lists) == 0 {
 			return nil, ErrNoProviders
 		}
 	}
+	// Advance the virtual clock once, by the slowest stall: the market
+	// trip costs as much as the slowest vendor visited, not the sum.
+	s.agora.advance(worstLatency)
 
 	// 7. Fuse and personalize the ranking.
 	spMerge := tr.Span("merge", "")
@@ -329,7 +314,7 @@ func (s *Session) runPipeline(tr *telemetry.Trace, q *query.Query, concept featu
 	tel.mergeLat.Observe(time.Since(mergeStart))
 
 	// Delivered aggregate QoS.
-	now := s.agora.kernel.Now()
+	now := s.agora.now()
 	ans.Delivered = qos.Vector{
 		Latency:      worstLatency,
 		Completeness: 0, // callers with ground truth compute this
@@ -413,13 +398,296 @@ func (s *Session) observeLatency(source string, d time.Duration) {
 	s.latencyObs[source] = obs
 }
 
+// attemptFate is the pre-drawn randomness for one execution attempt at a
+// provider: whether it responds, how long it takes, and whether it honors
+// the contract (shirking adds the extra delay). All four draws are consumed
+// unconditionally so the session's random stream advances by a fixed amount
+// per attempt regardless of the outcome — the deterministic fan-out relies
+// on fates being drawn sequentially, in plan order, before workers launch.
+type attemptFate struct {
+	available bool
+	latency   time.Duration
+	honored   bool
+	extra     time.Duration
+}
+
+// span returns how long the attempt keeps the consumer waiting: shirked
+// deliveries arrive late by the extra draw.
+func (f attemptFate) span() time.Duration {
+	if f.honored {
+		return f.latency
+	}
+	return f.latency + f.extra
+}
+
+// sourceFate bundles a source's primary attempt with its hedging policy: a
+// backup attempt fires immediately when the primary is unreachable
+// (connection failures are detected instantly) or at hedgeAt — the p95 of
+// the consumer's latency prior — when the primary runs long. Past deadline
+// the consumer abandons the source entirely and claims the cancellation
+// compensation.
+type sourceFate struct {
+	primary  attemptFate
+	hedge    *attemptFate
+	hedgeAt  time.Duration
+	deadline time.Duration
+}
+
+// resolved is the outcome of playing a sourceFate forward in virtual time.
+type resolved struct {
+	attempt  attemptFate   // the winning attempt (zero when err != nil)
+	span     time.Duration // effective wait for this source
+	hedged   bool
+	hedgeWon bool
+	timedOut bool
+	err      error
+}
+
+func (f sourceFate) resolve(name string) resolved {
+	r := resolved{hedged: f.hedge != nil}
+	type finisher struct {
+		at    attemptFate
+		end   time.Duration
+		hedge bool
+	}
+	var cands []finisher
+	if f.primary.available {
+		cands = append(cands, finisher{f.primary, f.primary.span(), false})
+	}
+	if f.hedge != nil && f.hedge.available {
+		start := f.hedgeAt
+		if !f.primary.available {
+			start = 0
+		}
+		cands = append(cands, finisher{*f.hedge, start + f.hedge.span(), true})
+	}
+	if len(cands) == 0 {
+		r.err = fmt.Errorf("core: %s unavailable", name)
+		return r
+	}
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if c.end < best.end {
+			best = c
+		}
+	}
+	if best.end > f.deadline {
+		r.span = f.deadline
+		r.timedOut = true
+		r.err = fmt.Errorf("core: %s exceeded deadline %v", name, f.deadline)
+		return r
+	}
+	r.attempt = best.at
+	r.span = best.end
+	r.hedgeWon = best.hedge
+	return r
+}
+
+// minHedgeTrigger floors the hedge trigger (and thus the deadline) so a
+// freshly narrowed latency prior cannot strangle a source that merely
+// jittered once.
+const minHedgeTrigger = 25 * time.Millisecond
+
+// drawFate draws the full per-source fate from the session stream: the
+// primary attempt, the hedge trigger and deadline derived from the latency
+// prior, and — when the primary would trip the trigger — the backup attempt.
+func (s *Session) drawFate(node *Node) sourceFate {
+	prior := s.latencyPrior(node.Name)
+	p95 := time.Duration((prior.Lo + 0.95*prior.Width()) * float64(time.Second))
+	if p95 < minHedgeTrigger {
+		p95 = minHedgeTrigger
+	}
+	f := sourceFate{primary: s.drawAttempt(node), hedgeAt: p95, deadline: 2 * p95}
+	if !s.DisableHedge && (!f.primary.available || f.primary.span() > p95) {
+		h := s.drawAttempt(node)
+		f.hedge = &h
+	}
+	return f
+}
+
+func (s *Session) drawAttempt(node *Node) attemptFate {
+	return attemptFate{
+		available: node.available(s.rng),
+		latency:   node.sampleLatency(s.rng),
+		honored:   sim.Bernoulli(s.rng, node.Behavior.Reliability),
+		extra:     node.sampleLatency(s.rng),
+	}
+}
+
+// sourceJob is one worker assignment: a planned source, its pre-drawn fate,
+// and pre-minted contract identifiers (minted in plan order so identifiers
+// are stable across Concurrency settings).
+type sourceJob struct {
+	idx     int
+	node    *Node
+	fate    sourceFate
+	slaID   string
+	queryID string
+}
+
+// sourceResult is everything one worker produced for its source. Workers
+// touch no session state beyond race-safe telemetry; the pipeline applies
+// these in plan order after the join.
+type sourceResult struct {
+	idx       int
+	source    string
+	contract  *qos.Contract
+	rounds    int
+	results   []query.Result
+	delivered qos.Vector
+	outcome   qos.Outcome
+	settled   bool
+	refund    float64
+	span      time.Duration
+	err       error
+}
+
+// fanOut runs negotiate→execute→settle for every planned source on a
+// bounded worker pool and returns plan-order slots. skip drops sources that
+// already failed (the re-optimization round). onPartial fires from the
+// calling goroutine as results land, in completion order.
+func (s *Session) fanOut(tr *telemetry.Trace, q *query.Query, concept feature.Vector, ests []optimizer.SourceEstimate, weights qos.Weights, skip map[string]bool, planned int, onPartial func(Partial)) []sourceResult {
+	var jobs []sourceJob
+	for _, est := range ests {
+		if skip != nil && skip[est.Source] {
+			continue
+		}
+		node := s.agora.Node(est.Source)
+		if node == nil {
+			continue
+		}
+		jobs = append(jobs, sourceJob{
+			idx:     len(jobs),
+			node:    node,
+			fate:    s.drawFate(node),
+			slaID:   s.agora.nextID("sla"),
+			queryID: s.agora.nextID("q"),
+		})
+	}
+	if len(jobs) == 0 {
+		return nil
+	}
+	now0 := s.agora.now()
+	workers := s.Concurrency
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	slots := make([]sourceResult, len(jobs))
+	if workers == 1 {
+		// Sequential degenerate case: no goroutines, same code path.
+		for done, job := range jobs {
+			slots[job.idx] = s.runSource(tr, q, concept, weights, job, now0)
+			deliverPartial(&slots[job.idx], done+1, planned, onPartial)
+		}
+		return slots
+	}
+	jobCh := make(chan sourceJob)
+	resCh := make(chan sourceResult)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range jobCh {
+				resCh <- s.runSource(tr, q, concept, weights, job, now0)
+			}
+		}()
+	}
+	go func() {
+		for _, job := range jobs {
+			jobCh <- job
+		}
+		close(jobCh)
+		wg.Wait()
+		close(resCh)
+	}()
+	// Collect: slot results by plan position, stream partials by completion.
+	done := 0
+	for r := range resCh {
+		slots[r.idx] = r
+		done++
+		deliverPartial(&slots[r.idx], done, planned, onPartial)
+	}
+	return slots
+}
+
+func deliverPartial(r *sourceResult, done, planned int, onPartial func(Partial)) {
+	if onPartial == nil || r.err != nil {
+		return
+	}
+	onPartial(Partial{
+		Source:         r.source,
+		Results:        r.results,
+		Delivered:      r.delivered,
+		SourcesDone:    done,
+		SourcesPlanned: planned,
+	})
+}
+
+// runSource is the worker body: negotiate a contract, play the source's
+// fate forward (hedging past the p95 trigger, abandoning past the
+// deadline), execute the winning attempt, and settle.
+func (s *Session) runSource(tr *telemetry.Trace, q *query.Query, concept feature.Vector, weights qos.Weights, job sourceJob, now0 sim.Time) sourceResult {
+	tel := &s.agora.tel
+	res := sourceResult{idx: job.idx, source: job.node.Name}
+	contract, deal, err := s.negotiateTraced(tr, q, job.node, weights, job.slaID, job.queryID, now0)
+	if err != nil {
+		res.err = err
+		return res
+	}
+	res.contract, res.rounds = contract, deal.Rounds
+
+	out := job.fate.resolve(job.node.Name)
+	if out.hedged {
+		tel.hedges.Inc()
+		if out.hedgeWon {
+			tel.hedgeWins.Inc()
+		}
+	}
+	if out.timedOut {
+		tel.deadlineTimeouts.Inc()
+	}
+	res.span = out.span
+	if out.err != nil {
+		sp := tr.Span("execute", job.node.Name)
+		s.sleepScaled(out.span)
+		sp.Fail(out.err)
+		tel.executeFailures.Inc()
+		if fee, cerr := contract.Cancel(); cerr == nil {
+			res.refund = fee
+		}
+		res.err = out.err
+		return res
+	}
+	res.results, res.delivered = s.executeTraced(tr, job.node, q, concept, contract, out, now0)
+	if o, serr := contract.Settle(res.delivered); serr == nil {
+		res.outcome = o
+		res.settled = true
+	}
+	return res
+}
+
+// sleepScaled converts a virtual provider wait into a real one when the
+// agora is configured with a wall-latency scale (benchmarks use this to
+// observe the fan-out in wall-clock time); zero scale keeps waits virtual.
+func (s *Session) sleepScaled(d time.Duration) {
+	if sc := s.agora.cfg.LatencyScale; sc > 0 && d > 0 {
+		time.Sleep(time.Duration(float64(d) * sc))
+	}
+}
+
 // negotiateTraced runs negotiateContract inside a `negotiate(source)` span,
-// feeding the negotiation histogram and failure counter.
-func (s *Session) negotiateTraced(tr *telemetry.Trace, q *query.Query, node *Node, weights qos.Weights) (*qos.Contract, negotiate.Deal, error) {
+// feeding the negotiation histogram and failure counter. Safe to call from
+// fan-out workers: it touches no session state.
+func (s *Session) negotiateTraced(tr *telemetry.Trace, q *query.Query, node *Node, weights qos.Weights, slaID, queryID string, now sim.Time) (*qos.Contract, negotiate.Deal, error) {
 	tel := &s.agora.tel
 	sp := tr.Span("negotiate", node.Name)
 	start := time.Now()
-	contract, deal, err := s.negotiateContract(q, node, weights)
+	contract, deal, err := s.negotiateContract(q, node, weights, slaID, queryID, now)
 	if err != nil {
 		sp.Fail(err)
 		tel.negotiateFailures.Inc()
@@ -430,25 +698,47 @@ func (s *Session) negotiateTraced(tr *telemetry.Trace, q *query.Query, node *Nod
 	return contract, deal, nil
 }
 
-// executeTraced runs executeAt inside an `execute(source)` span, feeding
-// the execution histogram and failure counter.
-func (s *Session) executeTraced(tr *telemetry.Trace, node *Node, q *query.Query, concept feature.Vector, c *qos.Contract) ([]query.Result, qos.Vector, error) {
+// executeTraced runs the winning attempt inside an `execute(source)` span:
+// it waits out the (scaled) provider latency, evaluates the subquery
+// against the node's store, and degrades the delivery when the node shirks.
+func (s *Session) executeTraced(tr *telemetry.Trace, node *Node, q *query.Query, concept feature.Vector, c *qos.Contract, out resolved, now0 sim.Time) ([]query.Result, qos.Vector) {
 	tel := &s.agora.tel
-	sp := tr.Span("execute", node.Name)
+	detail := node.Name
+	if out.hedgeWon {
+		detail += " (hedge)"
+	}
+	sp := tr.Span("execute", detail)
 	start := time.Now()
-	results, delivered, err := s.executeAt(node, q, concept, c)
-	if err != nil {
-		sp.Fail(err)
-		tel.executeFailures.Inc()
-		return nil, delivered, err
+	s.sleepScaled(out.span)
+
+	sub := *q
+	sub.TopK = q.TopK * 2 // sources over-deliver; fusion trims
+	results := query.Execute(node.Store, &sub, concept, int64(now0))
+	if !out.attempt.honored && len(results) > 1 {
+		// Shirk: deliver only half, late (the fate already priced the
+		// lateness into span).
+		results = results[:len(results)/2]
+	}
+	// Delivered completeness relative to the promise: we proxy by how much
+	// of its own corpus promise the node returned (full pool = promised).
+	deliveredComp := c.Promised.Completeness
+	if !out.attempt.honored {
+		deliveredComp = c.Promised.Completeness / 2
+	}
+	delivered := qos.Vector{
+		Latency:      out.span,
+		Completeness: deliveredComp,
+		Freshness:    query.MaxStaleness(results, int64(now0)),
+		Trust:        c.Promised.Trust,
+		Price:        c.Promised.Price,
 	}
 	sp.End()
 	tel.executeLat.Observe(time.Since(start))
-	return results, delivered, nil
+	return results, delivered
 }
 
 // negotiateContract bargains a package with the node and signs an SLA.
-func (s *Session) negotiateContract(q *query.Query, node *Node, weights qos.Weights) (*qos.Contract, negotiate.Deal, error) {
+func (s *Session) negotiateContract(q *query.Query, node *Node, weights qos.Weights, slaID, queryID string, now sim.Time) (*qos.Contract, negotiate.Deal, error) {
 	grid := s.packageGrid(q)
 	buyer := &negotiate.Negotiator{
 		Name:        s.Profile.UserID,
@@ -462,15 +752,15 @@ func (s *Session) negotiateContract(q *query.Query, node *Node, weights qos.Weig
 		return nil, deal, err
 	}
 	c := &qos.Contract{
-		ID:          s.agora.nextID("sla"),
-		QueryID:     s.agora.nextID("q"),
+		ID:          slaID,
+		QueryID:     queryID,
 		Consumer:    s.Profile.UserID,
 		Provider:    node.Name,
 		Promised:    deal.Package,
 		Premium:     node.Econ.Premium,
 		PenaltyRate: node.Econ.PenaltyRate,
 	}
-	if err := c.Sign(s.agora.kernel.Now()); err != nil {
+	if err := c.Sign(now); err != nil {
 		return nil, deal, err
 	}
 	return c, deal, nil
@@ -526,43 +816,6 @@ func (s *Session) packageGrid(q *query.Query) []qos.Vector {
 	return negotiate.CandidateGrid(template, comp, prices)
 }
 
-// executeAt runs the subquery at a node, simulating its hidden behavior:
-// unavailability, latency, and contract shirking.
-func (s *Session) executeAt(node *Node, q *query.Query, concept feature.Vector, c *qos.Contract) ([]query.Result, qos.Vector, error) {
-	if !node.available(s.rng) {
-		return nil, qos.Vector{}, fmt.Errorf("core: %s unavailable", node.Name)
-	}
-	latency := node.sampleLatency(s.rng)
-	// Advance virtual time to account for the interaction.
-	s.agora.kernel.RunFor(latency)
-
-	sub := *q
-	sub.TopK = q.TopK * 2 // sources over-deliver; fusion trims
-	now := int64(s.agora.kernel.Now())
-	results := query.Execute(node.Store, &sub, concept, now)
-
-	honored := sim.Bernoulli(s.rng, node.Behavior.Reliability)
-	if !honored && len(results) > 1 {
-		// Shirk: deliver only half, late.
-		results = results[:len(results)/2]
-		latency += node.sampleLatency(s.rng)
-	}
-	// Delivered completeness relative to the promise: we proxy by how much
-	// of its own corpus promise the node returned (full pool = promised).
-	deliveredComp := c.Promised.Completeness
-	if !honored {
-		deliveredComp = c.Promised.Completeness / 2
-	}
-	delivered := qos.Vector{
-		Latency:      latency,
-		Completeness: deliveredComp,
-		Freshness:    query.MaxStaleness(results, now),
-		Trust:        c.Promised.Trust,
-		Price:        c.Promised.Price,
-	}
-	return results, delivered, nil
-}
-
 // Feedback lets the application report user reactions; the session learns
 // the profile and stores the update.
 func (s *Session) Feedback(events []profile.Event) {
@@ -581,7 +834,7 @@ func (s *Session) Browse(source string, k int) ([]*docstore.Document, error) {
 	if !node.available(s.rng) {
 		return nil, fmt.Errorf("core: %s unavailable", source)
 	}
-	s.agora.kernel.RunFor(node.sampleLatency(s.rng))
+	s.agora.advance(node.sampleLatency(s.rng))
 	return node.Store.Freshest(k), nil
 }
 

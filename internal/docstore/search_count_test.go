@@ -1,0 +1,84 @@
+package docstore
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/feature"
+	"repro/internal/telemetry"
+)
+
+// TestHybridCountsOneSearch pins the telemetry contract: one hybrid query
+// is one search, even though it consults both the text and vector indexes.
+func TestHybridCountsOneSearch(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s, err := Open(Options{ConceptDim: 8, Seed: 1, Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv := feature.Vector{1, 0, 0, 0, 0, 0, 0, 0}
+	for i := 0; i < 5; i++ {
+		if err := s.Put(doc(fmt.Sprintf("d%d", i), "Gold Ring", "byzantine gold ring", int64(i), cv)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s.SearchHybrid("gold ring", cv, 0.5, 3)
+	if got := s.Stats().Searches; got != 1 {
+		t.Fatalf("hybrid query counted %d searches, want 1", got)
+	}
+	if got := reg.Counter("docstore.searches").Value(); got != 1 {
+		t.Fatalf("telemetry counted %d searches, want 1", got)
+	}
+
+	// Degenerate alphas delegate to a single index — still one search each.
+	s.SearchHybrid("gold ring", cv, 0, 3)
+	s.SearchHybrid("gold ring", cv, 1, 3)
+	s.SearchText("gold ring", 3)
+	s.SearchVector(cv, 3)
+	if got := s.Stats().Searches; got != 5 {
+		t.Fatalf("after 5 queries Stats.Searches = %d, want 5", got)
+	}
+	if got := reg.Counter("docstore.searches").Value(); got != 5 {
+		t.Fatalf("after 5 queries telemetry = %d, want 5", got)
+	}
+}
+
+// TestSearchVisualClonesTopKOnly checks the score-then-clone path still
+// returns independent copies: mutating a hit must not leak into the store.
+func TestSearchVisualClonesTopKOnly(t *testing.T) {
+	s := memStore(t)
+	ve := feature.NewVisualExtractor(3, 8, 12, 8, 0.05)
+	r := rand.New(rand.NewSource(9))
+	cv := feature.Vector{0, 0, 1, 0, 0, 0, 0, 0}
+	for i := 0; i < 8; i++ {
+		vf := ve.Extract(r, cv)
+		d := doc(fmt.Sprintf("v%d", i), "t", "x", int64(i), nil)
+		d.ColorHist = vf.ColorHist
+		d.Texture = vf.Texture
+		if err := s.Put(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := ve.Extract(r, cv)
+	hits := s.SearchVisual(q, 0.5, 3)
+	if len(hits) != 3 {
+		t.Fatalf("hits = %d, want 3", len(hits))
+	}
+	for i := 1; i < len(hits); i++ {
+		if hits[i].Score > hits[i-1].Score {
+			t.Fatal("hits not sorted by score")
+		}
+	}
+	id := hits[0].Doc.ID
+	hits[0].Doc.Title = "mutated"
+	hits[0].Doc.ColorHist[0] = -1
+	back, err := s.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Title == "mutated" || back.ColorHist[0] == -1 {
+		t.Fatal("SearchVisual returned a live pointer into the store")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/feature"
@@ -88,8 +89,10 @@ type Store struct {
 	closed  bool
 	tel     storeTel
 
-	// Stats counters.
-	puts, deletes, searches uint64
+	// Stats counters. puts/deletes are guarded by mu; searches is atomic
+	// so read-path counting never contends on the write lock.
+	puts, deletes uint64
+	searches      atomic.Uint64
 }
 
 // Open creates or recovers a store. With a Dir, it replays the snapshot and
@@ -296,8 +299,15 @@ type Hit struct {
 func (s *Store) SearchText(query string, k int) []Hit {
 	start := time.Now()
 	defer func() { s.tel.textLat.Observe(time.Since(start)) }()
-	tokens := feature.Tokenize(query)
 	s.countSearch()
+	return s.searchText(query, k)
+}
+
+// searchText is the uncounted core of SearchText: it takes its own read
+// lock but leaves the search counter and latency histograms to the caller,
+// so compound searches (hybrid) count as one operation rather than three.
+func (s *Store) searchText(query string, k int) []Hit {
+	tokens := feature.Tokenize(query)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	res := s.inv.search(tokens, k)
@@ -319,6 +329,11 @@ func (s *Store) SearchVector(concept feature.Vector, k int) []Hit {
 	start := time.Now()
 	defer func() { s.tel.vectorLat.Observe(time.Since(start)) }()
 	s.countSearch()
+	return s.searchVector(concept, k)
+}
+
+// searchVector is the uncounted core of SearchVector; see searchText.
+func (s *Store) searchVector(concept feature.Vector, k int) []Hit {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	var cands []feature.Candidate
@@ -354,7 +369,13 @@ func (s *Store) SearchVisual(query feature.VisualFeatures, colorWeight float64, 
 	s.countSearch()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	hits := make([]Hit, 0, 64)
+	// Score into a lightweight slice first; cloning every image-bearing
+	// document before ranking made each visual query O(n) in deep copies.
+	type scored struct {
+		d     *Document
+		score float64
+	}
+	cands := make([]scored, 0, 64)
 	for _, d := range s.docs {
 		if len(d.ColorHist) == 0 && len(d.Texture) == 0 {
 			continue
@@ -362,11 +383,20 @@ func (s *Store) SearchVisual(query feature.VisualFeatures, colorWeight float64, 
 		score := feature.VisualSimilarity(query, feature.VisualFeatures{
 			ColorHist: d.ColorHist, Texture: d.Texture,
 		}, colorWeight)
-		hits = append(hits, Hit{Doc: d.Clone(), Score: score})
+		cands = append(cands, scored{d: d, score: score})
 	}
-	sortHits(hits)
-	if k >= 0 && len(hits) > k {
-		hits = hits[:k]
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		return cands[i].d.ID < cands[j].d.ID
+	})
+	if k >= 0 && len(cands) > k {
+		cands = cands[:k]
+	}
+	hits := make([]Hit, len(cands))
+	for i, c := range cands {
+		hits[i] = Hit{Doc: c.d.Clone(), Score: c.score}
 	}
 	return hits
 }
@@ -384,13 +414,15 @@ func (s *Store) SearchHybrid(query string, concept feature.Vector, alpha float64
 	}
 	start := time.Now()
 	defer func() { s.tel.hybridLat.Observe(time.Since(start)) }()
+	// One hybrid query is one search, even though it consults two indexes.
+	s.countSearch()
 	// Over-fetch both pools, then blend.
 	pool := k * 4
 	if pool < 32 {
 		pool = 32
 	}
-	text := s.SearchText(query, pool)
-	vec := s.SearchVector(concept, pool)
+	text := s.searchText(query, pool)
+	vec := s.searchVector(concept, pool)
 	norm := func(hits []Hit) map[string]float64 {
 		out := make(map[string]float64, len(hits))
 		var max float64
@@ -495,11 +527,11 @@ func (s *Store) All(visit func(*Document) bool) {
 	}
 }
 
-// countSearch bumps both the internal stats counter and telemetry.
+// countSearch bumps both the internal stats counter and telemetry. It is
+// lock-free so compound searches can invoke uncounted internals and still
+// count themselves exactly once.
 func (s *Store) countSearch() {
-	s.mu.Lock()
-	s.searches++
-	s.mu.Unlock()
+	s.searches.Add(1)
 	s.tel.searches.Inc()
 }
 
@@ -593,7 +625,7 @@ func (s *Store) Stats() Stats {
 		Terms:    s.inv.termCount(),
 		Puts:     s.puts,
 		Deletes:  s.deletes,
-		Searches: s.searches,
+		Searches: s.searches.Load(),
 	}
 	if s.log != nil {
 		st.WALBytes = s.log.size
