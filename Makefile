@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet check bench bench-suite clean
+.PHONY: build test race race-core vet lint check bench bench-suite clean
 
 build:
 	$(GO) build ./...
@@ -12,15 +12,27 @@ build:
 test:
 	$(GO) test ./...
 
-# The telemetry and transport packages carry concurrent load tests that are
-# only meaningful under the race detector.
+# Full race sweep: every package under the race detector. internal/bench
+# dominates the wall time; use race-core while iterating.
 race:
+	$(GO) test -race ./...
+
+# Fast subset: the heavy concurrent suites (load tests, fan-out churn)
+# where the race detector earns its keep on every edit.
+race-core:
 	$(GO) test -race ./internal/telemetry ./internal/transport ./internal/docstore ./internal/core
 
 vet:
 	$(GO) vet ./...
 
-check: build vet test race
+# Offline static analysis: go vet plus agoralint, the repo's custom
+# analyzer suite (internal/lint) enforcing the determinism, nil-safe
+# instrument, goroutine-join, and checked-error contracts. Suppressions
+# require a reasoned `//lint:allow <analyzer> <reason>` directive.
+lint: vet
+	$(GO) run ./cmd/agoralint
+
+check: build lint test race
 
 # Ask-pipeline perf baseline: the sequential/parallel BenchmarkAsk pair,
 # archived as JSON so future PRs have a trajectory to diff against.

@@ -1,0 +1,103 @@
+// Command agoralint runs the repo's custom static analyzer suite
+// (internal/lint) over the whole module and reports contract violations
+// the stock toolchain cannot see: wall-clock reads in kernel-governed
+// packages, unguarded telemetry instruments, untracked goroutines on the
+// serving path, and discarded errors on the durability path.
+//
+// Usage:
+//
+//	agoralint [-github] [-list] [root]
+//
+// root defaults to the enclosing module root (the nearest parent
+// directory containing go.mod). Exit status is 1 when any finding
+// survives the //lint:allow directives, 0 otherwise. With -github each
+// finding is additionally emitted as a GitHub Actions workflow command
+// (`::error file=...,line=...`) so violations annotate PR diffs inline.
+//
+// agoralint is offline and dependency-free by design: `make lint` must
+// work with no network and no module downloads.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	github := flag.Bool("github", false, "emit GitHub Actions ::error annotations in addition to plain findings")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: agoralint [-github] [-list] [root]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root := flag.Arg(0)
+	// Tolerate a `./...` habit from go tool muscle memory: it means "the
+	// whole module", which is what agoralint lints anyway.
+	if root == "" || strings.HasPrefix(root, "./...") {
+		var err error
+		root, err = moduleRoot()
+		if err != nil {
+			fatal(err)
+		}
+	}
+	pkgs, err := lint.LoadTree(root)
+	if err != nil {
+		fatal(err)
+	}
+	diags := lint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		rel := d.Pos.Filename
+		if r, rerr := filepath.Rel(root, d.Pos.Filename); rerr == nil {
+			rel = filepath.ToSlash(r)
+		}
+		fmt.Printf("%s:%d:%d: [%s] %s\n", rel, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		if *github {
+			// Workflow command format; GitHub renders these as inline
+			// PR annotations. Message newlines would break the command.
+			msg := strings.ReplaceAll(d.Message, "\n", " ")
+			fmt.Printf("::error file=%s,line=%d,col=%d,title=agoralint/%s::%s\n", rel, d.Pos.Line, d.Pos.Column, d.Analyzer, msg)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "agoralint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("agoralint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "agoralint: %v\n", err)
+	os.Exit(2)
+}

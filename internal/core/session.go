@@ -154,7 +154,7 @@ func (s *Session) AskQuery(q *query.Query, concept feature.Vector) (*Answer, err
 // disabled every instrument is a nil no-op.
 func (s *Session) askPipeline(q *query.Query, concept feature.Vector, onPartial func(Partial)) (*Answer, error) {
 	tel := &s.agora.tel
-	start := time.Now()
+	elapsed := stopwatch()
 	tr := tel.reg.StartTrace("ask", q.Text)
 	ans, err := s.runPipeline(tr, q, concept, onPartial)
 	tel.asks.Inc()
@@ -162,7 +162,7 @@ func (s *Session) askPipeline(q *query.Query, concept feature.Vector, onPartial 
 		tel.askErrors.Inc()
 		tr.Fail(err)
 	}
-	tel.askLat.Observe(time.Since(start))
+	tel.askLat.Observe(elapsed())
 	tr.Finish()
 	return ans, err
 }
@@ -173,7 +173,7 @@ func (s *Session) runPipeline(tr *telemetry.Trace, q *query.Query, concept featu
 
 	// 1. Contextualize: find the active profile variant.
 	spPlan := tr.Span("plan", "")
-	planStart := time.Now()
+	planElapsed := stopwatch()
 	ctx := s.Detector.Infer(s.Context)
 	label := s.Rules.Activate(ctx)
 	interests, weights := s.Profile.ActiveView(label)
@@ -209,7 +209,7 @@ func (s *Session) runPipeline(tr *telemetry.Trace, q *query.Query, concept featu
 		return nil, ErrNoProviders
 	}
 	spPlan.End()
-	tel.planLat.Observe(time.Since(planStart))
+	tel.planLat.Observe(planElapsed())
 
 	ans := &Answer{ContextLabel: label, PlanScore: obj.Score(plan)}
 
@@ -272,7 +272,7 @@ func (s *Session) runPipeline(tr *telemetry.Trace, q *query.Query, concept featu
 
 	// 7. Fuse and personalize the ranking.
 	spMerge := tr.Span("merge", "")
-	mergeStart := time.Now()
+	mergeElapsed := stopwatch()
 	merged := query.Merge(lists, q.TopK*3)
 	for i := range merged {
 		base := merged[i].Score
@@ -311,7 +311,7 @@ func (s *Session) runPipeline(tr *telemetry.Trace, q *query.Query, concept featu
 	}
 	ans.Results = merged
 	spMerge.End()
-	tel.mergeLat.Observe(time.Since(mergeStart))
+	tel.mergeLat.Observe(mergeElapsed())
 
 	// Delivered aggregate QoS.
 	now := s.agora.now()
@@ -676,7 +676,7 @@ func (s *Session) runSource(tr *telemetry.Trace, q *query.Query, concept feature
 // observe the fan-out in wall-clock time); zero scale keeps waits virtual.
 func (s *Session) sleepScaled(d time.Duration) {
 	if sc := s.agora.cfg.LatencyScale; sc > 0 && d > 0 {
-		time.Sleep(time.Duration(float64(d) * sc))
+		time.Sleep(time.Duration(float64(d) * sc)) //lint:allow wallclock LatencyScale maps virtual provider spans onto real sleeps for wall-clock benches
 	}
 }
 
@@ -686,7 +686,7 @@ func (s *Session) sleepScaled(d time.Duration) {
 func (s *Session) negotiateTraced(tr *telemetry.Trace, q *query.Query, node *Node, weights qos.Weights, slaID, queryID string, now sim.Time) (*qos.Contract, negotiate.Deal, error) {
 	tel := &s.agora.tel
 	sp := tr.Span("negotiate", node.Name)
-	start := time.Now()
+	elapsed := stopwatch()
 	contract, deal, err := s.negotiateContract(q, node, weights, slaID, queryID, now)
 	if err != nil {
 		sp.Fail(err)
@@ -694,7 +694,7 @@ func (s *Session) negotiateTraced(tr *telemetry.Trace, q *query.Query, node *Nod
 		return nil, deal, err
 	}
 	sp.End()
-	tel.negotiateLat.Observe(time.Since(start))
+	tel.negotiateLat.Observe(elapsed())
 	return contract, deal, nil
 }
 
@@ -708,7 +708,7 @@ func (s *Session) executeTraced(tr *telemetry.Trace, node *Node, q *query.Query,
 		detail += " (hedge)"
 	}
 	sp := tr.Span("execute", detail)
-	start := time.Now()
+	elapsed := stopwatch()
 	s.sleepScaled(out.span)
 
 	sub := *q
@@ -733,7 +733,7 @@ func (s *Session) executeTraced(tr *telemetry.Trace, node *Node, q *query.Query,
 		Price:        c.Promised.Price,
 	}
 	sp.End()
-	tel.executeLat.Observe(time.Since(start))
+	tel.executeLat.Observe(elapsed())
 	return results, delivered
 }
 

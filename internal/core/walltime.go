@@ -1,0 +1,17 @@
+package core
+
+import "time"
+
+// stopwatch returns a function reporting the wall time elapsed since the
+// call. It is the single sanctioned wall-clock read in this
+// kernel-governed package: the measurements feed telemetry histograms
+// exclusively and never reach kernel state (the virtual clock, fates, or
+// negotiation), so determinism of market behaviour is unaffected.
+// Everything else in internal/core must take time from the sim kernel —
+// agoralint's wallclock analyzer enforces that.
+func stopwatch() func() time.Duration {
+	start := time.Now() //lint:allow wallclock telemetry-only stopwatch; result feeds histograms, never kernel state
+	return func() time.Duration {
+		return time.Since(start) //lint:allow wallclock telemetry-only stopwatch; result feeds histograms, never kernel state
+	}
+}

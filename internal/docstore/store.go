@@ -43,9 +43,9 @@ type Options struct {
 // storeTel caches resolved instruments; with a nil registry every field is
 // nil and each call site degrades to a nil-receiver no-op.
 type storeTel struct {
-	puts, deletes, searches, walRecords                            *telemetry.Counter
-	putLat, deleteLat, textLat, vectorLat, visualLat, hybridLat    *telemetry.Histogram
-	compactLat, replayLat                                          *telemetry.Histogram
+	puts, deletes, searches, walRecords                         *telemetry.Counter
+	putLat, deleteLat, textLat, vectorLat, visualLat, hybridLat *telemetry.Histogram
+	compactLat, replayLat                                       *telemetry.Histogram
 }
 
 func newStoreTel(reg *telemetry.Registry) storeTel {

@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// joinTrackedPackages must not leak goroutines: internal/transport serves
+// real TCP connections (Close must drain handlers before returning) and
+// internal/core's fan-out workers feed plan-order slots that the caller
+// joins on. A `go` statement with no visible join in the same function is
+// how both contracts rot.
+var joinTrackedPackages = []string{
+	"internal/transport",
+	"internal/core",
+}
+
+// goroutineAnalyzer enforces contract (3), goroutine hygiene: every `go`
+// statement in the packages above must be join-tracked within its
+// enclosing function. Accepted evidence, any one of:
+//
+//   - the spawned closure registers itself with a WaitGroup/errgroup
+//     (contains a Done or Wait call, e.g. `defer wg.Done()`);
+//   - the spawned closure hands results over a channel (send or close)
+//     and the enclosing function visibly consumes one (receive, select,
+//     or range);
+//   - the enclosing function itself calls .Wait().
+//
+// Long-lived loops joined through struct state (e.g. a demux goroutine
+// whose Close elsewhere blocks on a done channel) carry a
+// //lint:allow goroutine annotation naming the join point.
+var goroutineAnalyzer = &Analyzer{
+	Name: "goroutine",
+	Doc:  "go statements in transport/core must be join-tracked in the same function",
+	Run: func(p *Package, f *File, report ReportFunc) {
+		if !underAny(p.Path, joinTrackedPackages) {
+			return
+		}
+		// Walk every function body (declarations and literals) and check
+		// the go statements that belong to it directly — not the ones
+		// inside nested literals, which the nested walk owns.
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			for _, g := range directGoStmts(body) {
+				if !joinTracked(body, g) {
+					report(g.Pos(), "go statement is not join-tracked in this function (no WaitGroup Done/Wait, no channel join); leaked goroutines break clean shutdown — join it or annotate `//lint:allow goroutine <reason>` naming the join point")
+				}
+			}
+			return true
+		})
+	},
+}
+
+// directGoStmts returns the go statements in body that are not nested
+// inside a further function literal.
+func directGoStmts(body *ast.BlockStmt) []*ast.GoStmt {
+	var out []*ast.GoStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch g := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			out = append(out, g)
+			// The spawned closure is a FuncLit: the walk stops there and
+			// the closure's own function walk owns any go inside it.
+		}
+		return true
+	})
+	return out
+}
+
+func joinTracked(body *ast.BlockStmt, g *ast.GoStmt) bool {
+	if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		if containsCallNamed(lit.Body, "Done", "Wait") {
+			return true
+		}
+		if sendsOrCloses(lit.Body) && consumesChannel(body) {
+			return true
+		}
+	}
+	return containsCallNamed(body, "Wait")
+}
+
+// sendsOrCloses reports whether the closure hands data back: a channel
+// send or a close call.
+func sendsOrCloses(node ast.Node) bool {
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch c := n.(type) {
+		case *ast.SendStmt:
+			found = true
+			return false
+		case *ast.CallExpr:
+			if id, ok := c.Fun.(*ast.Ident); ok && id.Name == "close" {
+				found = true
+				return false
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// consumesChannel reports whether the function visibly waits on channel
+// traffic: a receive expression, a select, or a range loop.
+func consumesChannel(node ast.Node) bool {
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.UnaryExpr:
+			if e.Op == token.ARROW {
+				found = true
+				return false
+			}
+		case *ast.SelectStmt, *ast.RangeStmt:
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}

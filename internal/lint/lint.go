@@ -1,0 +1,224 @@
+// Package lint implements agoralint, the repo's custom static analyzer
+// suite. The stock Go toolchain cannot see the contracts this codebase
+// depends on — byte-identical determinism of the simulation kernel,
+// nil-receiver safety of every telemetry instrument, joined goroutines on
+// the serving path, and checked errors on the durability path — so this
+// package walks the syntax tree of every package and enforces them
+// mechanically.
+//
+// The suite is deliberately built on the standard library alone
+// (go/parser + go/ast, no type information): the module carries no
+// external dependencies and `make lint` must work offline. Each analyzer
+// therefore works on syntax plus per-file import tables; the testdata
+// fixtures under internal/lint/testdata pin the exact behaviour.
+//
+// A finding can be suppressed at a specific line with an allowlist
+// directive carrying a mandatory reason:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// placed either on the offending line or alone on the line above it.
+// Directives without a reason are themselves reported (the "directive"
+// analyzer), so every exemption stays documented.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: which analyzer fired, where, and why.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// File is one parsed source file plus its directive table.
+type File struct {
+	Name string // base filename
+	AST  *ast.File
+	Test bool // *_test.go
+
+	// allows maps a line number to the analyzer names allowed there. A
+	// directive covers its own line and the next one, so it works both
+	// trailing the offending statement and alone on the line above.
+	allows map[int][]string
+	// malformed holds positions of //lint:allow directives missing the
+	// analyzer name or the reason.
+	malformed []token.Pos
+}
+
+func (f *File) allowed(analyzer string, line int) bool {
+	for _, a := range f.allows[line] {
+		if a == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// Package is one parsed package directory. Path is the module-relative
+// slash path (e.g. "internal/sim"); analyzers scope themselves by it.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*File
+}
+
+// ReportFunc records a finding at pos.
+type ReportFunc func(pos token.Pos, format string, args ...any)
+
+// Analyzer is one mechanical contract check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// IncludeTests runs the analyzer on *_test.go files too. Most
+	// contracts govern production code only.
+	IncludeTests bool
+	Run          func(p *Package, f *File, report ReportFunc)
+}
+
+// Analyzers returns the full suite, in the order findings are reported.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		wallclockAnalyzer,
+		nilguardAnalyzer,
+		goroutineAnalyzer,
+		checkederrAnalyzer,
+		directiveAnalyzer,
+	}
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// findings (allow directives already applied), sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, p := range pkgs {
+		for _, a := range analyzers {
+			for _, f := range p.Files {
+				if f.Test && !a.IncludeTests {
+					continue
+				}
+				file, name := f, a.Name
+				report := func(pos token.Pos, format string, args ...any) {
+					position := p.Fset.Position(pos)
+					if file.allowed(name, position.Line) {
+						return
+					}
+					diags = append(diags, Diagnostic{
+						Analyzer: name,
+						Pos:      position,
+						Message:  fmt.Sprintf(format, args...),
+					})
+				}
+				a.Run(p, f, report)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// underAny reports whether pkgPath is one of (or nested under one of) the
+// given module-relative prefixes.
+func underAny(pkgPath string, prefixes []string) bool {
+	for _, pre := range prefixes {
+		if pkgPath == pre || strings.HasPrefix(pkgPath, pre+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// fileImports maps each import's local name to its path for one file.
+// Dot and blank imports are skipped: a dot import defeats selector-based
+// detection entirely and does not occur in this codebase.
+func fileImports(f *ast.File) map[string]string {
+	m := make(map[string]string, len(f.Imports))
+	for _, imp := range f.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		name := path
+		if i := strings.LastIndex(path, "/"); i >= 0 {
+			name = path[i+1:]
+		}
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		if name == "." || name == "_" {
+			continue
+		}
+		m[name] = path
+	}
+	return m
+}
+
+// pkgSelector resolves a selector expression like time.Now against the
+// file's import table, returning the import path and selected name.
+func pkgSelector(imports map[string]string, e ast.Expr) (pkgPath, name string, ok bool) {
+	sel, ok2 := e.(*ast.SelectorExpr)
+	if !ok2 {
+		return "", "", false
+	}
+	id, ok2 := sel.X.(*ast.Ident)
+	if !ok2 {
+		return "", "", false
+	}
+	path, ok2 := imports[id.Name]
+	if !ok2 {
+		return "", "", false
+	}
+	return path, sel.Sel.Name, true
+}
+
+// containsCallNamed reports whether node contains a call (method or
+// function) whose callee name is one of names.
+func containsCallNamed(node ast.Node, names ...string) bool {
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		callee := calleeName(call)
+		for _, want := range names {
+			if callee == want {
+				found = true
+				return false
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// calleeName returns the bare name of a call's callee: the method name
+// for selector calls, the function name for ident calls, "" otherwise.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	case *ast.Ident:
+		return fun.Name
+	}
+	return ""
+}

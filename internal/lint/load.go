@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadTree parses every Go package under root (normally the module root),
+// skipping hidden directories, testdata trees, and _-prefixed dirs — the
+// same set the go tool ignores. It returns packages sorted by path.
+func LoadTree(root string) ([]*Package, error) {
+	fset := token.NewFileSet()
+	byDir := map[string]*Package{}
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		rel, rerr := filepath.Rel(root, dir)
+		if rerr != nil {
+			return rerr
+		}
+		pkgPath := filepath.ToSlash(rel)
+		if pkgPath == "." {
+			pkgPath = ""
+		}
+		p := byDir[dir]
+		if p == nil {
+			p = &Package{Path: pkgPath, Fset: fset}
+			byDir[dir] = p
+		}
+		f, perr := parseFile(fset, path, d.Name())
+		if perr != nil {
+			return perr
+		}
+		p.Files = append(p.Files, f)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	pkgs := make([]*Package, 0, len(byDir))
+	for _, p := range byDir {
+		sort.Slice(p.Files, func(i, j int) bool { return p.Files[i].Name < p.Files[j].Name })
+		pkgs = append(pkgs, p)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// ParseDir parses one directory as a single package whose module-relative
+// path is forced to asPath. The lint self-tests use it to run fixtures
+// under the package paths the analyzers scope to.
+func ParseDir(dir, asPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	p := &Package{Path: asPath, Fset: token.NewFileSet()}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, perr := parseFile(p.Fset, filepath.Join(dir, e.Name()), e.Name())
+		if perr != nil {
+			return nil, perr
+		}
+		p.Files = append(p.Files, f)
+	}
+	if len(p.Files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	sort.Slice(p.Files, func(i, j int) bool { return p.Files[i].Name < p.Files[j].Name })
+	return p, nil
+}
+
+func parseFile(fset *token.FileSet, path, base string) (*File, error) {
+	af, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		return nil, fmt.Errorf("lint: parsing %s: %w", path, err)
+	}
+	f := &File{
+		Name: base,
+		AST:  af,
+		Test: strings.HasSuffix(base, "_test.go"),
+	}
+	collectDirectives(fset, f)
+	return f, nil
+}

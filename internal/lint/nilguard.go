@@ -1,0 +1,139 @@
+package lint
+
+import "go/ast"
+
+// nilguardAnalyzer enforces contract (2), nil-safe instruments: every
+// exported pointer-receiver method on an exported type in
+// internal/telemetry must nil-guard its receiver before the first
+// statement that uses it. The package's whole design rests on "a nil
+// instrument is the disabled state, every operation no-ops" — a single
+// unguarded method turns disabled telemetry into a panic on the hot path.
+//
+// Accepted guard forms (what the codebase actually writes):
+//
+//	if c == nil { return ... }      // early return
+//	if c != nil { ...whole body }   // wrap
+//	if c == nil || other { ... }    // guard fused with validation
+//	return c != nil && ...          // boolean accessors
+//
+// Mechanically: walking the top-level statements in order, a statement
+// whose condition or result compares the receiver against nil counts as
+// the guard; any earlier statement mentioning the receiver is a finding.
+var nilguardAnalyzer = &Analyzer{
+	Name: "nilguard",
+	Doc:  "exported telemetry instrument methods must nil-guard their pointer receiver",
+	Run: func(p *Package, f *File, report ReportFunc) {
+		if p.Path != "internal/telemetry" {
+			return
+		}
+		for _, decl := range f.AST.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			recvName, typeName, ptr := receiverInfo(fn)
+			if !ptr || recvName == "" || recvName == "_" || !ast.IsExported(typeName) {
+				continue
+			}
+			if guardedBeforeUse(fn.Body.List, recvName) {
+				continue
+			}
+			report(fn.Name.Pos(), "exported method (*%s).%s uses its receiver before a nil guard; telemetry instruments must no-op on nil (add `if %s == nil { ... }` first)",
+				typeName, fn.Name.Name, recvName)
+		}
+	},
+}
+
+// receiverInfo extracts the receiver's name, its type name, and whether
+// it is a pointer receiver.
+func receiverInfo(fn *ast.FuncDecl) (recvName, typeName string, ptr bool) {
+	if len(fn.Recv.List) != 1 {
+		return "", "", false
+	}
+	field := fn.Recv.List[0]
+	if len(field.Names) == 1 {
+		recvName = field.Names[0].Name
+	}
+	t := field.Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		ptr = true
+		t = star.X
+	}
+	// Generic receivers ([T any]) would appear as IndexExpr; telemetry
+	// has none, and a non-ident type simply opts out of the check.
+	if id, ok := t.(*ast.Ident); ok {
+		typeName = id.Name
+	}
+	return recvName, typeName, ptr
+}
+
+// guardedBeforeUse walks top-level statements in order: true once a nil
+// guard on recvName appears, false if a statement uses the receiver
+// first. A body that never uses the receiver needs no guard.
+func guardedBeforeUse(stmts []ast.Stmt, recvName string) bool {
+	for _, st := range stmts {
+		if stmtGuards(st, recvName) {
+			return true
+		}
+		if usesIdent(st, recvName) {
+			return false
+		}
+	}
+	return true
+}
+
+// stmtGuards reports whether st establishes the nil guard: an if whose
+// condition, or a return whose values, compare recvName against nil.
+func stmtGuards(st ast.Stmt, recvName string) bool {
+	switch s := st.(type) {
+	case *ast.IfStmt:
+		return comparesNil(s.Cond, recvName)
+	case *ast.ReturnStmt:
+		for _, res := range s.Results {
+			if comparesNil(res, recvName) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// comparesNil reports whether expr contains `recvName == nil` or
+// `recvName != nil` (possibly nested in && / || chains).
+func comparesNil(expr ast.Expr, recvName string) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return !found
+		}
+		if isIdentNamed(bin.X, recvName) && isNil(bin.Y) || isNil(bin.X) && isIdentNamed(bin.Y, recvName) {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+func isIdentNamed(e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == name
+}
+
+func isNil(e ast.Expr) bool {
+	return isIdentNamed(e, "nil")
+}
+
+// usesIdent reports whether the statement mentions the identifier.
+func usesIdent(st ast.Stmt, name string) bool {
+	found := false
+	ast.Inspect(st, func(n ast.Node) bool {
+		if isId, ok := n.(*ast.Ident); ok && isId.Name == name {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}

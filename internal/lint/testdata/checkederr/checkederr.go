@@ -1,0 +1,49 @@
+// Fixture for the checkederr analyzer: loaded with the package path
+// forced to "internal/docstore". Never compiled — syntax only.
+package checkederr
+
+type wal struct{}
+
+func (l *wal) append(op uint8, p []byte) error { return nil }
+func (l *wal) flush() error                    { return nil }
+func (l *wal) sync() error                     { return nil }
+func (l *wal) close() error                    { return nil }
+
+func truncateWAL(path string, size int64) error { return nil }
+
+type store struct{ log *wal }
+
+func (s *store) Compact() error { return nil }
+
+func bad(s *store) {
+	s.log.append(1, nil) // want "error result of s.log.append is discarded"
+	_ = s.log.flush()    // want "error result of s.log.flush is discarded"
+	defer s.log.close()  // want "error result of s.log.close is discarded"
+	truncateWAL("w", 0)  // want "error result of truncateWAL is discarded"
+	go s.Compact()       // want "error result of s.Compact is discarded"
+}
+
+func good(s *store) error {
+	if err := s.log.append(1, nil); err != nil {
+		return err
+	}
+	if err := truncateWAL("w", 0); err != nil {
+		return err
+	}
+	err := s.log.sync()
+	return err
+}
+
+func goodReturn(s *store) error {
+	return s.log.flush()
+}
+
+func allowed(s *store) {
+	_ = s.log.flush() //lint:allow checkederr fixture: flush error surfaced by the following sync
+}
+
+func unwatched(ch chan int, buf []byte) {
+	close(ch)            // builtin close: ident call, not the wal method
+	buf = append(buf, 1) // builtin append
+	_ = buf
+}

@@ -1,0 +1,26 @@
+// Fixture for the directive analyzer: malformed //lint:allow comments
+// are themselves findings. Never compiled — syntax only.
+package directive
+
+func missingReason() {
+	// want "malformed directive"
+	//lint:allow wallclock
+	_ = 1
+}
+
+func missingEverything() {
+	// want "malformed directive"
+	//lint:allow
+	_ = 1
+}
+
+func unknownAnalyzer() {
+	// want "malformed directive"
+	//lint:allow frobnicate because reasons
+	_ = 1
+}
+
+func wellFormed() {
+	//lint:allow wallclock a correct directive is not a finding even where nothing fires
+	_ = 1
+}

@@ -1,0 +1,58 @@
+// Fixture for the goroutine analyzer: loaded with the package path
+// forced to "internal/transport". Never compiled — syntax only.
+package goroutine
+
+import "sync"
+
+func leaked(work func()) {
+	go work() // want "go statement is not join-tracked"
+}
+
+func leakedClosure(work func()) {
+	go func() { // want "go statement is not join-tracked"
+		work()
+	}()
+}
+
+func waitGroupTracked(work func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+func waiterElsewhereInFunc(wg *sync.WaitGroup, work func()) {
+	wg.Add(1)
+	go work() // the enclosing function Waits below: tracked
+	wg.Wait()
+}
+
+func channelJoined(work func() int) int {
+	ch := make(chan int)
+	go func() { ch <- work() }()
+	return <-ch
+}
+
+func closeJoined(work func()) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		work()
+	}()
+	<-done
+}
+
+// nested checks that a go inside a non-spawned closure is charged to that
+// closure, not to the outer function.
+func nested(work func()) func() {
+	return func() {
+		go work() // want "go statement is not join-tracked"
+	}
+}
+
+func allowed(loop func()) {
+	go loop() //lint:allow goroutine fixture: joined through struct state elsewhere
+}

@@ -1,0 +1,55 @@
+// Fixture for the nilguard analyzer: loaded with the package path forced
+// to "internal/telemetry". Never compiled — syntax only.
+package nilguard
+
+type Counter struct{ n uint64 }
+
+func (c *Counter) Inc() { // want "(*Counter).Inc uses its receiver before a nil guard"
+	c.n++
+}
+
+func (c *Counter) Add(d uint64) {
+	if c == nil {
+		return
+	}
+	c.n += d
+}
+
+func (c *Counter) Wrapped() {
+	if c != nil {
+		c.n++
+	}
+}
+
+func (c *Counter) Fused(v float64) {
+	if c == nil || v < 0 {
+		return
+	}
+	c.n++
+}
+
+func (c *Counter) Enabled() bool {
+	return c != nil && c.n > 0
+}
+
+// LateGuard computes receiver-free state first; the guard may follow as
+// long as no earlier statement touches the receiver.
+func (c *Counter) LateGuard() uint64 {
+	base := uint64(1)
+	if c == nil {
+		return base
+	}
+	return base + c.n
+}
+
+func (c *Counter) reset() { c.n = 0 } // unexported method: exempt
+
+func (c Counter) Value() uint64 { return c.n } // value receiver: exempt
+
+func (c *Counter) Allowed() uint64 { //lint:allow nilguard fixture: caller guarantees non-nil
+	return c.n
+}
+
+type hidden struct{ n int }
+
+func (h *hidden) Bump() { h.n++ } // unexported type: exempt

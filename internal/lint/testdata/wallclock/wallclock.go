@@ -1,0 +1,38 @@
+// Fixture for the wallclock analyzer: loaded by the lint self-tests with
+// the package path forced to "internal/sim" (a kernel-governed package).
+// Never compiled — syntax only.
+package wallclock
+
+import (
+	"math/rand"
+	"time"
+	stdtime "time"
+)
+
+func bad() time.Duration {
+	start := time.Now()                // want "time.Now reads the wall clock"
+	time.Sleep(time.Millisecond)       // want "time.Sleep reads the wall clock"
+	_ = rand.Intn(4)                   // want "rand.Intn draws from the process-global source"
+	rand.Shuffle(2, func(i, j int) {}) // want "rand.Shuffle draws from the process-global source"
+	return time.Since(start)           // want "time.Since reads the wall clock"
+}
+
+func aliased() {
+	_ = stdtime.Now() // want "time.Now reads the wall clock"
+}
+
+func good(r *rand.Rand) {
+	r.Intn(4) // method on a seeded stream: fine
+	_ = rand.New(rand.NewSource(1))
+	_ = time.Millisecond
+	_ = time.Duration(3).Round(time.Second)
+}
+
+func allowedTrailing() {
+	time.Sleep(time.Millisecond) //lint:allow wallclock fixture exercises the same-line allow path
+}
+
+func allowedPreceding() {
+	//lint:allow wallclock fixture exercises the line-above allow path
+	time.Sleep(time.Millisecond)
+}

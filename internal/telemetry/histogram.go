@@ -52,6 +52,9 @@ func newHistogram() *Histogram {
 
 // Observe records a duration.
 func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
 	h.ObserveSeconds(d.Seconds())
 }
 

@@ -124,13 +124,33 @@ func (l *Logger) logf(lv Level, format string, args ...any) {
 }
 
 // Debugf logs at debug level.
-func (l *Logger) Debugf(format string, args ...any) { l.logf(LevelDebug, format, args...) }
+func (l *Logger) Debugf(format string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.logf(LevelDebug, format, args...)
+}
 
 // Infof logs at info level.
-func (l *Logger) Infof(format string, args ...any) { l.logf(LevelInfo, format, args...) }
+func (l *Logger) Infof(format string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.logf(LevelInfo, format, args...)
+}
 
 // Warnf logs at warn level.
-func (l *Logger) Warnf(format string, args ...any) { l.logf(LevelWarn, format, args...) }
+func (l *Logger) Warnf(format string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.logf(LevelWarn, format, args...)
+}
 
 // Errorf logs at error level.
-func (l *Logger) Errorf(format string, args ...any) { l.logf(LevelError, format, args...) }
+func (l *Logger) Errorf(format string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.logf(LevelError, format, args...)
+}

@@ -82,21 +82,27 @@ func DialWithTelemetry(addr, clientID string, timeout time.Duration, reg *teleme
 	}
 	// Synchronous ack before starting the demux loop.
 	if timeout > 0 {
-		conn.SetReadDeadline(time.Now().Add(timeout))
+		if err := conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("transport: arming handshake deadline: %w", err)
+		}
 	}
 	f, err := wire.ReadFrame(c.r)
 	if err != nil || f.Kind != wire.KindHelloAck {
 		conn.Close()
 		return nil, fmt.Errorf("transport: handshake failed: %v", err)
 	}
-	conn.SetReadDeadline(time.Time{})
+	if err := conn.SetReadDeadline(time.Time{}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("transport: clearing handshake deadline: %w", err)
+	}
 	ack, err := wire.UnmarshalHello(f.Payload)
 	if err != nil {
 		conn.Close()
 		return nil, err
 	}
 	c.RemoteID = ack.NodeID
-	go c.readLoop()
+	go c.readLoop() //lint:allow goroutine connection demux loop; Close joins it via <-c.done
 	return c, nil
 }
 
