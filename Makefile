@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race race-core vet lint check bench bench-suite clean
+.PHONY: build test race race-core vet lint check bench bench-docstore bench-suite clean
 
 build:
 	$(GO) build ./...
@@ -38,6 +38,13 @@ check: build lint test race
 # archived as JSON so future PRs have a trajectory to diff against.
 bench:
 	$(GO) test -run XXX -bench Ask -benchmem . | $(GO) run ./cmd/benchjson | tee BENCH_ask.json
+
+# Docstore read-path baseline: lock-free snapshot readers vs the coarse
+# RWMutex the seed used, under background writer churn, plus the cache and
+# cold-path micro-benchmarks. p50/p99 reader latency lands in the `extra`
+# field of each line; archived for cross-PR diffing.
+bench-docstore:
+	$(GO) test -run XXX -bench 'SearchParallel|SearchText' -benchmem ./internal/docstore | $(GO) run ./cmd/benchjson | tee BENCH_docstore.json
 
 # Full experiment suite as benchmarks (see bench_test.go at the repo root).
 bench-suite:

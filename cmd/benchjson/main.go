@@ -17,13 +17,16 @@ import (
 	"strings"
 )
 
-// Line is one parsed benchmark result.
+// Line is one parsed benchmark result. Extra collects custom
+// b.ReportMetric pairs (e.g. "p50-ns/op") that are not part of the
+// standard -benchmem triple.
 type Line struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
-	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64              `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 // Report is the archived document.
@@ -50,15 +53,20 @@ func parseLine(fields []string) (Line, bool) {
 	}
 	l := Line{Name: fields[0], Iterations: iters, NsPerOp: ns}
 	for i := 4; i+1 < len(fields); i += 2 {
-		v, err := strconv.ParseInt(fields[i], 10, 64)
+		f, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {
 			continue
 		}
-		switch fields[i+1] {
+		switch unit := fields[i+1]; unit {
 		case "B/op":
-			l.BytesPerOp = v
+			l.BytesPerOp = int64(f)
 		case "allocs/op":
-			l.AllocsPerOp = v
+			l.AllocsPerOp = int64(f)
+		default:
+			if l.Extra == nil {
+				l.Extra = make(map[string]float64)
+			}
+			l.Extra[unit] = f
 		}
 	}
 	return l, true

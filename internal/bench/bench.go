@@ -68,6 +68,7 @@ func Suite() []Experiment {
 		{"E19", "Personalization: risk-profile recovery & use", E19RiskProfiling},
 		{"E20", "Substrate: telemetry overhead & instrument coherence", E20TelemetryOverhead},
 		{"E21", "Pipeline: parallel source fan-out & hedged tail latency", E21ParallelFanout},
+		{"E22", "Substrate: lock-free snapshot reads under writer churn", E22LockFreeReads},
 	}
 }
 

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"io"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -326,9 +327,39 @@ func TestE21Shapes(t *testing.T) {
 	}
 }
 
+func TestE22Shapes(t *testing.T) {
+	r := E22LockFreeReads(22, testScale)
+	h := r.Headline
+	// The determinism contract is absolute: churn may never perturb a
+	// hit or a score of an unchanged document set.
+	if h["identical_under_churn"] != 1 {
+		t.Fatal("reads under churn diverged from the quiescent result")
+	}
+	// The writer must have made progress in both disciplines, or the
+	// latency comparison is vacuous.
+	if h["locked_writer_puts_16r"] == 0 || h["snapshot_writer_puts_16r"] == 0 {
+		t.Fatalf("writer starved: locked=%v snapshot=%v",
+			h["locked_writer_puts_16r"], h["snapshot_writer_puts_16r"])
+	}
+	if h["snapshot_p50_ms_16r"] <= 0 {
+		t.Fatalf("snapshot p50 not measured: %v", h["snapshot_p50_ms_16r"])
+	}
+	// Qualitative direction on any host: lock-free reads are not slower
+	// at the median. The quantitative ≥2× claim is asserted only with
+	// real parallelism available — on a single-core CI runner the paced
+	// workload still shows the convoy, but scheduler jitter makes a hard
+	// ratio flaky.
+	if runtime.NumCPU() >= 4 && h["p50_speedup_16r"] < 2 {
+		t.Fatalf("16-reader p50 speedup %.2f < 2", h["p50_speedup_16r"])
+	}
+	if h["p50_speedup_16r"] < 1 {
+		t.Fatalf("snapshot reads slower than locked at p50: %.2f", h["p50_speedup_16r"])
+	}
+}
+
 func TestSuiteListsAllExperiments(t *testing.T) {
 	suite := Suite()
-	if len(suite) != 21 {
+	if len(suite) != 22 {
 		t.Fatalf("suite size = %d", len(suite))
 	}
 	seen := map[string]bool{}
@@ -348,7 +379,7 @@ func TestRunAllSmoke(t *testing.T) {
 		t.Skip("full suite in short mode")
 	}
 	results := RunAll(io.Discard, 42, 0.2)
-	if len(results) != 21 {
+	if len(results) != 22 {
 		t.Fatalf("results = %d", len(results))
 	}
 	for _, r := range results {

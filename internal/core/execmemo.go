@@ -1,0 +1,138 @@
+package core
+
+import (
+	"encoding/binary"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/feature"
+	"repro/internal/query"
+)
+
+// execMemo caches per-source query executions within a session, keyed by
+// (source, store epoch, query fingerprint). The docstore epoch bumps on
+// every write, so an entry is valid exactly as long as the underlying store
+// is unchanged — the same generation-tagging the docstore's own result
+// cache uses, applied one layer up where it also spares the filter/sort
+// work in query.Execute. It pays off when the same subquery hits the same
+// source more than once: a hedged attempt replayed after a backup win, or
+// an experiment (and the paper's browsing consumer) re-asking an identical
+// question.
+//
+// The memo stores a private deep copy and clones again on reuse, so cached
+// documents never alias a caller's answer — the "each ask owns its
+// results" contract is unchanged. Workers touch it only through its own
+// mutex, keeping the fan-out contract (no session state beyond race-safe
+// telemetry) intact. Capacity is a small FIFO: the memo targets repeats
+// within one ask burst, not a query history.
+type execMemo struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string][]query.Result
+	order   []string
+}
+
+const execMemoCap = 16
+
+func newExecMemo() *execMemo {
+	return &execMemo{cap: execMemoCap, entries: make(map[string][]query.Result)}
+}
+
+func (m *execMemo) get(key string) ([]query.Result, bool) {
+	m.mu.Lock()
+	rs, ok := m.entries[key]
+	m.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return cloneResults(rs), true
+}
+
+func (m *execMemo) put(key string, rs []query.Result) {
+	cp := cloneResults(rs)
+	m.mu.Lock()
+	if _, ok := m.entries[key]; !ok {
+		if len(m.order) >= m.cap {
+			delete(m.entries, m.order[0])
+			m.order = m.order[1:]
+		}
+		m.order = append(m.order, key)
+	}
+	m.entries[key] = cp
+	m.mu.Unlock()
+}
+
+func cloneResults(rs []query.Result) []query.Result {
+	out := make([]query.Result, len(rs))
+	for i, r := range rs {
+		out[i] = r
+		out[i].Doc = r.Doc.Clone()
+	}
+	return out
+}
+
+// executeCached wraps query.Execute with the session's epoch-tagged memo.
+// Workers may call it concurrently; a memoized result is always a fresh
+// deep copy, so hits and misses are observationally identical.
+func (s *Session) executeCached(node *Node, q *query.Query, concept feature.Vector, now int64) []query.Result {
+	tel := &s.agora.tel
+	key := execMemoKey(node.Name, node.Store.Epoch(), q, concept, now)
+	if rs, ok := s.exec.get(key); ok {
+		tel.execCacheHits.Inc()
+		return rs
+	}
+	tel.execCacheMisses.Inc()
+	rs := query.Execute(node.Store, q, concept, now)
+	s.exec.put(key, rs)
+	return rs
+}
+
+// execMemoKey fingerprints one execution exactly: the source name, the
+// store's snapshot epoch, and every Query field Execute reads. Strings are
+// length-prefixed and floats encoded as IEEE-754 bits, so distinct queries
+// cannot collide. now participates only when MaxAge > 0 — otherwise
+// Execute's result does not depend on it (Want steers QoS, not matching,
+// and is excluded).
+func execMemoKey(source string, epoch uint64, q *query.Query, concept feature.Vector, now int64) string {
+	var b strings.Builder
+	writeStr := func(s string) {
+		b.WriteString(strconv.Itoa(len(s)))
+		b.WriteByte(':')
+		b.WriteString(s)
+	}
+	writeF64 := func(f float64) {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(f))
+		b.Write(buf[:])
+	}
+	writeStr(source)
+	b.WriteString(strconv.FormatUint(epoch, 10))
+	b.WriteByte('|')
+	if q.Kind != nil {
+		b.WriteString(strconv.Itoa(int(*q.Kind)))
+	}
+	b.WriteByte('|')
+	writeStr(q.Text)
+	for _, set := range [][]string{q.Topics, q.NotTopics, q.Sources, q.NotSources} {
+		b.WriteByte('|')
+		for _, s := range set {
+			writeStr(s)
+		}
+	}
+	b.WriteByte('|')
+	writeF64(q.SimThreshold)
+	b.WriteString(strconv.FormatInt(int64(q.MaxAge), 10))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(q.TopK))
+	b.WriteByte('|')
+	for _, f := range concept {
+		writeF64(f)
+	}
+	if q.MaxAge > 0 {
+		b.WriteByte('@')
+		b.WriteString(strconv.FormatInt(now, 10))
+	}
+	return b.String()
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/docstore"
+	"repro/internal/feature"
+	"repro/internal/query"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// buildTelemetryWorld is buildWorld with a registry attached so tests can
+// observe the execute-memo counters.
+func buildTelemetryWorld(t *testing.T, seed int64, numDocs, numSources int) (*Agora, *workload.Generator, *telemetry.Registry) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	a := New(Config{Seed: seed, ConceptDim: 32, Telemetry: reg})
+	g := workload.NewGenerator(seed, 32, 8)
+	docs := g.GenCorpus(numDocs, 1.2, int64(time.Hour))
+	bySource := g.AssignToSources(docs, numSources, 0.8)
+	for i, list := range bySource {
+		n, err := a.AddNode(workload.SourceName(i), DefaultEconomics(), DefaultBehavior())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range list {
+			if err := n.Ingest(d.Doc); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return a, g, reg
+}
+
+// TestExecMemoReuseAndInvalidation: re-asking an identical question against
+// unchanged stores is served from the session's execute memo; any ingest
+// bumps the touched store's epoch so the next ask re-executes there.
+func TestExecMemoReuseAndInvalidation(t *testing.T) {
+	a, g, reg := buildTelemetryWorld(t, 17, 300, 3)
+	s := a.NewSession(irisProfile(g, 0))
+	topic := g.Topics[0]
+	aql := fmt.Sprintf(`FIND documents WHERE topic = "%s" TOP 10`, topic.Name)
+	hits := reg.Counter("core.execute.cache.hits")
+	misses := reg.Counter("core.execute.cache.misses")
+
+	first, err := s.Ask(aql, topic.Center)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits.Value() != 0 || misses.Value() == 0 {
+		t.Fatalf("first ask: hits=%d misses=%d", hits.Value(), misses.Value())
+	}
+	missesAfterFirst := misses.Value()
+
+	second, err := s.Ask(aql, topic.Center)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits.Value() == 0 {
+		t.Fatal("identical re-ask never hit the execute memo")
+	}
+	if misses.Value() != missesAfterFirst {
+		t.Fatalf("identical re-ask re-executed: misses %d -> %d", missesAfterFirst, misses.Value())
+	}
+	// Memoized executions must be observationally identical: same fused
+	// results, same delivered QoS.
+	if !reflect.DeepEqual(first.Results, second.Results) {
+		t.Fatal("memoized ask diverged from the original")
+	}
+
+	// Mutating a returned document must not poison the memo (results are
+	// cloned both into and out of it).
+	if len(second.Results) > 0 {
+		second.Results[0].Doc.Title = "mutated"
+		again, err := s.Ask(aql, topic.Center)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.Results[0].Doc.Title == "mutated" {
+			t.Fatal("memo returned an aliased document")
+		}
+	}
+
+	// Ingest into every node: epochs bump, the same ask misses again.
+	hitsBefore := hits.Value()
+	for _, name := range a.Nodes() {
+		n := a.Node(name)
+		d := &docstore.Document{ID: "fresh-" + name, Kind: docstore.KindArticle,
+			Title: "fresh doc", Text: topic.Vocab[0], Topics: []string{topic.Name},
+			CreatedAt: 1, Provenance: name}
+		if err := n.Ingest(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Ask(aql, topic.Center); err != nil {
+		t.Fatal(err)
+	}
+	if misses.Value() == missesAfterFirst {
+		t.Fatal("post-ingest ask was served from a stale memo entry")
+	}
+	if hits.Value() != hitsBefore {
+		t.Fatalf("post-ingest ask hit the memo: hits %d -> %d", hitsBefore, hits.Value())
+	}
+}
+
+// TestExecMemoKeyExactness: distinct queries, epochs, sources, and concepts
+// produce distinct keys; identical inputs reproduce the same key; and the
+// clock participates only when MaxAge makes results time-dependent.
+func TestExecMemoKeyExactness(t *testing.T) {
+	base := &query.Query{Text: "gold ring", Topics: []string{"alpha"}, TopK: 10}
+	cv := feature.Vector{1, 0, 0.5}
+	key := func(source string, epoch uint64, q *query.Query, c feature.Vector, now int64) string {
+		return execMemoKey(source, epoch, q, c, now)
+	}
+	k0 := key("n1", 5, base, cv, 100)
+	if k0 != key("n1", 5, base, cv, 100) {
+		t.Fatal("identical inputs produced different keys")
+	}
+	if k0 == key("n2", 5, base, cv, 100) {
+		t.Fatal("source not in key")
+	}
+	if k0 == key("n1", 6, base, cv, 100) {
+		t.Fatal("epoch not in key")
+	}
+	if k0 != key("n1", 5, base, cv, 999) {
+		t.Fatal("clock leaked into the key of an age-independent query")
+	}
+	q2 := *base
+	q2.Text = "gold rings"
+	if k0 == key("n1", 5, &q2, cv, 100) {
+		t.Fatal("text not in key")
+	}
+	q3 := *base
+	q3.TopK = 20
+	if k0 == key("n1", 5, &q3, cv, 100) {
+		t.Fatal("topk not in key")
+	}
+	q4 := *base
+	q4.MaxAge = time.Minute
+	if key("n1", 5, &q4, cv, 100) == key("n1", 5, &q4, cv, 200) {
+		t.Fatal("clock missing from an age-dependent query's key")
+	}
+	cv2 := feature.Vector{1, 0, 0.25}
+	if k0 == key("n1", 5, base, cv2, 100) {
+		t.Fatal("concept not in key")
+	}
+	// Field boundaries are unambiguous: shifting a term across the
+	// topics/not-topics boundary changes the key.
+	q5 := *base
+	q5.Topics = nil
+	q5.NotTopics = []string{"alpha"}
+	if k0 == key("n1", 5, &q5, cv, 100) {
+		t.Fatal("topics and not-topics collide")
+	}
+}

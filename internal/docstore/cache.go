@@ -1,0 +1,200 @@
+package docstore
+
+import (
+	"container/list"
+	"encoding/binary"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/feature"
+	"repro/internal/telemetry"
+)
+
+// defaultQueryCacheSize bounds the query-result cache when Options leaves it
+// zero.
+const defaultQueryCacheSize = 128
+
+// queryCache is a generation-tagged LRU fronting SearchText/SearchHybrid.
+// Entries are tagged with the epoch they were computed against; any write
+// bumps the store epoch, so a stale entry is detected (and evicted) on its
+// next lookup rather than by scanning the cache on every write. Cached hits
+// hold snapshot-owned documents — immutable by the snapshot contract — and
+// are cloned on the way out, preserving the "caller owns the result" rule.
+//
+// The cache mutex is held only for bookkeeping (lookup, LRU splice);
+// cloning happens outside it so concurrent readers serialize for nanoseconds,
+// not for the deep copy.
+type queryCache struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List // front = most recently used
+	entries map[string]*list.Element
+
+	hits, misses *telemetry.Counter
+	size         *telemetry.Gauge
+}
+
+type cacheEntry struct {
+	key   string
+	epoch uint64
+	raw   []Hit // snapshot-owned documents; clone before returning
+}
+
+// newQueryCache returns nil (fully disabled) for cap < 0.
+func newQueryCache(cap int, reg *telemetry.Registry) *queryCache {
+	if cap < 0 {
+		return nil
+	}
+	if cap == 0 {
+		cap = defaultQueryCacheSize
+	}
+	c := &queryCache{cap: cap, ll: list.New(), entries: make(map[string]*list.Element)}
+	if reg != nil {
+		c.hits = reg.Counter("docstore.cache.hits")
+		c.misses = reg.Counter("docstore.cache.misses")
+		c.size = reg.Gauge("docstore.cache.entries")
+	}
+	return c
+}
+
+// get returns a caller-owned copy of the cached result for key at epoch.
+// Entries from older epochs count as misses and are dropped.
+func (c *queryCache) get(key string, epoch uint64) ([]Hit, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.mu.Unlock()
+		c.misses.Inc()
+		return nil, false
+	}
+	ent := el.Value.(*cacheEntry)
+	if ent.epoch != epoch {
+		c.ll.Remove(el)
+		delete(c.entries, key)
+		c.size.Set(float64(len(c.entries)))
+		c.mu.Unlock()
+		c.misses.Inc()
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	raw := ent.raw
+	c.mu.Unlock()
+	c.hits.Inc()
+	return cloneHits(raw), true
+}
+
+// put stores raw (snapshot-owned hits) for key at epoch, evicting from the
+// LRU tail past capacity.
+func (c *queryCache) put(key string, epoch uint64, raw []Hit) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		ent.epoch = epoch
+		ent.raw = raw
+		c.ll.MoveToFront(el)
+		c.mu.Unlock()
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, epoch: epoch, raw: raw})
+	for c.ll.Len() > c.cap {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.entries, el.Value.(*cacheEntry).key)
+	}
+	c.size.Set(float64(len(c.entries)))
+	c.mu.Unlock()
+}
+
+func (c *queryCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// cloneHits materializes caller-owned hits from snapshot-owned ones.
+func cloneHits(raw []Hit) []Hit {
+	out := make([]Hit, len(raw))
+	for i, h := range raw {
+		out[i] = Hit{Doc: h.Doc.Clone(), Score: h.Score}
+	}
+	return out
+}
+
+// Cache keys are exact encodings — no hashing, so distinct queries can
+// never collide into each other's results. Float parameters are encoded as
+// raw IEEE-754 bits.
+
+func textCacheKey(query string, k int) string {
+	return "t\x00" + query + "\x00" + strconv.Itoa(k)
+}
+
+func hybridCacheKey(query string, concept feature.Vector, alpha float64, k int) string {
+	var b strings.Builder
+	b.Grow(len(query) + 16 + 8*len(concept))
+	b.WriteString("h\x00")
+	b.WriteString(query)
+	b.WriteByte(0)
+	b.WriteString(strconv.Itoa(k))
+	b.WriteByte(0)
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(alpha))
+	b.Write(buf[:])
+	for _, f := range concept {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(f))
+		b.Write(buf[:])
+	}
+	return b.String()
+}
+
+// tokenMemoCap bounds the tokenization memo.
+const tokenMemoCap = 256
+
+// tokenMemo caches Tokenize results for repeated query strings. Token
+// slices are returned shared and must be treated as read-only — every
+// consumer (invIndex.searchWith) only reads them. Eviction drops an
+// arbitrary entry: the memo is a small hot-set cache, not an LRU.
+type tokenMemo struct {
+	mu   sync.Mutex
+	m    map[string][]string
+	hits *telemetry.Counter
+}
+
+func newTokenMemo(reg *telemetry.Registry) *tokenMemo {
+	tm := &tokenMemo{m: make(map[string][]string)}
+	if reg != nil {
+		tm.hits = reg.Counter("docstore.tokens.memo.hits")
+	}
+	return tm
+}
+
+func (tm *tokenMemo) tokenize(query string) []string {
+	tm.mu.Lock()
+	if toks, ok := tm.m[query]; ok {
+		tm.mu.Unlock()
+		tm.hits.Inc()
+		return toks
+	}
+	tm.mu.Unlock()
+	toks := feature.Tokenize(query)
+	tm.mu.Lock()
+	if len(tm.m) >= tokenMemoCap {
+		for k := range tm.m {
+			delete(tm.m, k)
+			break
+		}
+	}
+	tm.m[query] = toks
+	tm.mu.Unlock()
+	return toks
+}

@@ -1,0 +1,204 @@
+package docstore
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/feature"
+	"repro/internal/telemetry"
+)
+
+// TestCacheInvalidationOnWrite pins the generation-tagging contract: a
+// repeated query at the same epoch is served from the cache (no
+// re-execution, visible as an unchanged Searches counter), and any
+// Put/Delete bumps the epoch so the next repeat misses and re-executes.
+func TestCacheInvalidationOnWrite(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s, err := Open(Options{ConceptDim: 8, Seed: 1, Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := s.Put(doc(fmt.Sprintf("d%d", i), "Gold Ring", "byzantine gold ring", int64(i), nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits := reg.Counter("docstore.cache.hits")
+	misses := reg.Counter("docstore.cache.misses")
+
+	first := s.SearchText("gold ring", 3)
+	if got := s.Stats().Searches; got != 1 {
+		t.Fatalf("searches after first query = %d, want 1", got)
+	}
+	if misses.Value() != 1 || hits.Value() != 0 {
+		t.Fatalf("counters after first query: hits=%d misses=%d", hits.Value(), misses.Value())
+	}
+
+	second := s.SearchText("gold ring", 3)
+	if got := s.Stats().Searches; got != 1 {
+		t.Fatalf("cache hit re-executed: searches = %d, want 1", got)
+	}
+	if hits.Value() != 1 {
+		t.Fatalf("cache hits = %d, want 1", hits.Value())
+	}
+	if !hitsEqual(first, second) {
+		t.Fatal("cached result differs from the computed one")
+	}
+
+	// Put bumps the epoch: the same query re-executes and sees the new doc.
+	// Shorter than the others, so it outranks them and must appear in the
+	// re-executed top-3.
+	if err := s.Put(doc("d9", "Gold Ring", "gold ring", 50, nil)); err != nil {
+		t.Fatal(err)
+	}
+	third := s.SearchText("gold ring", 3)
+	if got := s.Stats().Searches; got != 2 {
+		t.Fatalf("post-put repeat did not re-execute: searches = %d, want 2", got)
+	}
+	if misses.Value() != 2 {
+		t.Fatalf("cache misses = %d, want 2", misses.Value())
+	}
+	found := false
+	for _, h := range third {
+		if h.Doc.ID == "d9" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("re-executed query does not see the new document")
+	}
+
+	// Delete also invalidates.
+	if err := s.Delete("d9"); err != nil {
+		t.Fatal(err)
+	}
+	s.SearchText("gold ring", 3)
+	if got := s.Stats().Searches; got != 3 {
+		t.Fatalf("post-delete repeat did not re-execute: searches = %d, want 3", got)
+	}
+	if misses.Value() != 3 {
+		t.Fatalf("cache misses = %d, want 3", misses.Value())
+	}
+}
+
+// TestCacheHybridAndOwnership: SearchHybrid is fronted by the same cache,
+// and mutating a cache-served result must not corrupt the cache or store.
+func TestCacheHybridAndOwnership(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s, err := Open(Options{ConceptDim: 8, Seed: 1, Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv := feature.Vector{1, 0, 0.5, 0, 0, 0, 0, 0}
+	for i := 0; i < 4; i++ {
+		if err := s.Put(doc(fmt.Sprintf("h%d", i), "Gold Ring", "byzantine gold ring", int64(i), cv)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first := s.SearchHybrid("gold ring", cv, 0.5, 3)
+	if got := s.Stats().Searches; got != 1 {
+		t.Fatalf("searches = %d, want 1", got)
+	}
+	second := s.SearchHybrid("gold ring", cv, 0.5, 3)
+	if got := s.Stats().Searches; got != 1 {
+		t.Fatalf("hybrid cache hit re-executed: searches = %d", got)
+	}
+	if reg.Counter("docstore.cache.hits").Value() != 1 {
+		t.Fatalf("hybrid cache hits = %d, want 1", reg.Counter("docstore.cache.hits").Value())
+	}
+	if !hitsEqual(first, second) {
+		t.Fatal("cached hybrid result differs")
+	}
+	// A different alpha is a different cache key, not a stale hit.
+	s.SearchHybrid("gold ring", cv, 0.25, 3)
+	if got := s.Stats().Searches; got != 2 {
+		t.Fatalf("distinct alpha served from cache: searches = %d, want 2", got)
+	}
+
+	// Caller owns the returned slice: mutations must not leak into later
+	// cache hits or the store.
+	second[0].Doc.Title = "mutated"
+	again := s.SearchHybrid("gold ring", cv, 0.5, 3)
+	if again[0].Doc.Title == "mutated" {
+		t.Fatal("cache returned an aliased document")
+	}
+	back, err := s.Get(again[0].Doc.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Title == "mutated" {
+		t.Fatal("mutation leaked into the store")
+	}
+}
+
+// TestCacheBounded: the LRU honors its capacity.
+func TestCacheBounded(t *testing.T) {
+	s, err := Open(Options{ConceptDim: 8, Seed: 1, QueryCacheSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(doc("d1", "Gold Ring", "byzantine gold ring", 1, nil)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		s.SearchText(fmt.Sprintf("gold query %d", i), 3)
+	}
+	if got := s.cache.len(); got > 4 {
+		t.Fatalf("cache holds %d entries, cap 4", got)
+	}
+	// The most recent key is still resident.
+	before := s.Stats().Searches
+	s.SearchText("gold query 11", 3)
+	if got := s.Stats().Searches; got != before {
+		t.Fatalf("most recent entry evicted: searches %d -> %d", before, got)
+	}
+}
+
+// TestCacheDisabled: negative QueryCacheSize turns caching off entirely;
+// every repeat re-executes.
+func TestCacheDisabled(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s, err := Open(Options{ConceptDim: 8, Seed: 1, QueryCacheSize: -1, Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(doc("d1", "Gold Ring", "byzantine gold ring", 1, nil)); err != nil {
+		t.Fatal(err)
+	}
+	s.SearchText("gold", 3)
+	s.SearchText("gold", 3)
+	if got := s.Stats().Searches; got != 2 {
+		t.Fatalf("disabled cache still served a hit: searches = %d, want 2", got)
+	}
+	if reg.Counter("docstore.cache.hits").Value() != 0 {
+		t.Fatal("disabled cache recorded hits")
+	}
+}
+
+// TestTokenMemo: repeated query strings reuse the memoized token slice (the
+// memo counts hits through telemetry); distinct strings tokenize fresh.
+func TestTokenMemo(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	// Cache disabled so repeats reach tokenization.
+	s, err := Open(Options{ConceptDim: 8, Seed: 1, QueryCacheSize: -1, Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(doc("d1", "Gold Ring", "byzantine gold ring", 1, nil)); err != nil {
+		t.Fatal(err)
+	}
+	memoHits := reg.Counter("docstore.tokens.memo.hits")
+	s.SearchText("byzantine gold", 3)
+	if memoHits.Value() != 0 {
+		t.Fatal("first tokenization counted as a memo hit")
+	}
+	s.SearchText("byzantine gold", 3)
+	s.SearchText("byzantine gold", 3)
+	if got := memoHits.Value(); got != 2 {
+		t.Fatalf("memo hits = %d, want 2", got)
+	}
+	s.SearchText("different query", 3)
+	if got := memoHits.Value(); got != 2 {
+		t.Fatalf("distinct query hit the memo: %d", got)
+	}
+}

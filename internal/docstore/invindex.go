@@ -1,9 +1,6 @@
 package docstore
 
-import (
-	"math"
-	"sort"
-)
+import "math"
 
 // invIndex is an inverted text index with TF-IDF ranking. It is rebuilt from
 // the primary map on recovery, so it needs no persistence of its own.
@@ -58,10 +55,31 @@ type scored struct {
 	score float64
 }
 
+// scoredBetter is the deterministic (score desc, id asc) ranking order; ids
+// are unique so it is a strict total order, which makes heap selection in
+// searchWith provably identical to sort-then-truncate.
+func scoredBetter(a, b scored) bool {
+	if a.score != b.score {
+		return a.score > b.score
+	}
+	return a.id < b.id
+}
+
 // search ranks documents matching the query tokens by TF-IDF with sublinear
 // TF and length normalization, returning the top k.
 func (ix *invIndex) search(tokens []string, k int) []scored {
-	if ix.docs == 0 || len(tokens) == 0 {
+	return ix.searchWith(tokens, k, nil, ix.docs)
+}
+
+// searchWith is the snapshot-aware core: ix is a frozen base index, ov an
+// optional overlay of documents written since the freeze, and total the live
+// document count. Exactness contract: the result is float-identical to
+// search on a monolithic index over the live set — document frequencies
+// count base postings minus masked ids plus overlay carriers, the idf/qw/dw
+// expressions keep the seed's evaluation order, and per-document
+// accumulation still adds one term contribution per qtf entry.
+func (ix *invIndex) searchWith(tokens []string, k int, ov *overlay, total int) []scored {
+	if total == 0 || len(tokens) == 0 {
 		return nil
 	}
 	// Collapse duplicate query terms, keeping multiplicity as query TF.
@@ -69,34 +87,81 @@ func (ix *invIndex) search(tokens []string, k int) []scored {
 	for _, t := range tokens {
 		qtf[t]++
 	}
+	hasOv := ov != nil && (len(ov.byID) > 0 || len(ov.masked) > 0)
 	acc := make(map[string]float64)
 	for t, qn := range qtf {
-		p, ok := ix.postings[t]
-		if !ok {
+		p := ix.postings[t]
+		df := len(p)
+		if hasOv {
+			// Count masked carriers from the smaller side; either loop
+			// computes the same |masked ∩ postings|.
+			if len(ov.masked) <= len(p) {
+				for id := range ov.masked {
+					if _, ok := p[id]; ok {
+						df--
+					}
+				}
+			} else {
+				for id := range p {
+					if ov.masked[id] {
+						df--
+					}
+				}
+			}
+			df += ov.df(t)
+		}
+		if df == 0 {
 			continue
 		}
-		idf := math.Log(1 + float64(ix.docs)/float64(1+len(p)))
+		idf := math.Log(1 + float64(total)/float64(1+df))
 		qw := (1 + math.Log(float64(qn))) * idf
 		for id, tf := range p {
+			if hasOv && ov.masked[id] {
+				continue
+			}
 			dw := (1 + math.Log(float64(tf))) * idf
 			acc[id] += qw * dw
 		}
-	}
-	out := make([]scored, 0, len(acc))
-	for id, s := range acc {
-		norm := math.Sqrt(float64(ix.docLen[id]) + 1)
-		out = append(out, scored{id: id, score: s / norm})
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].score != out[j].score {
-			return out[i].score > out[j].score
+		if hasOv {
+			for id, tf := range ov.termPost[t] {
+				dw := (1 + math.Log(float64(tf))) * idf
+				acc[id] += qw * dw
+			}
 		}
-		return out[i].id < out[j].id
-	})
-	if k >= 0 && len(out) > k {
-		out = out[:k]
 	}
-	return out
+	h := newTopK(k, scoredBetter)
+	for id, s := range acc {
+		dl, inOv := 0, false
+		if hasOv {
+			dl, inOv = ov.docLen[id]
+		}
+		if !inOv {
+			dl = ix.docLen[id]
+		}
+		norm := math.Sqrt(float64(dl) + 1)
+		h.push(scored{id: id, score: s / norm})
+	}
+	return h.sorted()
+}
+
+// clone deep-copies the index for a snapshot freeze.
+func (ix *invIndex) clone() *invIndex {
+	cp := &invIndex{
+		postings: make(map[string]map[string]int, len(ix.postings)),
+		docLen:   make(map[string]int, len(ix.docLen)),
+		docs:     ix.docs,
+	}
+	for t, p := range ix.postings {
+		np := make(map[string]int, len(p))
+		for id, tf := range p {
+			np[id] = tf
+		}
+		cp.postings[t] = np
+	}
+	for id, l := range ix.docLen {
+		cp.docLen[id] = l
+	}
+	return cp
 }
 
 // termCount returns the number of distinct indexed terms.

@@ -11,9 +11,12 @@ import (
 
 // TestHybridCountsOneSearch pins the telemetry contract: one hybrid query
 // is one search, even though it consults both the text and vector indexes.
+// The result cache is disabled so every query actually executes — Searches
+// counts executions, and cached repeats would otherwise not re-execute
+// (that behavior is pinned separately in cache_test.go).
 func TestHybridCountsOneSearch(t *testing.T) {
 	reg := telemetry.NewRegistry()
-	s, err := Open(Options{ConceptDim: 8, Seed: 1, Telemetry: reg})
+	s, err := Open(Options{ConceptDim: 8, Seed: 1, Telemetry: reg, QueryCacheSize: -1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -104,6 +104,30 @@ func (s *skiplist) remove(key int64, id string) bool {
 	return true
 }
 
+// clone returns a structurally identical copy for a snapshot freeze: node
+// levels are preserved (so scan costs match), nothing is shared with the
+// original, and the clone carries no rng — frozen lists are never inserted
+// into.
+func (s *skiplist) clone() *skiplist {
+	cp := &skiplist{
+		head:   &skipNode{next: make([]*skipNode, maxSkipLevel)},
+		level:  s.level,
+		length: s.length,
+	}
+	tails := make([]*skipNode, maxSkipLevel)
+	for i := range tails {
+		tails[i] = cp.head
+	}
+	for n := s.head.next[0]; n != nil; n = n.next[0] {
+		node := &skipNode{key: n.key, id: n.id, next: make([]*skipNode, len(n.next))}
+		for i := range n.next {
+			tails[i].next[i] = node
+			tails[i] = node
+		}
+	}
+	return cp
+}
+
 // scanRange visits ids with key in [from, to] in ascending order, stopping
 // early if visit returns false.
 func (s *skiplist) scanRange(from, to int64, visit func(key int64, id string) bool) {

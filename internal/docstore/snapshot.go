@@ -1,0 +1,487 @@
+package docstore
+
+import (
+	"sort"
+
+	"repro/internal/feature"
+)
+
+// This file implements the lock-free read path. The write path (Put /
+// Delete / Compact, serialized by Store.mu) maintains one mutable "master"
+// state and, after every mutation, publishes an immutable snapshot through
+// an atomic pointer. Readers load the snapshot once and never touch the
+// store lock — a search can run entirely concurrently with writers, and a
+// reader holding an old snapshot simply keeps seeing the old epoch.
+//
+// Publishing a full deep copy per write would make Put O(n). Instead a
+// snapshot is a frozen base plus a small immutable overlay delta:
+//
+//	snapshot = { base: frozen state, ov: docs written since the freeze }
+//
+// Each write clones the (small) overlay and republishes; once the overlay
+// reaches overlayLimit the master is deep-cloned into a fresh base and the
+// overlay resets — small-batch coalescing that amortizes the O(n) freeze
+// over many writes.
+//
+// Exactness contract: every read through (base, ov) must be result-identical
+// to the same read against a monolithic index containing the live documents.
+// The subtle cases are TF-IDF (document frequencies count base postings
+// minus superseded ids plus overlay carriers, with the same float expression
+// order as invIndex.search) and LSH bucket membership (overlay vectors carry
+// precomputed per-table signatures so they join exactly the buckets an
+// indexed vector would — see feature.Extra). TestSnapshotMatchesMonolithic
+// pins this equivalence across freeze boundaries.
+
+// state bundles the five index structures. The master state is guarded by
+// Store.mu; frozen copies inside snapshots are immutable.
+type state struct {
+	docs    map[string]*Document
+	inv     *invIndex
+	vec     *feature.LSH
+	byTime  *skiplist
+	byTopic map[string]map[string]bool
+	// visuals counts docs carrying visual features, so SearchVisual can
+	// return before building any scratch state when there are none.
+	visuals int
+}
+
+func newState(opts Options) *state {
+	return &state{
+		docs:    make(map[string]*Document),
+		inv:     newInvIndex(),
+		vec:     feature.NewLSH(opts.Seed, opts.ConceptDim, opts.LSHTables, opts.LSHBits),
+		byTime:  newSkiplist(opts.Seed + 1),
+		byTopic: make(map[string]map[string]bool),
+	}
+}
+
+// applyPut updates in-memory state only (no WAL, no snapshot publish).
+func (st *state) applyPut(d *Document, tokens []string) {
+	if old, ok := st.docs[d.ID]; ok {
+		st.byTime.remove(old.CreatedAt, old.ID)
+		st.removeTopics(old)
+		if hasVisual(old) {
+			st.visuals--
+		}
+	}
+	st.docs[d.ID] = d
+	for _, t := range d.Topics {
+		set, ok := st.byTopic[t]
+		if !ok {
+			set = make(map[string]bool)
+			st.byTopic[t] = set
+		}
+		set[d.ID] = true
+	}
+	st.inv.add(d.ID, tokens)
+	if len(d.Concept) > 0 {
+		st.vec.Put(d.ID, d.Concept)
+	} else {
+		st.vec.Delete(d.ID)
+	}
+	st.byTime.insert(d.CreatedAt, d.ID)
+	if hasVisual(d) {
+		st.visuals++
+	}
+}
+
+func (st *state) applyDelete(id string) {
+	d, ok := st.docs[id]
+	if !ok {
+		return
+	}
+	delete(st.docs, id)
+	st.inv.removeDoc(id)
+	st.vec.Delete(id)
+	st.byTime.remove(d.CreatedAt, id)
+	st.removeTopics(d)
+	if hasVisual(d) {
+		st.visuals--
+	}
+}
+
+func (st *state) removeTopics(d *Document) {
+	for _, t := range d.Topics {
+		if set, ok := st.byTopic[t]; ok {
+			delete(set, d.ID)
+			if len(set) == 0 {
+				delete(st.byTopic, t)
+			}
+		}
+	}
+}
+
+// freeze deep-clones the index structures into an immutable base. Documents
+// themselves are shared: the write path never mutates a stored *Document in
+// place (Put installs a fresh clone), so pointers are safe across epochs.
+func (st *state) freeze() *state {
+	docs := make(map[string]*Document, len(st.docs))
+	for id, d := range st.docs {
+		docs[id] = d
+	}
+	topics := make(map[string]map[string]bool, len(st.byTopic))
+	for t, set := range st.byTopic {
+		ns := make(map[string]bool, len(set))
+		for id := range set {
+			ns[id] = true
+		}
+		topics[t] = ns
+	}
+	return &state{
+		docs:    docs,
+		inv:     st.inv.clone(),
+		vec:     st.vec.Clone(),
+		byTime:  st.byTime.clone(),
+		byTopic: topics,
+		visuals: st.visuals,
+	}
+}
+
+func hasVisual(d *Document) bool {
+	return len(d.ColorHist) > 0 || len(d.Texture) > 0
+}
+
+// timeEntry mirrors one skiplist pair for the overlay's sorted time slice.
+type timeEntry struct {
+	key int64
+	id  string
+}
+
+// overlay is the immutable delta on top of a frozen base. Every write to an
+// id that exists in the base marks it masked (dead in the base); liveness of
+// an overlay id is byID membership. The zero overlay (nil maps) is valid:
+// lookups on nil maps read as empty.
+type overlay struct {
+	ops    int             // writes since the last freeze
+	masked map[string]bool // base ids superseded or deleted
+	byID   map[string]*Document
+	byTime []timeEntry               // ascending (key, id)
+	terms  map[string]map[string]int // docID -> term -> tf (inner maps immutable)
+	docLen map[string]int
+	// termPost inverts terms (term -> docID -> tf) so per-term document
+	// frequency and overlay scoring are O(carriers), not O(overlay docs).
+	// Inner maps are copy-on-write: cloneNext shares them, and any write
+	// replaces the touched term's map with a fresh copy.
+	termPost map[string]map[string]int
+	extras   []feature.Extra // overlay concept vectors with precomputed signatures
+}
+
+// cloneNext deep-copies the overlay's own containers for the next write.
+// Inner term maps and documents are immutable after insertion and shared.
+func (ov *overlay) cloneNext() *overlay {
+	nv := &overlay{
+		ops:      ov.ops + 1,
+		masked:   make(map[string]bool, len(ov.masked)+1),
+		byID:     make(map[string]*Document, len(ov.byID)+1),
+		byTime:   append([]timeEntry(nil), ov.byTime...),
+		terms:    make(map[string]map[string]int, len(ov.terms)+1),
+		docLen:   make(map[string]int, len(ov.docLen)+1),
+		termPost: make(map[string]map[string]int, len(ov.termPost)+8),
+		extras:   append([]feature.Extra(nil), ov.extras...),
+	}
+	for id := range ov.masked {
+		nv.masked[id] = true
+	}
+	for id, d := range ov.byID {
+		nv.byID[id] = d
+	}
+	for id, m := range ov.terms {
+		nv.terms[id] = m
+	}
+	for id, l := range ov.docLen {
+		nv.docLen[id] = l
+	}
+	for t, p := range ov.termPost {
+		nv.termPost[t] = p
+	}
+	return nv
+}
+
+// dropID removes any existing overlay entry for id (a replace or delete of a
+// doc written since the freeze). The masked set is left alone: masking
+// records a fact about the base, which does not change within an overlay's
+// lifetime.
+func (nv *overlay) dropID(id string) {
+	old, ok := nv.byID[id]
+	if !ok {
+		return
+	}
+	delete(nv.byID, id)
+	for t := range nv.terms[id] {
+		nv.delTermPost(t, id)
+	}
+	delete(nv.terms, id)
+	delete(nv.docLen, id)
+	nv.removeTime(old.CreatedAt, id)
+	for i := range nv.extras {
+		if nv.extras[i].ID == id {
+			nv.extras = append(nv.extras[:i], nv.extras[i+1:]...)
+			break
+		}
+	}
+}
+
+func (nv *overlay) insertTime(key int64, id string) {
+	i := sort.Search(len(nv.byTime), func(i int) bool {
+		e := nv.byTime[i]
+		return !skipLess(e.key, e.id, key, id)
+	})
+	nv.byTime = append(nv.byTime, timeEntry{})
+	copy(nv.byTime[i+1:], nv.byTime[i:])
+	nv.byTime[i] = timeEntry{key: key, id: id}
+}
+
+func (nv *overlay) removeTime(key int64, id string) {
+	i := sort.Search(len(nv.byTime), func(i int) bool {
+		e := nv.byTime[i]
+		return !skipLess(e.key, e.id, key, id)
+	})
+	if i < len(nv.byTime) && nv.byTime[i].key == key && nv.byTime[i].id == id {
+		nv.byTime = append(nv.byTime[:i], nv.byTime[i+1:]...)
+	}
+}
+
+// withPut returns the overlay extended with d. inBase says whether the base
+// holds a (now superseded) version of d.ID; sigs are d.Concept's per-table
+// LSH signatures (nil when the doc has no concept vector).
+func (ov *overlay) withPut(d *Document, tokens []string, sigs []uint64, inBase bool) *overlay {
+	nv := ov.cloneNext()
+	nv.dropID(d.ID)
+	if inBase {
+		nv.masked[d.ID] = true
+	}
+	nv.byID[d.ID] = d
+	nv.insertTime(d.CreatedAt, d.ID)
+	tf := make(map[string]int, len(tokens))
+	for _, t := range tokens {
+		tf[t]++
+	}
+	nv.terms[d.ID] = tf
+	nv.docLen[d.ID] = len(tokens)
+	for t, n := range tf {
+		nv.setTermPost(t, d.ID, n)
+	}
+	if len(d.Concept) > 0 {
+		nv.extras = append(nv.extras, feature.Extra{ID: d.ID, Vec: d.Concept, Sigs: sigs})
+	}
+	return nv
+}
+
+// withDelete returns the overlay with id removed (and masked when the base
+// holds it).
+func (ov *overlay) withDelete(id string, inBase bool) *overlay {
+	nv := ov.cloneNext()
+	nv.dropID(id)
+	if inBase {
+		nv.masked[id] = true
+	}
+	return nv
+}
+
+// setTermPost records id carrying term with frequency tf, copying the
+// term's posting map so shared predecessors stay immutable.
+func (nv *overlay) setTermPost(t, id string, tf int) {
+	p := nv.termPost[t]
+	np := make(map[string]int, len(p)+1)
+	for k, v := range p {
+		np[k] = v
+	}
+	np[id] = tf
+	nv.termPost[t] = np
+}
+
+// delTermPost removes id from term's posting map, same copy-on-write
+// discipline.
+func (nv *overlay) delTermPost(t, id string) {
+	p, ok := nv.termPost[t]
+	if !ok {
+		return
+	}
+	np := make(map[string]int, len(p))
+	for k, v := range p {
+		if k != id {
+			np[k] = v
+		}
+	}
+	if len(np) == 0 {
+		delete(nv.termPost, t)
+	} else {
+		nv.termPost[t] = np
+	}
+}
+
+// df returns how many overlay docs carry term.
+func (ov *overlay) df(term string) int {
+	return len(ov.termPost[term])
+}
+
+// overlayLimit bounds overlay size before a freeze: large enough to
+// amortize the O(n) deep clone, small enough to keep the per-query overlay
+// adjustments cheap.
+func overlayLimit(baseDocs int) int {
+	lim := baseDocs / 8
+	if lim < 64 {
+		lim = 64
+	}
+	if lim > 512 {
+		lim = 512
+	}
+	return lim
+}
+
+// snapshot is one published epoch: an immutable view of the store.
+// docCount/termCount/visualCount are copied from the master at publish time
+// so Stats and search normalization need no reconstruction.
+type snapshot struct {
+	epoch       uint64
+	base        *state
+	ov          *overlay
+	docCount    int
+	termCount   int
+	visualCount int
+}
+
+// getDoc returns the live document for id, or nil. The pointer is
+// snapshot-owned and must be cloned before leaving the store.
+func (sn *snapshot) getDoc(id string) *Document {
+	if d, ok := sn.ov.byID[id]; ok {
+		return d
+	}
+	if sn.ov.masked[id] {
+		return nil
+	}
+	return sn.base.docs[id]
+}
+
+// searchTextRaw ranks against the merged index. Returned hits share
+// snapshot-owned documents (see cloneHits).
+func (sn *snapshot) searchTextRaw(tokens []string, k int) []Hit {
+	res := sn.base.inv.searchWith(tokens, k, sn.ov, sn.docCount)
+	hits := make([]Hit, 0, len(res))
+	for _, r := range res {
+		if d := sn.getDoc(r.id); d != nil {
+			hits = append(hits, Hit{Doc: d, Score: r.score})
+		}
+	}
+	return hits
+}
+
+// searchVectorRaw mirrors the monolithic searchVector: exact scan for small
+// stores, LSH with scan fallback otherwise. Masked base ids are excluded
+// before top-k selection and overlay vectors join via their precomputed
+// signatures, so the candidate set matches a monolithic index exactly.
+func (sn *snapshot) searchVectorRaw(concept feature.Vector, k int) []Hit {
+	excluded := func(id string) bool { return sn.ov.masked[id] }
+	var cands []feature.Candidate
+	if sn.docCount <= 256 {
+		cands = sn.base.vec.ScanWith(concept, k, sn.ov.extras, excluded)
+	} else {
+		cands = sn.base.vec.QueryWith(concept, k, sn.ov.extras, excluded)
+		if len(cands) < k {
+			cands = sn.base.vec.ScanWith(concept, k, sn.ov.extras, excluded)
+		}
+	}
+	hits := make([]Hit, 0, len(cands))
+	for _, c := range cands {
+		if d := sn.getDoc(c.ID); d != nil {
+			hits = append(hits, Hit{Doc: d, Score: c.Score})
+		}
+	}
+	return hits
+}
+
+// scanAsc visits live (key, id) pairs with key in [from, to] ascending — an
+// ordered merge of the base skiplist (skipping masked ids) with the
+// overlay's sorted slice, yielding exactly the sequence a monolithic
+// skiplist over the live set would.
+func (sn *snapshot) scanAsc(from, to int64, visit func(key int64, id string) bool) {
+	ents := sn.ov.byTime
+	oi := 0
+	for oi < len(ents) && ents[oi].key < from {
+		oi++
+	}
+	stopped := false
+	sn.base.byTime.scanRange(from, to, func(k int64, id string) bool {
+		for oi < len(ents) && ents[oi].key <= to && skipLess(ents[oi].key, ents[oi].id, k, id) {
+			if !visit(ents[oi].key, ents[oi].id) {
+				stopped = true
+				return false
+			}
+			oi++
+		}
+		if sn.ov.masked[id] {
+			return true
+		}
+		if !visit(k, id) {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	if stopped {
+		return
+	}
+	for oi < len(ents) && ents[oi].key <= to {
+		if !visit(ents[oi].key, ents[oi].id) {
+			return
+		}
+		oi++
+	}
+}
+
+// scanDesc visits live pairs with key <= max in descending order,
+// materializing the ascending merge like skiplist.scanDescending. limit < 0
+// means unbounded; like the skiplist, it counts visits.
+func (sn *snapshot) scanDesc(max int64, limit int, visit func(key int64, id string) bool) {
+	var all []timeEntry
+	sn.scanAsc(-1<<63, max, func(k int64, id string) bool {
+		all = append(all, timeEntry{key: k, id: id})
+		return true
+	})
+	for i := len(all) - 1; i >= 0; i-- {
+		if limit == 0 {
+			return
+		}
+		if !visit(all[i].key, all[i].id) {
+			return
+		}
+		if limit > 0 {
+			limit--
+		}
+	}
+}
+
+// topicCount counts live docs carrying topic: base members not masked, plus
+// overlay carriers.
+func (sn *snapshot) topicCount(topic string) int {
+	set := sn.base.byTopic[topic]
+	n := len(set)
+	for id := range sn.ov.masked {
+		if set[id] {
+			n--
+		}
+	}
+	for _, d := range sn.ov.byID {
+		for _, t := range d.Topics {
+			if t == topic {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// hasTopic reports whether the live doc id carries topic. Callers only pass
+// ids that came out of a live scan, so masked base ids never reach here.
+func (sn *snapshot) hasTopic(id, topic string) bool {
+	if d, ok := sn.ov.byID[id]; ok {
+		for _, t := range d.Topics {
+			if t == topic {
+				return true
+			}
+		}
+		return false
+	}
+	return sn.base.byTopic[topic][id]
+}

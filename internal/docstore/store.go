@@ -34,16 +34,21 @@ type Options struct {
 	// CompactAfterBytes triggers automatic snapshot+truncate once the WAL
 	// exceeds this size. Zero disables auto-compaction.
 	CompactAfterBytes int64
+	// QueryCacheSize bounds the generation-tagged query-result cache
+	// fronting SearchText/SearchHybrid. Zero picks the default (128
+	// entries); negative disables caching entirely.
+	QueryCacheSize int
 	// Telemetry receives per-operation latency histograms and counters
-	// (docstore.put, docstore.search.*, docstore.compact, WAL replay).
-	// Nil disables instrumentation.
+	// (docstore.put, docstore.search.*, docstore.compact, WAL replay,
+	// docstore.epoch, docstore.cache.*). Nil disables instrumentation.
 	Telemetry *telemetry.Registry
 }
 
 // storeTel caches resolved instruments; with a nil registry every field is
 // nil and each call site degrades to a nil-receiver no-op.
 type storeTel struct {
-	puts, deletes, searches, walRecords                         *telemetry.Counter
+	puts, deletes, searches, walRecords, freezes                *telemetry.Counter
+	epoch                                                       *telemetry.Gauge
 	putLat, deleteLat, textLat, vectorLat, visualLat, hybridLat *telemetry.Histogram
 	compactLat, replayLat                                       *telemetry.Histogram
 }
@@ -57,6 +62,8 @@ func newStoreTel(reg *telemetry.Registry) storeTel {
 		deletes:    reg.Counter("docstore.deletes"),
 		searches:   reg.Counter("docstore.searches"),
 		walRecords: reg.Counter("docstore.wal.records.replayed"),
+		freezes:    reg.Counter("docstore.snapshot.freezes"),
+		epoch:      reg.Gauge("docstore.epoch"),
 		putLat:     reg.Histogram("docstore.put"),
 		deleteLat:  reg.Histogram("docstore.delete"),
 		textLat:    reg.Histogram("docstore.search.text"),
@@ -76,23 +83,27 @@ var (
 )
 
 // Store is a durable, indexed document store. All methods are safe for
-// concurrent use.
+// concurrent use. Writers (Put/Delete/Compact/Close) serialize on mu and
+// publish an immutable epoch snapshot; every read method loads the snapshot
+// and runs lock-free, so searches never block writers and never take the
+// store lock (a contract enforced by agoralint's lockfree analyzer — see
+// snapshot.go for the epoch/overlay design).
 type Store struct {
-	mu      sync.RWMutex
-	opts    Options
-	docs    map[string]*Document
-	inv     *invIndex
-	vec     *feature.LSH
-	byTime  *skiplist
-	byTopic map[string]map[string]bool
-	log     *wal
-	closed  bool
-	tel     storeTel
+	mu     sync.Mutex // serializes writers; never taken on the read path
+	opts   Options
+	master *state // mutable truth, guarded by mu
+	log    *wal   // guarded by mu
+	tel    storeTel
 
-	// Stats counters. puts/deletes are guarded by mu; searches is atomic
-	// so read-path counting never contends on the write lock.
-	puts, deletes uint64
-	searches      atomic.Uint64
+	snap   atomic.Pointer[snapshot]
+	cache  *queryCache
+	tokens *tokenMemo
+
+	closed   atomic.Bool
+	puts     atomic.Uint64
+	deletes  atomic.Uint64
+	searches atomic.Uint64
+	walBytes atomic.Int64
 }
 
 // Open creates or recovers a store. With a Dir, it replays the snapshot and
@@ -108,15 +119,14 @@ func Open(opts Options) (*Store, error) {
 		opts.LSHBits = 10
 	}
 	s := &Store{
-		opts:    opts,
-		docs:    make(map[string]*Document),
-		inv:     newInvIndex(),
-		vec:     feature.NewLSH(opts.Seed, opts.ConceptDim, opts.LSHTables, opts.LSHBits),
-		byTime:  newSkiplist(opts.Seed + 1),
-		byTopic: make(map[string]map[string]bool),
-		tel:     newStoreTel(opts.Telemetry),
+		opts:   opts,
+		master: newState(opts),
+		tel:    newStoreTel(opts.Telemetry),
+		cache:  newQueryCache(opts.QueryCacheSize, opts.Telemetry),
+		tokens: newTokenMemo(opts.Telemetry),
 	}
 	if opts.Dir == "" {
+		s.installLocked(&snapshot{epoch: 1, base: s.master.freeze(), ov: &overlay{}})
 		return s, nil
 	}
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
@@ -131,9 +141,9 @@ func Open(opts Options) (*Store, error) {
 			if err != nil {
 				return err
 			}
-			s.applyPut(d)
+			s.master.applyPut(d, d.Tokens())
 		case opDelete:
-			s.applyDelete(string(payload))
+			s.master.applyDelete(string(payload))
 		}
 		return nil
 	}
@@ -155,54 +165,63 @@ func Open(opts Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.walBytes.Store(s.log.size)
+	// One publish for the whole replay: per-record publishing would make
+	// recovery O(n) snapshot churn for nothing.
+	s.installLocked(&snapshot{epoch: 1, base: s.master.freeze(), ov: &overlay{}})
 	return s, nil
 }
 
-// applyPut updates in-memory state only (no WAL).
-func (s *Store) applyPut(d *Document) {
-	if old, ok := s.docs[d.ID]; ok {
-		s.byTime.remove(old.CreatedAt, old.ID)
-		s.removeTopics(old)
-	}
-	s.docs[d.ID] = d
-	for _, t := range d.Topics {
-		set, ok := s.byTopic[t]
-		if !ok {
-			set = make(map[string]bool)
-			s.byTopic[t] = set
-		}
-		set[d.ID] = true
-	}
-	s.inv.add(d.ID, d.Tokens())
-	if len(d.Concept) > 0 {
-		s.vec.Put(d.ID, d.Concept)
-	} else {
-		s.vec.Delete(d.ID)
-	}
-	s.byTime.insert(d.CreatedAt, d.ID)
+// installLocked stamps the snapshot with the master's current counts and
+// publishes it. Callers hold mu (or are inside Open before the store
+// escapes).
+func (s *Store) installLocked(sn *snapshot) {
+	sn.docCount = len(s.master.docs)
+	sn.termCount = s.master.inv.termCount()
+	sn.visualCount = s.master.visuals
+	s.snap.Store(sn)
+	s.tel.epoch.Set(float64(sn.epoch))
 }
 
-func (s *Store) applyDelete(id string) {
-	d, ok := s.docs[id]
-	if !ok {
+// freezeLocked publishes a fresh deep-cloned base with an empty overlay —
+// the coalescing point that keeps overlays small.
+func (s *Store) freezeLocked(epoch uint64) {
+	s.tel.freezes.Inc()
+	s.installLocked(&snapshot{epoch: epoch, base: s.master.freeze(), ov: &overlay{}})
+}
+
+// publishPutLocked extends the overlay with d, or freezes when the overlay
+// has reached its coalescing limit.
+func (s *Store) publishPutLocked(d *Document, tokens []string) {
+	cur := s.snap.Load()
+	if cur.ov.ops >= overlayLimit(len(cur.base.docs)) {
+		s.freezeLocked(cur.epoch + 1)
 		return
 	}
-	delete(s.docs, id)
-	s.inv.removeDoc(id)
-	s.vec.Delete(id)
-	s.byTime.remove(d.CreatedAt, id)
-	s.removeTopics(d)
+	_, inBase := cur.base.docs[d.ID]
+	var sigs []uint64
+	if len(d.Concept) > 0 {
+		sigs = s.master.vec.Signatures(d.Concept)
+	}
+	s.installLocked(&snapshot{
+		epoch: cur.epoch + 1,
+		base:  cur.base,
+		ov:    cur.ov.withPut(d, tokens, sigs, inBase),
+	})
 }
 
-func (s *Store) removeTopics(d *Document) {
-	for _, t := range d.Topics {
-		if set, ok := s.byTopic[t]; ok {
-			delete(set, d.ID)
-			if len(set) == 0 {
-				delete(s.byTopic, t)
-			}
-		}
+func (s *Store) publishDeleteLocked(id string) {
+	cur := s.snap.Load()
+	if cur.ov.ops >= overlayLimit(len(cur.base.docs)) {
+		s.freezeLocked(cur.epoch + 1)
+		return
 	}
+	_, inBase := cur.base.docs[id]
+	s.installLocked(&snapshot{
+		epoch: cur.epoch + 1,
+		base:  cur.base,
+		ov:    cur.ov.withDelete(id, inBase),
+	})
 }
 
 // Put stores (or replaces) a document durably.
@@ -213,7 +232,7 @@ func (s *Store) Put(d *Document) error {
 	start := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return ErrClosed
 	}
 	cp := d.Clone()
@@ -228,9 +247,12 @@ func (s *Store) Put(d *Document) error {
 		} else if err := s.log.flush(); err != nil {
 			return err
 		}
+		s.walBytes.Store(s.log.size)
 	}
-	s.applyPut(cp)
-	s.puts++
+	tokens := cp.Tokens()
+	s.master.applyPut(cp, tokens)
+	s.publishPutLocked(cp, tokens)
+	s.puts.Add(1)
 	s.tel.puts.Inc()
 	if s.log != nil && s.opts.CompactAfterBytes > 0 && s.log.size > s.opts.CompactAfterBytes {
 		if err := s.compactLocked(); err != nil {
@@ -247,10 +269,10 @@ func (s *Store) Delete(id string) error {
 	start := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return ErrClosed
 	}
-	if _, ok := s.docs[id]; !ok {
+	if _, ok := s.master.docs[id]; !ok {
 		return ErrNotFound
 	}
 	if s.log != nil {
@@ -260,9 +282,11 @@ func (s *Store) Delete(id string) error {
 		if err := s.log.flush(); err != nil {
 			return err
 		}
+		s.walBytes.Store(s.log.size)
 	}
-	s.applyDelete(id)
-	s.deletes++
+	s.master.applyDelete(id)
+	s.publishDeleteLocked(id)
+	s.deletes.Add(1)
 	s.tel.deletes.Inc()
 	s.tel.deleteLat.Observe(time.Since(start))
 	return nil
@@ -270,13 +294,11 @@ func (s *Store) Delete(id string) error {
 
 // Get returns a copy of the document with the given id.
 func (s *Store) Get(id string) (*Document, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.closed {
+	if s.closed.Load() {
 		return nil, ErrClosed
 	}
-	d, ok := s.docs[id]
-	if !ok {
+	d := s.snap.Load().getDoc(id)
+	if d == nil {
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
 	}
 	return d.Clone(), nil
@@ -284,9 +306,14 @@ func (s *Store) Get(id string) (*Document, error) {
 
 // Len returns the number of stored documents.
 func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.docs)
+	return s.snap.Load().docCount
+}
+
+// Epoch returns the current snapshot generation; every Put/Delete bumps it.
+// Callers use it to tag derived results that stay valid until the next
+// write (the query cache here, the execute memo in internal/core).
+func (s *Store) Epoch() uint64 {
+	return s.snap.Load().epoch
 }
 
 // Hit is a scored search result.
@@ -295,29 +322,22 @@ type Hit struct {
 	Score float64
 }
 
-// SearchText ranks documents against a free-text query.
+// SearchText ranks documents against a free-text query. Results are served
+// from the generation-tagged cache when the same (query, k) was answered at
+// the current epoch; cache hits do not re-execute (and do not count as a
+// search in Stats).
 func (s *Store) SearchText(query string, k int) []Hit {
 	start := time.Now()
 	defer func() { s.tel.textLat.Observe(time.Since(start)) }()
-	s.countSearch()
-	return s.searchText(query, k)
-}
-
-// searchText is the uncounted core of SearchText: it takes its own read
-// lock but leaves the search counter and latency histograms to the caller,
-// so compound searches (hybrid) count as one operation rather than three.
-func (s *Store) searchText(query string, k int) []Hit {
-	tokens := feature.Tokenize(query)
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	res := s.inv.search(tokens, k)
-	hits := make([]Hit, 0, len(res))
-	for _, r := range res {
-		if d, ok := s.docs[r.id]; ok {
-			hits = append(hits, Hit{Doc: d.Clone(), Score: r.score})
-		}
+	sn := s.snap.Load()
+	key := textCacheKey(query, k)
+	if hits, ok := s.cache.get(key, sn.epoch); ok {
+		return hits
 	}
-	return hits
+	s.countSearch()
+	raw := sn.searchTextRaw(s.tokens.tokenize(query), k)
+	s.cache.put(key, sn.epoch, raw)
+	return cloneHits(raw)
 }
 
 // SearchVector ranks documents by cosine similarity of concept vectors,
@@ -329,37 +349,16 @@ func (s *Store) SearchVector(concept feature.Vector, k int) []Hit {
 	start := time.Now()
 	defer func() { s.tel.vectorLat.Observe(time.Since(start)) }()
 	s.countSearch()
-	return s.searchVector(concept, k)
-}
-
-// searchVector is the uncounted core of SearchVector; see searchText.
-func (s *Store) searchVector(concept feature.Vector, k int) []Hit {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	var cands []feature.Candidate
-	if len(s.docs) <= 256 {
-		cands = s.vec.Scan(concept, k)
-	} else {
-		cands = s.vec.Query(concept, k)
-		if len(cands) < k {
-			cands = s.vec.Scan(concept, k)
-		}
-	}
-	hits := make([]Hit, 0, len(cands))
-	for _, c := range cands {
-		if d, ok := s.docs[c.ID]; ok {
-			hits = append(hits, Hit{Doc: d.Clone(), Score: c.Score})
-		}
-	}
-	return hits
+	sn := s.snap.Load()
+	return cloneHits(sn.searchVectorRaw(concept, k))
 }
 
 // SearchVisual ranks image-bearing documents by low-level visual
 // similarity (color-histogram intersection blended with texture cosine) —
 // the "visible features" match of the paper's jewelry scenario. Documents
-// without visual features are skipped. The scan is exact: visual queries
-// are rarer than concept queries and the candidate set is only the
-// image-bearing subset.
+// without visual features are skipped; when no live document carries any,
+// the method returns before building scratch state. Selection is a bounded
+// top-k heap, not a full sort.
 func (s *Store) SearchVisual(query feature.VisualFeatures, colorWeight float64, k int) []Hit {
 	if len(query.ColorHist) == 0 && len(query.Texture) == 0 {
 		return nil
@@ -367,33 +366,38 @@ func (s *Store) SearchVisual(query feature.VisualFeatures, colorWeight float64, 
 	start := time.Now()
 	defer func() { s.tel.visualLat.Observe(time.Since(start)) }()
 	s.countSearch()
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	// Score into a lightweight slice first; cloning every image-bearing
-	// document before ranking made each visual query O(n) in deep copies.
-	type scored struct {
+	sn := s.snap.Load()
+	if sn.visualCount == 0 {
+		return nil
+	}
+	type vcand struct {
 		d     *Document
 		score float64
 	}
-	cands := make([]scored, 0, 64)
-	for _, d := range s.docs {
-		if len(d.ColorHist) == 0 && len(d.Texture) == 0 {
+	h := newTopK(k, func(a, b vcand) bool {
+		if a.score != b.score {
+			return a.score > b.score
+		}
+		return a.d.ID < b.d.ID
+	})
+	score := func(d *Document) {
+		if !hasVisual(d) {
+			return
+		}
+		h.push(vcand{d: d, score: feature.VisualSimilarity(query, feature.VisualFeatures{
+			ColorHist: d.ColorHist, Texture: d.Texture,
+		}, colorWeight)})
+	}
+	for id, d := range sn.base.docs {
+		if sn.ov.masked[id] {
 			continue
 		}
-		score := feature.VisualSimilarity(query, feature.VisualFeatures{
-			ColorHist: d.ColorHist, Texture: d.Texture,
-		}, colorWeight)
-		cands = append(cands, scored{d: d, score: score})
+		score(d)
 	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].score != cands[j].score {
-			return cands[i].score > cands[j].score
-		}
-		return cands[i].d.ID < cands[j].d.ID
-	})
-	if k >= 0 && len(cands) > k {
-		cands = cands[:k]
+	for _, d := range sn.ov.byID {
+		score(d)
 	}
+	cands := h.sorted()
 	hits := make([]Hit, len(cands))
 	for i, c := range cands {
 		hits[i] = Hit{Doc: c.d.Clone(), Score: c.score}
@@ -404,7 +408,9 @@ func (s *Store) SearchVisual(query feature.VisualFeatures, colorWeight float64, 
 // SearchHybrid blends text and vector scores: score = (1-alpha)*text +
 // alpha*vector, where each component is normalized to [0,1] over its own
 // candidate pool. This is the compound "feature set" knob experiment E1
-// sweeps.
+// sweeps. Both components read one snapshot, so a hybrid result is
+// consistent at a single epoch; like SearchText it is fronted by the
+// generation-tagged cache.
 func (s *Store) SearchHybrid(query string, concept feature.Vector, alpha float64, k int) []Hit {
 	if alpha <= 0 {
 		return s.SearchText(query, k)
@@ -414,6 +420,11 @@ func (s *Store) SearchHybrid(query string, concept feature.Vector, alpha float64
 	}
 	start := time.Now()
 	defer func() { s.tel.hybridLat.Observe(time.Since(start)) }()
+	sn := s.snap.Load()
+	key := hybridCacheKey(query, concept, alpha, k)
+	if hits, ok := s.cache.get(key, sn.epoch); ok {
+		return hits
+	}
 	// One hybrid query is one search, even though it consults two indexes.
 	s.countSearch()
 	// Over-fetch both pools, then blend.
@@ -421,8 +432,8 @@ func (s *Store) SearchHybrid(query string, concept feature.Vector, alpha float64
 	if pool < 32 {
 		pool = 32
 	}
-	text := s.searchText(query, pool)
-	vec := s.searchVector(concept, pool)
+	text := sn.searchTextRaw(s.tokens.tokenize(query), pool)
+	vec := sn.searchVectorRaw(concept, pool)
 	norm := func(hits []Hit) map[string]float64 {
 		out := make(map[string]float64, len(hits))
 		var max float64
@@ -455,25 +466,24 @@ func (s *Store) SearchHybrid(query string, concept feature.Vector, alpha float64
 	if len(hits) > k {
 		hits = hits[:k]
 	}
-	return hits
+	s.cache.put(key, sn.epoch, hits)
+	return cloneHits(hits)
 }
 
 // ByTopic returns up to k documents carrying the topic, newest first. It
 // walks the time index so old topical documents are found regardless of how
 // much newer off-topic content exists.
 func (s *Store) ByTopic(topic string, k int) []*Document {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	set := s.byTopic[topic]
-	if len(set) == 0 {
+	sn := s.snap.Load()
+	if sn.topicCount(topic) == 0 {
 		return nil
 	}
 	var out []*Document
-	s.byTime.scanDescending(1<<62, -1, func(_ int64, id string) bool {
-		if !set[id] {
+	sn.scanDesc(1<<62, -1, func(_ int64, id string) bool {
+		if !sn.hasTopic(id, topic) {
 			return true
 		}
-		if d, ok := s.docs[id]; ok {
+		if d := sn.getDoc(id); d != nil {
 			out = append(out, d.Clone())
 		}
 		return k <= 0 || len(out) < k
@@ -483,18 +493,15 @@ func (s *Store) ByTopic(topic string, k int) []*Document {
 
 // TopicCount returns how many documents carry the topic.
 func (s *Store) TopicCount(topic string) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.byTopic[topic])
+	return s.snap.Load().topicCount(topic)
 }
 
 // RecentSince returns documents with CreatedAt in [since, until], ascending.
 func (s *Store) RecentSince(since, until int64) []*Document {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	sn := s.snap.Load()
 	var out []*Document
-	s.byTime.scanRange(since, until, func(_ int64, id string) bool {
-		if d, ok := s.docs[id]; ok {
+	sn.scanAsc(since, until, func(_ int64, id string) bool {
+		if d := sn.getDoc(id); d != nil {
 			out = append(out, d.Clone())
 		}
 		return true
@@ -504,11 +511,10 @@ func (s *Store) RecentSince(since, until int64) []*Document {
 
 // Freshest returns up to k newest documents, newest first.
 func (s *Store) Freshest(k int) []*Document {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	sn := s.snap.Load()
 	var out []*Document
-	s.byTime.scanDescending(1<<62, k, func(_ int64, id string) bool {
-		if d, ok := s.docs[id]; ok {
+	sn.scanDesc(1<<62, k, func(_ int64, id string) bool {
+		if d := sn.getDoc(id); d != nil {
 			out = append(out, d.Clone())
 		}
 		return true
@@ -518,9 +524,16 @@ func (s *Store) Freshest(k int) []*Document {
 
 // All visits every document (copies) in unspecified order.
 func (s *Store) All(visit func(*Document) bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	for _, d := range s.docs {
+	sn := s.snap.Load()
+	for id, d := range sn.base.docs {
+		if sn.ov.masked[id] {
+			continue
+		}
+		if !visit(d.Clone()) {
+			return
+		}
+	}
+	for _, d := range sn.ov.byID {
 		if !visit(d.Clone()) {
 			return
 		}
@@ -540,7 +553,7 @@ func (s *Store) Compact() error {
 	start := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return ErrClosed
 	}
 	err := s.compactLocked()
@@ -559,7 +572,7 @@ func (s *Store) compactLocked() error {
 		return fmt.Errorf("docstore: creating snapshot: %w", err)
 	}
 	sw := &wal{f: f, w: bufio.NewWriterSize(f, 64<<10), path: tmp}
-	for _, d := range s.docs {
+	for _, d := range s.master.docs {
 		if err := sw.append(opPut, d.marshal()); err != nil {
 			f.Close()
 			os.Remove(tmp)
@@ -589,6 +602,9 @@ func (s *Store) compactLocked() error {
 		return fmt.Errorf("docstore: truncating wal: %w", err)
 	}
 	s.log, err = openWAL(walPath)
+	if err == nil {
+		s.walBytes.Store(s.log.size)
+	}
 	return err
 }
 
@@ -596,10 +612,10 @@ func (s *Store) compactLocked() error {
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return nil
 	}
-	s.closed = true
+	s.closed.Store(true)
 	if s.log != nil {
 		return s.log.close()
 	}
@@ -616,21 +632,20 @@ type Stats struct {
 	WALBytes int64
 }
 
-// Stats returns a snapshot of store statistics.
+// Stats returns a snapshot of store statistics, assembled entirely from the
+// published snapshot and atomic counters — it never touches the store lock.
+// Searches counts executed searches; queries answered from the result cache
+// do not re-execute and are visible in docstore.cache.hits instead.
 func (s *Store) Stats() Stats {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	st := Stats{
-		Docs:     len(s.docs),
-		Terms:    s.inv.termCount(),
-		Puts:     s.puts,
-		Deletes:  s.deletes,
+	sn := s.snap.Load()
+	return Stats{
+		Docs:     sn.docCount,
+		Terms:    sn.termCount,
+		Puts:     s.puts.Load(),
+		Deletes:  s.deletes.Load(),
 		Searches: s.searches.Load(),
+		WALBytes: s.walBytes.Load(),
 	}
-	if s.log != nil {
-		st.WALBytes = s.log.size
-	}
-	return st
 }
 
 func sortHits(hits []Hit) {

@@ -1,0 +1,261 @@
+package docstore
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/feature"
+)
+
+// The SearchParallel benchmarks measure the tentpole claim of the epoch
+// snapshot design: reader latency with a writer churning in the
+// background. Each pair runs the same workload two ways —
+//
+//	BenchmarkSearchParallelN       readers call SearchText directly against
+//	                               the published snapshot (lock-free),
+//	BenchmarkSearchParallelLockedN the same store wrapped in an external
+//	                               sync.RWMutex, readers RLock around every
+//	                               search and the writer Locks around every
+//	                               Put — the coarse reader/writer locking
+//	                               the store had before snapshots.
+//
+// The locked baseline reproduces the convoy the old design suffered: a
+// pending writer blocks new RLocks, so every reader behind it pays for
+// the whole Put (including the O(n) index maintenance). Both variants run
+// with the query cache disabled so the comparison isolates locking, and
+// report reader-side p50/p99 per-op latency via ReportMetric; `make
+// bench-docstore` archives them into BENCH_docstore.json.
+
+const benchCorpusSize = 2048
+
+// benchVocab is wide (512 terms over 2048 docs) so posting lists stay
+// short and a single search is cheap — the selective-query regime where
+// read latency is dominated by coordination with the writer, not by
+// scoring. A tiny vocabulary would have every query score the whole
+// corpus and drown the locking effect being measured.
+var benchVocab = func() []string {
+	stems := []string{
+		"amber", "basalt", "cobalt", "damask", "ember", "fresco",
+		"garnet", "harbor", "indigo", "jasper", "kiln", "lattice",
+		"marble", "nectar", "obsidian", "pumice",
+	}
+	var v []string
+	for i, s := range stems {
+		for j := 0; j < 32; j++ {
+			v = append(v, fmt.Sprintf("%s%02d%d", s, j, i))
+		}
+	}
+	return v
+}()
+
+// benchQueries are two-term queries so reader results are float-exact
+// regardless of accumulation order (IEEE addition of two terms is
+// commutative); the determinism tests rely on the same property.
+var benchQueries = func() []string {
+	var qs []string
+	for i := 0; i < 16; i++ {
+		qs = append(qs, benchVocab[(i*37)%len(benchVocab)]+" "+benchVocab[(i*53+7)%len(benchVocab)])
+	}
+	return qs
+}()
+
+func benchDoc(r *rand.Rand, i int) *Document {
+	w := func() string { return benchVocab[r.Intn(len(benchVocab))] }
+	d := &Document{
+		ID:         fmt.Sprintf("bench-%04d", i),
+		Kind:       KindArticle,
+		Title:      w() + " " + w(),
+		Text:       w() + " " + w() + " " + w() + " " + w() + " " + w(),
+		Topics:     []string{"t" + fmt.Sprint(i%8)},
+		CreatedAt:  int64(i),
+		Provenance: "bench",
+	}
+	if i%4 == 0 {
+		v := make(feature.Vector, 8)
+		for j := range v {
+			v[j] = r.Float64()
+		}
+		d.Concept = v
+	}
+	return d
+}
+
+// newBenchStore builds the durable configuration the TCP node runs: a
+// dir-backed WAL fsynced on every Put. That is the configuration where
+// coarse locking hurt most — the seed's Put held the store lock across
+// the fsync, stalling every concurrent search for the disk round trip.
+func newBenchStore(b *testing.B) *Store {
+	b.Helper()
+	s, err := Open(Options{
+		Dir: b.TempDir(), ConceptDim: 8, Seed: 1,
+		SyncEveryPut: true, QueryCacheSize: -1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < benchCorpusSize; i++ {
+		if err := s.Put(benchDoc(r, i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s
+}
+
+func quantileNs(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return float64(sorted[i].Nanoseconds())
+}
+
+func benchmarkSearchParallel(b *testing.B, readers int, locked bool) {
+	// The store targets multi-core nodes. On a runner with fewer cores
+	// than goroutines, the Go scheduler queues the woken writer behind
+	// CPU-bound readers for a whole 10ms round-robin, which starves the
+	// churn and pushes all reader/writer interleaving into the far tail.
+	// Giving every goroutine its own P hands the interleaving to the
+	// kernel, which schedules the just-woken writer promptly — the same
+	// fine-grained reader/writer overlap an idle multi-core node shows.
+	// Both variants of a pair run with the same setting, so the
+	// comparison stays apples to apples.
+	if procs := readers + 1; runtime.GOMAXPROCS(0) < procs {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+	}
+	s := newBenchStore(b)
+	defer s.Close()
+	var rw sync.RWMutex // external wrapper; only the locked variant uses it
+	stop := make(chan struct{})
+	var writes atomic.Int64
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	// The churn writer free-runs: it writes as fast as the system admits
+	// writes. Under the lock that admission is the RWMutex's writer
+	// fairness (a pending writer blocks new readers, so reads queue
+	// behind every Put, fsync included); under snapshots it is the
+	// writer's CPU share, and readers never wait. The reported writes/op
+	// makes the realized churn of each variant visible.
+	go func() {
+		defer writerWG.Done()
+		r := rand.New(rand.NewSource(99))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			d := benchDoc(r, r.Intn(benchCorpusSize))
+			if locked {
+				rw.Lock()
+			}
+			if err := s.Put(d); err != nil {
+				panic(err)
+			}
+			if locked {
+				rw.Unlock()
+			}
+			writes.Add(1)
+		}
+	}()
+
+	// Readers model concurrent sessions, not busy loops: each issues a
+	// query every readInterval (closed loop — a slow response delays only
+	// that session's next query). A saturating read loop on a small
+	// runner would measure CPU queueing, which is identical in both
+	// variants and drowns the locking effect; pacing keeps the CPU
+	// unsaturated so recorded latency is search plus lock wait.
+	const readInterval = 2 * time.Millisecond
+	perReader := b.N / readers
+	if perReader == 0 {
+		perReader = 1
+	}
+	lats := make([][]time.Duration, readers)
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	for ri := 0; ri < readers; ri++ {
+		wg.Add(1)
+		lats[ri] = make([]time.Duration, 0, perReader)
+		go func(ri int) {
+			defer wg.Done()
+			// Stagger session starts across the interval.
+			time.Sleep(time.Duration(ri) * readInterval / time.Duration(readers))
+			for i := 0; i < perReader; i++ {
+				q := benchQueries[(ri+i)%len(benchQueries)]
+				t0 := time.Now()
+				if locked {
+					rw.RLock()
+				}
+				s.SearchText(q, 10)
+				if locked {
+					rw.RUnlock()
+				}
+				el := time.Since(t0)
+				lats[ri] = append(lats[ri], el)
+				if el < readInterval {
+					time.Sleep(readInterval - el)
+				}
+			}
+		}(ri)
+	}
+	wg.Wait()
+	b.StopTimer()
+	close(stop)
+	writerWG.Wait()
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	b.ReportMetric(quantileNs(all, 0.50), "p50-ns/op")
+	b.ReportMetric(quantileNs(all, 0.99), "p99-ns/op")
+	b.ReportMetric(float64(writes.Load())/float64(b.N), "writes/op")
+}
+
+func BenchmarkSearchParallel1(b *testing.B)        { benchmarkSearchParallel(b, 1, false) }
+func BenchmarkSearchParallel4(b *testing.B)        { benchmarkSearchParallel(b, 4, false) }
+func BenchmarkSearchParallel16(b *testing.B)       { benchmarkSearchParallel(b, 16, false) }
+func BenchmarkSearchParallelLocked1(b *testing.B)  { benchmarkSearchParallel(b, 1, true) }
+func BenchmarkSearchParallelLocked4(b *testing.B)  { benchmarkSearchParallel(b, 4, true) }
+func BenchmarkSearchParallelLocked16(b *testing.B) { benchmarkSearchParallel(b, 16, true) }
+
+// BenchmarkSearchTextCacheHit measures the generation-tagged result cache
+// on a quiet store: after the first execution every iteration is a cache
+// hit (one clone per hit slice, no index work).
+func BenchmarkSearchTextCacheHit(b *testing.B) {
+	s, err := Open(Options{ConceptDim: 8, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < benchCorpusSize; i++ {
+		if err := s.Put(benchDoc(r, i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	q := benchQueries[0]
+	s.SearchText(q, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SearchText(q, 10)
+	}
+}
+
+// BenchmarkSearchTextCold measures a single-threaded uncached search —
+// the raw top-k + snapshot read path without locking effects.
+func BenchmarkSearchTextCold(b *testing.B) {
+	s := newBenchStore(b)
+	defer s.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SearchText(benchQueries[i%len(benchQueries)], 10)
+	}
+}

@@ -1,0 +1,74 @@
+package docstore
+
+import "sort"
+
+// topK selects the best k items under a strict total order without sorting
+// the full candidate set: a k-sized min-heap keyed by "worst kept" replaces
+// the seed's sort-then-truncate. better must be a strict total order
+// (searches break score ties by document id), which makes the selected set —
+// and, after the final sort, the emitted order — identical to sorting
+// everything. k < 0 means unbounded: push degrades to append and sorted to a
+// plain sort, preserving the "return all, ranked" calls.
+type topK[T any] struct {
+	k      int
+	better func(a, b T) bool
+	items  []T
+}
+
+func newTopK[T any](k int, better func(a, b T) bool) *topK[T] {
+	h := &topK[T]{k: k, better: better}
+	if k > 0 {
+		h.items = make([]T, 0, k)
+	}
+	return h
+}
+
+func (h *topK[T]) push(x T) {
+	if h.k == 0 {
+		return
+	}
+	if h.k < 0 {
+		h.items = append(h.items, x)
+		return
+	}
+	if len(h.items) < h.k {
+		h.items = append(h.items, x)
+		i := len(h.items) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			// Min-heap on "worse": the root is the worst item kept.
+			if !h.better(h.items[p], h.items[i]) {
+				break
+			}
+			h.items[i], h.items[p] = h.items[p], h.items[i]
+			i = p
+		}
+		return
+	}
+	if !h.better(x, h.items[0]) {
+		return
+	}
+	h.items[0] = x
+	i := 0
+	for {
+		l, r, m := 2*i+1, 2*i+2, i
+		if l < len(h.items) && h.better(h.items[m], h.items[l]) {
+			m = l
+		}
+		if r < len(h.items) && h.better(h.items[m], h.items[r]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h.items[i], h.items[m] = h.items[m], h.items[i]
+		i = m
+	}
+}
+
+// sorted ranks the kept items best-first and returns them. The heap is
+// consumed; the receiver must not be pushed to afterwards.
+func (h *topK[T]) sorted() []T {
+	sort.Slice(h.items, func(i, j int) bool { return h.better(h.items[i], h.items[j]) })
+	return h.items
+}

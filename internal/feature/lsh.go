@@ -120,6 +120,56 @@ func (l *LSH) removeLocked(id string) {
 	}
 }
 
+// Signatures returns q's per-table bucket signatures. Hyperplanes are
+// immutable after construction, so this takes no lock; callers use it to
+// precompute signatures for vectors held outside the index (see Extra).
+func (l *LSH) Signatures(v Vector) []uint64 {
+	sigs := make([]uint64, len(l.planes))
+	for t := range l.planes {
+		sigs[t] = l.signature(t, v)
+	}
+	return sigs
+}
+
+// Extra is a vector considered alongside the index without being inserted:
+// it joins a table's candidate set exactly when its precomputed signature
+// (from Signatures, against the same hyperplanes) matches the query bucket —
+// the same membership rule an indexed vector would obey. The docstore's
+// epoch-snapshot overlay uses this to query a frozen index plus a small
+// unindexed delta with identical candidate semantics.
+type Extra struct {
+	ID   string
+	Vec  Vector
+	Sigs []uint64
+}
+
+// Clone returns an independent copy sharing only immutable state (the
+// hyperplanes and the stored vectors, which are never mutated in place).
+// Bucket slices and maps are deep-copied so Put/Delete on either side never
+// touches the other.
+func (l *LSH) Clone() *LSH {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	cp := &LSH{
+		dim:    l.dim,
+		bits:   l.bits,
+		planes: l.planes,
+		tables: make([]map[uint64][]string, len(l.tables)),
+		items:  make(map[string]Vector, len(l.items)),
+	}
+	for t, tbl := range l.tables {
+		nt := make(map[uint64][]string, len(tbl))
+		for sig, bucket := range tbl {
+			nt[sig] = append([]string(nil), bucket...)
+		}
+		cp.tables[t] = nt
+	}
+	for id, v := range l.items {
+		cp.items[id] = v
+	}
+	return cp
+}
+
 // Candidate is a scored index hit.
 type Candidate struct {
 	ID    string
@@ -131,6 +181,14 @@ type Candidate struct {
 // than k the result is shorter; callers needing guaranteed recall can fall
 // back to Scan.
 func (l *LSH) Query(q Vector, k int) []Candidate {
+	return l.QueryWith(q, k, nil, nil)
+}
+
+// QueryWith is Query extended for snapshot readers: extras join the bucket
+// candidate sets by their precomputed signatures, and ids for which excluded
+// returns true are dropped before top-k selection (so superseded index
+// entries cannot crowd out live ones).
+func (l *LSH) QueryWith(q Vector, k int, extras []Extra, excluded func(string) bool) []Candidate {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
 	seen := make(map[string]bool)
@@ -138,11 +196,19 @@ func (l *LSH) Query(q Vector, k int) []Candidate {
 	for t := range l.tables {
 		sig := l.signature(t, q)
 		for _, id := range l.tables[t][sig] {
-			if seen[id] {
+			if seen[id] || (excluded != nil && excluded(id)) {
 				continue
 			}
 			seen[id] = true
 			cands = append(cands, Candidate{ID: id, Score: Cosine(q, l.items[id])})
+		}
+		for i := range extras {
+			e := &extras[i]
+			if t >= len(e.Sigs) || e.Sigs[t] != sig || seen[e.ID] {
+				continue
+			}
+			seen[e.ID] = true
+			cands = append(cands, Candidate{ID: e.ID, Score: Cosine(q, e.Vec)})
 		}
 	}
 	return topCandidates(cands, k)
@@ -151,21 +217,88 @@ func (l *LSH) Query(q Vector, k int) []Candidate {
 // Scan exactly scores every indexed vector against q — the ground-truth
 // (and slow) path used for recall measurement and small stores.
 func (l *LSH) Scan(q Vector, k int) []Candidate {
+	return l.ScanWith(q, k, nil, nil)
+}
+
+// ScanWith is Scan extended for snapshot readers; see QueryWith.
+func (l *LSH) ScanWith(q Vector, k int, extras []Extra, excluded func(string) bool) []Candidate {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
-	cands := make([]Candidate, 0, len(l.items))
+	cands := make([]Candidate, 0, len(l.items)+len(extras))
 	for id, v := range l.items {
+		if excluded != nil && excluded(id) {
+			continue
+		}
 		cands = append(cands, Candidate{ID: id, Score: Cosine(q, v)})
+	}
+	for i := range extras {
+		cands = append(cands, Candidate{ID: extras[i].ID, Score: Cosine(q, extras[i].Vec)})
 	}
 	return topCandidates(cands, k)
 }
 
+// topCandidates selects the best k candidates under the deterministic
+// (score desc, ID asc) order. For bounded k it keeps a k-sized min-heap
+// keyed by "worst kept" instead of sorting the whole candidate set; ids are
+// unique, so the order is strict and the result is identical to
+// sort-then-truncate.
 func topCandidates(cands []Candidate, k int) []Candidate {
-	sortCandidates(cands)
-	if k >= 0 && len(cands) > k {
-		cands = cands[:k]
+	if k == 0 {
+		return cands[:0]
 	}
-	return cands
+	if k < 0 || len(cands) <= k {
+		sortCandidates(cands)
+		return cands
+	}
+	heap := make([]Candidate, 0, k)
+	for _, c := range cands {
+		if len(heap) < k {
+			heap = append(heap, c)
+			siftUpCand(heap, len(heap)-1)
+		} else if candWorse(heap[0], c) {
+			heap[0] = c
+			siftDownCand(heap)
+		}
+	}
+	sortCandidates(heap)
+	return heap
+}
+
+// candWorse reports whether a ranks strictly worse than b.
+func candWorse(a, b Candidate) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.ID > b.ID
+}
+
+func siftUpCand(h []Candidate, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !candWorse(h[i], h[p]) {
+			return
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+func siftDownCand(h []Candidate) {
+	i := 0
+	for {
+		l, r, m := 2*i+1, 2*i+2, i
+		if l < len(h) && candWorse(h[l], h[m]) {
+			m = l
+		}
+		if r < len(h) && candWorse(h[r], h[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
 }
 
 func sortCandidates(cands []Candidate) {

@@ -93,6 +93,7 @@ func Analyzers() []*Analyzer {
 		nilguardAnalyzer,
 		goroutineAnalyzer,
 		checkederrAnalyzer,
+		lockfreeAnalyzer,
 		directiveAnalyzer,
 	}
 }

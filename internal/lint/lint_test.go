@@ -133,6 +133,22 @@ func TestCheckederrFixture(t *testing.T) {
 	runFixture(t, "checkederr", "internal/docstore", checkederrAnalyzer)
 }
 
+func TestLockfreeFixture(t *testing.T) {
+	runFixture(t, "lockfree", "internal/docstore", lockfreeAnalyzer)
+}
+
+// TestLockfreeOutsideDocstoreIsSilent pins the scoping: the same fixture
+// under any other path must produce nothing.
+func TestLockfreeOutsideDocstoreIsSilent(t *testing.T) {
+	p, err := ParseDir(filepath.Join("testdata", "lockfree"), "internal/core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Run([]*Package{p}, []*Analyzer{lockfreeAnalyzer}); len(diags) != 0 {
+		t.Fatalf("lockfree fired outside internal/docstore:\n%s", renderDiags(diags))
+	}
+}
+
 func TestDirectiveFixture(t *testing.T) {
 	runFixture(t, "directive", "internal/anywhere", directiveAnalyzer)
 }

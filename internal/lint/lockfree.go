@@ -1,0 +1,92 @@
+package lint
+
+import "go/ast"
+
+// lockfreePackage is the only package the lock-free contract governs.
+var lockfreePackage = "internal/docstore"
+
+// lockfreeReceiver is the type whose read path must stay lock-free.
+var lockfreeReceiver = "Store"
+
+// lockfreeReadMethods are the Store methods (beyond the Search* prefix)
+// that run against the published snapshot and must therefore never take
+// the writer mutex. Close and Compact are writers; Put/Delete obviously
+// so.
+var lockfreeReadMethods = map[string]bool{
+	"Get": true, "Len": true, "Epoch": true, "Stats": true,
+	"ByTopic": true, "TopicCount": true,
+	"RecentSince": true, "Freshest": true, "All": true,
+}
+
+// lockfreeAnalyzer enforces the epoch-snapshot contract: every read
+// method on docstore.Store serves from the atomically published snapshot
+// and must not reference the receiver's mutex (s.mu) — a read that locks
+// reintroduces the reader/writer convoy the snapshot design removes.
+// Only the receiver's own mu field counts; locks on other objects (the
+// query cache's internal mutex, a local sync.Mutex) are fine.
+var lockfreeAnalyzer = &Analyzer{
+	Name: "lockfree",
+	Doc:  "docstore.Store read methods (Search*, Get, Stats, ...) must not touch the store mutex",
+	Run: func(p *Package, f *File, report ReportFunc) {
+		if p.Path != lockfreePackage {
+			return
+		}
+		for _, decl := range f.AST.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			recv := receiverIdent(fn, lockfreeReceiver)
+			if recv == "" || !lockfreeReadMethod(fn.Name.Name) {
+				continue
+			}
+			method := fn.Name.Name
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "mu" {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok || id.Name != recv {
+					return true
+				}
+				report(sel.Pos(), "read method %s.%s references %s.mu; reads must run lock-free against the snapshot",
+					lockfreeReceiver, method, recv)
+				return true
+			})
+		}
+	},
+}
+
+func lockfreeReadMethod(name string) bool {
+	if len(name) >= len("Search") && name[:len("Search")] == "Search" {
+		return true
+	}
+	return lockfreeReadMethods[name]
+}
+
+// receiverIdent returns the receiver variable name if fn is a method on
+// typeName or *typeName (with or without type parameters), "" otherwise.
+// Anonymous receivers ("_" or missing) return "" — with no name there is
+// no way to reference the mutex through the receiver anyway.
+func receiverIdent(fn *ast.FuncDecl, typeName string) string {
+	if fn.Recv == nil || len(fn.Recv.List) != 1 {
+		return ""
+	}
+	field := fn.Recv.List[0]
+	t := field.Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok {
+		t = idx.X
+	}
+	id, ok := t.(*ast.Ident)
+	if !ok || id.Name != typeName {
+		return ""
+	}
+	if len(field.Names) != 1 || field.Names[0].Name == "_" {
+		return ""
+	}
+	return field.Names[0].Name
+}

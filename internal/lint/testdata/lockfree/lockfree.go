@@ -1,0 +1,69 @@
+// Fixture for the lockfree analyzer. Parsed as package path
+// internal/docstore; syntax only, never compiled.
+package docstore
+
+import "sync"
+
+type Store struct {
+	mu sync.Mutex
+}
+
+type Hit struct{}
+
+// Read methods must not touch the store mutex.
+
+func (s *Store) SearchText(q string, k int) []Hit {
+	s.mu.Lock()         // want "SearchText references s.mu"
+	defer s.mu.Unlock() // want "SearchText references s.mu"
+	return nil
+}
+
+func (s *Store) Stats() int {
+	s.mu.Lock()   // want "Stats references s.mu"
+	s.mu.Unlock() // want "Stats references s.mu"
+	return 0
+}
+
+func (st *Store) Get(id string) *Hit {
+	defer st.mu.Unlock() // want "Get references st.mu"
+	st.mu.Lock()         // want "Get references st.mu"
+	return nil
+}
+
+// Writers may lock freely.
+
+func (s *Store) Put(d *Hit) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return nil
+}
+
+// A read method locking something that is not the receiver's mutex is
+// fine: the contract is about the store lock specifically.
+
+func (s *Store) SearchHybrid(q string, k int) []Hit {
+	var local sync.Mutex
+	local.Lock()
+	defer local.Unlock()
+	return nil
+}
+
+// Methods on other types are out of scope even with the same names.
+
+type sidecar struct {
+	mu sync.Mutex
+}
+
+func (c *sidecar) SearchText(q string) []Hit {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return nil
+}
+
+// A reasoned directive can suppress a deliberate exception.
+
+func (s *Store) SearchLegacy(q string) []Hit {
+	s.mu.Lock() //lint:allow lockfree fixture: documented legacy path
+	s.mu.Unlock()
+	return nil
+}
