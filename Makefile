@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race race-core vet lint check bench bench-docstore bench-suite clean
+.PHONY: build test race race-core vet lint check bench bench-docstore bench-wal bench-suite clean
 
 build:
 	$(GO) build ./...
@@ -45,6 +45,13 @@ bench:
 # field of each line; archived for cross-PR diffing.
 bench-docstore:
 	$(GO) test -run XXX -bench 'SearchParallel|SearchText' -benchmem ./internal/docstore | $(GO) run ./cmd/benchjson | tee BENCH_docstore.json
+
+# Docstore write-path baseline: group-commit writers vs the serialized
+# one-fsync-per-op discipline the seed used, at 1/4/16 writers, plus the
+# WAL replay (recovery) benchmark. Writer p50/p99 latency and wal-syncs/op
+# land in the `extra` field of each line; archived for cross-PR diffing.
+bench-wal:
+	$(GO) test -run XXX -bench 'PutParallel|WALReplay' -benchmem ./internal/docstore | $(GO) run ./cmd/benchjson | tee BENCH_wal.json
 
 # Full experiment suite as benchmarks (see bench_test.go at the repo root).
 bench-suite:

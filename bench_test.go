@@ -55,6 +55,7 @@ func BenchmarkE19RiskProfiling(b *testing.B)      { runExperiment(b, bench.E19Ri
 func BenchmarkE20Telemetry(b *testing.B)          { runExperiment(b, bench.E20TelemetryOverhead) }
 func BenchmarkE21ParallelFanout(b *testing.B)     { runExperiment(b, bench.E21ParallelFanout) }
 func BenchmarkE22LockFreeReads(b *testing.B)      { runExperiment(b, bench.E22LockFreeReads) }
+func BenchmarkE23GroupCommit(b *testing.B)        { runExperiment(b, bench.E23GroupCommit) }
 
 // benchmarkAsk measures one Session.Ask against a 4-source market with
 // simulated provider latency mapped to real sleeps (LatencyScale), at the

@@ -62,12 +62,17 @@ func main() {
 
 	if *demo && store.Len() == 0 {
 		g := workload.NewGenerator(*seed, 32, 8)
-		for _, d := range g.GenCorpus(*demoDocs, 1.2, int64(24*time.Hour)) {
+		corpus := g.GenCorpus(*demoDocs, 1.2, int64(24*time.Hour))
+		// One batch, one commit window: the whole corpus rides a single
+		// fsync instead of one disk round trip per document.
+		batch := make([]*docstore.Document, len(corpus))
+		for i, d := range corpus {
 			d.Doc.Provenance = *id
-			if err := store.Put(d.Doc); err != nil {
-				logger.Errorf("agora-node: seeding: %v", err)
-				os.Exit(1)
-			}
+			batch[i] = d.Doc
+		}
+		if err := store.PutBatch(batch); err != nil {
+			logger.Errorf("agora-node: seeding: %v", err)
+			os.Exit(1)
 		}
 		logger.Infof("agora-node: seeded %d demo documents", store.Len())
 	}

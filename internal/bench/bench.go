@@ -69,6 +69,7 @@ func Suite() []Experiment {
 		{"E20", "Substrate: telemetry overhead & instrument coherence", E20TelemetryOverhead},
 		{"E21", "Pipeline: parallel source fan-out & hedged tail latency", E21ParallelFanout},
 		{"E22", "Substrate: lock-free snapshot reads under writer churn", E22LockFreeReads},
+		{"E23", "Substrate: group-commit WAL write throughput", E23GroupCommit},
 	}
 }
 

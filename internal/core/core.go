@@ -276,6 +276,45 @@ func (n *Node) Ingest(d *docstore.Document) error {
 	return nil
 }
 
+// IngestBatch stores a batch of documents through one docstore commit
+// window (one WAL append run, one fsync), then updates the advertisement
+// and publishes every document on the feed bus in batch order. Semantics
+// match sequential Ingest calls; on error nothing from the batch is stored.
+func (n *Node) IngestBatch(docs []*docstore.Document) error {
+	if len(docs) == 0 {
+		return nil
+	}
+	stamped := make([]*docstore.Document, len(docs))
+	for i, d := range docs {
+		if d.Provenance == "" {
+			d = d.Clone()
+			d.Provenance = n.Name
+		}
+		stamped[i] = d
+	}
+	if err := n.Store.PutBatch(stamped); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	for _, d := range stamped {
+		n.totalDocs++
+		for _, t := range d.Topics {
+			n.topicCounts[t]++
+		}
+		if len(d.Concept) > 0 {
+			n.contentVec.Add(d.Concept)
+		}
+	}
+	n.mu.Unlock()
+	for _, d := range stamped {
+		n.agora.Feeds.Publish(feedsys.Item{
+			ID: d.ID, FeedID: n.Name, Source: n.Name, Text: d.Title + " " + d.Text,
+			Concept: d.Concept, At: n.agora.now(),
+		})
+	}
+	return nil
+}
+
 // ContentVector advertises the node's aggregate content direction.
 func (n *Node) ContentVector() feature.Vector {
 	n.mu.RLock()

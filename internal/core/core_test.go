@@ -7,7 +7,9 @@ import (
 	"time"
 
 	"repro/internal/ctxmodel"
+	"repro/internal/docstore"
 	"repro/internal/feature"
+	"repro/internal/feedsys"
 	"repro/internal/profile"
 	"repro/internal/qos"
 	"repro/internal/social"
@@ -102,6 +104,95 @@ func TestAskNoProvidersForEmptyAgora(t *testing.T) {
 	s := a.NewSession(irisProfile(g, 0))
 	if _, err := s.Ask(`FIND documents WHERE text ~ "x"`, nil); !errors.Is(err, ErrNoProviders) {
 		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestIngestBatch pins batch-ingest equivalence: a node fed through one
+// IngestBatch must end up indistinguishable from a node fed the same
+// documents through sequential Ingest calls — advertisement counters,
+// content vector, stored documents, provenance stamping, and feed-bus
+// publication (every item, in batch order).
+func TestIngestBatch(t *testing.T) {
+	a := New(Config{Seed: 9, ConceptDim: 8})
+	seq, err := a.AddNode("seq", DefaultEconomics(), DefaultBehavior())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bat, err := a.AddNode("bat", DefaultEconomics(), DefaultBehavior())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() []*docstore.Document {
+		docs := make([]*docstore.Document, 12)
+		for i := range docs {
+			d := &docstore.Document{
+				ID:        fmt.Sprintf("d%02d", i),
+				Kind:      docstore.KindArticle,
+				Title:     fmt.Sprintf("harvest report %d", i),
+				Text:      "seasonal harvest figures",
+				Topics:    []string{"t" + fmt.Sprint(i%3)},
+				CreatedAt: int64(i),
+			}
+			if i%2 == 0 {
+				v := make(feature.Vector, 8)
+				v[i%8] = 1
+				d.Concept = v
+			}
+			docs[i] = d
+		}
+		return docs
+	}
+	var delivered []string
+	if err := a.Feeds.Subscribe(&feedsys.Subscription{
+		ID: "sub", Owner: "iris", Terms: []string{"harvest"},
+		Deliver: func(it feedsys.Item) {
+			if it.FeedID == "bat" {
+				delivered = append(delivered, it.ID)
+			}
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range mk() {
+		if err := seq.Ingest(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bat.IngestBatch(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := bat.IngestBatch(mk()); err != nil {
+		t.Fatal(err)
+	}
+	if seq.TotalDocs() != bat.TotalDocs() || bat.TotalDocs() != 12 {
+		t.Fatalf("totals diverged: seq=%d bat=%d", seq.TotalDocs(), bat.TotalDocs())
+	}
+	for i := 0; i < 3; i++ {
+		topic := "t" + fmt.Sprint(i)
+		if seq.TopicCount(topic) != bat.TopicCount(topic) {
+			t.Fatalf("topic %s: seq=%d bat=%d", topic, seq.TopicCount(topic), bat.TopicCount(topic))
+		}
+	}
+	sv, bv := seq.ContentVector(), bat.ContentVector()
+	for i := range sv {
+		if sv[i] != bv[i] {
+			t.Fatalf("content vectors diverged at %d: %v vs %v", i, sv, bv)
+		}
+	}
+	bat.Store.All(func(d *docstore.Document) bool {
+		if d.Provenance != "bat" {
+			t.Errorf("doc %s provenance = %q, want node name", d.ID, d.Provenance)
+			return false
+		}
+		return true
+	})
+	if len(delivered) != 12 {
+		t.Fatalf("feed bus saw %d items, want 12", len(delivered))
+	}
+	for i, id := range delivered {
+		if id != fmt.Sprintf("d%02d", i) {
+			t.Fatalf("feed publication out of batch order: %v", delivered)
+		}
 	}
 }
 

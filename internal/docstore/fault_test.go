@@ -1,6 +1,7 @@
 package docstore
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
@@ -62,9 +63,10 @@ func TestWALRandomTruncationProperty(t *testing.T) {
 	}
 }
 
-// TestWALCorruptionMidLogStops flips a byte in the middle of the log:
-// recovery keeps the clean prefix and truncates the rest (conservative but
-// safe), then keeps working.
+// TestWALCorruptionMidLog flips a byte in the middle of the log: the
+// damaged record has valid log after it, which an append-only crash cannot
+// produce, so recovery must refuse with ErrCorruptRecord rather than
+// silently truncating the committed records behind the damage.
 func TestWALCorruptionMidLog(t *testing.T) {
 	dir := t.TempDir()
 	s, err := Open(Options{Dir: dir, ConceptDim: 4, Seed: 1})
@@ -86,13 +88,42 @@ func TestWALCorruptionMidLog(t *testing.T) {
 	if err := os.WriteFile(walPath, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
+	if _, err := Open(Options{Dir: dir, ConceptDim: 4, Seed: 1}); !errors.Is(err, ErrCorruptRecord) {
+		t.Fatalf("open over mid-log corruption = %v, want ErrCorruptRecord", err)
+	}
+}
+
+// TestWALTornFinalRecord damages only the LAST record: that is
+// indistinguishable from a torn crash write, so recovery keeps the clean
+// prefix, truncates the tail, and the store keeps working.
+func TestWALTornFinalRecord(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir, ConceptDim: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := s.Put(doc(fmt.Sprintf("d%02d", i), "t", "some body", int64(i), nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	_, walPath := snapshotPaths(dir)
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF // clobber the final byte: damaged last record
+	if err := os.WriteFile(walPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
 	s2, err := Open(Options{Dir: dir, ConceptDim: 4, Seed: 1})
 	if err != nil {
-		t.Fatalf("recovery after corruption: %v", err)
+		t.Fatalf("recovery after torn tail: %v", err)
 	}
 	defer s2.Close()
-	if s2.Len() == 0 || s2.Len() >= 20 {
-		t.Fatalf("expected a proper prefix, got %d docs", s2.Len())
+	if s2.Len() != 19 {
+		t.Fatalf("expected the 19-record clean prefix, got %d docs", s2.Len())
 	}
 	if err := s2.Put(doc("new", "t", "b", 99, nil)); err != nil {
 		t.Fatal(err)

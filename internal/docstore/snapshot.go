@@ -168,9 +168,15 @@ type overlay struct {
 
 // cloneNext deep-copies the overlay's own containers for the next write.
 // Inner term maps and documents are immutable after insertion and shared.
-func (ov *overlay) cloneNext() *overlay {
+func (ov *overlay) cloneNext() *overlay { return ov.cloneNextN(1) }
+
+// cloneNextN is cloneNext for a commit window of n writes: ONE deep copy
+// absorbs the whole window (the committer folds every windowed op into the
+// clone before publishing), so publish cost is O(overlay + window) rather
+// than O(overlay × window).
+func (ov *overlay) cloneNextN(n int) *overlay {
 	nv := &overlay{
-		ops:      ov.ops + 1,
+		ops:      ov.ops + n,
 		masked:   make(map[string]bool, len(ov.masked)+1),
 		byID:     make(map[string]*Document, len(ov.byID)+1),
 		byTime:   append([]timeEntry(nil), ov.byTime...),
@@ -246,6 +252,13 @@ func (nv *overlay) removeTime(key int64, id string) {
 // LSH signatures (nil when the doc has no concept vector).
 func (ov *overlay) withPut(d *Document, tokens []string, sigs []uint64, inBase bool) *overlay {
 	nv := ov.cloneNext()
+	nv.putDoc(d, tokens, sigs, inBase)
+	return nv
+}
+
+// putDoc folds d into a freshly cloned (not yet published) overlay. Callers
+// own nv exclusively; once published the overlay is immutable again.
+func (nv *overlay) putDoc(d *Document, tokens []string, sigs []uint64, inBase bool) {
 	nv.dropID(d.ID)
 	if inBase {
 		nv.masked[d.ID] = true
@@ -264,18 +277,22 @@ func (ov *overlay) withPut(d *Document, tokens []string, sigs []uint64, inBase b
 	if len(d.Concept) > 0 {
 		nv.extras = append(nv.extras, feature.Extra{ID: d.ID, Vec: d.Concept, Sigs: sigs})
 	}
-	return nv
 }
 
 // withDelete returns the overlay with id removed (and masked when the base
 // holds it).
 func (ov *overlay) withDelete(id string, inBase bool) *overlay {
 	nv := ov.cloneNext()
+	nv.deleteDoc(id, inBase)
+	return nv
+}
+
+// deleteDoc folds a delete into a freshly cloned overlay (see putDoc).
+func (nv *overlay) deleteDoc(id string, inBase bool) {
 	nv.dropID(id)
 	if inBase {
 		nv.masked[id] = true
 	}
-	return nv
 }
 
 // setTermPost records id carrying term with frequency tf, copying the

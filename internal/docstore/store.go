@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"sync"
@@ -28,8 +29,11 @@ type Options struct {
 	LSHBits   int
 	// Seed drives index randomness (LSH hyperplanes, skiplist levels).
 	Seed int64
-	// SyncEveryPut fsyncs the WAL after each Put/Delete when true.
-	// Simulations leave it false; the TCP node sets it.
+	// SyncEveryPut makes every Put/Delete/PutBatch durable before it
+	// returns: the commit pipeline fsyncs each window, so N writers
+	// waiting in one window share a single fsync (group commit) but each
+	// still only gets its ack after its record is on disk. Simulations
+	// leave it false (flush, no fsync); the TCP node sets it.
 	SyncEveryPut bool
 	// CompactAfterBytes triggers automatic snapshot+truncate once the WAL
 	// exceeds this size. Zero disables auto-compaction.
@@ -40,7 +44,10 @@ type Options struct {
 	QueryCacheSize int
 	// Telemetry receives per-operation latency histograms and counters
 	// (docstore.put, docstore.search.*, docstore.compact, WAL replay,
-	// docstore.epoch, docstore.cache.*). Nil disables instrumentation.
+	// docstore.epoch, docstore.cache.*, and the group-commit pipeline's
+	// docstore.wal.{syncs,windows,group_size,sync_wait_us} counters plus
+	// the docstore.commit latency histogram). Nil disables
+	// instrumentation.
 	Telemetry *telemetry.Registry
 }
 
@@ -48,9 +55,11 @@ type Options struct {
 // nil and each call site degrades to a nil-receiver no-op.
 type storeTel struct {
 	puts, deletes, searches, walRecords, freezes                *telemetry.Counter
+	walSyncs, walWindows, walGroupSize, walSyncWaitUs           *telemetry.Counter
+	compactErrors                                               *telemetry.Counter
 	epoch                                                       *telemetry.Gauge
 	putLat, deleteLat, textLat, vectorLat, visualLat, hybridLat *telemetry.Histogram
-	compactLat, replayLat                                       *telemetry.Histogram
+	compactLat, replayLat, commitLat                            *telemetry.Histogram
 }
 
 func newStoreTel(reg *telemetry.Registry) storeTel {
@@ -63,15 +72,24 @@ func newStoreTel(reg *telemetry.Registry) storeTel {
 		searches:   reg.Counter("docstore.searches"),
 		walRecords: reg.Counter("docstore.wal.records.replayed"),
 		freezes:    reg.Counter("docstore.snapshot.freezes"),
-		epoch:      reg.Gauge("docstore.epoch"),
-		putLat:     reg.Histogram("docstore.put"),
-		deleteLat:  reg.Histogram("docstore.delete"),
-		textLat:    reg.Histogram("docstore.search.text"),
-		vectorLat:  reg.Histogram("docstore.search.vector"),
-		visualLat:  reg.Histogram("docstore.search.visual"),
-		hybridLat:  reg.Histogram("docstore.search.hybrid"),
-		compactLat: reg.Histogram("docstore.compact"),
-		replayLat:  reg.Histogram("docstore.wal.replay"),
+		// Group-commit pipeline: fsyncs issued, commit windows closed, and
+		// records committed across all windows — mean window size is
+		// group_size / windows, fsync amortization is puts+deletes / syncs.
+		walSyncs:      reg.Counter("docstore.wal.syncs"),
+		walWindows:    reg.Counter("docstore.wal.windows"),
+		walGroupSize:  reg.Counter("docstore.wal.group_size"),
+		walSyncWaitUs: reg.Counter("docstore.wal.sync_wait_us"),
+		compactErrors: reg.Counter("docstore.compact.errors"),
+		epoch:         reg.Gauge("docstore.epoch"),
+		putLat:        reg.Histogram("docstore.put"),
+		deleteLat:     reg.Histogram("docstore.delete"),
+		textLat:       reg.Histogram("docstore.search.text"),
+		vectorLat:     reg.Histogram("docstore.search.vector"),
+		visualLat:     reg.Histogram("docstore.search.visual"),
+		hybridLat:     reg.Histogram("docstore.search.hybrid"),
+		compactLat:    reg.Histogram("docstore.compact"),
+		replayLat:     reg.Histogram("docstore.wal.replay"),
+		commitLat:     reg.Histogram("docstore.commit"),
 	}
 }
 
@@ -83,13 +101,17 @@ var (
 )
 
 // Store is a durable, indexed document store. All methods are safe for
-// concurrent use. Writers (Put/Delete/Compact/Close) serialize on mu and
-// publish an immutable epoch snapshot; every read method loads the snapshot
-// and runs lock-free, so searches never block writers and never take the
-// store lock (a contract enforced by agoralint's lockfree analyzer — see
-// snapshot.go for the epoch/overlay design).
+// concurrent use. Durable writers (Put/Delete/PutBatch with a Dir) stage
+// marshalled records into the group-commit pipeline (commit.go): a single
+// committer goroutine batches WAL appends and amortizes one fsync across
+// every writer waiting in the window, then applies and publishes each op in
+// arrival order. In-memory writers apply inline under mu. Every read method
+// loads the published epoch snapshot and runs lock-free, so searches never
+// block writers and never take the store lock (a contract enforced by
+// agoralint's lockfree analyzer — see snapshot.go for the epoch/overlay
+// design).
 type Store struct {
-	mu     sync.Mutex // serializes writers; never taken on the read path
+	mu     sync.Mutex // serializes mutation of master/log/snapshot publish; never taken on the read path
 	opts   Options
 	master *state // mutable truth, guarded by mu
 	log    *wal   // guarded by mu
@@ -98,6 +120,15 @@ type Store struct {
 	snap   atomic.Pointer[snapshot]
 	cache  *queryCache
 	tokens *tokenMemo
+
+	// Group-commit pipeline (durable stores only; nil commits means
+	// in-memory inline writes). closeMu makes the closed-check + channel
+	// send in submit atomic against Close closing the channel.
+	commits     chan *commitReq
+	closeMu     sync.RWMutex
+	committerWG sync.WaitGroup
+	compactWG   sync.WaitGroup
+	compacting  atomic.Bool
 
 	closed   atomic.Bool
 	puts     atomic.Uint64
@@ -169,6 +200,7 @@ func Open(opts Options) (*Store, error) {
 	// One publish for the whole replay: per-record publishing would make
 	// recovery O(n) snapshot churn for nothing.
 	s.installLocked(&snapshot{epoch: 1, base: s.master.freeze(), ov: &overlay{}})
+	s.startCommitter()
 	return s, nil
 }
 
@@ -210,6 +242,53 @@ func (s *Store) publishPutLocked(d *Document, tokens []string) {
 	})
 }
 
+// publishWindowLocked publishes one epoch covering every non-skipped op of a
+// commit window, folded into a single overlay clone in WAL order. This is the
+// group-commit amortization applied to publication: per-op publishing pays an
+// O(overlay) deep copy per write, the window pays it once — O(overlay+window)
+// — exactly as the window pays one fsync. The master must already hold every
+// op (apply precedes publish), so when the window pushes the overlay past its
+// coalescing limit, freezing the master covers the whole window.
+func (s *Store) publishWindowLocked(window []*commitReq) {
+	cur := s.snap.Load()
+	n := 0
+	for _, req := range window {
+		for i := range req.ops {
+			if !req.ops[i].skip {
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return
+	}
+	if cur.ov.ops+n > overlayLimit(len(cur.base.docs)) {
+		s.freezeLocked(cur.epoch + 1)
+		return
+	}
+	nv := cur.ov.cloneNextN(n)
+	for _, req := range window {
+		for i := range req.ops {
+			op := &req.ops[i]
+			if op.skip {
+				continue
+			}
+			if op.op == opPut {
+				_, inBase := cur.base.docs[op.doc.ID]
+				var sigs []uint64
+				if len(op.doc.Concept) > 0 {
+					sigs = s.master.vec.Signatures(op.doc.Concept)
+				}
+				nv.putDoc(op.doc, op.tokens, sigs, inBase)
+			} else {
+				_, inBase := cur.base.docs[op.id]
+				nv.deleteDoc(op.id, inBase)
+			}
+		}
+	}
+	s.installLocked(&snapshot{epoch: cur.epoch + 1, base: cur.base, ov: nv})
+}
+
 func (s *Store) publishDeleteLocked(id string) {
 	cur := s.snap.Load()
 	if cur.ov.ops >= overlayLimit(len(cur.base.docs)) {
@@ -224,72 +303,110 @@ func (s *Store) publishDeleteLocked(id string) {
 	})
 }
 
-// Put stores (or replaces) a document durably.
+// Put stores (or replaces) a document durably. On a durable store the write
+// rides the group-commit pipeline: marshalling and tokenizing run here, in
+// the caller's goroutine, and the call returns once the committer has made
+// the record durable (fsynced when Options.SyncEveryPut) and published it.
 func (s *Store) Put(d *Document) error {
 	if d.ID == "" {
 		return ErrEmptyID
 	}
 	start := time.Now()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed.Load() {
-		return ErrClosed
-	}
 	cp := d.Clone()
-	if s.log != nil {
-		if err := s.log.append(opPut, cp.marshal()); err != nil {
-			return err
-		}
-		if s.opts.SyncEveryPut {
-			if err := s.log.sync(); err != nil {
-				return err
-			}
-		} else if err := s.log.flush(); err != nil {
-			return err
-		}
-		s.walBytes.Store(s.log.size)
-	}
 	tokens := cp.Tokens()
-	s.master.applyPut(cp, tokens)
-	s.publishPutLocked(cp, tokens)
-	s.puts.Add(1)
-	s.tel.puts.Inc()
-	if s.log != nil && s.opts.CompactAfterBytes > 0 && s.log.size > s.opts.CompactAfterBytes {
-		if err := s.compactLocked(); err != nil {
-			return err
+	if s.commits == nil { // in-memory: no WAL to amortize, apply inline
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.closed.Load() {
+			return ErrClosed
+		}
+		s.master.applyPut(cp, tokens)
+		s.publishPutLocked(cp, tokens)
+		s.puts.Add(1)
+		s.tel.puts.Inc()
+		s.tel.putLat.Observe(time.Since(start))
+		return nil
+	}
+	err := s.submit(&commitReq{
+		ops:  []stagedOp{{op: opPut, payload: cp.marshal(), doc: cp, tokens: tokens}},
+		at:   start,
+		done: make(chan struct{}),
+	})
+	s.tel.putLat.Observe(time.Since(start))
+	return err
+}
+
+// PutBatch stores a batch of documents durably. The whole batch is staged as
+// one commit request, so it rides a single commit window end-to-end: one WAL
+// append run, one fsync (per Options), and in-order publication — later
+// documents in the batch supersede earlier ones with the same id, exactly as
+// sequential Puts would. An empty-id document fails the batch up front,
+// before anything is staged.
+func (s *Store) PutBatch(docs []*Document) error {
+	for _, d := range docs {
+		if d.ID == "" {
+			return ErrEmptyID
 		}
 	}
+	if len(docs) == 0 {
+		return nil
+	}
+	start := time.Now()
+	ops := make([]stagedOp, len(docs))
+	for i, d := range docs {
+		cp := d.Clone()
+		ops[i] = stagedOp{op: opPut, payload: cp.marshal(), doc: cp, tokens: cp.Tokens()}
+	}
+	if s.commits == nil {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.closed.Load() {
+			return ErrClosed
+		}
+		for i := range ops {
+			s.master.applyPut(ops[i].doc, ops[i].tokens)
+			s.publishPutLocked(ops[i].doc, ops[i].tokens)
+			s.puts.Add(1)
+			s.tel.puts.Inc()
+		}
+		s.tel.putLat.Observe(time.Since(start))
+		return nil
+	}
+	err := s.submit(&commitReq{ops: ops, at: start, done: make(chan struct{})})
 	s.tel.putLat.Observe(time.Since(start))
-	return nil
+	return err
 }
 
 // Delete removes a document durably. Deleting a missing id is a no-op
-// returning ErrNotFound.
+// returning ErrNotFound. Durability matches Put exactly: the delete record
+// rides the same commit window and is fsynced under Options.SyncEveryPut
+// (the seed flushed but never synced deletes, so an acknowledged delete
+// could resurrect after a crash).
 func (s *Store) Delete(id string) error {
 	start := time.Now()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed.Load() {
-		return ErrClosed
-	}
-	if _, ok := s.master.docs[id]; !ok {
-		return ErrNotFound
-	}
-	if s.log != nil {
-		if err := s.log.append(opDelete, []byte(id)); err != nil {
-			return err
+	if s.commits == nil {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.closed.Load() {
+			return ErrClosed
 		}
-		if err := s.log.flush(); err != nil {
-			return err
+		if _, ok := s.master.docs[id]; !ok {
+			return ErrNotFound
 		}
-		s.walBytes.Store(s.log.size)
+		s.master.applyDelete(id)
+		s.publishDeleteLocked(id)
+		s.deletes.Add(1)
+		s.tel.deletes.Inc()
+		s.tel.deleteLat.Observe(time.Since(start))
+		return nil
 	}
-	s.master.applyDelete(id)
-	s.publishDeleteLocked(id)
-	s.deletes.Add(1)
-	s.tel.deletes.Inc()
+	err := s.submit(&commitReq{
+		ops:  []stagedOp{{op: opDelete, payload: []byte(id), id: id}},
+		at:   start,
+		done: make(chan struct{}),
+	})
 	s.tel.deleteLat.Observe(time.Since(start))
-	return nil
+	return err
 }
 
 // Get returns a copy of the document with the given id.
@@ -548,23 +665,53 @@ func (s *Store) countSearch() {
 	s.tel.searches.Inc()
 }
 
-// Compact writes a snapshot of the current state and truncates the WAL.
+// Compact writes a snapshot of the current state and drops the WAL prefix
+// it covers. The build runs off the writer critical path — commit windows
+// keep flowing while the snapshot file streams out — and Store.mu is taken
+// only to pin the start point and to swap files at the end. Returns nil
+// immediately when a (background) compaction is already in flight.
 func (s *Store) Compact() error {
-	start := time.Now()
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed.Load() {
 		return ErrClosed
 	}
-	err := s.compactLocked()
-	s.tel.compactLat.Observe(time.Since(start))
-	return err
-}
-
-func (s *Store) compactLocked() error {
 	if s.opts.Dir == "" {
 		return nil
 	}
+	if !s.compacting.CompareAndSwap(false, true) {
+		return nil
+	}
+	defer s.compacting.Store(false)
+	return s.compactOnce()
+}
+
+// compactOnce is one compaction cycle. Correctness hinges on the pin taken
+// under mu: the committer appends, applies, and publishes under the same
+// lock, so at the pin instant the first `off` logical WAL bytes correspond
+// exactly to the published snapshot `sn`. The replacement snapshot file is
+// built from `sn` alone (immutable, no lock), and the swap rewrites the WAL
+// to just the bytes past `off` — the ops committed while the build ran.
+//
+// Crash safety between the two renames: if the process dies after the
+// snapshot rename but before the WAL rewrite, recovery replays the full old
+// WAL on top of the new snapshot file. That is a fixed point — for every id
+// the last logged op matches the snapshot's state, and WAL replay applies
+// ops in order — so the store converges to the same contents
+// (TestCompactCrashBetweenSwaps pins this).
+func (s *Store) compactOnce() error {
+	start := time.Now()
+	defer func() { s.tel.compactLat.Observe(time.Since(start)) }()
+
+	// Phase 1 (under mu): pin the snapshot/WAL consistency point.
+	s.mu.Lock()
+	if s.closed.Load() || s.log == nil {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	sn := s.snap.Load()
+	off := s.log.size
+	s.mu.Unlock()
+
+	// Phase 2 (no lock): stream every doc live at sn into a temp file.
 	snapPath, walPath := snapshotPaths(s.opts.Dir)
 	tmp := snapPath + ".tmp"
 	f, err := os.Create(tmp)
@@ -572,34 +719,79 @@ func (s *Store) compactLocked() error {
 		return fmt.Errorf("docstore: creating snapshot: %w", err)
 	}
 	sw := &wal{f: f, w: bufio.NewWriterSize(f, 64<<10), path: tmp}
-	for _, d := range s.master.docs {
-		if err := sw.append(opPut, d.marshal()); err != nil {
-			f.Close()
-			os.Remove(tmp)
-			return err
+	write := func(d *Document) error { return sw.append(opPut, d.marshal()) }
+	for id, d := range sn.base.docs {
+		if sn.ov.masked[id] {
+			continue
+		}
+		if err = write(d); err != nil {
+			break
 		}
 	}
-	if err := sw.sync(); err != nil {
-		f.Close()
+	if err == nil {
+		for _, d := range sn.ov.byID {
+			if err = write(d); err != nil {
+				break
+			}
+		}
+	}
+	if err == nil {
+		err = sw.sync()
+	}
+	if cerr := f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("docstore: closing snapshot: %w", cerr)
+	}
+	if err != nil {
 		os.Remove(tmp)
 		return err
 	}
-	if err := f.Close(); err != nil {
+
+	// Phase 3 (under mu): install the snapshot and rewrite the WAL to the
+	// tail past the pin. The committer is paused only for this swap.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed.Load() {
 		os.Remove(tmp)
-		return fmt.Errorf("docstore: closing snapshot: %w", err)
+		return ErrClosed
+	}
+	if err := s.log.flush(); err != nil {
+		os.Remove(tmp)
+		return err
 	}
 	if err := os.Rename(tmp, snapPath); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("docstore: installing snapshot: %w", err)
 	}
-	// Reset the WAL.
-	if s.log != nil {
-		if err := s.log.close(); err != nil {
-			return err
-		}
+	tailTmp := walPath + ".tail"
+	tf, err := os.Create(tailTmp)
+	if err != nil {
+		return fmt.Errorf("docstore: creating wal tail: %w", err)
 	}
-	if err := os.Truncate(walPath, 0); err != nil && !errors.Is(err, os.ErrNotExist) {
-		return fmt.Errorf("docstore: truncating wal: %w", err)
+	src, err := os.Open(walPath)
+	if err != nil {
+		tf.Close()
+		os.Remove(tailTmp)
+		return fmt.Errorf("docstore: reopening wal: %w", err)
+	}
+	if _, err = src.Seek(off, io.SeekStart); err == nil {
+		_, err = io.Copy(tf, src)
+	}
+	src.Close()
+	if err == nil {
+		err = tf.Sync()
+	}
+	if cerr := tf.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tailTmp)
+		return fmt.Errorf("docstore: writing wal tail: %w", err)
+	}
+	if err := s.log.close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tailTmp, walPath); err != nil {
+		return fmt.Errorf("docstore: installing wal tail: %w", err)
 	}
 	s.log, err = openWAL(walPath)
 	if err == nil {
@@ -608,14 +800,25 @@ func (s *Store) compactLocked() error {
 	return err
 }
 
-// Close flushes and closes the store.
+// Close flushes and closes the store: it stops admitting writes, drains
+// every commit window already queued (each blocked writer gets its ack),
+// joins the committer and any in-flight background compaction, then closes
+// the WAL.
 func (s *Store) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.closeMu.Lock()
 	if s.closed.Load() {
+		s.closeMu.Unlock()
 		return nil
 	}
 	s.closed.Store(true)
+	if s.commits != nil {
+		close(s.commits)
+	}
+	s.closeMu.Unlock()
+	s.committerWG.Wait()
+	s.compactWG.Wait()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.log != nil {
 		return s.log.close()
 	}

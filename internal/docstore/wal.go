@@ -18,9 +18,12 @@ import (
 //	crc32  uint32 (IEEE over op byte + payload)
 //	payload [length]byte   (marshalled document for put, raw id for delete)
 //
-// Recovery replays records in order and stops cleanly at the first torn or
-// corrupt record (the tail that a crash may have half-written), truncating
-// the log there so subsequent appends are consistent.
+// Recovery replays records in order. A damaged FINAL record is the tail a
+// crash may have half-written: recovery stops cleanly before it and the
+// caller truncates so subsequent appends are consistent. A damaged record
+// with valid log after it is real corruption (a crash cannot produce it in
+// an append-only file) and replay fails hard with ErrCorruptRecord rather
+// than silently dropping the committed records behind the damage.
 
 const (
 	opPut    = 1
@@ -98,6 +101,20 @@ func (l *wal) close() error {
 // replayWAL streams records from path, invoking apply per valid record.
 // It returns the byte offset of the clean prefix; a torn tail is reported
 // via tornTail=true so the caller can truncate.
+//
+// Torn vs corrupt: an append-only log half-written by a crash can only be
+// damaged in its FINAL record, so a bad record with nothing after it is a
+// torn tail — recover the clean prefix and truncate. A record that fails
+// its checksum (or carries an unknown op) with more log after it cannot be
+// a crash artifact; that is real corruption, and silently truncating would
+// drop valid acknowledged records behind the damage. That case is a hard
+// ErrCorruptRecord so the operator restores from the snapshot instead of
+// trusting a store that lost committed history.
+//
+// The payload buffer is reused across records (grown to the largest record
+// seen): apply implementations copy what they keep — unmarshalDocument
+// builds fresh strings/slices and the delete path copies the id — so
+// recovery allocates O(max record), not O(log).
 func replayWAL(path string, apply func(op uint8, payload []byte) error) (clean int64, tornTail bool, err error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -109,9 +126,16 @@ func replayWAL(path string, apply func(op uint8, payload []byte) error) (clean i
 	defer f.Close()
 	r := bufio.NewReaderSize(f, 64<<10)
 	var off int64
-	hdr := make([]byte, 9)
+	var hdr [9]byte
+	var buf []byte
+	// atTail reports whether the reader is exhausted — the decider between
+	// a torn tail and mid-log corruption.
+	atTail := func() bool {
+		_, perr := r.Peek(1)
+		return perr != nil
+	}
 	for {
-		if _, err := io.ReadFull(r, hdr); err != nil {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
 			if errors.Is(err, io.EOF) {
 				return off, false, nil
 			}
@@ -122,20 +146,28 @@ func replayWAL(path string, apply func(op uint8, payload []byte) error) (clean i
 		length := binary.LittleEndian.Uint32(hdr[1:])
 		want := binary.LittleEndian.Uint32(hdr[5:])
 		if length > wireMaxRecord {
-			return off, true, nil
+			// A length no writer produces: garbage header. Torn if the
+			// file ends here, corrupt if the log continues underneath.
+			if atTail() {
+				return off, true, nil
+			}
+			return off, false, fmt.Errorf("%w: record at offset %d claims %d bytes", ErrCorruptRecord, off, length)
 		}
-		payload := make([]byte, length)
+		if int(length) > cap(buf) {
+			buf = make([]byte, length)
+		}
+		payload := buf[:length]
 		if _, err := io.ReadFull(r, payload); err != nil {
-			return off, true, nil // torn payload
+			return off, true, nil // file ends inside the record: torn payload
 		}
 		crc := crc32.NewIEEE()
 		crc.Write(hdr[:1])
 		crc.Write(payload)
-		if crc.Sum32() != want {
-			return off, true, nil // corrupt/torn record: stop here
-		}
-		if op != opPut && op != opDelete {
-			return off, true, nil
+		if crc.Sum32() != want || (op != opPut && op != opDelete) {
+			if atTail() {
+				return off, true, nil // damaged final record: torn tail
+			}
+			return off, false, fmt.Errorf("%w: checksum failure at offset %d with log following", ErrCorruptRecord, off)
 		}
 		if err := apply(op, payload); err != nil {
 			return off, false, err

@@ -6,13 +6,16 @@ import (
 )
 
 // joinTrackedPackages must not leak goroutines: internal/transport serves
-// real TCP connections (Close must drain handlers before returning) and
+// real TCP connections (Close must drain handlers before returning),
 // internal/core's fan-out workers feed plan-order slots that the caller
-// joins on. A `go` statement with no visible join in the same function is
-// how both contracts rot.
+// joins on, and internal/docstore's committer and background compactor
+// must be joined by Close before the WAL file handle is released. A `go`
+// statement with no visible join in the same function is how these
+// contracts rot.
 var joinTrackedPackages = []string{
 	"internal/transport",
 	"internal/core",
+	"internal/docstore",
 }
 
 // goroutineAnalyzer enforces contract (3), goroutine hygiene: every `go`

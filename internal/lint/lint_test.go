@@ -129,6 +129,13 @@ func TestGoroutineFixture(t *testing.T) {
 	runFixture(t, "goroutine", "internal/transport", goroutineAnalyzer)
 }
 
+// TestGoroutineFixtureInDocstore pins the widened scope: the docstore's
+// committer and compactor goroutines are join-tracked, so the same fixture
+// must fire under internal/docstore too.
+func TestGoroutineFixtureInDocstore(t *testing.T) {
+	runFixture(t, "goroutine", "internal/docstore", goroutineAnalyzer)
+}
+
 func TestCheckederrFixture(t *testing.T) {
 	runFixture(t, "checkederr", "internal/docstore", checkederrAnalyzer)
 }
