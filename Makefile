@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race race-core vet lint check bench bench-docstore bench-wal bench-suite clean
+.PHONY: build test race race-core vet lint check bench bench-check bench-docstore bench-wal bench-suite clean
 
 build:
 	$(GO) build ./...
@@ -38,6 +38,13 @@ check: build lint test race
 # archived as JSON so future PRs have a trajectory to diff against.
 bench:
 	$(GO) test -run XXX -bench Ask -benchmem . | $(GO) run ./cmd/benchjson | tee BENCH_ask.json
+
+# Regression gate: re-run the ask benchmarks and diff against the archived
+# baseline. Fails (exit 1) when ns/op or allocs/op regressed more than
+# BENCH_THRESHOLD (default 25%, generous because CI machines are noisy).
+BENCH_THRESHOLD ?= 0.25
+bench-check:
+	$(GO) test -run XXX -bench Ask -benchmem . | $(GO) run ./cmd/benchjson -compare BENCH_ask.json -threshold $(BENCH_THRESHOLD)
 
 # Docstore read-path baseline: lock-free snapshot readers vs the coarse
 # RWMutex the seed used, under background writer churn, plus the cache and

@@ -56,6 +56,7 @@ func BenchmarkE20Telemetry(b *testing.B)          { runExperiment(b, bench.E20Te
 func BenchmarkE21ParallelFanout(b *testing.B)     { runExperiment(b, bench.E21ParallelFanout) }
 func BenchmarkE22LockFreeReads(b *testing.B)      { runExperiment(b, bench.E22LockFreeReads) }
 func BenchmarkE23GroupCommit(b *testing.B)        { runExperiment(b, bench.E23GroupCommit) }
+func BenchmarkE24Tracing(b *testing.B)            { runExperiment(b, bench.E24DistributedTracing) }
 
 // benchmarkAsk measures one Session.Ask against a 4-source market with
 // simulated provider latency mapped to real sleeps (LatencyScale), at the

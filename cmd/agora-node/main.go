@@ -11,8 +11,11 @@
 //
 // Observability: -debug-addr starts an introspection HTTP listener with
 // /debug/vars (expvar, including the live telemetry snapshot),
-// /debug/pprof/* (CPU/heap profiling), and /debug/telemetry (JSON counters,
-// latency histograms with p50/p95/p99, and recent query traces).
+// /debug/pprof/* (CPU/heap profiling), /debug/telemetry (JSON counters,
+// latency histograms with p50/p95/p99, and tail-sampled query traces),
+// /debug/trace?id=<trace id> (the stitched span tree for one distributed
+// trace — the id agora-query prints), and /metrics (Prometheus text
+// exposition with trace-ID exemplars on latency buckets).
 // -log-level picks the verbosity threshold (debug|info|warn|error|off).
 package main
 
@@ -93,7 +96,7 @@ func main() {
 				logger.Warnf("agora-node: debug server: %v", herr)
 			}
 		}()
-		logger.Infof("agora-node: debug endpoints on http://%s/debug/{vars,pprof,telemetry}", dln.Addr())
+		logger.Infof("agora-node: debug endpoints on http://%s/debug/{vars,pprof,telemetry,trace} and /metrics", dln.Addr())
 	}
 
 	ln, err := net.Listen("tcp", *listen)

@@ -19,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -54,16 +55,25 @@ func main() {
 		return
 	}
 
+	// One trace covers the whole fan-out; each node sees its own span
+	// context on the wire, so the server side continues this trace and
+	// /debug/trace?id=<trace id> on any node shows its slice of the ask.
+	reg := telemetry.NewRegistry()
+	tr := reg.StartTrace("agora-query", text)
+
 	type hit struct {
 		item wire.ResultItem
 	}
 	var all []hit
 	for _, c := range clients {
-		res, err := c.Query(text, nil, *top, *timeout)
+		sp := tr.Span("query", c.RemoteID)
+		res, err := c.QueryTraced(text, nil, *top, *timeout, sp.Context())
 		if err != nil {
+			sp.Fail(err)
 			log.Printf("agora-query: %s: %v", c.RemoteID, err)
 			continue
 		}
+		sp.End()
 		// Normalize per-source scores before merging.
 		var max float64
 		for _, it := range res.Items {
@@ -80,6 +90,9 @@ func main() {
 		log.Printf("agora-query: %s answered %d items in %.1fms",
 			res.From, len(res.Items), res.Elapsed*1000)
 	}
+	tr.Finish()
+	log.Printf("agora-query: trace %s — inspect via /debug/trace?id=%s on any node's debug listener",
+		tr.ID(), tr.ID())
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].item.Score != all[j].item.Score {
 			return all[i].item.Score > all[j].item.Score

@@ -32,6 +32,7 @@ func main() {
 	concurrency := flag.Int("concurrency", 0, "ask fan-out width: goroutines per ask (0 = min(plan size, GOMAXPROCS), 1 = sequential)")
 	discovery := flag.Bool("discovery", false, "locate sources via the semantic overlay instead of the registry")
 	showTelemetry := flag.Bool("telemetry", true, "print the runtime telemetry report at end of run")
+	prom := flag.Bool("prom", false, "print the Prometheus text exposition (/metrics format) at end of run")
 	flag.Parse()
 
 	reg := telemetry.NewRegistry()
@@ -137,5 +138,10 @@ func main() {
 		fmt.Println("## Runtime telemetry (wall-clock)")
 		fmt.Println()
 		reg.Snapshot().RenderText(os.Stdout)
+	}
+	if *prom {
+		fmt.Println("## Prometheus exposition")
+		fmt.Println()
+		reg.RenderPrometheus(os.Stdout)
 	}
 }

@@ -4,6 +4,13 @@
 //
 //	go test -run XXX -bench Ask -benchmem | go run ./cmd/benchjson
 //
+// With -compare it instead diffs the fresh run on stdin against an archived
+// report and exits non-zero when any shared benchmark regressed beyond the
+// threshold (the Makefile's bench-check target):
+//
+//	go test -run XXX -bench Ask -benchmem | \
+//	    go run ./cmd/benchjson -compare BENCH_ask.json -threshold 0.25
+//
 // Only lines it understands are consumed; everything else (PASS, ok,
 // harness chatter) is ignored, so it is safe to pipe a whole test run in.
 package main
@@ -11,7 +18,9 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -72,9 +81,10 @@ func parseLine(fields []string) (Line, bool) {
 	return l, true
 }
 
-func main() {
+// parseReport consumes `go test -bench` text and builds a Report.
+func parseReport(r io.Reader) (Report, error) {
 	rep := Report{Benchmarks: []Line{}}
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -93,7 +103,109 @@ func main() {
 			}
 		}
 	}
-	if err := sc.Err(); err != nil {
+	return rep, sc.Err()
+}
+
+// regression is one benchmark metric that got worse beyond the threshold.
+type regression struct {
+	Name   string  // benchmark name
+	Metric string  // "ns/op" or "allocs/op"
+	Old    float64 // archived value
+	New    float64 // fresh value
+	Frac   float64 // fractional increase, e.g. 0.31 = +31%
+}
+
+// compareReports diffs fresh against base benchmark-by-benchmark and
+// returns every shared metric whose fresh value exceeds the archived one
+// by more than threshold (fraction, e.g. 0.25 = 25%). Benchmarks present
+// on only one side are skipped: renames and new benchmarks are not
+// regressions. Allocs are compared only when both sides recorded them
+// (-benchmem on both runs).
+func compareReports(base, fresh Report, threshold float64) []regression {
+	archived := make(map[string]Line, len(base.Benchmarks))
+	for _, l := range base.Benchmarks {
+		archived[l.Name] = l
+	}
+	var regs []regression
+	for _, f := range fresh.Benchmarks {
+		b, ok := archived[f.Name]
+		if !ok {
+			continue
+		}
+		if b.NsPerOp > 0 {
+			frac := f.NsPerOp/b.NsPerOp - 1
+			if frac > threshold {
+				regs = append(regs, regression{f.Name, "ns/op", b.NsPerOp, f.NsPerOp, frac})
+			}
+		}
+		if b.AllocsPerOp > 0 && f.AllocsPerOp > 0 {
+			frac := float64(f.AllocsPerOp)/float64(b.AllocsPerOp) - 1
+			if frac > threshold {
+				regs = append(regs, regression{f.Name, "allocs/op",
+					float64(b.AllocsPerOp), float64(f.AllocsPerOp), frac})
+			}
+		}
+	}
+	return regs
+}
+
+// runCompare reads an archived report from path, parses a fresh run from
+// in, and writes a verdict to out. It returns the process exit code: 0
+// clean, 1 regression found or I/O trouble.
+func runCompare(path string, threshold float64, in io.Reader, out io.Writer) int {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(out, "benchjson:", err)
+		return 1
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(out, "benchjson: %s: %v\n", path, err)
+		return 1
+	}
+	fresh, err := parseReport(in)
+	if err != nil {
+		fmt.Fprintln(out, "benchjson:", err)
+		return 1
+	}
+	shared := 0
+	names := make(map[string]bool, len(base.Benchmarks))
+	for _, l := range base.Benchmarks {
+		names[l.Name] = true
+	}
+	for _, l := range fresh.Benchmarks {
+		if names[l.Name] {
+			shared++
+		}
+	}
+	if shared == 0 {
+		fmt.Fprintf(out, "benchjson: no benchmarks shared with %s — nothing to compare\n", path)
+		return 1
+	}
+	regs := compareReports(base, fresh, threshold)
+	if len(regs) == 0 {
+		fmt.Fprintf(out, "benchjson: %d benchmark(s) within %.0f%% of %s\n",
+			shared, threshold*100, path)
+		return 0
+	}
+	for _, r := range regs {
+		fmt.Fprintf(out, "benchjson: REGRESSION %s %s: %.4g -> %.4g (+%.1f%%, threshold %.0f%%)\n",
+			r.Name, r.Metric, r.Old, r.New, r.Frac*100, threshold*100)
+	}
+	return 1
+}
+
+func main() {
+	compare := flag.String("compare", "", "archived BENCH_*.json to diff the fresh run against (exit 1 on regression)")
+	threshold := flag.Float64("threshold", 0.25, "allowed fractional increase in ns/op and allocs/op before -compare fails")
+	flag.Parse()
+
+	if *compare != "" {
+		os.Exit(runCompare(*compare, *threshold, os.Stdin, os.Stderr))
+	}
+
+	rep, err := parseReport(os.Stdin)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}

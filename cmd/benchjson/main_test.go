@@ -1,0 +1,128 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const benchOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Example CPU
+BenchmarkAsk-8           	    1000	   1200000 ns/op	   48000 B/op	     310 allocs/op
+BenchmarkAskParallel-8   	    2000	    700000 ns/op	   48000 B/op	     310 allocs/op
+PASS
+ok  	repro	2.345s
+`
+
+func TestParseReport(t *testing.T) {
+	rep, err := parseReport(strings.NewReader(benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Pkg != "repro" {
+		t.Fatalf("header not parsed: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("want 2 benchmarks, got %d", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkAsk-8" || b.NsPerOp != 1200000 || b.AllocsPerOp != 310 {
+		t.Fatalf("bad line: %+v", b)
+	}
+}
+
+// writeArchive marshals a Report to a temp file the way the bench target
+// archives BENCH_ask.json.
+func writeArchive(t *testing.T, rep Report) string {
+	t.Helper()
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareWithinThreshold(t *testing.T) {
+	base, _ := parseReport(strings.NewReader(benchOutput))
+	path := writeArchive(t, base)
+	// Fresh run 10% slower: under the 25% fence.
+	fresh := strings.ReplaceAll(benchOutput, "1200000 ns/op", "1320000 ns/op")
+	var out strings.Builder
+	if code := runCompare(path, 0.25, strings.NewReader(fresh), &out); code != 0 {
+		t.Fatalf("exit %d, output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "within") {
+		t.Fatalf("expected clean verdict, got:\n%s", out.String())
+	}
+}
+
+func TestCompareFlagsNsRegression(t *testing.T) {
+	base, _ := parseReport(strings.NewReader(benchOutput))
+	path := writeArchive(t, base)
+	// 50% slower: over the fence, exit 1, the offending metric named.
+	fresh := strings.ReplaceAll(benchOutput, "1200000 ns/op", "1800000 ns/op")
+	var out strings.Builder
+	if code := runCompare(path, 0.25, strings.NewReader(fresh), &out); code != 1 {
+		t.Fatalf("exit %d, want 1; output:\n%s", code, out.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "REGRESSION BenchmarkAsk-8 ns/op") {
+		t.Fatalf("regression not reported:\n%s", got)
+	}
+	if strings.Contains(got, "BenchmarkAskParallel") {
+		t.Fatalf("unchanged benchmark flagged:\n%s", got)
+	}
+}
+
+func TestCompareFlagsAllocRegression(t *testing.T) {
+	base, _ := parseReport(strings.NewReader(benchOutput))
+	path := writeArchive(t, base)
+	fresh := strings.ReplaceAll(benchOutput, "310 allocs/op", "700 allocs/op")
+	var out strings.Builder
+	if code := runCompare(path, 0.25, strings.NewReader(fresh), &out); code != 1 {
+		t.Fatalf("exit %d, want 1; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "allocs/op") {
+		t.Fatalf("alloc regression not reported:\n%s", out.String())
+	}
+}
+
+func TestCompareThresholdConfigurable(t *testing.T) {
+	base, _ := parseReport(strings.NewReader(benchOutput))
+	path := writeArchive(t, base)
+	fresh := strings.ReplaceAll(benchOutput, "1200000 ns/op", "1320000 ns/op") // +10%
+	var out strings.Builder
+	if code := runCompare(path, 0.05, strings.NewReader(fresh), &out); code != 1 {
+		t.Fatalf("10%% slowdown should fail a 5%% threshold; output:\n%s", out.String())
+	}
+}
+
+func TestCompareSkipsUnsharedBenchmarks(t *testing.T) {
+	base, _ := parseReport(strings.NewReader(benchOutput))
+	path := writeArchive(t, base)
+	// Renamed benchmark: nothing shared → refuse to pass vacuously.
+	fresh := strings.ReplaceAll(benchOutput, "BenchmarkAsk", "BenchmarkQuestion")
+	var out strings.Builder
+	if code := runCompare(path, 0.25, strings.NewReader(fresh), &out); code != 1 {
+		t.Fatalf("no shared benchmarks should exit 1; output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "nothing to compare") {
+		t.Fatalf("expected nothing-to-compare verdict:\n%s", out.String())
+	}
+}
+
+func TestCompareMissingArchive(t *testing.T) {
+	var out strings.Builder
+	if code := runCompare(filepath.Join(t.TempDir(), "absent.json"), 0.25,
+		strings.NewReader(benchOutput), &out); code != 1 {
+		t.Fatal("missing archive must exit 1")
+	}
+}

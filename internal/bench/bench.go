@@ -70,6 +70,7 @@ func Suite() []Experiment {
 		{"E21", "Pipeline: parallel source fan-out & hedged tail latency", E21ParallelFanout},
 		{"E22", "Substrate: lock-free snapshot reads under writer churn", E22LockFreeReads},
 		{"E23", "Substrate: group-commit WAL write throughput", E23GroupCommit},
+		{"E24", "Substrate: distributed tracing overhead & tail-sampled retention", E24DistributedTracing},
 	}
 }
 

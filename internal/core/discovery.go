@@ -7,6 +7,7 @@ import (
 	"repro/internal/feature"
 	"repro/internal/overlay"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Decentralized source discovery. With the global registry, every session
@@ -131,6 +132,14 @@ func (a *Agora) joinDiscovery(n *Node) {
 // names of sources that answered within the budget. With discovery
 // disabled, it returns every registered node.
 func (a *Agora) Discover(origin string, concept feature.Vector) []string {
+	return a.DiscoverTraced(origin, concept, nil)
+}
+
+// DiscoverTraced is Discover recorded as part of tr: the probe runs under
+// a `discover` span whose children are the overlay forwarding hops and the
+// sources that answered, so an ask's trace shows the routing effort spent
+// merely finding candidates. A nil trace traces nothing.
+func (a *Agora) DiscoverTraced(origin string, concept feature.Vector, tr *telemetry.Trace) []string {
 	a.mu.Lock()
 	d := a.disc
 	if d == nil {
@@ -156,11 +165,13 @@ func (a *Agora) Discover(origin string, concept feature.Vector) []string {
 		Strategy: d.cfg.Strategy,
 		Walkers:  8,
 		Fanout:   d.cfg.Fanout,
+		Trace:    tr.Context(),
 	}
+	sp := tr.Span("discover", q.Strategy.String())
 	var found []string
 	seen := map[string]bool{}
 	a.kmu.Lock()
-	d.ov.Query(q, func(ans overlay.Answer) {
+	d.ov.QueryTraced(q, sp, func(ans overlay.Answer) {
 		if name, ok := ans.Payload.(string); ok && !seen[name] {
 			seen[name] = true
 			found = append(found, name)
@@ -169,6 +180,7 @@ func (a *Agora) Discover(origin string, concept feature.Vector) []string {
 	a.kernel.RunFor(d.cfg.Budget)
 	d.ov.CloseQuery(qid)
 	a.kmu.Unlock()
+	sp.End()
 	return found
 }
 

@@ -104,6 +104,9 @@ type Answer struct {
 	// Negotiated reports how many sources required multi-round bargaining.
 	Negotiated int
 	Rounds     int
+	// TraceID identifies this ask's distributed trace (zero when telemetry
+	// is disabled); look it up via Registry.TraceByID or /debug/trace?id=.
+	TraceID telemetry.TraceID
 }
 
 // Session errors.
@@ -167,7 +170,10 @@ func (s *Session) askPipeline(q *query.Query, concept feature.Vector, onPartial 
 		tel.askErrors.Inc()
 		tr.Fail(err)
 	}
-	tel.askLat.Observe(elapsed())
+	if ans != nil {
+		ans.TraceID = tr.ID()
+	}
+	tel.askLat.ObserveExemplar(elapsed(), tr.ID())
 	tr.Finish()
 	return ans, err
 }
@@ -198,7 +204,7 @@ func (s *Session) runPipeline(tr *telemetry.Trace, q *query.Query, concept featu
 
 	// 3. Optimize: choose sources under uncertainty (candidates come from
 	// overlay discovery when enabled).
-	ests := s.estimates(q, concept)
+	ests := s.estimates(tr, q, concept)
 	if len(ests) == 0 {
 		spPlan.Fail(ErrNoProviders)
 		return nil, ErrNoProviders
@@ -214,7 +220,7 @@ func (s *Session) runPipeline(tr *telemetry.Trace, q *query.Query, concept featu
 		return nil, ErrNoProviders
 	}
 	spPlan.End()
-	tel.planLat.Observe(planElapsed())
+	tel.planLat.ObserveExemplar(planElapsed(), tr.ID())
 
 	ans := &Answer{ContextLabel: label, PlanScore: obj.Score(plan)}
 
@@ -316,7 +322,7 @@ func (s *Session) runPipeline(tr *telemetry.Trace, q *query.Query, concept featu
 	}
 	ans.Results = merged
 	spMerge.End()
-	tel.mergeLat.Observe(mergeElapsed())
+	tel.mergeLat.ObserveExemplar(mergeElapsed(), tr.ID())
 
 	// Delivered aggregate QoS.
 	now := s.agora.now()
@@ -344,10 +350,11 @@ func (s *Session) meanTrust(contracts []*qos.Contract) float64 {
 // estimates builds optimizer inputs for the candidate sources (discovered
 // via the overlay when decentralized discovery is enabled, the full
 // registry otherwise), using the consumer's learned trust and latency
-// beliefs. The discovery concept steers semantic routing.
-func (s *Session) estimates(q *query.Query, concept feature.Vector) []optimizer.SourceEstimate {
+// beliefs. The discovery concept steers semantic routing; the overlay
+// probe records its forwarding hops as spans of tr.
+func (s *Session) estimates(tr *telemetry.Trace, q *query.Query, concept feature.Vector) []optimizer.SourceEstimate {
 	var total int
-	names := s.agora.Discover(s.Profile.UserID, concept)
+	names := s.agora.DiscoverTraced(s.Profile.UserID, concept, tr)
 	for _, name := range names {
 		n := s.agora.Node(name)
 		if len(q.Topics) == 0 {
@@ -699,7 +706,7 @@ func (s *Session) negotiateTraced(tr *telemetry.Trace, q *query.Query, node *Nod
 		return nil, deal, err
 	}
 	sp.End()
-	tel.negotiateLat.Observe(elapsed())
+	tel.negotiateLat.ObserveExemplar(elapsed(), tr.ID())
 	return contract, deal, nil
 }
 
@@ -738,7 +745,7 @@ func (s *Session) executeTraced(tr *telemetry.Trace, node *Node, q *query.Query,
 		Price:        c.Promised.Price,
 	}
 	sp.End()
-	tel.executeLat.Observe(elapsed())
+	tel.executeLat.ObserveExemplar(elapsed(), tr.ID())
 	return results, delivered
 }
 

@@ -11,6 +11,7 @@ package overlay
 import (
 	"math/rand"
 	"sort"
+	"strconv"
 	"time"
 
 	"repro/internal/feature"
@@ -41,7 +42,9 @@ func (s Strategy) String() string {
 	}
 }
 
-// QueryMsg travels the overlay.
+// QueryMsg travels the overlay. Trace is the distributed-trace context of
+// the ask that issued the probe (zero = untraced); it rides every
+// forwarded copy so per-hop spans land in the right trace.
 type QueryMsg struct {
 	ID       string
 	Origin   int
@@ -51,6 +54,7 @@ type QueryMsg struct {
 	Strategy Strategy
 	Walkers  int // for RandomWalk fan-out at origin
 	Fanout   int // for Semantic forwarding degree
+	Trace    telemetry.TraceContext
 }
 
 // Answer is a node's local response to a query, reported to the origin's
@@ -112,7 +116,8 @@ type Overlay struct {
 	nodes  map[int]*Node
 	ids    []int
 	rng    *rand.Rand
-	answer map[string]func(Answer) // per-query collectors at origins
+	answer map[string]func(Answer)    // per-query collectors at origins
+	spans  map[string]*telemetry.Span // per-query parent spans for hop tracing
 
 	// Stats
 	QueryMsgs  uint64
@@ -152,6 +157,7 @@ func New(net *sim.Network, cfg Config) *Overlay {
 		nodes:  make(map[int]*Node),
 		rng:    net.Kernel().Stream("overlay"),
 		answer: make(map[string]func(Answer)),
+		spans:  make(map[string]*telemetry.Span),
 	}
 	return ov
 }
@@ -319,7 +325,20 @@ func (ov *Overlay) refreshShortcuts() {
 // Answers stream in as overlay messages arrive; callers decide when to stop
 // listening via CloseQuery.
 func (ov *Overlay) Query(q QueryMsg, collect func(Answer)) {
+	ov.QueryTraced(q, nil, collect)
+}
+
+// QueryTraced is Query with hop tracing: while the query is open, every
+// forwarded copy and every answering node records a child span under
+// parent (`overlay.forward from→to`, `overlay.answer node`), exposing the
+// dissemination tree of the probe inside the ask's trace. The overlay runs
+// single-threaded under the kernel lock, so the span map needs no lock of
+// its own. Nil parent traces nothing.
+func (ov *Overlay) QueryTraced(q QueryMsg, parent *telemetry.Span, collect func(Answer)) {
 	ov.answer[q.ID] = collect
+	if parent != nil {
+		ov.spans[q.ID] = parent
+	}
 	origin := ov.nodes[q.Origin]
 	if origin == nil {
 		return
@@ -327,8 +346,11 @@ func (ov *Overlay) Query(q QueryMsg, collect func(Answer)) {
 	origin.receiveQuery(q)
 }
 
-// CloseQuery stops collecting answers for a query id.
-func (ov *Overlay) CloseQuery(id string) { delete(ov.answer, id) }
+// CloseQuery stops collecting answers (and hop spans) for a query id.
+func (ov *Overlay) CloseQuery(id string) {
+	delete(ov.answer, id)
+	delete(ov.spans, id)
+}
 
 // nodeEndpoint adapts Node to sim.Endpoint.
 type nodeEndpoint Node
@@ -362,6 +384,9 @@ func (n *Node) receiveQuery(q QueryMsg) {
 	if payload := n.handler.HandleQuery(q); payload != nil {
 		n.Answered++
 		n.ov.tel.answers.Inc()
+		if sp := n.ov.spans[q.ID]; sp != nil {
+			sp.Child("overlay.answer", "node "+strconv.Itoa(n.ID)).End()
+		}
 		ans := Answer{QueryID: q.ID, From: n.ID, Payload: payload, HopAt: n.ov.net.Kernel().Now()}
 		if n.ID == q.Origin {
 			if collect, ok := n.ov.answer[q.ID]; ok {
@@ -463,6 +488,9 @@ func (n *Node) sendQuery(peer int, q QueryMsg) {
 	n.Forwarded++
 	n.ov.QueryMsgs++
 	n.ov.tel.queryMsgs.Inc()
+	if sp := n.ov.spans[q.ID]; sp != nil {
+		sp.Child("overlay.forward", strconv.Itoa(n.ID)+"→"+strconv.Itoa(peer)).End()
+	}
 	n.ov.net.Send(sim.Message{
 		From: n.ID, To: peer, Kind: "query", Payload: q,
 		Size: 64 + 8*len(q.Concept) + len(q.Text),

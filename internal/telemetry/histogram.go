@@ -33,14 +33,25 @@ func bucketFor(v float64) int {
 }
 
 // Histogram is a fixed-bucket latency histogram with exact count, sum, min,
-// and max, and interpolated quantiles. All methods are safe for concurrent
-// use and no-ops on a nil receiver.
+// and max, and interpolated quantiles. Each bucket also remembers an
+// exemplar — the trace ID of its most recent traced observation — linking
+// the metric back to a retained trace: an operator seeing a fat p99 bucket
+// on /metrics can jump straight to /debug/trace?id= for a real instance.
+// All methods are safe for concurrent use and no-ops on a nil receiver.
 type Histogram struct {
-	count   atomic.Uint64
-	sumBits atomic.Uint64 // float64 seconds, CAS-accumulated
-	minBits atomic.Uint64 // float64, CAS-min (seeded +Inf)
-	maxBits atomic.Uint64 // float64, CAS-max (seeded -Inf)
-	buckets [histBuckets]atomic.Uint64
+	count     atomic.Uint64
+	sumBits   atomic.Uint64 // float64 seconds, CAS-accumulated
+	minBits   atomic.Uint64 // float64, CAS-min (seeded +Inf)
+	maxBits   atomic.Uint64 // float64, CAS-max (seeded -Inf)
+	buckets   [histBuckets]atomic.Uint64
+	exemplars [histBuckets]atomic.Pointer[Exemplar]
+}
+
+// Exemplar links one histogram bucket back to the trace that most recently
+// landed in it. Value is the observed sample in seconds.
+type Exemplar struct {
+	TraceID TraceID `json:"trace_id"`
+	Value   float64 `json:"value"`
 }
 
 func newHistogram() *Histogram {
@@ -90,6 +101,51 @@ func (h *Histogram) ObserveSeconds(v float64) {
 			break
 		}
 	}
+}
+
+// ObserveExemplar records a duration and, when id is nonzero, stamps the
+// covering bucket's exemplar with the trace that produced the sample.
+func (h *Histogram) ObserveExemplar(d time.Duration, id TraceID) {
+	if h == nil {
+		return
+	}
+	h.ObserveSecondsExemplar(d.Seconds(), id)
+}
+
+// ObserveSecondsExemplar is ObserveExemplar for a sample in seconds.
+func (h *Histogram) ObserveSecondsExemplar(v float64, id TraceID) {
+	if h == nil || math.IsNaN(v) || v < 0 {
+		return
+	}
+	h.ObserveSeconds(v)
+	if id != 0 {
+		h.exemplars[bucketFor(v)].Store(&Exemplar{TraceID: id, Value: v})
+	}
+}
+
+// Bucket is one cumulative bucket in Prometheus exposition order. The
+// final bucket's bound is +Inf and its count equals the total count.
+type Bucket struct {
+	UpperBound float64 // seconds; math.Inf(1) for the last bucket
+	Count      uint64  // cumulative: samples ≤ UpperBound
+	Exemplar   *Exemplar
+}
+
+// Buckets returns the cumulative exposition view of the histogram.
+func (h *Histogram) Buckets() []Bucket {
+	if h == nil {
+		return nil
+	}
+	out := make([]Bucket, histBuckets)
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		out[i] = Bucket{UpperBound: bucketBound(i), Count: cum, Exemplar: h.exemplars[i].Load()}
+	}
+	// The top bucket is the overflow bucket: everything lands at or below
+	// it, which is exactly Prometheus's le="+Inf".
+	out[histBuckets-1].UpperBound = math.Inf(1)
+	return out
 }
 
 // Count returns the number of samples (0 on nil).

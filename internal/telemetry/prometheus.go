@@ -1,0 +1,91 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4) over the registry's
+// instruments, with OpenMetrics-style exemplars on histogram buckets.
+//
+// Conventions:
+//   - instrument names are sanitized to the Prometheus charset and
+//     prefixed "agora_" (dots become underscores: core.ask → agora_core_ask);
+//   - counters gain the _total suffix;
+//   - histograms are exposed in base seconds as <name>_seconds with
+//     cumulative le buckets, _sum, and _count;
+//   - a bucket whose most recent traced observation is known carries an
+//     exemplar: `... # {trace_id="<16 hex>"} <value>`, linking the bucket
+//     to /debug/trace?id=<16 hex>.
+
+// PromName sanitizes an instrument name for exposition: characters outside
+// [a-zA-Z0-9_:] become underscores and the agora_ namespace is prepended.
+func PromName(name string) string {
+	var sb strings.Builder
+	sb.Grow(len(name) + 6)
+	sb.WriteString("agora_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':',
+			c >= '0' && c <= '9':
+			sb.WriteByte(c)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// promFloat formats a sample value the way Prometheus expects: shortest
+// round-trip representation, +Inf/-Inf/NaN spelled out.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// RenderPrometheus writes every instrument in Prometheus text format.
+// Instruments render in sorted name order so output is diffable.
+func (r *Registry) RenderPrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	counters, gauges, hists := r.instrumentNames()
+	for _, name := range counters {
+		pn := PromName(name) + "_total"
+		fmt.Fprintf(w, "# HELP %s Counter %s.\n# TYPE %s counter\n", pn, name, pn)
+		fmt.Fprintf(w, "%s %d\n", pn, r.Counter(name).Value())
+	}
+	for _, name := range gauges {
+		pn := PromName(name)
+		fmt.Fprintf(w, "# HELP %s Gauge %s.\n# TYPE %s gauge\n", pn, name, pn)
+		fmt.Fprintf(w, "%s %s\n", pn, promFloat(r.Gauge(name).Value()))
+	}
+	for _, name := range hists {
+		h := r.Histogram(name)
+		pn := PromName(name) + "_seconds"
+		fmt.Fprintf(w, "# HELP %s Latency histogram %s (seconds).\n# TYPE %s histogram\n", pn, name, pn)
+		var count uint64
+		for _, b := range h.Buckets() {
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d", pn, promFloat(b.UpperBound), b.Count)
+			if b.Exemplar != nil {
+				fmt.Fprintf(w, " # {trace_id=%q} %s", b.Exemplar.TraceID, promFloat(b.Exemplar.Value))
+			}
+			fmt.Fprintln(w)
+			count = b.Count
+		}
+		snap := h.Snapshot()
+		fmt.Fprintf(w, "%s_sum %s\n", pn, promFloat(snap.Sum))
+		fmt.Fprintf(w, "%s_count %d\n", pn, count)
+	}
+}

@@ -1,0 +1,194 @@
+package telemetry
+
+import (
+	"io"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRenderPrometheusRoundTrip(t *testing.T) {
+	r := NewRegistrySeeded(11)
+	r.Counter("core.ask").Add(42)
+	r.Gauge("docstore.docs").Set(1234.5)
+	h := r.Histogram("core.ask.latency")
+	tr := r.StartTrace("ask", "q")
+	h.ObserveExemplar(12*time.Millisecond, tr.ID())
+	h.Observe(3 * time.Millisecond)
+	tr.Finish()
+
+	var sb strings.Builder
+	r.RenderPrometheus(&sb)
+	text := sb.String()
+
+	fams, err := ParsePrometheus(text)
+	if err != nil {
+		t.Fatalf("strict parse failed: %v\n%s", err, text)
+	}
+	c := fams["agora_core_ask_total"]
+	if c == nil || c.Type != "counter" || len(c.Samples) != 1 || c.Samples[0].Value != 42 {
+		t.Fatalf("counter family: %+v", c)
+	}
+	g := fams["agora_docstore_docs"]
+	if g == nil || g.Type != "gauge" || g.Samples[0].Value != 1234.5 {
+		t.Fatalf("gauge family: %+v", g)
+	}
+	hf := fams["agora_core_ask_latency_seconds"]
+	if hf == nil || hf.Type != "histogram" {
+		t.Fatalf("histogram family missing: %+v", hf)
+	}
+	var infCount, count float64
+	var sum float64
+	var exemplar *PromExemplar
+	for _, s := range hf.Samples {
+		switch s.Name {
+		case "agora_core_ask_latency_seconds_bucket":
+			if s.Labels["le"] == "+Inf" {
+				infCount = s.Value
+			}
+			if s.Exemplar != nil {
+				exemplar = s.Exemplar
+			}
+		case "agora_core_ask_latency_seconds_count":
+			count = s.Value
+		case "agora_core_ask_latency_seconds_sum":
+			sum = s.Value
+		}
+	}
+	if infCount != 2 || count != 2 {
+		t.Fatalf("+Inf=%v count=%v, want 2", infCount, count)
+	}
+	if math.Abs(sum-0.015) > 1e-9 {
+		t.Fatalf("sum = %v", sum)
+	}
+	if exemplar == nil {
+		t.Fatalf("no exemplar rendered:\n%s", text)
+	}
+	if exemplar.Labels["trace_id"] != tr.ID().String() {
+		t.Fatalf("exemplar trace_id = %q, want %q", exemplar.Labels["trace_id"], tr.ID().String())
+	}
+	if math.Abs(exemplar.Value-0.012) > 1e-9 {
+		t.Fatalf("exemplar value = %v", exemplar.Value)
+	}
+}
+
+func TestPromNameSanitization(t *testing.T) {
+	cases := map[string]string{
+		"core.ask":          "agora_core_ask",
+		"wal.fsync-batch":   "agora_wal_fsync_batch",
+		"weird name/here":   "agora_weird_name_here",
+		"already_legal:sub": "agora_already_legal:sub",
+	}
+	for in, want := range cases {
+		if got := PromName(in); got != want {
+			t.Fatalf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStrictParserRejections(t *testing.T) {
+	cases := map[string]string{
+		"sample before TYPE":   "orphan_total 3\n",
+		"unsupported type":     "# TYPE x summary\nx 1\n",
+		"duplicate TYPE":       "# TYPE x counter\n# TYPE x counter\nx 1\n",
+		"bad name":             "# TYPE 9bad counter\n9bad 1\n",
+		"negative counter":     "# TYPE x counter\nx -1\n",
+		"duplicate sample":     "# TYPE x counter\nx 1\nx 2\n",
+		"foreign sample":       "# TYPE x counter\ny 1\n",
+		"exemplar on counter":  "# TYPE x counter\nx 1 # {trace_id=\"ab\"} 1\n",
+		"unparseable value":    "# TYPE x gauge\nx pancake\n",
+		"unterminated label":   "# TYPE x counter\nx{le=\"1 2\n",
+		"help without type":    "# HELP x something\n",
+		"histogram no +Inf":    "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"histogram decreasing": "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n",
+		"histogram le order":   "# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n",
+		"inf count mismatch":   "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 4\n",
+		"histogram no sum":     "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n",
+	}
+	for name, text := range cases {
+		if _, err := ParsePrometheus(text); err == nil {
+			t.Errorf("%s: parser accepted\n%s", name, text)
+		}
+	}
+}
+
+func TestStrictParserAcceptsValidCorpus(t *testing.T) {
+	text := "# HELP rpc_total RPCs.\n# TYPE rpc_total counter\nrpc_total 10\n" +
+		"# TYPE temp gauge\ntemp -3.5\n" +
+		"# TYPE lat histogram\n" +
+		"lat_bucket{le=\"0.1\"} 2 # {trace_id=\"00000000000000ab\"} 0.07\n" +
+		"lat_bucket{le=\"+Inf\"} 4\n" +
+		"lat_sum 1.5\nlat_count 4\n"
+	fams, err := ParsePrometheus(text)
+	if err != nil {
+		t.Fatalf("valid corpus rejected: %v", err)
+	}
+	if len(fams) != 3 {
+		t.Fatalf("families = %d", len(fams))
+	}
+	lat := fams["lat"]
+	if lat.Samples[0].Exemplar == nil || lat.Samples[0].Exemplar.Labels["trace_id"] != "00000000000000ab" {
+		t.Fatalf("exemplar lost: %+v", lat.Samples[0])
+	}
+}
+
+func TestMetricsAndTraceEndpoints(t *testing.T) {
+	r := NewRegistrySeeded(21)
+	tr := r.StartTrace("ask", "find rings")
+	sp := tr.Span("execute", "museum")
+	sp.End()
+	r.Histogram("core.ask.latency").ObserveExemplar(8*time.Millisecond, tr.ID())
+	tr.Finish()
+
+	srv := httptest.NewServer(DebugMux(r))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	text := string(body)
+	if _, err := ParsePrometheus(text); err != nil {
+		t.Fatalf("/metrics failed strict parse: %v", err)
+	}
+	if !strings.Contains(text, "trace_id=\""+tr.ID().String()+"\"") {
+		t.Fatalf("/metrics missing exemplar:\n%s", text)
+	}
+
+	resp, err = srv.Client().Get(srv.URL + "/debug/trace?id=" + tr.ID().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("/debug/trace status %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "execute(museum)") {
+		t.Fatalf("/debug/trace missing span:\n%s", body)
+	}
+
+	for query, want := range map[string]int{"id=ffffffffffffffff": 404, "id=zzz": 400, "": 400} {
+		resp, err := srv.Client().Get(srv.URL + "/debug/trace?" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("?%s: status %d, want %d", query, resp.StatusCode, want)
+		}
+	}
+}

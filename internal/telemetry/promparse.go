@@ -1,0 +1,366 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// A strict parser for the Prometheus text exposition format, used to
+// validate what /metrics renders (and in CI, what a live node serves).
+// "Strict" means it rejects output a lenient scraper would shrug at:
+// samples before their # TYPE line, illegal name or label characters,
+// duplicate samples, histograms whose cumulative buckets decrease or whose
+// le="+Inf" bucket disagrees with _count, and exemplars anywhere but on a
+// histogram bucket line.
+
+// PromExemplar is a parsed exemplar trailing a bucket sample.
+type PromExemplar struct {
+	Labels map[string]string
+	Value  float64
+}
+
+// PromSample is one parsed sample line.
+type PromSample struct {
+	Name     string
+	Labels   map[string]string
+	Value    float64
+	Exemplar *PromExemplar
+}
+
+// PromFamily groups the samples declared under one # TYPE line.
+type PromFamily struct {
+	Name    string
+	Type    string // counter | gauge | histogram
+	Help    string
+	Samples []PromSample
+}
+
+// ParsePrometheus parses and validates text exposition, returning families
+// keyed by declared name.
+func ParsePrometheus(text string) (map[string]*PromFamily, error) {
+	families := make(map[string]*PromFamily)
+	var current *PromFamily
+	seen := make(map[string]bool) // duplicate-sample detection: name+labels
+	for ln, line := range strings.Split(text, "\n") {
+		lineNo := ln + 1
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, _ := strings.Cut(rest, " ")
+			if !validPromName(name) {
+				return nil, fmt.Errorf("line %d: bad HELP name %q", lineNo, name)
+			}
+			if f := families[name]; f != nil && f.Help != "" {
+				return nil, fmt.Errorf("line %d: duplicate HELP for %q", lineNo, name)
+			}
+			f := families[name]
+			if f == nil {
+				f = &PromFamily{Name: name}
+				families[name] = f
+			}
+			f.Help = help
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok || !validPromName(name) {
+				return nil, fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram":
+			default:
+				return nil, fmt.Errorf("line %d: unsupported type %q", lineNo, typ)
+			}
+			f := families[name]
+			if f == nil {
+				f = &PromFamily{Name: name}
+				families[name] = f
+			}
+			if f.Type != "" {
+				return nil, fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
+			}
+			f.Type = typ
+			current = f
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // free-form comment
+		}
+		sample, err := parsePromSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if current == nil || !sampleBelongs(current, sample.Name) {
+			return nil, fmt.Errorf("line %d: sample %q outside its # TYPE family", lineNo, sample.Name)
+		}
+		key := sample.Name + "{" + canonicalLabels(sample.Labels) + "}"
+		if seen[key] {
+			return nil, fmt.Errorf("line %d: duplicate sample %s", lineNo, key)
+		}
+		seen[key] = true
+		if sample.Exemplar != nil &&
+			(current.Type != "histogram" || !strings.HasSuffix(sample.Name, "_bucket")) {
+			return nil, fmt.Errorf("line %d: exemplar on non-bucket sample %q", lineNo, sample.Name)
+		}
+		if current.Type == "counter" && (sample.Value < 0 || math.IsNaN(sample.Value) || math.IsInf(sample.Value, 0)) {
+			return nil, fmt.Errorf("line %d: counter %q value %v not a finite non-negative number", lineNo, sample.Name, sample.Value)
+		}
+		current.Samples = append(current.Samples, sample)
+	}
+	for _, f := range families {
+		if f.Type == "" {
+			return nil, fmt.Errorf("family %q has HELP but no TYPE", f.Name)
+		}
+		if f.Type == "histogram" {
+			if err := validateHistogramFamily(f); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return families, nil
+}
+
+// sampleBelongs reports whether a sample name is legal inside family f:
+// exact match for counters/gauges, the three histogram series otherwise.
+func sampleBelongs(f *PromFamily, name string) bool {
+	if f.Type == "histogram" {
+		return name == f.Name+"_bucket" || name == f.Name+"_sum" || name == f.Name+"_count"
+	}
+	return name == f.Name
+}
+
+// validateHistogramFamily checks cumulative bucket monotonicity, strictly
+// increasing le bounds ending at +Inf, and +Inf == _count agreement.
+func validateHistogramFamily(f *PromFamily) error {
+	var buckets []PromSample
+	var sum, count *PromSample
+	for i := range f.Samples {
+		s := &f.Samples[i]
+		switch s.Name {
+		case f.Name + "_bucket":
+			buckets = append(buckets, *s)
+		case f.Name + "_sum":
+			sum = s
+		case f.Name + "_count":
+			count = s
+		}
+	}
+	if len(buckets) == 0 || sum == nil || count == nil {
+		return fmt.Errorf("histogram %q missing buckets, _sum, or _count", f.Name)
+	}
+	prevLe := math.Inf(-1)
+	prevCount := -1.0
+	for _, b := range buckets {
+		le, ok := b.Labels["le"]
+		if !ok {
+			return fmt.Errorf("histogram %q bucket without le label", f.Name)
+		}
+		bound, err := parsePromValue(le)
+		if err != nil {
+			return fmt.Errorf("histogram %q bucket le=%q: %w", f.Name, le, err)
+		}
+		if bound <= prevLe {
+			return fmt.Errorf("histogram %q: le bounds not strictly increasing at %q", f.Name, le)
+		}
+		if b.Value < prevCount {
+			return fmt.Errorf("histogram %q: cumulative bucket counts decrease at le=%q", f.Name, le)
+		}
+		prevLe, prevCount = bound, b.Value
+	}
+	if !math.IsInf(prevLe, 1) {
+		return fmt.Errorf("histogram %q: final bucket le is not +Inf", f.Name)
+	}
+	if prevCount != count.Value {
+		return fmt.Errorf("histogram %q: le=\"+Inf\" bucket %v != _count %v", f.Name, prevCount, count.Value)
+	}
+	return nil
+}
+
+// parsePromSample parses `name[{labels}] value [# {labels} value]`.
+func parsePromSample(line string) (PromSample, error) {
+	var s PromSample
+	rest := line
+	i := 0
+	for i < len(rest) && isNameChar(rest[i], i == 0) {
+		i++
+	}
+	if i == 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = rest[:i]
+	rest = rest[i:]
+	if strings.HasPrefix(rest, "{") {
+		labels, tail, err := parsePromLabels(rest)
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = tail
+	}
+	rest = strings.TrimLeft(rest, " \t")
+	valStr, tail, _ := cutAny(rest, " \t")
+	v, err := parsePromValue(valStr)
+	if err != nil {
+		return s, fmt.Errorf("sample %q: %w", s.Name, err)
+	}
+	s.Value = v
+	tail = strings.TrimLeft(tail, " \t")
+	if tail == "" {
+		return s, nil
+	}
+	if !strings.HasPrefix(tail, "#") {
+		return s, fmt.Errorf("sample %q: trailing garbage %q", s.Name, tail)
+	}
+	ex, err := parsePromExemplar(strings.TrimLeft(tail[1:], " \t"))
+	if err != nil {
+		return s, fmt.Errorf("sample %q: %w", s.Name, err)
+	}
+	s.Exemplar = ex
+	return s, nil
+}
+
+// parsePromExemplar parses `{labels} value` after the `#` marker.
+func parsePromExemplar(rest string) (*PromExemplar, error) {
+	if !strings.HasPrefix(rest, "{") {
+		return nil, fmt.Errorf("malformed exemplar %q", rest)
+	}
+	labels, tail, err := parsePromLabels(rest)
+	if err != nil {
+		return nil, fmt.Errorf("exemplar: %w", err)
+	}
+	fields := strings.Fields(tail)
+	if len(fields) < 1 || len(fields) > 2 { // optional trailing timestamp
+		return nil, fmt.Errorf("malformed exemplar tail %q", tail)
+	}
+	v, err := parsePromValue(fields[0])
+	if err != nil {
+		return nil, fmt.Errorf("exemplar value: %w", err)
+	}
+	return &PromExemplar{Labels: labels, Value: v}, nil
+}
+
+// parsePromLabels parses `{k="v",...}` returning the remainder after `}`.
+func parsePromLabels(s string) (map[string]string, string, error) {
+	labels := make(map[string]string)
+	rest := s[1:] // skip '{'
+	for {
+		rest = strings.TrimLeft(rest, " \t")
+		if strings.HasPrefix(rest, "}") {
+			return labels, rest[1:], nil
+		}
+		i := 0
+		for i < len(rest) && isNameChar(rest[i], i == 0) {
+			i++
+		}
+		if i == 0 {
+			return nil, "", fmt.Errorf("bad label name in %q", rest)
+		}
+		name := rest[:i]
+		rest = rest[i:]
+		if !strings.HasPrefix(rest, "=\"") {
+			return nil, "", fmt.Errorf("label %q: expected =\"", name)
+		}
+		rest = rest[2:]
+		var val strings.Builder
+		for {
+			if rest == "" {
+				return nil, "", fmt.Errorf("label %q: unterminated value", name)
+			}
+			c := rest[0]
+			rest = rest[1:]
+			if c == '"' {
+				break
+			}
+			if c == '\\' {
+				if rest == "" {
+					return nil, "", fmt.Errorf("label %q: dangling escape", name)
+				}
+				switch rest[0] {
+				case 'n':
+					val.WriteByte('\n')
+				case '\\', '"':
+					val.WriteByte(rest[0])
+				default:
+					return nil, "", fmt.Errorf("label %q: bad escape \\%c", name, rest[0])
+				}
+				rest = rest[1:]
+				continue
+			}
+			val.WriteByte(c)
+		}
+		if _, dup := labels[name]; dup {
+			return nil, "", fmt.Errorf("duplicate label %q", name)
+		}
+		labels[name] = val.String()
+		rest = strings.TrimLeft(rest, " \t")
+		if strings.HasPrefix(rest, ",") {
+			rest = rest[1:]
+		}
+	}
+}
+
+// parsePromValue parses a sample value, accepting +Inf/-Inf/NaN spellings.
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad value %q", s)
+	}
+	return v, nil
+}
+
+func validPromName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !isNameChar(s[i], i == 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func isNameChar(c byte, first bool) bool {
+	if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':' {
+		return true
+	}
+	return !first && c >= '0' && c <= '9'
+}
+
+func canonicalLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + strconv.Quote(labels[k])
+	}
+	return strings.Join(parts, ",")
+}
+
+// cutAny splits s at the first byte contained in chars.
+func cutAny(s, chars string) (before, after string, found bool) {
+	if i := strings.IndexAny(s, chars); i >= 0 {
+		return s[:i], s[i+1:], true
+	}
+	return s, "", false
+}

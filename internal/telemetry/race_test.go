@@ -73,6 +73,42 @@ func TestConcurrentInstruments(t *testing.T) {
 	}
 }
 
+// TestSpanEndRacesFinish is the regression test for the End/Fail data race:
+// a losing hedge attempt ends (or fails) its span after the pipeline has
+// already called Trace.Finish, so the duration/err writes race the
+// snapshot walk unless Span.End/Span.Fail/Trace.Fail take the span lock.
+// Run under -race this test failed before the locks were added.
+func TestSpanEndRacesFinish(t *testing.T) {
+	r := NewRegistrySeeded(13)
+	for iter := 0; iter < 200; iter++ {
+		tr := r.StartTrace("ask", "hedged")
+		primary := tr.Span("execute", "src-0")
+		hedge := tr.Span("execute", "src-1 (hedge)")
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			primary.End()
+			hedge.Fail(errDeadline)
+			tr.Fail(errDeadline)
+		}()
+		go func() {
+			defer wg.Done()
+			tr.Finish() // snapshot walk races the writes above
+		}()
+		wg.Wait()
+	}
+	if snaps := r.Snapshot().Traces; len(snaps) == 0 {
+		t.Fatal("no traces retained")
+	}
+}
+
+var errDeadline = errTimeout{}
+
+type errTimeout struct{}
+
+func (errTimeout) Error() string { return "deadline exceeded" }
+
 // sumMillis reproduces the per-goroutine sum of (1 + i%250) ms samples.
 func sumMillis(n int) float64 {
 	var total float64

@@ -1,6 +1,10 @@
 // Package telemetry is the runtime observability layer of the agora: a
 // dependency-free registry of atomic counters, gauges, and fixed-bucket
-// latency histograms, plus per-query trace spans kept in a ring buffer.
+// latency histograms, plus distributed traces — ID-stamped span trees that
+// propagate across process boundaries over internal/wire and are retained
+// by a tail-based sampler (errors + slow tail + reservoir). The registry
+// renders as JSON (/debug/telemetry), markdown tables (RenderText), and
+// Prometheus text exposition with exemplars (/metrics).
 //
 // The paper's market of independent, unreliable providers only works if
 // consumers (and operators) can observe what the runtime actually did —
@@ -13,9 +17,11 @@ package telemetry
 
 import (
 	"math"
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a monotonically increasing atomic counter.
@@ -79,29 +85,83 @@ func (g *Gauge) Value() float64 {
 	return math.Float64frombits(g.bits.Load())
 }
 
-// Registry owns named instruments and the trace ring. The zero value is not
-// usable; call NewRegistry. A nil *Registry is the "telemetry disabled"
-// state: all lookups return nil instruments and all operations no-op.
+// Registry owns named instruments, the trace/span ID generator, and the
+// tail sampler of retained traces. The zero value is not usable; call
+// NewRegistry. A nil *Registry is the "telemetry disabled" state: all
+// lookups return nil instruments and all operations no-op.
 type Registry struct {
 	mu       sync.RWMutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
-	traces   *traceRing
+	idstate  atomic.Uint64 // splitmix64 stream position for trace/span IDs
+	traces   *tailSampler
 }
 
-// DefaultTraceCapacity is how many recent traces a registry retains.
+// DefaultTraceCapacity is the tail sampler's total retention budget.
 const DefaultTraceCapacity = 64
 
+// regEntropy decorrelates registries created in the same nanosecond (common
+// in tests that build several nodes in a loop).
+var regEntropy atomic.Uint64
+
 // NewRegistry creates an empty registry retaining DefaultTraceCapacity
-// recent traces.
+// traces, seeded from wall clock, process ID, and a package counter.
+// Telemetry is the one subsystem allowed to read the wall clock directly
+// (the wallclock analyzer exempts it): trace IDs must differ across
+// processes, which is exactly what kernel-virtualized time cannot give.
 func NewRegistry() *Registry {
-	return &Registry{
+	seed := uint64(time.Now().UnixNano()) ^
+		regEntropy.Add(0x9E3779B97F4A7C15) ^
+		uint64(os.Getpid())<<32
+	return NewRegistrySeeded(seed)
+}
+
+// NewRegistrySeeded creates a registry whose trace/span IDs and sampler
+// randomness derive deterministically from seed — for tests and for the
+// simulator, where reproducible IDs matter more than global uniqueness.
+func NewRegistrySeeded(seed uint64) *Registry {
+	r := &Registry{
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
-		traces:   newTraceRing(DefaultTraceCapacity),
+		traces:   newTailSampler(DefaultTraceCapacity, mix64(seed+1)),
 	}
+	r.idstate.Store(seed)
+	return r
+}
+
+// nextID draws the next nonzero 64-bit ID from the registry's splitmix64
+// stream. Lock-free: concurrent callers each advance the stream atomically.
+func (r *Registry) nextID() uint64 {
+	if r == nil {
+		return 0
+	}
+	for {
+		if x := mix64(r.idstate.Add(0x9E3779B97F4A7C15)); x != 0 {
+			return x
+		}
+	}
+}
+
+// mix64 is the splitmix64 finalizer (Steele et al.): a cheap bijective
+// scrambler turning a weyl-sequence counter into well-distributed IDs.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// TraceByID returns every retained snapshot of the given trace (nil if the
+// sampler dropped it or it never finished here).
+func (r *Registry) TraceByID(id TraceID) []TraceSnapshot {
+	if r == nil {
+		return nil
+	}
+	return r.traces.byID(id)
 }
 
 // Counter returns (creating on first use) the named counter. Nil registry

@@ -64,9 +64,90 @@ func renderTrace(w io.Writer, t TraceSnapshot) {
 	if t.Query != "" {
 		fmt.Fprintf(w, " %q", t.Query)
 	}
-	fmt.Fprintf(w, " — %s\n", fmtDur(t.Root.DurNS))
+	fmt.Fprintf(w, " — %s  [trace %s]", fmtDur(t.Root.DurNS), t.TraceID)
+	if t.Err != "" {
+		fmt.Fprintf(w, "  ERR %s", t.Err)
+	}
+	fmt.Fprintln(w)
 	for _, c := range t.Root.Children {
 		renderSpan(w, c, 1)
+	}
+}
+
+// RenderStitched writes same-trace snapshots as one cross-process tree.
+// Each snapshot is one process's view; a snapshot whose ParentSpan matches
+// a span in another snapshot renders nested under that span, marked `↘`,
+// reconstructing the causal chain client → server → (deeper hops). Parents
+// the sampler dropped leave their continuations rendered at top level.
+func RenderStitched(w io.Writer, snaps []TraceSnapshot) {
+	byParent := make(map[string][]TraceSnapshot)
+	placed := make(map[string]bool) // ParentSpan values that found a home
+	for _, s := range snaps {
+		if s.ParentSpan != "" {
+			byParent[s.ParentSpan] = append(byParent[s.ParentSpan], s)
+		}
+	}
+	for _, s := range snaps {
+		markPlaced(s.Root, byParent, placed)
+	}
+	for _, s := range snaps {
+		if s.ParentSpan != "" && placed[s.ParentSpan] {
+			continue // renders nested under its caller span
+		}
+		renderTrace2(w, s, byParent, 0)
+	}
+}
+
+// markPlaced records which ParentSpan keys resolve to a span in snap.
+func markPlaced(sp SpanSnapshot, byParent map[string][]TraceSnapshot, placed map[string]bool) {
+	if _, ok := byParent[sp.ID]; ok {
+		placed[sp.ID] = true
+	}
+	for _, c := range sp.Children {
+		markPlaced(c, byParent, placed)
+	}
+}
+
+func renderTrace2(w io.Writer, t TraceSnapshot, byParent map[string][]TraceSnapshot, depth int) {
+	indent := strings.Repeat("  ", depth)
+	marker := "-"
+	if depth > 0 {
+		marker = "↘"
+	}
+	fmt.Fprintf(w, "%s%s %s", indent, marker, t.Op)
+	if t.Query != "" {
+		fmt.Fprintf(w, " %q", t.Query)
+	}
+	fmt.Fprintf(w, " — %s  [trace %s]", fmtDur(t.Root.DurNS), t.TraceID)
+	if t.Err != "" {
+		fmt.Fprintf(w, "  ERR %s", t.Err)
+	}
+	fmt.Fprintln(w)
+	renderStitchedSpan(w, t.Root, byParent, depth+1, true)
+}
+
+func renderStitchedSpan(w io.Writer, sp SpanSnapshot, byParent map[string][]TraceSnapshot, depth int, isRoot bool) {
+	if !isRoot {
+		indent := strings.Repeat("  ", depth)
+		name := sp.Name
+		if sp.Detail != "" {
+			name += "(" + sp.Detail + ")"
+		}
+		fmt.Fprintf(w, "%s· %-24s +%-9s %s", indent, name, fmtDur(sp.OffsetNS), fmtDur(sp.DurNS))
+		if sp.Err != "" {
+			fmt.Fprintf(w, "  ERR %s", sp.Err)
+		}
+		fmt.Fprintln(w)
+	}
+	next := depth
+	if !isRoot {
+		next = depth + 1
+	}
+	for _, c := range sp.Children {
+		renderStitchedSpan(w, c, byParent, next, false)
+	}
+	for _, cont := range byParent[sp.ID] {
+		renderTrace2(w, cont, byParent, next)
 	}
 }
 

@@ -64,8 +64,8 @@ func TestHistogramRejectsBadSamples(t *testing.T) {
 	}
 }
 
-func TestTraceRing(t *testing.T) {
-	r := NewRegistry()
+func TestTraceShapeAndRetention(t *testing.T) {
+	r := NewRegistrySeeded(7)
 	for i := 0; i < DefaultTraceCapacity+5; i++ {
 		tr := r.StartTrace("ask", "q")
 		sp := tr.Span("plan", "")
@@ -75,18 +75,89 @@ func TestTraceRing(t *testing.T) {
 		tr.Finish()
 	}
 	traces := r.Snapshot().Traces
-	if len(traces) != DefaultTraceCapacity {
-		t.Fatalf("ring kept %d traces", len(traces))
+	if len(traces) == 0 || len(traces) > DefaultTraceCapacity {
+		t.Fatalf("sampler kept %d traces (budget %d)", len(traces), DefaultTraceCapacity)
 	}
 	got := traces[0]
 	if got.Op != "ask" || len(got.Root.Children) != 2 {
 		t.Fatalf("trace shape: %+v", got)
+	}
+	if got.TraceID == "" || got.TraceID == (TraceID(0)).String() {
+		t.Fatalf("trace without ID: %+v", got)
 	}
 	if got.Root.Children[1].Err != "boom" {
 		t.Fatalf("span error lost: %+v", got.Root.Children[1])
 	}
 	if got.Root.DurNS < got.Root.Children[0].DurNS {
 		t.Fatalf("root shorter than child")
+	}
+}
+
+func TestTraceIDsUniqueAndSeeded(t *testing.T) {
+	a, b := NewRegistrySeeded(1), NewRegistrySeeded(1)
+	t1, t2 := a.StartTrace("ask", ""), a.StartTrace("ask", "")
+	if t1.ID() == 0 || t2.ID() == 0 || t1.ID() == t2.ID() {
+		t.Fatalf("ids not unique: %v %v", t1.ID(), t2.ID())
+	}
+	if got := b.StartTrace("ask", "").ID(); got != t1.ID() {
+		t.Fatalf("same seed diverged: %v vs %v", got, t1.ID())
+	}
+	if NewRegistry().StartTrace("ask", "").ID() == NewRegistry().StartTrace("ask", "").ID() {
+		t.Fatal("independent registries collided")
+	}
+	id := t1.ID()
+	parsed, err := ParseTraceID(id.String())
+	if err != nil || parsed != id {
+		t.Fatalf("ParseTraceID round trip: %v %v", parsed, err)
+	}
+	if _, err := ParseTraceID("not-hex"); err == nil {
+		t.Fatal("ParseTraceID accepted garbage")
+	}
+}
+
+func TestTraceContextPropagation(t *testing.T) {
+	caller := NewRegistrySeeded(3)
+	callee := NewRegistrySeeded(4)
+	tr := caller.StartTrace("ask", "find x")
+	sp := tr.Span("node", "remote-1")
+	ctx := sp.Context()
+	if ctx.IsZero() || ctx.TraceID != tr.ID() || ctx.SpanID != sp.ID() {
+		t.Fatalf("context = %+v", ctx)
+	}
+
+	remote := callee.StartTraceFrom(ctx, "serve", "find x")
+	remote.Span("search", "").End()
+	remote.Finish()
+	sp.End()
+	tr.Finish()
+
+	if remote.ID() != tr.ID() {
+		t.Fatalf("remote trace got new ID: %v vs %v", remote.ID(), tr.ID())
+	}
+	snaps := callee.TraceByID(tr.ID())
+	if len(snaps) != 1 {
+		t.Fatalf("callee retained %d snapshots", len(snaps))
+	}
+	if snaps[0].ParentSpan != sp.ID().String() {
+		t.Fatalf("parent span = %q, want %q", snaps[0].ParentSpan, sp.ID().String())
+	}
+
+	// Stitched rendering nests the remote continuation under the caller span.
+	all := append(caller.TraceByID(tr.ID()), snaps...)
+	var sb strings.Builder
+	RenderStitched(&sb, all)
+	out := sb.String()
+	if !strings.Contains(out, "↘ serve") {
+		t.Fatalf("stitched render missing nested continuation:\n%s", out)
+	}
+	if strings.Count(out, "[trace "+tr.ID().String()+"]") != 2 {
+		t.Fatalf("stitched render should show both processes:\n%s", out)
+	}
+
+	// Zero context starts a fresh trace.
+	fresh := callee.StartTraceFrom(TraceContext{}, "serve", "")
+	if fresh.ID() == tr.ID() || fresh.ID() == 0 {
+		t.Fatalf("zero context reused ID: %v", fresh.ID())
 	}
 }
 

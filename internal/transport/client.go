@@ -196,6 +196,14 @@ func (c *Client) err() error {
 // Query sends a query (free text or full AQL in text) and waits for the
 // result.
 func (c *Client) Query(text string, concept feature.Vector, topK int, timeout time.Duration) (wire.QueryResult, error) {
+	return c.QueryTraced(text, concept, topK, timeout, telemetry.TraceContext{})
+}
+
+// QueryTraced is Query with distributed-trace injection: tc (usually the
+// Context() of the span covering this call) rides the wire so the server
+// continues the caller's trace; the returned result echoes the trace ID
+// the server served under. A zero tc sends an untraced query.
+func (c *Client) QueryTraced(text string, concept feature.Vector, topK int, timeout time.Duration, tc telemetry.TraceContext) (wire.QueryResult, error) {
 	start := time.Now()
 	c.mu.Lock()
 	c.nextID++
@@ -203,7 +211,10 @@ func (c *Client) Query(text string, concept feature.Vector, topK int, timeout ti
 	ch := make(chan wire.QueryResult, 1)
 	c.pending[id] = ch
 	c.mu.Unlock()
-	q := wire.Query{ID: id, Text: text, Concept: concept, TopK: uint32(topK)}
+	q := wire.Query{
+		ID: id, Text: text, Concept: concept, TopK: uint32(topK),
+		TraceID: uint64(tc.TraceID), SpanID: uint64(tc.SpanID),
+	}
 	if err := c.send(wire.KindQuery, q.Marshal()); err != nil {
 		return wire.QueryResult{}, err
 	}

@@ -47,9 +47,11 @@ type Server struct {
 }
 
 // serverTel caches resolved telemetry instruments for the request path.
+// reg is kept so serveQuery can continue an inbound distributed trace.
 type serverTel struct {
 	queries, feedDelivered, conns, readErrors *telemetry.Counter
 	queryLat                                  *telemetry.Histogram
+	reg                                       *telemetry.Registry
 }
 
 // SetTelemetry registers the server's instruments in reg. Safe to call at
@@ -65,6 +67,7 @@ func (s *Server) SetTelemetry(reg *telemetry.Registry) {
 		conns:         reg.Counter("transport.server.conns"),
 		readErrors:    reg.Counter("transport.server.read.errors"),
 		queryLat:      reg.Histogram("transport.server.query"),
+		reg:           reg,
 	})
 }
 
@@ -238,6 +241,13 @@ func (s *Server) serveQuery(cs *connState, payload []byte) {
 		return
 	}
 	start := time.Now()
+	tel := s.tel()
+	// Continue the caller's distributed trace (fresh local trace when the
+	// query carried no context). Everything no-ops if telemetry is off.
+	tr := tel.reg.StartTraceFrom(telemetry.TraceContext{
+		TraceID: telemetry.TraceID(wq.TraceID),
+		SpanID:  telemetry.SpanID(wq.SpanID),
+	}, "serve", wq.Text)
 	var q *query.Query
 	if wq.Text != "" && wq.Text[0] == 'F' || len(wq.Text) > 5 && wq.Text[:5] == "find " {
 		// Allow full AQL in the text field.
@@ -251,20 +261,26 @@ func (s *Server) serveQuery(cs *connState, payload []byte) {
 			q.TopK = 10
 		}
 	}
+	sp := tr.Span("search", wq.ID)
 	results := query.Execute(s.Store, q, feature.Vector(wq.Concept), time.Now().UnixNano())
-	resp := wire.QueryResult{QueryID: wq.ID, From: s.NodeID, Elapsed: time.Since(start).Seconds()}
+	sp.End()
+	resp := wire.QueryResult{
+		QueryID: wq.ID, From: s.NodeID, Elapsed: time.Since(start).Seconds(),
+		TraceID: uint64(tr.ID()),
+	}
 	for _, r := range results {
 		resp.Items = append(resp.Items, wire.ResultItem{
 			DocID: r.Doc.ID, Source: s.NodeID, Score: r.Score, Snippet: r.Doc.Snippet(80),
 		})
 	}
 	s.served.Add(1)
-	tel := s.tel()
 	tel.queries.Inc()
-	tel.queryLat.Observe(time.Since(start))
+	tel.queryLat.ObserveExemplar(time.Since(start), tr.ID())
 	if err := s.send(cs, wire.KindQueryResult, resp.Marshal()); err != nil {
 		s.warnf("transport: send result: %v", err)
+		tr.Fail(err)
 	}
+	tr.Finish()
 }
 
 // PublishFeed pushes a new document to matching subscribers (callers invoke

@@ -90,7 +90,9 @@ func decodeQoSTerms(r *Reader) QoSTerms {
 }
 
 // Query is a wire query: free text plus an optional concept vector and the
-// QoS the consumer wants.
+// QoS the consumer wants. TraceID/SpanID carry the caller's trace context
+// (zero = untraced) so the provider can continue the trace; they are
+// trailing optional fields — see the compatibility note below.
 type Query struct {
 	ID      string
 	From    string
@@ -99,7 +101,16 @@ type Query struct {
 	TopK    uint32
 	TTL     uint32
 	Want    QoSTerms
+	TraceID uint64
+	SpanID  uint64
 }
+
+// Trace-context fields ride as *trailing* fixed-width fields rather than a
+// frame-version bump: a v1 decoder that predates them stops reading before
+// the tail and ignores it, while a new decoder reads them only when enough
+// bytes remain. Old frames therefore stay decodable (context reads as
+// zero, i.e. untraced) and old peers tolerate new frames. Any future
+// optional field must be appended after these, same trick.
 
 // Marshal encodes the message.
 func (m *Query) Marshal() []byte {
@@ -111,6 +122,8 @@ func (m *Query) Marshal() []byte {
 	w.U32(m.TopK)
 	w.U32(m.TTL)
 	m.Want.encode(w)
+	w.U64(m.TraceID)
+	w.U64(m.SpanID)
 	return w.Bytes()
 }
 
@@ -126,6 +139,10 @@ func UnmarshalQuery(b []byte) (Query, error) {
 		TTL:     r.U32(),
 		Want:    decodeQoSTerms(r),
 	}
+	if r.Err() == nil && r.Remaining() >= 16 {
+		m.TraceID = r.U64()
+		m.SpanID = r.U64()
+	}
 	return m, r.Err()
 }
 
@@ -137,12 +154,16 @@ type ResultItem struct {
 	Snippet string
 }
 
-// QueryResult returns scored items for a query.
+// QueryResult returns scored items for a query. TraceID echoes the trace
+// the provider served under (its own fresh ID if the query was untraced),
+// so the consumer can log which distributed trace to look up server-side.
+// Trailing optional field, same compatibility contract as Query.
 type QueryResult struct {
 	QueryID string
 	From    string
 	Items   []ResultItem
 	Elapsed float64 // seconds, provider-side
+	TraceID uint64
 }
 
 // Marshal encodes the message.
@@ -158,6 +179,7 @@ func (m *QueryResult) Marshal() []byte {
 		w.String(it.Snippet)
 	}
 	w.F64(m.Elapsed)
+	w.U64(m.TraceID)
 	return w.Bytes()
 }
 
@@ -178,6 +200,9 @@ func UnmarshalQueryResult(b []byte) (QueryResult, error) {
 		})
 	}
 	m.Elapsed = r.F64()
+	if r.Err() == nil && r.Remaining() >= 8 {
+		m.TraceID = r.U64()
+	}
 	return m, r.Err()
 }
 
