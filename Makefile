@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race race-core vet lint check bench bench-check bench-docstore bench-wal bench-suite clean
+.PHONY: build test race race-core vet lint check fuzz-codec bench bench-check bench-docstore bench-docstore-check bench-wal bench-suite clean
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,14 @@ lint: vet
 
 check: build lint test race
 
+# Decoder robustness: a short fixed-iteration fuzz of the postings codec
+# (cheap enough for every CI run — the seed corpus in codec_test.go already
+# pins the tricky edges, so even 0 new execs still exercises them all).
+# For a real expedition run `go test -fuzz FuzzPostingsCodec ./internal/docstore`
+# with a time budget instead.
+fuzz-codec:
+	$(GO) test -run XXX -fuzz FuzzPostingsCodec -fuzztime 2000x ./internal/docstore
+
 # Ask-pipeline perf baseline: the sequential/parallel BenchmarkAsk pair,
 # archived as JSON so future PRs have a trajectory to diff against.
 bench:
@@ -42,16 +50,39 @@ bench:
 # Regression gate: re-run the ask benchmarks and diff against the archived
 # baseline. Fails (exit 1) when ns/op or allocs/op regressed more than
 # BENCH_THRESHOLD (default 25%, generous because CI machines are noisy).
+# Time-valued extra metrics (p50-ns/op, p99-ns/op reported via
+# b.ReportMetric) are gated separately under BENCH_EXTRA_THRESHOLD —
+# looser, because tail quantiles are far noisier than means.
 BENCH_THRESHOLD ?= 0.25
+BENCH_EXTRA_THRESHOLD ?= 0.50
 bench-check:
-	$(GO) test -run XXX -bench Ask -benchmem . | $(GO) run ./cmd/benchjson -compare BENCH_ask.json -threshold $(BENCH_THRESHOLD)
+	$(GO) test -run XXX -bench Ask -benchmem . | $(GO) run ./cmd/benchjson -compare BENCH_ask.json -threshold $(BENCH_THRESHOLD) -extra-threshold $(BENCH_EXTRA_THRESHOLD)
 
 # Docstore read-path baseline: lock-free snapshot readers vs the coarse
 # RWMutex the seed used, under background writer churn, plus the cache and
 # cold-path micro-benchmarks. p50/p99 reader latency lands in the `extra`
 # field of each line; archived for cross-PR diffing.
+# 3s per benchmark: the parallel-search numbers come from free-running
+# readers racing a writer, and on small hosts the default 1s window is
+# dominated by whichever phase of the churn cycle it happens to sample.
 bench-docstore:
-	$(GO) test -run XXX -bench 'SearchParallel|SearchText' -benchmem ./internal/docstore | $(GO) run ./cmd/benchjson | tee BENCH_docstore.json
+	$(GO) test -run XXX -bench 'SearchParallel|SearchText' -benchtime 3s -benchmem ./internal/docstore | $(GO) run ./cmd/benchjson | tee BENCH_docstore.json
+
+# Read-path regression gate, two tiers matched to how reproducible each
+# number is. The serial SearchText paths (cold execution and the
+# zero-alloc cache hit) are deterministic and held to the tight default
+# thresholds. The SearchParallel<N> figures come from free-running readers
+# racing a writer — on an oversubscribed host their run-to-run variance is
+# ±60% on means and several-fold on tails, so they get a catastrophe fence
+# instead: wide enough to never flap, narrow enough to catch losing
+# block-max or the lock-free read path (a 5–25× cliff). The
+# SearchParallelLocked baselines stay in the archive for context but are
+# not gated — a convoy's latency is scheduler noise, not a contract.
+BENCH_PARALLEL_THRESHOLD ?= 1.5
+BENCH_PARALLEL_EXTRA_THRESHOLD ?= 9.0
+bench-docstore-check:
+	$(GO) test -run XXX -bench SearchText -benchtime 3s -benchmem ./internal/docstore | $(GO) run ./cmd/benchjson -compare BENCH_docstore.json -threshold $(BENCH_THRESHOLD) -extra-threshold $(BENCH_EXTRA_THRESHOLD)
+	$(GO) test -run XXX -bench 'SearchParallel[0-9]' -benchtime 3s -benchmem ./internal/docstore | $(GO) run ./cmd/benchjson -compare BENCH_docstore.json -threshold $(BENCH_PARALLEL_THRESHOLD) -extra-threshold $(BENCH_PARALLEL_EXTRA_THRESHOLD)
 
 # Docstore write-path baseline: group-commit writers vs the serialized
 # one-fsync-per-op discipline the seed used, at 1/4/16 writers, plus the

@@ -57,6 +57,7 @@ func BenchmarkE21ParallelFanout(b *testing.B)     { runExperiment(b, bench.E21Pa
 func BenchmarkE22LockFreeReads(b *testing.B)      { runExperiment(b, bench.E22LockFreeReads) }
 func BenchmarkE23GroupCommit(b *testing.B)        { runExperiment(b, bench.E23GroupCommit) }
 func BenchmarkE24Tracing(b *testing.B)            { runExperiment(b, bench.E24DistributedTracing) }
+func BenchmarkE25BlockMax(b *testing.B)           { runExperiment(b, bench.E25BlockMaxSearch) }
 
 // benchmarkAsk measures one Session.Ask against a 4-source market with
 // simulated provider latency mapped to real sleeps (LatencyScale), at the

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -108,20 +109,25 @@ func parseReport(r io.Reader) (Report, error) {
 
 // regression is one benchmark metric that got worse beyond the threshold.
 type regression struct {
-	Name   string  // benchmark name
-	Metric string  // "ns/op" or "allocs/op"
-	Old    float64 // archived value
-	New    float64 // fresh value
-	Frac   float64 // fractional increase, e.g. 0.31 = +31%
+	Name      string  // benchmark name
+	Metric    string  // "ns/op", "allocs/op", or an extra unit like "p99-ns/op"
+	Old       float64 // archived value
+	New       float64 // fresh value
+	Frac      float64 // fractional increase, e.g. 0.31 = +31%
+	Threshold float64 // the threshold this metric was held to
 }
 
 // compareReports diffs fresh against base benchmark-by-benchmark and
 // returns every shared metric whose fresh value exceeds the archived one
-// by more than threshold (fraction, e.g. 0.25 = 25%). Benchmarks present
-// on only one side are skipped: renames and new benchmarks are not
+// by more than its threshold (fraction, e.g. 0.25 = 25%). Benchmarks
+// present on only one side are skipped: renames and new benchmarks are not
 // regressions. Allocs are compared only when both sides recorded them
-// (-benchmem on both runs).
-func compareReports(base, fresh Report, threshold float64) []regression {
+// (-benchmem on both runs). Extra metrics (custom b.ReportMetric units)
+// are compared under extraThreshold — tail latencies like p99-ns/op are
+// far noisier than means, so they get their own, looser gate — and only
+// for time-valued units (suffix "ns/op"): throughput-style extras such as
+// writes/op are workload descriptors where bigger is not worse.
+func compareReports(base, fresh Report, threshold, extraThreshold float64) []regression {
 	archived := make(map[string]Line, len(base.Benchmarks))
 	for _, l := range base.Benchmarks {
 		archived[l.Name] = l
@@ -135,14 +141,32 @@ func compareReports(base, fresh Report, threshold float64) []regression {
 		if b.NsPerOp > 0 {
 			frac := f.NsPerOp/b.NsPerOp - 1
 			if frac > threshold {
-				regs = append(regs, regression{f.Name, "ns/op", b.NsPerOp, f.NsPerOp, frac})
+				regs = append(regs, regression{f.Name, "ns/op", b.NsPerOp, f.NsPerOp, frac, threshold})
 			}
 		}
 		if b.AllocsPerOp > 0 && f.AllocsPerOp > 0 {
 			frac := float64(f.AllocsPerOp)/float64(b.AllocsPerOp) - 1
 			if frac > threshold {
 				regs = append(regs, regression{f.Name, "allocs/op",
-					float64(b.AllocsPerOp), float64(f.AllocsPerOp), frac})
+					float64(b.AllocsPerOp), float64(f.AllocsPerOp), frac, threshold})
+			}
+		}
+		units := make([]string, 0, len(f.Extra))
+		for unit := range f.Extra {
+			units = append(units, unit)
+		}
+		sort.Strings(units) // deterministic report order
+		for _, unit := range units {
+			if !strings.HasSuffix(unit, "ns/op") {
+				continue
+			}
+			old, ok := b.Extra[unit]
+			if !ok || old <= 0 {
+				continue
+			}
+			frac := f.Extra[unit]/old - 1
+			if frac > extraThreshold {
+				regs = append(regs, regression{f.Name, unit, old, f.Extra[unit], frac, extraThreshold})
 			}
 		}
 	}
@@ -152,7 +176,7 @@ func compareReports(base, fresh Report, threshold float64) []regression {
 // runCompare reads an archived report from path, parses a fresh run from
 // in, and writes a verdict to out. It returns the process exit code: 0
 // clean, 1 regression found or I/O trouble.
-func runCompare(path string, threshold float64, in io.Reader, out io.Writer) int {
+func runCompare(path string, threshold, extraThreshold float64, in io.Reader, out io.Writer) int {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintln(out, "benchjson:", err)
@@ -182,7 +206,7 @@ func runCompare(path string, threshold float64, in io.Reader, out io.Writer) int
 		fmt.Fprintf(out, "benchjson: no benchmarks shared with %s — nothing to compare\n", path)
 		return 1
 	}
-	regs := compareReports(base, fresh, threshold)
+	regs := compareReports(base, fresh, threshold, extraThreshold)
 	if len(regs) == 0 {
 		fmt.Fprintf(out, "benchjson: %d benchmark(s) within %.0f%% of %s\n",
 			shared, threshold*100, path)
@@ -190,7 +214,7 @@ func runCompare(path string, threshold float64, in io.Reader, out io.Writer) int
 	}
 	for _, r := range regs {
 		fmt.Fprintf(out, "benchjson: REGRESSION %s %s: %.4g -> %.4g (+%.1f%%, threshold %.0f%%)\n",
-			r.Name, r.Metric, r.Old, r.New, r.Frac*100, threshold*100)
+			r.Name, r.Metric, r.Old, r.New, r.Frac*100, r.Threshold*100)
 	}
 	return 1
 }
@@ -198,10 +222,11 @@ func runCompare(path string, threshold float64, in io.Reader, out io.Writer) int
 func main() {
 	compare := flag.String("compare", "", "archived BENCH_*.json to diff the fresh run against (exit 1 on regression)")
 	threshold := flag.Float64("threshold", 0.25, "allowed fractional increase in ns/op and allocs/op before -compare fails")
+	extraThreshold := flag.Float64("extra-threshold", 0.50, "allowed fractional increase in time-valued extra metrics (p50-ns/op, p99-ns/op, ...)")
 	flag.Parse()
 
 	if *compare != "" {
-		os.Exit(runCompare(*compare, *threshold, os.Stdin, os.Stderr))
+		os.Exit(runCompare(*compare, *threshold, *extraThreshold, os.Stdin, os.Stderr))
 	}
 
 	rep, err := parseReport(os.Stdin)

@@ -56,7 +56,7 @@ func TestCompareWithinThreshold(t *testing.T) {
 	// Fresh run 10% slower: under the 25% fence.
 	fresh := strings.ReplaceAll(benchOutput, "1200000 ns/op", "1320000 ns/op")
 	var out strings.Builder
-	if code := runCompare(path, 0.25, strings.NewReader(fresh), &out); code != 0 {
+	if code := runCompare(path, 0.25, 0.50, strings.NewReader(fresh), &out); code != 0 {
 		t.Fatalf("exit %d, output:\n%s", code, out.String())
 	}
 	if !strings.Contains(out.String(), "within") {
@@ -70,7 +70,7 @@ func TestCompareFlagsNsRegression(t *testing.T) {
 	// 50% slower: over the fence, exit 1, the offending metric named.
 	fresh := strings.ReplaceAll(benchOutput, "1200000 ns/op", "1800000 ns/op")
 	var out strings.Builder
-	if code := runCompare(path, 0.25, strings.NewReader(fresh), &out); code != 1 {
+	if code := runCompare(path, 0.25, 0.50, strings.NewReader(fresh), &out); code != 1 {
 		t.Fatalf("exit %d, want 1; output:\n%s", code, out.String())
 	}
 	got := out.String()
@@ -87,7 +87,7 @@ func TestCompareFlagsAllocRegression(t *testing.T) {
 	path := writeArchive(t, base)
 	fresh := strings.ReplaceAll(benchOutput, "310 allocs/op", "700 allocs/op")
 	var out strings.Builder
-	if code := runCompare(path, 0.25, strings.NewReader(fresh), &out); code != 1 {
+	if code := runCompare(path, 0.25, 0.50, strings.NewReader(fresh), &out); code != 1 {
 		t.Fatalf("exit %d, want 1; output:\n%s", code, out.String())
 	}
 	if !strings.Contains(out.String(), "allocs/op") {
@@ -100,7 +100,7 @@ func TestCompareThresholdConfigurable(t *testing.T) {
 	path := writeArchive(t, base)
 	fresh := strings.ReplaceAll(benchOutput, "1200000 ns/op", "1320000 ns/op") // +10%
 	var out strings.Builder
-	if code := runCompare(path, 0.05, strings.NewReader(fresh), &out); code != 1 {
+	if code := runCompare(path, 0.05, 0.50, strings.NewReader(fresh), &out); code != 1 {
 		t.Fatalf("10%% slowdown should fail a 5%% threshold; output:\n%s", out.String())
 	}
 }
@@ -111,7 +111,7 @@ func TestCompareSkipsUnsharedBenchmarks(t *testing.T) {
 	// Renamed benchmark: nothing shared → refuse to pass vacuously.
 	fresh := strings.ReplaceAll(benchOutput, "BenchmarkAsk", "BenchmarkQuestion")
 	var out strings.Builder
-	if code := runCompare(path, 0.25, strings.NewReader(fresh), &out); code != 1 {
+	if code := runCompare(path, 0.25, 0.50, strings.NewReader(fresh), &out); code != 1 {
 		t.Fatalf("no shared benchmarks should exit 1; output:\n%s", out.String())
 	}
 	if !strings.Contains(out.String(), "nothing to compare") {
@@ -119,9 +119,81 @@ func TestCompareSkipsUnsharedBenchmarks(t *testing.T) {
 	}
 }
 
+// benchExtraOutput carries custom ReportMetric extras: tail latencies
+// (time-valued, gated under the extra threshold) and writes/op (a workload
+// descriptor, never gated).
+const benchExtraOutput = `goos: linux
+goarch: amd64
+pkg: repro/internal/docstore
+BenchmarkSearchParallel16-8   	  244832	      6800 ns/op	      5300 p50-ns/op	     22000 p99-ns/op	         0.5 writes/op	     216 B/op	       1 allocs/op
+PASS
+`
+
+func TestCompareFlagsExtraRegression(t *testing.T) {
+	base, _ := parseReport(strings.NewReader(benchExtraOutput))
+	path := writeArchive(t, base)
+	// p99 doubles while the mean stays put: the 50% extra fence trips even
+	// though the 25% ns/op fence has nothing to say.
+	fresh := strings.ReplaceAll(benchExtraOutput, "22000 p99-ns/op", "44000 p99-ns/op")
+	var out strings.Builder
+	if code := runCompare(path, 0.25, 0.50, strings.NewReader(fresh), &out); code != 1 {
+		t.Fatalf("exit %d, want 1; output:\n%s", code, out.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "REGRESSION BenchmarkSearchParallel16-8 p99-ns/op") {
+		t.Fatalf("p99 regression not reported:\n%s", got)
+	}
+	if !strings.Contains(got, "threshold 50%") {
+		t.Fatalf("extra regression must be judged by the extra threshold:\n%s", got)
+	}
+	if strings.Contains(got, "p50-ns/op") {
+		t.Fatalf("unchanged extra flagged:\n%s", got)
+	}
+}
+
+func TestCompareExtraThresholdSeparate(t *testing.T) {
+	base, _ := parseReport(strings.NewReader(benchExtraOutput))
+	path := writeArchive(t, base)
+	// +40% p99: over a hypothetical 25% fence but under the 50% extra one.
+	fresh := strings.ReplaceAll(benchExtraOutput, "22000 p99-ns/op", "30800 p99-ns/op")
+	var out strings.Builder
+	if code := runCompare(path, 0.25, 0.50, strings.NewReader(fresh), &out); code != 0 {
+		t.Fatalf("40%% p99 growth must pass a 50%% extra threshold; output:\n%s", out.String())
+	}
+	// The same run under a tight extra threshold fails.
+	out.Reset()
+	if code := runCompare(path, 0.25, 0.10, strings.NewReader(fresh), &out); code != 1 {
+		t.Fatalf("40%% p99 growth must fail a 10%% extra threshold; output:\n%s", out.String())
+	}
+}
+
+func TestCompareIgnoresNonTimeExtras(t *testing.T) {
+	base, _ := parseReport(strings.NewReader(benchExtraOutput))
+	path := writeArchive(t, base)
+	// A free-running churn writer landing 20× more writes is a workload
+	// shift, not a latency regression — writes/op must never trip the gate.
+	fresh := strings.ReplaceAll(benchExtraOutput, "0.5 writes/op", "10 writes/op")
+	var out strings.Builder
+	if code := runCompare(path, 0.25, 0.50, strings.NewReader(fresh), &out); code != 0 {
+		t.Fatalf("writes/op gated as a regression; output:\n%s", out.String())
+	}
+}
+
+func TestCompareExtraMissingFromArchive(t *testing.T) {
+	// Archive predates the extra metric: nothing to diff against, no trip.
+	base, _ := parseReport(strings.NewReader(benchOutput))
+	path := writeArchive(t, base)
+	fresh := strings.ReplaceAll(benchOutput,
+		"1200000 ns/op\t   48000 B/op", "1200000 ns/op\t   99999 p99-ns/op\t   48000 B/op")
+	var out strings.Builder
+	if code := runCompare(path, 0.25, 0.50, strings.NewReader(fresh), &out); code != 0 {
+		t.Fatalf("new extra metric flagged against an archive without it; output:\n%s", out.String())
+	}
+}
+
 func TestCompareMissingArchive(t *testing.T) {
 	var out strings.Builder
-	if code := runCompare(filepath.Join(t.TempDir(), "absent.json"), 0.25,
+	if code := runCompare(filepath.Join(t.TempDir(), "absent.json"), 0.25, 0.50,
 		strings.NewReader(benchOutput), &out); code != 1 {
 		t.Fatal("missing archive must exit 1")
 	}

@@ -71,6 +71,7 @@ func Suite() []Experiment {
 		{"E22", "Substrate: lock-free snapshot reads under writer churn", E22LockFreeReads},
 		{"E23", "Substrate: group-commit WAL write throughput", E23GroupCommit},
 		{"E24", "Substrate: distributed tracing overhead & tail-sampled retention", E24DistributedTracing},
+		{"E25", "Substrate: block-max top-k search vs exhaustive scoring", E25BlockMaxSearch},
 	}
 }
 

@@ -415,9 +415,44 @@ func TestE24Shapes(t *testing.T) {
 	}
 }
 
+func TestE25Shapes(t *testing.T) {
+	r := E25BlockMaxSearch(25, testScale)
+	h := r.Headline
+	// The contract, not a performance number: block-max must be
+	// bit-identical to the exhaustive scorer, compiled base and overlay
+	// alike. Any drift is a correctness bug.
+	if h["identical"] != 1 {
+		t.Fatalf("block-max diverged from exhaustive scoring: %+v", h)
+	}
+	// The cache-hit path is a byte-key lookup returning the shared hit
+	// slice; it must retain nothing. Measured by malloc delta, so this is
+	// exact, not statistical — except under the race detector, whose
+	// instrumentation allocates on otherwise allocation-free paths.
+	if !raceEnabled {
+		if h["allocs_cache_hit"] != 0 {
+			t.Fatalf("cache-hit SearchText allocates: %v allocs/op", h["allocs_cache_hit"])
+		}
+		// An uncached search retains exactly the returned []Hit; a couple
+		// of mallocs of slack absorbs incidental runtime allocation.
+		if h["allocs_uncached"] > 4 {
+			t.Fatalf("uncached SearchText allocates %v/op, want ~1", h["allocs_uncached"])
+		}
+	}
+	// Early termination must engage on the gradient corpus: rare terms pin
+	// theta high and the common terms' tail blocks drop below it.
+	if h["blocks_skip_ratio"] <= 0 {
+		t.Fatalf("no postings blocks skipped: %+v", h)
+	}
+	// The speedup is hardware-sensitive; gate it only on real parallism
+	// hosts and loosely — EXPERIMENTS.md records the measured figure.
+	if runtime.NumCPU() >= 4 && h["speedup"] < 1 {
+		t.Fatalf("block-max slower than exhaustive: %.2fx", h["speedup"])
+	}
+}
+
 func TestSuiteListsAllExperiments(t *testing.T) {
 	suite := Suite()
-	if len(suite) != 24 {
+	if len(suite) != 25 {
 		t.Fatalf("suite size = %d", len(suite))
 	}
 	seen := map[string]bool{}
@@ -437,7 +472,7 @@ func TestRunAllSmoke(t *testing.T) {
 		t.Skip("full suite in short mode")
 	}
 	results := RunAll(io.Discard, 42, 0.2)
-	if len(results) != 24 {
+	if len(results) != 25 {
 		t.Fatalf("results = %d", len(results))
 	}
 	for _, r := range results {

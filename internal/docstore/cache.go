@@ -5,7 +5,6 @@ import (
 	"encoding/binary"
 	"math"
 	"strconv"
-	"strings"
 	"sync"
 
 	"repro/internal/feature"
@@ -21,11 +20,10 @@ const defaultQueryCacheSize = 128
 // bumps the store epoch, so a stale entry is detected (and evicted) on its
 // next lookup rather than by scanning the cache on every write. Cached hits
 // hold snapshot-owned documents — immutable by the snapshot contract — and
-// are cloned on the way out, preserving the "caller owns the result" rule.
-//
-// The cache mutex is held only for bookkeeping (lookup, LRU splice);
-// cloning happens outside it so concurrent readers serialize for nanoseconds,
-// not for the deep copy.
+// are returned shared: search results are read-only (see Hit), so a cache
+// hit costs a lookup and an LRU splice, never a deep copy or an
+// allocation. Lookup keys arrive as scratch byte slices and are only
+// materialized into strings when an entry is first inserted.
 type queryCache struct {
 	mu      sync.Mutex
 	cap     int
@@ -39,7 +37,7 @@ type queryCache struct {
 type cacheEntry struct {
 	key   string
 	epoch uint64
-	raw   []Hit // snapshot-owned documents; clone before returning
+	raw   []Hit // snapshot-owned documents; returned shared, read-only
 }
 
 // newQueryCache returns nil (fully disabled) for cap < 0.
@@ -59,14 +57,15 @@ func newQueryCache(cap int, reg *telemetry.Registry) *queryCache {
 	return c
 }
 
-// get returns a caller-owned copy of the cached result for key at epoch.
-// Entries from older epochs count as misses and are dropped.
-func (c *queryCache) get(key string, epoch uint64) ([]Hit, bool) {
+// get returns the cached (shared, read-only) result for key at epoch.
+// Entries from older epochs count as misses and are dropped. The key is a
+// scratch buffer: the map lookup converts it without allocating.
+func (c *queryCache) get(key []byte, epoch uint64) ([]Hit, bool) {
 	if c == nil {
 		return nil, false
 	}
 	c.mu.Lock()
-	el, ok := c.entries[key]
+	el, ok := c.entries[string(key)]
 	if !ok {
 		c.mu.Unlock()
 		c.misses.Inc()
@@ -75,7 +74,7 @@ func (c *queryCache) get(key string, epoch uint64) ([]Hit, bool) {
 	ent := el.Value.(*cacheEntry)
 	if ent.epoch != epoch {
 		c.ll.Remove(el)
-		delete(c.entries, key)
+		delete(c.entries, string(key))
 		c.size.Set(float64(len(c.entries)))
 		c.mu.Unlock()
 		c.misses.Inc()
@@ -85,17 +84,18 @@ func (c *queryCache) get(key string, epoch uint64) ([]Hit, bool) {
 	raw := ent.raw
 	c.mu.Unlock()
 	c.hits.Inc()
-	return cloneHits(raw), true
+	return raw, true
 }
 
 // put stores raw (snapshot-owned hits) for key at epoch, evicting from the
-// LRU tail past capacity.
-func (c *queryCache) put(key string, epoch uint64, raw []Hit) {
+// LRU tail past capacity. The key buffer is copied into a string here — the
+// miss path is the only place a key allocates.
+func (c *queryCache) put(key []byte, epoch uint64, raw []Hit) {
 	if c == nil {
 		return
 	}
 	c.mu.Lock()
-	if el, ok := c.entries[key]; ok {
+	if el, ok := c.entries[string(key)]; ok {
 		ent := el.Value.(*cacheEntry)
 		ent.epoch = epoch
 		ent.raw = raw
@@ -103,7 +103,8 @@ func (c *queryCache) put(key string, epoch uint64, raw []Hit) {
 		c.mu.Unlock()
 		return
 	}
-	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, epoch: epoch, raw: raw})
+	k := string(key)
+	c.entries[k] = c.ll.PushFront(&cacheEntry{key: k, epoch: epoch, raw: raw})
 	for c.ll.Len() > c.cap {
 		el := c.ll.Back()
 		c.ll.Remove(el)
@@ -122,39 +123,29 @@ func (c *queryCache) len() int {
 	return len(c.entries)
 }
 
-// cloneHits materializes caller-owned hits from snapshot-owned ones.
-func cloneHits(raw []Hit) []Hit {
-	out := make([]Hit, len(raw))
-	for i, h := range raw {
-		out[i] = Hit{Doc: h.Doc.Clone(), Score: h.Score}
-	}
-	return out
-}
-
 // Cache keys are exact encodings — no hashing, so distinct queries can
 // never collide into each other's results. Float parameters are encoded as
-// raw IEEE-754 bits.
+// raw IEEE-754 bits. Keys are appended into a pooled scratch buffer so the
+// steady-state lookup allocates nothing.
 
-func textCacheKey(query string, k int) string {
-	return "t\x00" + query + "\x00" + strconv.Itoa(k)
+func appendTextKey(dst []byte, query string, k int) []byte {
+	dst = append(dst, 't', 0)
+	dst = append(dst, query...)
+	dst = append(dst, 0)
+	return strconv.AppendInt(dst, int64(k), 10)
 }
 
-func hybridCacheKey(query string, concept feature.Vector, alpha float64, k int) string {
-	var b strings.Builder
-	b.Grow(len(query) + 16 + 8*len(concept))
-	b.WriteString("h\x00")
-	b.WriteString(query)
-	b.WriteByte(0)
-	b.WriteString(strconv.Itoa(k))
-	b.WriteByte(0)
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(alpha))
-	b.Write(buf[:])
+func appendHybridKey(dst []byte, query string, concept feature.Vector, alpha float64, k int) []byte {
+	dst = append(dst, 'h', 0)
+	dst = append(dst, query...)
+	dst = append(dst, 0)
+	dst = strconv.AppendInt(dst, int64(k), 10)
+	dst = append(dst, 0)
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(alpha))
 	for _, f := range concept {
-		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(f))
-		b.Write(buf[:])
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
 	}
-	return b.String()
+	return dst
 }
 
 // tokenMemoCap bounds the tokenization memo.
@@ -162,8 +153,8 @@ const tokenMemoCap = 256
 
 // tokenMemo caches Tokenize results for repeated query strings. Token
 // slices are returned shared and must be treated as read-only — every
-// consumer (invIndex.searchWith) only reads them. Eviction drops an
-// arbitrary entry: the memo is a small hot-set cache, not an LRU.
+// consumer (searchCompiled) only reads them. Eviction drops an arbitrary
+// entry: the memo is a small hot-set cache, not an LRU.
 type tokenMemo struct {
 	mu   sync.Mutex
 	m    map[string][]string

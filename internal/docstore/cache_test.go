@@ -115,19 +115,20 @@ func TestCacheHybridAndOwnership(t *testing.T) {
 		t.Fatalf("distinct alpha served from cache: searches = %d, want 2", got)
 	}
 
-	// Caller owns the returned slice: mutations must not leak into later
-	// cache hits or the store.
-	second[0].Doc.Title = "mutated"
+	// Results are shared and read-only (see Hit): a cache hit returns the
+	// same snapshot-owned documents without cloning, and a caller who
+	// wants to mutate must clone — Get hands out an independent copy.
 	again := s.SearchHybrid("gold ring", cv, 0.5, 3)
-	if again[0].Doc.Title == "mutated" {
-		t.Fatal("cache returned an aliased document")
+	if again[0].Doc != second[0].Doc {
+		t.Fatal("cache hit did not share the snapshot-owned document")
 	}
 	back, err := s.Get(again[0].Doc.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if back.Title == "mutated" {
-		t.Fatal("mutation leaked into the store")
+	back.Title = "mutated"
+	if fresh := s.SearchHybrid("gold ring", cv, 0.5, 3); fresh[0].Doc.Title == "mutated" {
+		t.Fatal("mutating a Get copy leaked into cached results")
 	}
 }
 

@@ -1,0 +1,177 @@
+package docstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestCodecRoundTrip: encode/decode is the identity on every legal block
+// shape — single entry, full block, dense gaps, huge sparse gaps, and the
+// extreme ordinal/tf values the validator must admit.
+func TestCodecRoundTrip(t *testing.T) {
+	cases := map[string][]postEntry{
+		"single":      {{ord: 0, tf: 1}},
+		"dense":       {{0, 1}, {1, 2}, {2, 1}, {3, 9}},
+		"sparse":      {{5, 1}, {1 << 20, 3}, {1 << 30, 7}},
+		"max ordinal": {{0, 1}, {ordSentinel - 1, 1}},
+		"max tf":      {{3, math.MaxUint32}, {4, 1}},
+	}
+	full := make([]postEntry, blockSize)
+	for i := range full {
+		full[i] = postEntry{ord: uint32(i * 3), tf: uint32(i%7 + 1)}
+	}
+	cases["full block"] = full
+
+	for name, entries := range cases {
+		enc := appendPostingsBlock(nil, entries)
+		var ords, tfs [blockSize]uint32
+		n, err := decodePostingsBlock(enc, len(entries), ords[:], tfs[:])
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if n != len(enc) {
+			t.Fatalf("%s: consumed %d of %d bytes", name, n, len(enc))
+		}
+		for i, e := range entries {
+			if ords[i] != e.ord || tfs[i] != e.tf {
+				t.Fatalf("%s: entry %d = (%d,%d), want (%d,%d)", name, i, ords[i], tfs[i], e.ord, e.tf)
+			}
+		}
+	}
+}
+
+// TestCodecAppendExtends: encoding appends to dst without clobbering what
+// is already there — blocks share one arena in the compiled index.
+func TestCodecAppendExtends(t *testing.T) {
+	prefix := []byte{0xde, 0xad}
+	enc := appendPostingsBlock(prefix, []postEntry{{7, 2}})
+	if !bytes.Equal(enc[:2], prefix) {
+		t.Fatal("encoder clobbered existing arena bytes")
+	}
+	var ords, tfs [1]uint32
+	if _, err := decodePostingsBlock(enc[2:], 1, ords[:], tfs[:]); err != nil {
+		t.Fatal(err)
+	}
+	if ords[0] != 7 || tfs[0] != 2 {
+		t.Fatalf("got (%d,%d), want (7,2)", ords[0], tfs[0])
+	}
+}
+
+// TestCodecTruncated: every strict prefix of a valid block decodes to
+// errBlockTruncated, never to a bogus posting or a panic.
+func TestCodecTruncated(t *testing.T) {
+	entries := []postEntry{{100, 2}, {1 << 21, 5}, {1 << 22, 1}}
+	enc := appendPostingsBlock(nil, entries)
+	var ords, tfs [blockSize]uint32
+	for cut := 0; cut < len(enc); cut++ {
+		_, err := decodePostingsBlock(enc[:cut], len(entries), ords[:], tfs[:])
+		if !errors.Is(err, errBlockTruncated) {
+			t.Fatalf("prefix of %d/%d bytes: err = %v, want errBlockTruncated", cut, len(enc), err)
+		}
+	}
+}
+
+// TestCodecCorrupt: streams that violate an encoder invariant — zero gaps,
+// zero tfs, values past 32 bits, ordinals reaching the cursor sentinel —
+// are rejected as errBlockCorrupt.
+func TestCodecCorrupt(t *testing.T) {
+	uv := func(vs ...uint64) []byte {
+		var b []byte
+		for _, v := range vs {
+			b = binary.AppendUvarint(b, v)
+		}
+		return b
+	}
+	cases := map[string][]byte{
+		"zero gap":          uv(0, 1),
+		"zero tf":           uv(1, 0),
+		"gap past uint32":   uv(math.MaxUint32 + 1, 1),
+		"tf past uint32":    uv(1, math.MaxUint32+1),
+		"ord hits sentinel": uv(uint64(ordSentinel)+1, 1),
+		// Cumulative overflow: two legal gaps whose sum crosses the sentinel.
+		"ord sum overflow": uv(uint64(ordSentinel), 1, math.MaxUint32, 1),
+	}
+	var ords, tfs [blockSize]uint32
+	for name, data := range cases {
+		count := 1
+		if name == "ord sum overflow" {
+			count = 2
+		}
+		if _, err := decodePostingsBlock(data, count, ords[:], tfs[:]); !errors.Is(err, errBlockCorrupt) {
+			t.Fatalf("%s: err = %v, want errBlockCorrupt", name, err)
+		}
+	}
+	// A count the scratch buffers cannot hold is caller corruption too.
+	if _, err := decodePostingsBlock(uv(1, 1), 2, ords[:1], tfs[:1]); !errors.Is(err, errBlockCorrupt) {
+		t.Fatalf("oversized count: err = %v, want errBlockCorrupt", err)
+	}
+	if _, err := decodePostingsBlock(uv(1, 1), -1, ords[:], tfs[:]); !errors.Is(err, errBlockCorrupt) {
+		t.Fatalf("negative count: err = %v, want errBlockCorrupt", err)
+	}
+}
+
+// FuzzPostingsCodec drives the decoder with arbitrary bytes and counts. For
+// any input the decoder must return cleanly — no panics, no out-of-range
+// indexes — and anything it accepts must satisfy the posting invariants and
+// survive an encode→decode round trip unchanged (so the decoder cannot
+// invent postings the encoder could never have produced). Byte-exact
+// re-encoding is deliberately not required: uvarint tolerates non-minimal
+// encodings, and the encoder only ever emits minimal ones.
+func FuzzPostingsCodec(f *testing.F) {
+	f.Add([]byte{}, 1)
+	f.Add(appendPostingsBlock(nil, []postEntry{{0, 1}}), 1)
+	f.Add(appendPostingsBlock(nil, []postEntry{{5, 2}, {1 << 20, 3}}), 2)
+	f.Add(appendPostingsBlock(nil, []postEntry{{0, 1}, {ordSentinel - 1, math.MaxUint32}}), 2)
+	full := make([]postEntry, blockSize)
+	r := rand.New(rand.NewSource(1))
+	prev := int64(-1)
+	for i := range full {
+		prev += 1 + int64(r.Intn(1000))
+		full[i] = postEntry{ord: uint32(prev), tf: uint32(1 + r.Intn(9))}
+	}
+	f.Add(appendPostingsBlock(nil, full), blockSize)
+	f.Add([]byte{0x00, 0x01}, 1)                                  // zero gap
+	f.Add([]byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01, 1}, 1) // gap > uint32
+
+	f.Fuzz(func(t *testing.T, data []byte, count int) {
+		if count < 0 || count > blockSize {
+			count = ((count % blockSize) + blockSize) % blockSize
+		}
+		var ords, tfs [blockSize]uint32
+		n, err := decodePostingsBlock(data, count, ords[:], tfs[:])
+		if err != nil {
+			return
+		}
+		if n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		entries := make([]postEntry, count)
+		prev := int64(-1)
+		for i := 0; i < count; i++ {
+			if int64(ords[i]) <= prev || ords[i] >= ordSentinel || tfs[i] == 0 {
+				t.Fatalf("accepted invalid posting %d: ord=%d (prev %d) tf=%d", i, ords[i], prev, tfs[i])
+			}
+			prev = int64(ords[i])
+			entries[i] = postEntry{ord: ords[i], tf: tfs[i]}
+		}
+		re := appendPostingsBlock(nil, entries)
+		if len(re) > n {
+			t.Fatalf("re-encode grew: %d bytes from %d consumed", len(re), n)
+		}
+		var ords2, tfs2 [blockSize]uint32
+		m, err := decodePostingsBlock(re, count, ords2[:], tfs2[:])
+		if err != nil || m != len(re) {
+			t.Fatalf("re-decode: n=%d err=%v", m, err)
+		}
+		for i := 0; i < count; i++ {
+			if ords2[i] != ords[i] || tfs2[i] != tfs[i] {
+				t.Fatalf("round trip changed entry %d: (%d,%d) -> (%d,%d)",
+					i, ords[i], tfs[i], ords2[i], tfs2[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,528 @@
+package docstore
+
+import (
+	"math"
+	"slices"
+	"sort"
+	"sync"
+)
+
+// compiledIndex is the frozen, read-optimized form of the text index. It is
+// built once per epoch freeze (and once at snapshot load) from the mutable
+// map-based invIndex, and is immutable afterwards: live documents get dense
+// ordinals in ascending-ID order, every term's postings become
+// delta+varint-compressed blocks (codec.go), and each block carries the
+// maximum (1+ln tf)/norm ratio of its postings so the block-max search can
+// skip it wholesale when even that optimistic bound cannot reach the
+// current top-k threshold.
+type compiledIndex struct {
+	ids     []string    // ordinal -> document ID (ascending, dense)
+	docs    []*Document // ordinal -> document (shared with state.docs)
+	docLens []uint32    // ordinal -> token count
+	norms   []float64   // ordinal -> sqrt(docLen+1), the score denominator
+	ords    map[string]uint32
+
+	terms  map[string]termPostings
+	blocks []blockMeta // all terms' block directory, term-major
+	data   []byte      // all terms' encoded blocks, one arena
+
+	// Forward index: per ordinal, the sorted IDs (into termList) of the
+	// document's distinct terms. The overlay uses it to maintain masked
+	// document frequencies incrementally in O(|doc terms|) at mask time,
+	// so the query path never intersects masked sets with postings.
+	termList []string
+	fwd      [][]uint32
+}
+
+// termPostings locates one term's blocks inside the shared directory.
+type termPostings struct {
+	df       int32
+	blockOff int32
+	nBlocks  int32
+	maxRatio float64 // max over the term's blocks
+}
+
+// blockMeta describes one encoded block without decoding it. firstOrd lets a
+// cursor sit at a block boundary with an exact current ordinal while the
+// block stays undecoded ("shallow"), so blocks whose maxRatio bound cannot
+// reach the top-k threshold are passed without ever touching their bytes.
+type blockMeta struct {
+	off      uint32 // byte offset of the block in compiledIndex.data
+	firstOrd uint32 // ordinal of the first posting in the block
+	lastOrd  uint32 // ordinal of the final posting in the block
+	count    uint16 // number of postings (1..blockSize)
+	maxRatio float64
+}
+
+// compileIndex freezes inv (and the matching docs map) into a
+// compiledIndex. Documents are ordered by ID so that equal scores tie-break
+// identically whether a doc is identified by ordinal or by ID.
+func compileIndex(inv *invIndex, docs map[string]*Document) *compiledIndex {
+	n := len(inv.docLen)
+	cx := &compiledIndex{
+		ids:     make([]string, 0, n),
+		docs:    make([]*Document, n),
+		docLens: make([]uint32, n),
+		norms:   make([]float64, n),
+		ords:    make(map[string]uint32, n),
+		terms:   make(map[string]termPostings, len(inv.postings)),
+		fwd:     make([][]uint32, n),
+	}
+	for id := range inv.docLen {
+		cx.ids = append(cx.ids, id)
+	}
+	sort.Strings(cx.ids)
+	for i, id := range cx.ids {
+		cx.ords[id] = uint32(i)
+		cx.docLens[i] = uint32(inv.docLen[id])
+		cx.norms[i] = math.Sqrt(float64(inv.docLen[id]) + 1)
+		cx.docs[i] = docs[id]
+	}
+
+	cx.termList = make([]string, 0, len(inv.postings))
+	for t := range inv.postings {
+		cx.termList = append(cx.termList, t)
+	}
+	sort.Strings(cx.termList)
+
+	var entries []postEntry
+	for ti, t := range cx.termList {
+		p := inv.postings[t]
+		entries = entries[:0]
+		for id, tf := range p {
+			entries = append(entries, postEntry{ord: cx.ords[id], tf: uint32(tf)})
+		}
+		slices.SortFunc(entries, func(a, b postEntry) int {
+			return int(int64(a.ord) - int64(b.ord))
+		})
+		tm := termPostings{df: int32(len(entries)), blockOff: int32(len(cx.blocks))}
+		for start := 0; start < len(entries); start += blockSize {
+			end := min(start+blockSize, len(entries))
+			blk := entries[start:end]
+			bm := blockMeta{
+				off:      uint32(len(cx.data)),
+				firstOrd: blk[0].ord,
+				lastOrd:  blk[len(blk)-1].ord,
+				count:    uint16(len(blk)),
+			}
+			for _, e := range blk {
+				r := (1 + math.Log(float64(e.tf))) / cx.norms[e.ord]
+				if r > bm.maxRatio {
+					bm.maxRatio = r
+				}
+			}
+			cx.data = appendPostingsBlock(cx.data, blk)
+			cx.blocks = append(cx.blocks, bm)
+			if bm.maxRatio > tm.maxRatio {
+				tm.maxRatio = bm.maxRatio
+			}
+		}
+		tm.nBlocks = int32(len(cx.blocks)) - tm.blockOff
+		cx.terms[t] = tm
+		for _, e := range entries {
+			cx.fwd[e.ord] = append(cx.fwd[e.ord], uint32(ti))
+		}
+	}
+	return cx
+}
+
+// termBlocks returns the slice of block metadata for tm.
+func (cx *compiledIndex) termBlocks(tm termPostings) []blockMeta {
+	return cx.blocks[tm.blockOff : tm.blockOff+tm.nBlocks]
+}
+
+// searchStats counts block-level work for one query.
+type searchStats struct {
+	blocksDecoded uint64
+	blocksSkipped uint64
+}
+
+// queryTerm is one distinct query term in canonical (first-appearance)
+// order, with its query-side weight. Scores are accumulated per document in
+// this order on every path — block-max, exhaustive, and overlay — so float
+// rounding is identical everywhere.
+type queryTerm struct {
+	t   string
+	qn  int // occurrences in the query
+	idf float64
+	qw  float64 // (1+ln qn) * idf
+}
+
+// cursor walks one term's compressed postings, decoding at most one block at
+// a time into its inline buffers. A cursor can be "shallow": positioned on a
+// block's first posting (curOrd = firstOrd, exact) with the block not yet
+// decoded — curTF is only valid once loaded. Blocks that never survive a
+// bound check are passed shallow, without touching their bytes.
+// curOrd == ordSentinel means exhausted.
+type cursor struct {
+	idf    float64
+	qw     float64
+	termUB float64 // qw * idf * term maxRatio: best score mass this term can add
+	blocks []blockMeta
+	data   []byte
+	bi     int  // current block index
+	loaded bool // current block decoded into ords/tfs
+	n      int  // decoded entries in the current block
+	pos    int  // position within the decoded block
+	curOrd uint32
+	curTF  uint32
+	ords   [blockSize]uint32
+	tfs    [blockSize]uint32
+}
+
+func (c *cursor) decodeBlock(st *searchStats) {
+	bm := &c.blocks[c.bi]
+	n := int(bm.count)
+	if _, err := decodePostingsBlock(c.data[bm.off:], n, c.ords[:n], c.tfs[:n]); err != nil {
+		// The arena is either compiled in-process or fully validated at
+		// snapshot load, so a decode failure here is a program bug.
+		panic(err)
+	}
+	c.loaded = true
+	c.n = n
+	c.pos = 0
+	c.curOrd = c.ords[0]
+	c.curTF = c.tfs[0]
+	st.blocksDecoded++
+}
+
+// enterShallow positions the cursor on block bi's first posting without
+// decoding it (or marks the cursor exhausted past the last block).
+func (c *cursor) enterShallow(bi int) {
+	c.bi = bi
+	c.loaded = false
+	if bi >= len(c.blocks) {
+		c.curOrd = ordSentinel
+		return
+	}
+	c.curOrd = c.blocks[bi].firstOrd
+}
+
+// next advances the cursor by one posting. Block transitions are shallow:
+// the next block's first ordinal comes from metadata, not from decoding.
+func (c *cursor) next(st *searchStats) {
+	if !c.loaded {
+		c.decodeBlock(st) // shallow on firstOrd: decode, then step past it
+	}
+	c.pos++
+	if c.pos < c.n {
+		c.curOrd = c.ords[c.pos]
+		c.curTF = c.tfs[c.pos]
+		return
+	}
+	c.enterShallow(c.bi + 1)
+}
+
+// seek advances the cursor to the first posting with ordinal >= target,
+// skipping (without decoding) every block that ends before it — including
+// the current one if it was never loaded.
+func (c *cursor) seek(target uint32, st *searchStats) {
+	if c.curOrd >= target { // includes the exhausted sentinel
+		return
+	}
+	if c.blocks[c.bi].lastOrd < target {
+		if !c.loaded {
+			st.blocksSkipped++
+		}
+		bi := c.bi + 1
+		for bi < len(c.blocks) && c.blocks[bi].lastOrd < target {
+			bi++
+			st.blocksSkipped++
+		}
+		c.enterShallow(bi)
+		if c.curOrd >= target { // exhausted, or the first posting already qualifies
+			return
+		}
+	}
+	if !c.loaded {
+		c.decodeBlock(st)
+	}
+	for c.pos < c.n && c.ords[c.pos] < target {
+		c.pos++
+	}
+	// The current block's lastOrd >= target, so pos is in range.
+	c.curOrd = c.ords[c.pos]
+	c.curTF = c.tfs[c.pos]
+}
+
+// boundSlack pads upper-bound comparisons so IEEE rounding in the bound
+// arithmetic can never make a block look skippable when the exactly-scored
+// document would have entered the heap. The true score and its bound differ
+// by at most a handful of rounded multiply/divide/add steps per term, each
+// contributing a relative error of 2^-53; 1e-9 over-covers that by ~10^6×
+// while costing no measurable skipping power.
+const boundSlack = 1 + 1e-9
+
+// searchScratch is the pooled per-query state that makes the steady-state
+// text query allocation-free: every slice below retains its backing array
+// across queries, and ovAcc is cleared rather than reallocated.
+type searchScratch struct {
+	keyBuf  []byte
+	terms   []queryTerm
+	cursors []cursor
+	order   []int
+	masked  []uint32
+	heap    []scored
+	ovAcc   map[string]float64
+	stats   searchStats
+}
+
+var scratchPool = sync.Pool{
+	New: func() any {
+		return &searchScratch{ovAcc: make(map[string]float64, 16)}
+	},
+}
+
+func getScratch() *searchScratch {
+	sc := scratchPool.Get().(*searchScratch)
+	sc.stats = searchStats{}
+	return sc
+}
+
+func putScratch(sc *searchScratch) { scratchPool.Put(sc) }
+
+// searchCompiled runs the text top-k over the compiled base index merged
+// with the snapshot's overlay. In block-max mode (exhaustive=false) it runs
+// WAND-style early termination: terms become cursors over their compressed
+// postings, the topK heap's minimum is the threshold θ, and any document
+// range whose summed term/block upper bounds cannot reach θ is skipped
+// without decoding. In exhaustive mode every candidate is scored through
+// the exact same accumulation code, so the two modes are bit-identical on
+// the documents they both score — and the skipped ones provably lose.
+//
+// Result ordering and scores match the historical map-walk scorer:
+// contributions accumulate per document in canonical query-term order, and
+// the heap's (score desc, id asc) total order makes the top-k set
+// independent of candidate arrival order.
+func (sn *snapshot) searchCompiled(tokens []string, k int, sc *searchScratch, exhaustive bool) []scored {
+	cx := sn.base.cx
+	ov := sn.ov
+	total := sn.docCount
+	if total == 0 || len(tokens) == 0 || k == 0 {
+		return nil
+	}
+
+	// Distinct terms in first-appearance order with query-side tf.
+	sc.terms = sc.terms[:0]
+tokenLoop:
+	for _, t := range tokens {
+		for i := range sc.terms {
+			if sc.terms[i].t == t {
+				sc.terms[i].qn++
+				continue tokenLoop
+			}
+		}
+		sc.terms = append(sc.terms, queryTerm{t: t, qn: 1})
+	}
+
+	// Per-term document frequency (base minus masked plus overlay), idf,
+	// and a cursor for every term with base postings.
+	sc.cursors = sc.cursors[:0]
+	for i := range sc.terms {
+		qt := &sc.terms[i]
+		tm, hasBase := cx.terms[qt.t]
+		df := 0
+		if hasBase {
+			df = int(tm.df)
+		}
+		df -= ov.maskedDF[qt.t]
+		df += ov.df(qt.t)
+		if df <= 0 {
+			qt.qw = 0
+			continue
+		}
+		qt.idf = math.Log(1 + float64(total)/float64(1+df))
+		qt.qw = (1 + math.Log(float64(qt.qn))) * qt.idf
+		if !hasBase {
+			continue
+		}
+		sc.cursors = append(sc.cursors, cursor{
+			idf:    qt.idf,
+			qw:     qt.qw,
+			termUB: qt.qw * qt.idf * tm.maxRatio,
+			blocks: cx.termBlocks(tm),
+			data:   cx.data,
+		})
+		sc.cursors[len(sc.cursors)-1].enterShallow(0)
+	}
+
+	h := topK[scored]{k: k, better: scoredBetter, items: sc.heap[:0]}
+
+	// Overlay documents first: they are few (bounded by the freeze limit),
+	// and scoring them up front seeds the heap threshold before the base
+	// walk starts, which is where early termination pays.
+	if len(ov.byID) > 0 {
+		clear(sc.ovAcc)
+		for i := range sc.terms {
+			qt := &sc.terms[i]
+			if qt.qw == 0 {
+				continue
+			}
+			for _, p := range ov.postingsFor(qt.t) {
+				dw := (1 + math.Log(float64(p.tf))) * qt.idf
+				sc.ovAcc[p.id] += qt.qw * dw
+			}
+		}
+		for id, acc := range sc.ovAcc {
+			norm := math.Sqrt(float64(ov.docLen[id]) + 1)
+			h.push(scored{id: id, ord: -1, score: acc / norm})
+		}
+	}
+
+	if len(sc.cursors) > 0 {
+		sn.walkBase(&h, sc, exhaustive)
+	}
+
+	res := h.sorted()
+	sc.heap = res[:0] // retain backing for the next query
+	return res
+}
+
+// walkBase runs the document-at-a-time walk over the base cursors,
+// applying block-max skipping unless exhaustive.
+func (sn *snapshot) walkBase(h *topK[scored], sc *searchScratch, exhaustive bool) {
+	cx := sn.base.cx
+	ov := sn.ov
+
+	// Masked base ordinals, ascending. Evaluated ordinals only increase,
+	// so one monotonic pointer replaces per-candidate set lookups.
+	sc.masked = sc.masked[:0]
+	for id := range ov.masked {
+		if ord, ok := cx.ords[id]; ok {
+			sc.masked = append(sc.masked, ord)
+		}
+	}
+	slices.Sort(sc.masked)
+	mi := 0
+
+	sc.order = sc.order[:0]
+	for i := range sc.cursors {
+		sc.order = append(sc.order, i)
+	}
+
+	for {
+		// Keep cursor indexes sorted by current ordinal (insertion sort:
+		// the slice is nearly sorted and tiny — one entry per query term).
+		for i := 1; i < len(sc.order); i++ {
+			for j := i; j > 0 && sc.cursors[sc.order[j]].curOrd < sc.cursors[sc.order[j-1]].curOrd; j-- {
+				sc.order[j], sc.order[j-1] = sc.order[j-1], sc.order[j]
+			}
+		}
+		lead := &sc.cursors[sc.order[0]]
+		if lead.curOrd == ordSentinel {
+			return
+		}
+
+		if !exhaustive && h.k > 0 && len(h.items) == h.k {
+			theta := h.items[0].score
+			// Pivot: shortest prefix of cursors (by current ordinal) whose
+			// summed term bounds could reach θ. Documents before the pivot
+			// ordinal are covered by fewer terms than that, so they lose.
+			ub := 0.0
+			pivot := -1
+			for j := 0; j < len(sc.order); j++ {
+				c := &sc.cursors[sc.order[j]]
+				if c.curOrd == ordSentinel {
+					break
+				}
+				ub += c.termUB
+				if ub*boundSlack >= theta {
+					pivot = j
+					break
+				}
+			}
+			if pivot < 0 {
+				return // even all remaining terms together cannot reach θ
+			}
+			pivotOrd := sc.cursors[sc.order[pivot]].curOrd
+			if lead.curOrd != pivotOrd {
+				// WAND skip: no document before pivotOrd can win. Advance
+				// the lagging cursors; seek skips their dead blocks.
+				for j := 0; j < pivot; j++ {
+					sc.cursors[sc.order[j]].seek(pivotOrd, &sc.stats)
+				}
+				continue
+			}
+			// All cursors at pivotOrd form the group. Tighten the bound
+			// with their current blocks' maxima; if even that cannot reach
+			// θ, every document up to the group's nearest block boundary
+			// (capped by the next cursor beyond the group) loses too.
+			bub := 0.0
+			blockEnd := ordSentinel
+			nextOrd := ordSentinel
+			for j := 0; j < len(sc.order); j++ {
+				c := &sc.cursors[sc.order[j]]
+				if c.curOrd != pivotOrd {
+					nextOrd = c.curOrd // sorted: first non-member is the minimum beyond
+					break
+				}
+				bm := &c.blocks[c.bi]
+				bub += c.qw * c.idf * bm.maxRatio
+				if bm.lastOrd < blockEnd {
+					blockEnd = bm.lastOrd
+				}
+			}
+			if bub*boundSlack < theta {
+				if pivot == 0 && uint64(nextOrd) > uint64(blockEnd) &&
+					(len(sc.order) == 1 || sc.cursors[sc.order[1]].curOrd != pivotOrd) {
+					// Single-member group abandoning its whole block: every
+					// document strictly before nextOrd contains only this
+					// query term, so any further block that both ends before
+					// nextOrd and whose own metadata bound cannot reach θ
+					// loses wholesale — pass it shallow, bytes untouched.
+					// (Multi-member groups fall through to seek: their
+					// combined bound changes at each member's block boundary,
+					// so they re-check one step at a time.)
+					c := lead
+					if !c.loaded {
+						sc.stats.blocksSkipped++
+					}
+					bi := c.bi + 1
+					for bi < len(c.blocks) && c.blocks[bi].lastOrd < nextOrd &&
+						c.qw*c.idf*c.blocks[bi].maxRatio*boundSlack < theta {
+						bi++
+						sc.stats.blocksSkipped++
+					}
+					c.enterShallow(bi)
+					continue
+				}
+				target := uint32(min(uint64(blockEnd)+1, uint64(nextOrd)))
+				for j := 0; j < len(sc.order); j++ {
+					c := &sc.cursors[sc.order[j]]
+					if c.curOrd != pivotOrd {
+						break
+					}
+					c.seek(target, &sc.stats)
+				}
+				continue
+			}
+			// Bound reachable: fall through and score pivotOrd exactly.
+		}
+
+		d := lead.curOrd
+		for mi < len(sc.masked) && sc.masked[mi] < d {
+			mi++
+		}
+		if mi == len(sc.masked) || sc.masked[mi] != d {
+			// Exact score, accumulated in canonical term order: cursors
+			// were appended in that order and are scanned by index here.
+			acc := 0.0
+			for i := range sc.cursors {
+				c := &sc.cursors[i]
+				if c.curOrd == d {
+					if !c.loaded {
+						c.decodeBlock(&sc.stats) // shallow on d: pos 0 is d's tf
+					}
+					dw := (1 + math.Log(float64(c.curTF))) * c.idf
+					acc += c.qw * dw
+				}
+			}
+			h.push(scored{id: cx.ids[d], ord: int32(d), score: acc / cx.norms[d]})
+		}
+		for i := range sc.cursors {
+			if sc.cursors[i].curOrd == d {
+				sc.cursors[i].next(&sc.stats)
+			}
+		}
+	}
+}

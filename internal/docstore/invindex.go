@@ -1,9 +1,10 @@
 package docstore
 
-import "math"
-
-// invIndex is an inverted text index with TF-IDF ranking. It is rebuilt from
-// the primary map on recovery, so it needs no persistence of its own.
+// invIndex is the mutable, map-based inverted text index the write path
+// maintains. It is rebuilt from the primary map on recovery, so it needs no
+// persistence of its own. Queries never touch it: at every epoch freeze it
+// is compiled into the immutable block-compressed compiledIndex
+// (compiled.go), which is what the read path walks.
 type invIndex struct {
 	postings map[string]map[string]int // term -> docID -> tf
 	docLen   map[string]int            // docID -> token count
@@ -49,119 +50,24 @@ func (ix *invIndex) removeDoc(id string) {
 	}
 }
 
-// scored is a ranked text hit.
+// scored is a ranked text hit. ord is the document's ordinal in the
+// compiled base index, or -1 for overlay documents — it lets the hit
+// assembler resolve the Document without a map lookup.
 type scored struct {
 	id    string
+	ord   int32
 	score float64
 }
 
 // scoredBetter is the deterministic (score desc, id asc) ranking order; ids
-// are unique so it is a strict total order, which makes heap selection in
-// searchWith provably identical to sort-then-truncate.
+// are unique so it is a strict total order, which makes heap selection
+// provably identical to sort-then-truncate — and makes the selected top-k
+// set independent of the order candidates arrive in.
 func scoredBetter(a, b scored) bool {
 	if a.score != b.score {
 		return a.score > b.score
 	}
 	return a.id < b.id
-}
-
-// search ranks documents matching the query tokens by TF-IDF with sublinear
-// TF and length normalization, returning the top k.
-func (ix *invIndex) search(tokens []string, k int) []scored {
-	return ix.searchWith(tokens, k, nil, ix.docs)
-}
-
-// searchWith is the snapshot-aware core: ix is a frozen base index, ov an
-// optional overlay of documents written since the freeze, and total the live
-// document count. Exactness contract: the result is float-identical to
-// search on a monolithic index over the live set — document frequencies
-// count base postings minus masked ids plus overlay carriers, the idf/qw/dw
-// expressions keep the seed's evaluation order, and per-document
-// accumulation still adds one term contribution per qtf entry.
-func (ix *invIndex) searchWith(tokens []string, k int, ov *overlay, total int) []scored {
-	if total == 0 || len(tokens) == 0 {
-		return nil
-	}
-	// Collapse duplicate query terms, keeping multiplicity as query TF.
-	qtf := make(map[string]int)
-	for _, t := range tokens {
-		qtf[t]++
-	}
-	hasOv := ov != nil && (len(ov.byID) > 0 || len(ov.masked) > 0)
-	acc := make(map[string]float64)
-	for t, qn := range qtf {
-		p := ix.postings[t]
-		df := len(p)
-		if hasOv {
-			// Count masked carriers from the smaller side; either loop
-			// computes the same |masked ∩ postings|.
-			if len(ov.masked) <= len(p) {
-				for id := range ov.masked {
-					if _, ok := p[id]; ok {
-						df--
-					}
-				}
-			} else {
-				for id := range p {
-					if ov.masked[id] {
-						df--
-					}
-				}
-			}
-			df += ov.df(t)
-		}
-		if df == 0 {
-			continue
-		}
-		idf := math.Log(1 + float64(total)/float64(1+df))
-		qw := (1 + math.Log(float64(qn))) * idf
-		for id, tf := range p {
-			if hasOv && ov.masked[id] {
-				continue
-			}
-			dw := (1 + math.Log(float64(tf))) * idf
-			acc[id] += qw * dw
-		}
-		if hasOv {
-			for id, tf := range ov.termPost[t] {
-				dw := (1 + math.Log(float64(tf))) * idf
-				acc[id] += qw * dw
-			}
-		}
-	}
-	h := newTopK(k, scoredBetter)
-	for id, s := range acc {
-		dl, inOv := 0, false
-		if hasOv {
-			dl, inOv = ov.docLen[id]
-		}
-		if !inOv {
-			dl = ix.docLen[id]
-		}
-		norm := math.Sqrt(float64(dl) + 1)
-		h.push(scored{id: id, score: s / norm})
-	}
-	return h.sorted()
-}
-
-// clone deep-copies the index for a snapshot freeze.
-func (ix *invIndex) clone() *invIndex {
-	cp := &invIndex{
-		postings: make(map[string]map[string]int, len(ix.postings)),
-		docLen:   make(map[string]int, len(ix.docLen)),
-		docs:     ix.docs,
-	}
-	for t, p := range ix.postings {
-		np := make(map[string]int, len(p))
-		for id, tf := range p {
-			np[id] = tf
-		}
-		cp.postings[t] = np
-	}
-	for id, l := range ix.docLen {
-		cp.docLen[id] = l
-	}
-	return cp
 }
 
 // termCount returns the number of distinct indexed terms.

@@ -48,9 +48,11 @@ func TestHybridCountsOneSearch(t *testing.T) {
 	}
 }
 
-// TestSearchVisualClonesTopKOnly checks the score-then-clone path still
-// returns independent copies: mutating a hit must not leak into the store.
-func TestSearchVisualClonesTopKOnly(t *testing.T) {
+// TestSearchVisualSharedOwnership pins the zero-copy result contract: hits
+// share snapshot-owned documents (no per-hit clone), they stay valid and
+// unchanged across later writes (the snapshot they came from is immutable),
+// and a caller who wants to mutate clones explicitly.
+func TestSearchVisualSharedOwnership(t *testing.T) {
 	s := memStore(t)
 	ve := feature.NewVisualExtractor(3, 8, 12, 8, 0.05)
 	r := rand.New(rand.NewSource(9))
@@ -74,14 +76,28 @@ func TestSearchVisualClonesTopKOnly(t *testing.T) {
 			t.Fatal("hits not sorted by score")
 		}
 	}
-	id := hits[0].Doc.ID
-	hits[0].Doc.Title = "mutated"
-	hits[0].Doc.ColorHist[0] = -1
+	// Replacing the top doc must not disturb the already-returned hit: it
+	// points into the snapshot it was served from, and the write path
+	// installs fresh clones rather than mutating stored documents.
+	id, title := hits[0].Doc.ID, hits[0].Doc.Title
+	repl := doc(id, "replaced", "y", 99, nil)
+	repl.ColorHist = []float64{1, 0, 0}
+	repl.Texture = hits[0].Doc.Texture
+	if err := s.Put(repl); err != nil {
+		t.Fatal(err)
+	}
+	if hits[0].Doc.Title != title || hits[0].Doc.ID != id {
+		t.Fatal("returned hit changed under a later write")
+	}
+	// Mutating a caller-made clone leaves the store untouched.
+	cp := hits[0].Doc.Clone()
+	cp.Title = "mutated"
+	cp.ColorHist[0] = -1
 	back, err := s.Get(id)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if back.Title == "mutated" || back.ColorHist[0] == -1 {
-		t.Fatal("SearchVisual returned a live pointer into the store")
+		t.Fatal("mutating a cloned hit leaked into the store")
 	}
 }

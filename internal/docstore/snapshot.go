@@ -26,17 +26,21 @@ import (
 // Exactness contract: every read through (base, ov) must be result-identical
 // to the same read against a monolithic index containing the live documents.
 // The subtle cases are TF-IDF (document frequencies count base postings
-// minus superseded ids plus overlay carriers, with the same float expression
-// order as invIndex.search) and LSH bucket membership (overlay vectors carry
-// precomputed per-table signatures so they join exactly the buckets an
-// indexed vector would — see feature.Extra). TestSnapshotMatchesMonolithic
-// pins this equivalence across freeze boundaries.
+// minus superseded ids plus overlay carriers, with the float expression
+// order fixed by searchCompiled's canonical term order) and LSH bucket
+// membership (overlay vectors carry precomputed per-table signatures so
+// they join exactly the buckets an indexed vector would — see
+// feature.Extra). TestSnapshotMatchesMonolithic pins this equivalence
+// across freeze boundaries.
 
 // state bundles the five index structures. The master state is guarded by
-// Store.mu; frozen copies inside snapshots are immutable.
+// Store.mu; frozen copies inside snapshots are immutable. The master keeps
+// the mutable map-based inv; frozen bases instead carry cx, the
+// block-compressed compiled form queries run against (inv is nil there).
 type state struct {
 	docs    map[string]*Document
 	inv     *invIndex
+	cx      *compiledIndex
 	vec     *feature.LSH
 	byTime  *skiplist
 	byTopic map[string]map[string]bool
@@ -111,9 +115,12 @@ func (st *state) removeTopics(d *Document) {
 	}
 }
 
-// freeze deep-clones the index structures into an immutable base. Documents
+// freeze copies the index structures into an immutable base. Documents
 // themselves are shared: the write path never mutates a stored *Document in
 // place (Put installs a fresh clone), so pointers are safe across epochs.
+// The text index is not cloned — it is compiled into the immutable
+// block-compressed form the read path wants anyway, so the freeze does the
+// work queries would otherwise repeat.
 func (st *state) freeze() *state {
 	docs := make(map[string]*Document, len(st.docs))
 	for id, d := range st.docs {
@@ -129,7 +136,7 @@ func (st *state) freeze() *state {
 	}
 	return &state{
 		docs:    docs,
-		inv:     st.inv.clone(),
+		cx:      compileIndex(st.inv, docs),
 		vec:     st.vec.Clone(),
 		byTime:  st.byTime.clone(),
 		byTopic: topics,
@@ -154,16 +161,28 @@ type timeEntry struct {
 type overlay struct {
 	ops    int             // writes since the last freeze
 	masked map[string]bool // base ids superseded or deleted
-	byID   map[string]*Document
-	byTime []timeEntry               // ascending (key, id)
-	terms  map[string]map[string]int // docID -> term -> tf (inner maps immutable)
-	docLen map[string]int
-	// termPost inverts terms (term -> docID -> tf) so per-term document
-	// frequency and overlay scoring are O(carriers), not O(overlay docs).
-	// Inner maps are copy-on-write: cloneNext shares them, and any write
-	// replaces the touched term's map with a fresh copy.
-	termPost map[string]map[string]int
+	// maskedDF counts, per term, how many masked ids carry the term in the
+	// frozen base — maintained incrementally from the compiled forward
+	// index when an id is masked, so the query path computes live document
+	// frequencies in O(1) per term instead of intersecting the masked set
+	// with postings.
+	maskedDF map[string]int
+	byID     map[string]*Document
+	byTime   []timeEntry                // ascending (key, id)
+	terms    map[string]map[string]int  // docID -> term -> tf (inner maps immutable)
+	docLen   map[string]int
+	// termPost inverts terms (term -> carriers sorted by docID) so per-term
+	// document frequency and overlay scoring are O(carriers), not
+	// O(overlay docs). Slices are copy-on-write: cloneNext shares them, and
+	// any write replaces the touched term's slice with a fresh copy.
+	termPost map[string][]ovPost
 	extras   []feature.Extra // overlay concept vectors with precomputed signatures
+}
+
+// ovPost is one overlay posting: a carrier document and its term frequency.
+type ovPost struct {
+	id string
+	tf int
 }
 
 // cloneNext deep-copies the overlay's own containers for the next write.
@@ -178,15 +197,19 @@ func (ov *overlay) cloneNextN(n int) *overlay {
 	nv := &overlay{
 		ops:      ov.ops + n,
 		masked:   make(map[string]bool, len(ov.masked)+1),
+		maskedDF: make(map[string]int, len(ov.maskedDF)+8),
 		byID:     make(map[string]*Document, len(ov.byID)+1),
 		byTime:   append([]timeEntry(nil), ov.byTime...),
 		terms:    make(map[string]map[string]int, len(ov.terms)+1),
 		docLen:   make(map[string]int, len(ov.docLen)+1),
-		termPost: make(map[string]map[string]int, len(ov.termPost)+8),
+		termPost: make(map[string][]ovPost, len(ov.termPost)+8),
 		extras:   append([]feature.Extra(nil), ov.extras...),
 	}
 	for id := range ov.masked {
 		nv.masked[id] = true
+	}
+	for t, c := range ov.maskedDF {
+		nv.maskedDF[t] = c
 	}
 	for id, d := range ov.byID {
 		nv.byID[id] = d
@@ -247,21 +270,22 @@ func (nv *overlay) removeTime(key int64, id string) {
 	}
 }
 
-// withPut returns the overlay extended with d. inBase says whether the base
-// holds a (now superseded) version of d.ID; sigs are d.Concept's per-table
-// LSH signatures (nil when the doc has no concept vector).
-func (ov *overlay) withPut(d *Document, tokens []string, sigs []uint64, inBase bool) *overlay {
+// withPut returns the overlay extended with d. cx is the frozen base's
+// compiled index (for masked-df bookkeeping); sigs are d.Concept's
+// per-table LSH signatures (nil when the doc has no concept vector). inBase
+// says whether the base holds a (now superseded) version of d.ID.
+func (ov *overlay) withPut(d *Document, tokens []string, sigs []uint64, inBase bool, cx *compiledIndex) *overlay {
 	nv := ov.cloneNext()
-	nv.putDoc(d, tokens, sigs, inBase)
+	nv.putDoc(d, tokens, sigs, inBase, cx)
 	return nv
 }
 
 // putDoc folds d into a freshly cloned (not yet published) overlay. Callers
 // own nv exclusively; once published the overlay is immutable again.
-func (nv *overlay) putDoc(d *Document, tokens []string, sigs []uint64, inBase bool) {
+func (nv *overlay) putDoc(d *Document, tokens []string, sigs []uint64, inBase bool, cx *compiledIndex) {
 	nv.dropID(d.ID)
 	if inBase {
-		nv.masked[d.ID] = true
+		nv.maskBase(d.ID, cx)
 	}
 	nv.byID[d.ID] = d
 	nv.insertTime(d.CreatedAt, d.ID)
@@ -281,50 +305,80 @@ func (nv *overlay) putDoc(d *Document, tokens []string, sigs []uint64, inBase bo
 
 // withDelete returns the overlay with id removed (and masked when the base
 // holds it).
-func (ov *overlay) withDelete(id string, inBase bool) *overlay {
+func (ov *overlay) withDelete(id string, inBase bool, cx *compiledIndex) *overlay {
 	nv := ov.cloneNext()
-	nv.deleteDoc(id, inBase)
+	nv.deleteDoc(id, inBase, cx)
 	return nv
 }
 
 // deleteDoc folds a delete into a freshly cloned overlay (see putDoc).
-func (nv *overlay) deleteDoc(id string, inBase bool) {
+func (nv *overlay) deleteDoc(id string, inBase bool, cx *compiledIndex) {
 	nv.dropID(id)
 	if inBase {
-		nv.masked[id] = true
+		nv.maskBase(id, cx)
+	}
+}
+
+// maskBase marks a base id dead and charges its distinct terms to
+// maskedDF via the compiled forward index. Masking is idempotent per
+// overlay lifetime — an id already masked was already charged.
+func (nv *overlay) maskBase(id string, cx *compiledIndex) {
+	if nv.masked[id] {
+		return
+	}
+	nv.masked[id] = true
+	if cx == nil {
+		return
+	}
+	ord, ok := cx.ords[id]
+	if !ok {
+		return
+	}
+	for _, ti := range cx.fwd[ord] {
+		nv.maskedDF[cx.termList[ti]]++
 	}
 }
 
 // setTermPost records id carrying term with frequency tf, copying the
-// term's posting map so shared predecessors stay immutable.
+// term's posting slice so shared predecessors stay immutable.
 func (nv *overlay) setTermPost(t, id string, tf int) {
 	p := nv.termPost[t]
-	np := make(map[string]int, len(p)+1)
-	for k, v := range p {
-		np[k] = v
+	i := sort.Search(len(p), func(i int) bool { return p[i].id >= id })
+	np := make([]ovPost, 0, len(p)+1)
+	np = append(np, p[:i]...)
+	np = append(np, ovPost{id: id, tf: tf})
+	if i < len(p) && p[i].id == id {
+		i++ // replace the existing entry
 	}
-	np[id] = tf
+	np = append(np, p[i:]...)
 	nv.termPost[t] = np
 }
 
-// delTermPost removes id from term's posting map, same copy-on-write
+// delTermPost removes id from term's posting slice, same copy-on-write
 // discipline.
 func (nv *overlay) delTermPost(t, id string) {
 	p, ok := nv.termPost[t]
 	if !ok {
 		return
 	}
-	np := make(map[string]int, len(p))
-	for k, v := range p {
-		if k != id {
-			np[k] = v
-		}
+	i := sort.Search(len(p), func(i int) bool { return p[i].id >= id })
+	if i >= len(p) || p[i].id != id {
+		return
 	}
-	if len(np) == 0 {
+	if len(p) == 1 {
 		delete(nv.termPost, t)
-	} else {
-		nv.termPost[t] = np
+		return
 	}
+	np := make([]ovPost, 0, len(p)-1)
+	np = append(np, p[:i]...)
+	np = append(np, p[i+1:]...)
+	nv.termPost[t] = np
+}
+
+// postingsFor returns term's overlay postings, sorted by document ID. The
+// slice is shared and read-only.
+func (ov *overlay) postingsFor(term string) []ovPost {
+	return ov.termPost[term]
 }
 
 // df returns how many overlay docs carry term.
@@ -370,13 +424,36 @@ func (sn *snapshot) getDoc(id string) *Document {
 	return sn.base.docs[id]
 }
 
-// searchTextRaw ranks against the merged index. Returned hits share
-// snapshot-owned documents (see cloneHits).
-func (sn *snapshot) searchTextRaw(tokens []string, k int) []Hit {
-	res := sn.base.inv.searchWith(tokens, k, sn.ov, sn.docCount)
+// searchTextRaw ranks against the merged index (block-max over the
+// compiled base, exact merge with the overlay). Returned hits share
+// snapshot-owned documents — they are read-only for callers.
+func (sn *snapshot) searchTextRaw(tokens []string, k int, sc *searchScratch) []Hit {
+	return sn.assembleHits(sn.searchCompiled(tokens, k, sc, false))
+}
+
+// searchTextExhaustive is the reference scorer: the same accumulation code
+// with early termination disabled, so every candidate is scored. Property
+// tests pin searchTextRaw bit-identical to it.
+func (sn *snapshot) searchTextExhaustive(tokens []string, k int, sc *searchScratch) []Hit {
+	return sn.assembleHits(sn.searchCompiled(tokens, k, sc, true))
+}
+
+// assembleHits resolves ranked ordinals/ids into hit documents. The scored
+// slice is scratch-backed, so hits must be built before the scratch is
+// reused.
+func (sn *snapshot) assembleHits(res []scored) []Hit {
+	if len(res) == 0 {
+		return nil
+	}
 	hits := make([]Hit, 0, len(res))
 	for _, r := range res {
-		if d := sn.getDoc(r.id); d != nil {
+		var d *Document
+		if r.ord >= 0 {
+			d = sn.base.cx.docs[r.ord]
+		} else {
+			d = sn.ov.byID[r.id]
+		}
+		if d != nil {
 			hits = append(hits, Hit{Doc: d, Score: r.score})
 		}
 	}

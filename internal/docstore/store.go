@@ -135,6 +135,10 @@ type Store struct {
 	deletes  atomic.Uint64
 	searches atomic.Uint64
 	walBytes atomic.Int64
+	// Block-max effectiveness counters: postings blocks decoded vs skipped
+	// (proven unable to reach the top-k threshold) across all text searches.
+	blocksDecoded atomic.Uint64
+	blocksSkipped atomic.Uint64
 }
 
 // Open creates or recovers a store. With a Dir, it replays the snapshot and
@@ -179,8 +183,17 @@ func Open(opts Options) (*Store, error) {
 		return nil
 	}
 	replayStart := time.Now()
-	if _, _, err := replayWAL(snapPath, apply); err != nil {
+	// Snapshot files carry a versioned header. The compiled (v2) format
+	// loads postings blocks directly — no per-document re-tokenization;
+	// legacy snapshots (WAL-format record streams) replay as before.
+	loaded, err := loadSnapshotFile(snapPath, s.master)
+	if err != nil {
 		return nil, err
+	}
+	if !loaded {
+		if _, _, err := replayWAL(snapPath, apply); err != nil {
+			return nil, err
+		}
 	}
 	clean, torn, err := replayWAL(walPath, apply)
 	if err != nil {
@@ -238,7 +251,7 @@ func (s *Store) publishPutLocked(d *Document, tokens []string) {
 	s.installLocked(&snapshot{
 		epoch: cur.epoch + 1,
 		base:  cur.base,
-		ov:    cur.ov.withPut(d, tokens, sigs, inBase),
+		ov:    cur.ov.withPut(d, tokens, sigs, inBase, cur.base.cx),
 	})
 }
 
@@ -279,10 +292,10 @@ func (s *Store) publishWindowLocked(window []*commitReq) {
 				if len(op.doc.Concept) > 0 {
 					sigs = s.master.vec.Signatures(op.doc.Concept)
 				}
-				nv.putDoc(op.doc, op.tokens, sigs, inBase)
+				nv.putDoc(op.doc, op.tokens, sigs, inBase, cur.base.cx)
 			} else {
 				_, inBase := cur.base.docs[op.id]
-				nv.deleteDoc(op.id, inBase)
+				nv.deleteDoc(op.id, inBase, cur.base.cx)
 			}
 		}
 	}
@@ -299,7 +312,7 @@ func (s *Store) publishDeleteLocked(id string) {
 	s.installLocked(&snapshot{
 		epoch: cur.epoch + 1,
 		base:  cur.base,
-		ov:    cur.ov.withDelete(id, inBase),
+		ov:    cur.ov.withDelete(id, inBase, cur.base.cx),
 	})
 }
 
@@ -433,7 +446,11 @@ func (s *Store) Epoch() uint64 {
 	return s.snap.Load().epoch
 }
 
-// Hit is a scored search result.
+// Hit is a scored search result. Search results share snapshot-owned
+// documents: they are immutable and stay valid indefinitely (the snapshot
+// they came from is never mutated), but callers must treat them as
+// read-only — mutate a copy (Doc.Clone) instead. This is what makes the
+// steady-state query path allocation-free.
 type Hit struct {
 	Doc   *Document
 	Score float64
@@ -442,23 +459,43 @@ type Hit struct {
 // SearchText ranks documents against a free-text query. Results are served
 // from the generation-tagged cache when the same (query, k) was answered at
 // the current epoch; cache hits do not re-execute (and do not count as a
-// search in Stats).
+// search in Stats). Returned hits are read-only (see Hit).
 func (s *Store) SearchText(query string, k int) []Hit {
 	start := time.Now()
 	defer func() { s.tel.textLat.Observe(time.Since(start)) }()
 	sn := s.snap.Load()
-	key := textCacheKey(query, k)
-	if hits, ok := s.cache.get(key, sn.epoch); ok {
+	sc := getScratch()
+	sc.keyBuf = appendTextKey(sc.keyBuf[:0], query, k)
+	if hits, ok := s.cache.get(sc.keyBuf, sn.epoch); ok {
+		putScratch(sc)
 		return hits
 	}
 	s.countSearch()
-	raw := sn.searchTextRaw(s.tokens.tokenize(query), k)
-	s.cache.put(key, sn.epoch, raw)
-	return cloneHits(raw)
+	raw := sn.searchTextRaw(s.tokens.tokenize(query), k, sc)
+	s.noteSearchStats(&sc.stats)
+	s.cache.put(sc.keyBuf, sn.epoch, raw)
+	putScratch(sc)
+	return raw
+}
+
+// SearchTextExhaustive ranks with early termination disabled: every
+// candidate is scored through the same accumulation code SearchText uses.
+// It exists as the reference for property tests and experiments proving the
+// block-max path bit-identical; it bypasses the query cache and is not the
+// API to serve queries from.
+func (s *Store) SearchTextExhaustive(query string, k int) []Hit {
+	sn := s.snap.Load()
+	sc := getScratch()
+	s.countSearch()
+	hits := sn.searchTextExhaustive(s.tokens.tokenize(query), k, sc)
+	s.noteSearchStats(&sc.stats)
+	putScratch(sc)
+	return hits
 }
 
 // SearchVector ranks documents by cosine similarity of concept vectors,
-// using the LSH index with exact fallback for small stores.
+// using the LSH index with exact fallback for small stores. Returned hits
+// are read-only (see Hit).
 func (s *Store) SearchVector(concept feature.Vector, k int) []Hit {
 	if concept.Norm() == 0 {
 		return nil // a zero vector matches nothing, not everything
@@ -467,7 +504,7 @@ func (s *Store) SearchVector(concept feature.Vector, k int) []Hit {
 	defer func() { s.tel.vectorLat.Observe(time.Since(start)) }()
 	s.countSearch()
 	sn := s.snap.Load()
-	return cloneHits(sn.searchVectorRaw(concept, k))
+	return sn.searchVectorRaw(concept, k)
 }
 
 // SearchVisual ranks image-bearing documents by low-level visual
@@ -517,7 +554,7 @@ func (s *Store) SearchVisual(query feature.VisualFeatures, colorWeight float64, 
 	cands := h.sorted()
 	hits := make([]Hit, len(cands))
 	for i, c := range cands {
-		hits[i] = Hit{Doc: c.d.Clone(), Score: c.score}
+		hits[i] = Hit{Doc: c.d, Score: c.score}
 	}
 	return hits
 }
@@ -538,8 +575,10 @@ func (s *Store) SearchHybrid(query string, concept feature.Vector, alpha float64
 	start := time.Now()
 	defer func() { s.tel.hybridLat.Observe(time.Since(start)) }()
 	sn := s.snap.Load()
-	key := hybridCacheKey(query, concept, alpha, k)
-	if hits, ok := s.cache.get(key, sn.epoch); ok {
+	sc := getScratch()
+	sc.keyBuf = appendHybridKey(sc.keyBuf[:0], query, concept, alpha, k)
+	if hits, ok := s.cache.get(sc.keyBuf, sn.epoch); ok {
+		putScratch(sc)
 		return hits
 	}
 	// One hybrid query is one search, even though it consults two indexes.
@@ -549,7 +588,7 @@ func (s *Store) SearchHybrid(query string, concept feature.Vector, alpha float64
 	if pool < 32 {
 		pool = 32
 	}
-	text := sn.searchTextRaw(s.tokens.tokenize(query), pool)
+	text := sn.searchTextRaw(s.tokens.tokenize(query), pool, sc)
 	vec := sn.searchVectorRaw(concept, pool)
 	norm := func(hits []Hit) map[string]float64 {
 		out := make(map[string]float64, len(hits))
@@ -583,8 +622,10 @@ func (s *Store) SearchHybrid(query string, concept feature.Vector, alpha float64
 	if len(hits) > k {
 		hits = hits[:k]
 	}
-	s.cache.put(key, sn.epoch, hits)
-	return cloneHits(hits)
+	s.cache.put(sc.keyBuf, sn.epoch, hits)
+	s.noteSearchStats(&sc.stats)
+	putScratch(sc)
+	return hits
 }
 
 // ByTopic returns up to k documents carrying the topic, newest first. It
@@ -665,6 +706,16 @@ func (s *Store) countSearch() {
 	s.tel.searches.Inc()
 }
 
+// noteSearchStats folds one query's block counters into the store totals.
+func (s *Store) noteSearchStats(st *searchStats) {
+	if st.blocksDecoded != 0 {
+		s.blocksDecoded.Add(st.blocksDecoded)
+	}
+	if st.blocksSkipped != 0 {
+		s.blocksSkipped.Add(st.blocksSkipped)
+	}
+}
+
 // Compact writes a snapshot of the current state and drops the WAL prefix
 // it covers. The build runs off the writer critical path — commit windows
 // keep flowing while the snapshot file streams out — and Store.mu is taken
@@ -711,32 +762,23 @@ func (s *Store) compactOnce() error {
 	off := s.log.size
 	s.mu.Unlock()
 
-	// Phase 2 (no lock): stream every doc live at sn into a temp file.
+	// Phase 2 (no lock): merge the overlay into the compiled base — by
+	// decoding postings blocks, never by re-tokenizing documents — compile
+	// the live set, and write it as a v2 snapshot into a temp file.
 	snapPath, walPath := snapshotPaths(s.opts.Dir)
 	tmp := snapPath + ".tmp"
+	merged := mergeLiveSet(sn)
 	f, err := os.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("docstore: creating snapshot: %w", err)
 	}
-	sw := &wal{f: f, w: bufio.NewWriterSize(f, 64<<10), path: tmp}
-	write := func(d *Document) error { return sw.append(opPut, d.marshal()) }
-	for id, d := range sn.base.docs {
-		if sn.ov.masked[id] {
-			continue
-		}
-		if err = write(d); err != nil {
-			break
-		}
+	bw := bufio.NewWriterSize(f, 64<<10)
+	err = writeSnapshotV2(bw, merged)
+	if err == nil {
+		err = bw.Flush()
 	}
 	if err == nil {
-		for _, d := range sn.ov.byID {
-			if err = write(d); err != nil {
-				break
-			}
-		}
-	}
-	if err == nil {
-		err = sw.sync()
+		err = f.Sync()
 	}
 	if cerr := f.Close(); err == nil && cerr != nil {
 		err = fmt.Errorf("docstore: closing snapshot: %w", cerr)
@@ -825,14 +867,18 @@ func (s *Store) Close() error {
 	return nil
 }
 
-// Stats reports operation counters and index sizes.
+// Stats reports operation counters and index sizes. BlocksDecoded and
+// BlocksSkipped count postings blocks across all text searches; their ratio
+// is the block-max early-termination win.
 type Stats struct {
-	Docs     int
-	Terms    int
-	Puts     uint64
-	Deletes  uint64
-	Searches uint64
-	WALBytes int64
+	Docs          int
+	Terms         int
+	Puts          uint64
+	Deletes       uint64
+	Searches      uint64
+	WALBytes      int64
+	BlocksDecoded uint64
+	BlocksSkipped uint64
 }
 
 // Stats returns a snapshot of store statistics, assembled entirely from the
@@ -842,12 +888,14 @@ type Stats struct {
 func (s *Store) Stats() Stats {
 	sn := s.snap.Load()
 	return Stats{
-		Docs:     sn.docCount,
-		Terms:    sn.termCount,
-		Puts:     s.puts.Load(),
-		Deletes:  s.deletes.Load(),
-		Searches: s.searches.Load(),
-		WALBytes: s.walBytes.Load(),
+		Docs:          sn.docCount,
+		Terms:         sn.termCount,
+		Puts:          s.puts.Load(),
+		Deletes:       s.deletes.Load(),
+		Searches:      s.searches.Load(),
+		WALBytes:      s.walBytes.Load(),
+		BlocksDecoded: s.blocksDecoded.Load(),
+		BlocksSkipped: s.blocksSkipped.Load(),
 	}
 }
 

@@ -48,7 +48,7 @@ func collectDirectives(fset *token.FileSet, f *File) {
 // allowableAnalyzers are the names a directive may suppress. Kept as an
 // explicit list (rather than derived from Analyzers) to avoid an
 // initialization cycle; TestAnalyzerNameList pins it to the suite.
-var allowableAnalyzers = []string{"wallclock", "nilguard", "goroutine", "checkederr", "lockfree"}
+var allowableAnalyzers = []string{"wallclock", "nilguard", "goroutine", "checkederr", "lockfree", "postings"}
 
 func knownAnalyzer(name string) bool {
 	for _, a := range allowableAnalyzers {

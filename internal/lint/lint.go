@@ -94,6 +94,7 @@ func Analyzers() []*Analyzer {
 		goroutineAnalyzer,
 		checkederrAnalyzer,
 		lockfreeAnalyzer,
+		postingsAnalyzer,
 		directiveAnalyzer,
 	}
 }

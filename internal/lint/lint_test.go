@@ -156,6 +156,22 @@ func TestLockfreeOutsideDocstoreIsSilent(t *testing.T) {
 	}
 }
 
+func TestPostingsFixture(t *testing.T) {
+	runFixture(t, "postings", "internal/docstore", postingsAnalyzer)
+}
+
+// TestPostingsOutsideDocstoreIsSilent pins the scoping: the same fixture
+// under any other path must produce nothing.
+func TestPostingsOutsideDocstoreIsSilent(t *testing.T) {
+	p, err := ParseDir(filepath.Join("testdata", "postings"), "internal/core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Run([]*Package{p}, []*Analyzer{postingsAnalyzer}); len(diags) != 0 {
+		t.Fatalf("postings fired outside internal/docstore:\n%s", renderDiags(diags))
+	}
+}
+
 func TestDirectiveFixture(t *testing.T) {
 	runFixture(t, "directive", "internal/anywhere", directiveAnalyzer)
 }

@@ -1,0 +1,81 @@
+// Fixture for the postings analyzer. Parsed as package path
+// internal/docstore; syntax only, never compiled.
+package docstore
+
+type invIndex struct {
+	postings map[string]map[string]int
+}
+
+type overlay struct {
+	termPost map[string][]struct {
+		id string
+		tf int
+	}
+}
+
+type Store struct {
+	inv *invIndex
+	ov  *overlay
+}
+
+type Hit struct{}
+
+// SearchText is a root: everything it (transitively) calls is on the query
+// path and must stay off the postings maps. The scratch release at the end
+// calls sync.Pool.Put — by bare name that is also Store.Put, and the
+// analyzer must stop there rather than drag the write side into the
+// closure.
+func (s *Store) SearchText(q string, k int) []Hit {
+	s.rank(q)
+	scratchPool.Put(q)
+	return nil
+}
+
+// rank is reachable from SearchText only through the call graph — the
+// analyzer must chase the name, not just the Search* decls themselves.
+func (s *Store) rank(q string) float64 {
+	total := 0.0
+	for id, tf := range s.inv.postings[q] { // want "rank (reachable from Search*) ranges over postings"
+		_ = id
+		total += float64(tf)
+	}
+	for t, p := range s.inv.postings { // want "ranges over postings"
+		_, _ = t, p
+	}
+	for _, e := range s.ov.termPost[q] { // want "ranges over termPost"
+		total += float64(e.tf)
+	}
+	return total
+}
+
+// overlayPostings is the sanctioned accessor shape: ranging over a call
+// result is fine — the accessor returns a sorted COW slice, not a map.
+func (s *Store) overlayPostings(t string) []int { return nil }
+
+func (s *Store) SearchHybrid(q string) []Hit {
+	for _, tf := range s.overlayPostings(q) {
+		_ = tf
+	}
+	return nil
+}
+
+// Put is a write entry point: a barrier for the closure, so its postings
+// iteration is legal even though SearchText contains a call spelled .Put.
+func (s *Store) Put(d *Hit) error {
+	for t, p := range s.inv.postings {
+		_, _ = t, p
+	}
+	return nil
+}
+
+// removeDoc is a writer: it is not reachable from any Search* root, so its
+// map iteration is legal (freeze and compaction rebuild these maps).
+func (s *Store) removeDoc(id string) {
+	for t, p := range s.inv.postings {
+		delete(p, id)
+		_ = t
+	}
+	for t := range s.ov.termPost {
+		_ = t
+	}
+}
