@@ -26,8 +26,12 @@ vet:
 	$(GO) vet ./...
 
 # Offline static analysis: go vet plus agoralint, the repo's custom
-# analyzer suite (internal/lint) enforcing the determinism, nil-safe
-# instrument, goroutine-join, and checked-error contracts. Suppressions
+# analyzer suite (internal/lint). The suite type-checks the whole module
+# (stdlib source importer, still offline) and builds a shared call graph,
+# enforcing the determinism, nil-safe instrument, goroutine-join,
+# checked-error, lock-free/zero-alloc read-path, atomics-discipline, and
+# frozen-snapshot contracts. The Go build cache absorbs the stdlib
+# type-checking work, so warm runs stay a few seconds. Suppressions
 # require a reasoned `//lint:allow <analyzer> <reason>` directive.
 lint: vet
 	$(GO) run ./cmd/agoralint

@@ -2,20 +2,26 @@
 // (internal/lint) over the whole module and reports contract violations
 // the stock toolchain cannot see: wall-clock reads in kernel-governed
 // packages, unguarded telemetry instruments, untracked goroutines on the
-// serving path, and discarded errors on the durability path.
+// serving path, discarded errors on the durability path, locks or map
+// iteration or allocation on the lock-free read path, plain access to
+// atomic fields, and post-publish mutation of frozen snapshot types.
 //
 // Usage:
 //
-//	agoralint [-github] [-list] [root]
+//	agoralint [-github] [-list] [-timing] [root]
 //
 // root defaults to the enclosing module root (the nearest parent
 // directory containing go.mod). Exit status is 1 when any finding
 // survives the //lint:allow directives, 0 otherwise. With -github each
 // finding is additionally emitted as a GitHub Actions workflow command
 // (`::error file=...,line=...`) so violations annotate PR diffs inline.
+// With -timing the load/type-check and analysis wall times go to stderr.
 //
 // agoralint is offline and dependency-free by design: `make lint` must
-// work with no network and no module downloads.
+// work with no network and no module downloads. Type information comes
+// from go/types with the go/importer source importer, which reads GOROOT
+// and module sources directly — slower than compiled export data, but
+// dependency-free; the Go build cache keeps repeat runs cheap.
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/lint"
 )
@@ -31,8 +38,9 @@ import (
 func main() {
 	github := flag.Bool("github", false, "emit GitHub Actions ::error annotations in addition to plain findings")
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	timing := flag.Bool("timing", false, "report load/type-check and analysis wall times on stderr")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: agoralint [-github] [-list] [root]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: agoralint [-github] [-list] [-timing] [root]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -55,11 +63,17 @@ func main() {
 			fatal(err)
 		}
 	}
-	pkgs, err := lint.LoadTree(root)
+	loadStart := time.Now()
+	mod, err := lint.LoadTree(root)
 	if err != nil {
 		fatal(err)
 	}
-	diags := lint.Run(pkgs, analyzers)
+	loadDur := time.Since(loadStart)
+	runStart := time.Now()
+	diags := lint.Run(mod, analyzers)
+	if *timing {
+		fmt.Fprintf(os.Stderr, "agoralint: load+typecheck %v, analyze %v\n", loadDur.Round(time.Millisecond), time.Since(runStart).Round(time.Millisecond))
+	}
 	for _, d := range diags {
 		rel := d.Pos.Filename
 		if r, rerr := filepath.Rel(root, d.Pos.Filename); rerr == nil {

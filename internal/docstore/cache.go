@@ -103,7 +103,8 @@ func (c *queryCache) put(key []byte, epoch uint64, raw []Hit) {
 		c.mu.Unlock()
 		return
 	}
-	k := string(key)
+	k := string(key) //lint:allow hotalloc miss path only: the key must outlive the caller's scratch buffer
+	//lint:allow hotalloc miss path only: the entry is retained by the LRU list
 	c.entries[k] = c.ll.PushFront(&cacheEntry{key: k, epoch: epoch, raw: raw})
 	for c.ll.Len() > c.cap {
 		el := c.ll.Back()

@@ -89,7 +89,7 @@ func TestCodecCorrupt(t *testing.T) {
 	cases := map[string][]byte{
 		"zero gap":          uv(0, 1),
 		"zero tf":           uv(1, 0),
-		"gap past uint32":   uv(math.MaxUint32 + 1, 1),
+		"gap past uint32":   uv(math.MaxUint32+1, 1),
 		"tf past uint32":    uv(1, math.MaxUint32+1),
 		"ord hits sentinel": uv(uint64(ordSentinel)+1, 1),
 		// Cumulative overflow: two legal gaps whose sum crosses the sentinel.

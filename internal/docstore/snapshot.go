@@ -168,8 +168,8 @@ type overlay struct {
 	// with postings.
 	maskedDF map[string]int
 	byID     map[string]*Document
-	byTime   []timeEntry                // ascending (key, id)
-	terms    map[string]map[string]int  // docID -> term -> tf (inner maps immutable)
+	byTime   []timeEntry               // ascending (key, id)
+	terms    map[string]map[string]int // docID -> term -> tf (inner maps immutable)
 	docLen   map[string]int
 	// termPost inverts terms (term -> carriers sorted by docID) so per-term
 	// document frequency and overlay scoring are O(carriers), not
@@ -445,7 +445,7 @@ func (sn *snapshot) assembleHits(res []scored) []Hit {
 	if len(res) == 0 {
 		return nil
 	}
-	hits := make([]Hit, 0, len(res))
+	hits := make([]Hit, 0, len(res)) //lint:allow hotalloc the one documented cold-query allocation: the returned []Hit
 	for _, r := range res {
 		var d *Document
 		if r.ord >= 0 {
@@ -454,7 +454,7 @@ func (sn *snapshot) assembleHits(res []scored) []Hit {
 			d = sn.ov.byID[r.id]
 		}
 		if d != nil {
-			hits = append(hits, Hit{Doc: d, Score: r.score})
+			hits = append(hits, Hit{Doc: d, Score: r.score}) //lint:allow hotalloc appends into the sized cold-query allocation above; never grows
 		}
 	}
 	return hits

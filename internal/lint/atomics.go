@@ -1,0 +1,207 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// atomicsAnalyzer enforces atomic-access discipline repo-wide. Two race
+// classes have been fixed by hand before (Server.Served in the transport
+// rewrite, Span.End in the tracing PR); this pins both statically:
+//
+//  1. A plain struct field that is accessed through sync/atomic anywhere
+//     (atomic.AddInt64(&s.n, 1)) is an atomic field everywhere: any
+//     *other* plain read or write of that field object is a data race
+//     and is reported.
+//  2. A field of an atomic.X value type (atomic.Int64, atomic.Bool,
+//     atomic.Pointer[T], atomic.Value, or an array of them) must only be
+//     used through its methods (or have its address taken): copying the
+//     value out, overwriting it wholesale, or ranging an atomic array by
+//     value silently drops the synchronization.
+//
+// Both rules key on resolved field *objects*, so same-named fields on
+// different types stay independent. Fields reached only through pointer
+// aliases (p := &s.n; atomic.AddInt64(p, 1)) are not classified — the
+// repo's style passes field addresses directly at the call site.
+var atomicsAnalyzer = &Analyzer{
+	Name: "atomics",
+	Doc:  "fields accessed via sync/atomic (or of atomic.X type) must never be read or written plainly",
+	RunModule: func(m *Module, report ReportFunc) {
+		// Pass A, module-wide: collect the plain fields used atomically and
+		// the exact selector nodes sanctioned by being those uses.
+		atomicFields := map[*types.Var]string{} // field -> display label
+		sanctioned := map[*ast.SelectorExpr]bool{}
+		for _, p := range m.Pkgs {
+			if p.Info == nil {
+				continue
+			}
+			for _, f := range p.ProductionFiles() {
+				ast.Inspect(f.AST, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok || len(call.Args) == 0 {
+						return true
+					}
+					fun, ok := call.Fun.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					fn, ok := p.Info.Uses[fun.Sel].(*types.Func)
+					if !ok || !funcFromPkg(fn, "sync/atomic") {
+						return true
+					}
+					if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+						return true // atomic.X methods are rule 2's territory
+					}
+					un, ok := call.Args[0].(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						return true
+					}
+					if sel := addressedField(un.X); sel != nil {
+						if field := fieldObjOf(p, sel); field != nil {
+							atomicFields[field] = fieldLabel(p, sel, field)
+							sanctioned[sel] = true
+						}
+					}
+					return true
+				})
+			}
+		}
+
+		// Pass B, module-wide: report unsanctioned accesses of those
+		// fields, and non-method uses of atomic.X-typed fields.
+		for _, p := range m.Pkgs {
+			if p.Info == nil {
+				continue
+			}
+			for _, f := range p.ProductionFiles() {
+				walkParents(f.AST, func(n ast.Node, parents []ast.Node) {
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok {
+						return
+					}
+					field := fieldObjOf(p, sel)
+					if field == nil {
+						return
+					}
+					if label, ok := atomicFields[field]; ok && !sanctioned[sel] {
+						if isWriteTarget(sel, parents) {
+							report(sel.Pos(), "%s is written plainly but accessed with sync/atomic elsewhere; this races — use atomic stores (or make the field an atomic.X type)", label)
+						} else {
+							report(sel.Pos(), "%s is read plainly but accessed with sync/atomic elsewhere; this races — use atomic loads", label)
+						}
+						return
+					}
+					if atomicValueType(field.Type()) && !atomicUseOK(sel, parents) {
+						report(sel.Pos(), "%s has atomic type %s and must not be copied or reassigned wholesale; use its Load/Store/Add methods",
+							fieldLabel(p, sel, field), field.Type().String())
+					}
+				})
+			}
+		}
+	},
+}
+
+// addressedField unwraps index and paren expressions and returns the
+// selector whose address the &-operand takes (&s.n, &s.counts[i]), or
+// nil.
+func addressedField(e ast.Expr) *ast.SelectorExpr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			return x
+		default:
+			return nil
+		}
+	}
+}
+
+// fieldLabel renders Type.field for diagnostics, using the selection's
+// receiver type when available.
+func fieldLabel(p *Package, sel *ast.SelectorExpr, field *types.Var) string {
+	if s := p.Info.Selections[sel]; s != nil {
+		if named := namedOf(s.Recv()); named != nil {
+			return fmt.Sprintf("%s.%s", named.Obj().Name(), field.Name())
+		}
+	}
+	return field.Name()
+}
+
+// isWriteTarget reports whether the selector is the target of an
+// assignment or ++/--.
+func isWriteTarget(sel ast.Expr, parents []ast.Node) bool {
+	cur := sel
+	for i := 0; ; i++ {
+		switch par := parentAbove(parents, i).(type) {
+		case *ast.ParenExpr:
+			cur = par
+		case *ast.IndexExpr:
+			if par.X != cur {
+				return false
+			}
+			cur = par
+		case *ast.AssignStmt:
+			for _, lhs := range par.Lhs {
+				if lhs == cur {
+					return true
+				}
+			}
+			return false
+		case *ast.IncDecStmt:
+			return par.X == cur
+		default:
+			return false
+		}
+	}
+}
+
+// atomicValueType reports whether t is a sync/atomic value type (or an
+// array of them). Pointers to atomic types are fine to copy — only the
+// value forms lose their synchronization when duplicated.
+func atomicValueType(t types.Type) bool {
+	if n, ok := t.(*types.Named); ok {
+		obj := n.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" {
+			return true
+		}
+	}
+	if arr, ok := t.Underlying().(*types.Array); ok {
+		return atomicValueType(arr.Elem())
+	}
+	return false
+}
+
+// atomicUseOK reports whether a selector of an atomic.X-typed field is
+// used in one of the sanctioned shapes: a method call on it, its address
+// taken, indexing toward an element (for atomic arrays), or a key-only
+// range.
+func atomicUseOK(sel ast.Expr, parents []ast.Node) bool {
+	cur := sel
+	for i := 0; ; i++ {
+		switch par := parentAbove(parents, i).(type) {
+		case *ast.ParenExpr:
+			cur = par
+		case *ast.IndexExpr:
+			if par.X != cur {
+				return false // atomic value used as an index
+			}
+			cur = par
+		case *ast.SelectorExpr:
+			// Method access (atomic types export no fields): h.buckets[i].Add(1).
+			return par.X == cur
+		case *ast.UnaryExpr:
+			return par.Op == token.AND
+		case *ast.RangeStmt:
+			// Key-only iteration over an atomic array is fine; binding the
+			// element copies it.
+			return par.X == cur && par.Value == nil
+		default:
+			return false
+		}
+	}
+}

@@ -18,6 +18,10 @@ const allowPrefix = "//lint:allow"
 //
 //	//lint:allow wallclock LatencyScale real-sleep path
 //	time.Sleep(d)
+//
+// A directive naming an analyzer that does not exist suppresses nothing
+// and is recorded separately: a typo like //lint:allow lockfre would
+// otherwise silently leave the author believing the finding is covered.
 func collectDirectives(fset *token.FileSet, f *File) {
 	f.allows = map[int][]string{}
 	for _, cg := range f.AST.Comments {
@@ -35,7 +39,7 @@ func collectDirectives(fset *token.FileSet, f *File) {
 			}
 			name := fields[0]
 			if !knownAnalyzer(name) {
-				f.malformed = append(f.malformed, c.Pos())
+				f.unknown = append(f.unknown, unknownDirective{pos: c.Pos(), name: name})
 				continue
 			}
 			line := fset.Position(c.Pos()).Line
@@ -48,7 +52,10 @@ func collectDirectives(fset *token.FileSet, f *File) {
 // allowableAnalyzers are the names a directive may suppress. Kept as an
 // explicit list (rather than derived from Analyzers) to avoid an
 // initialization cycle; TestAnalyzerNameList pins it to the suite.
-var allowableAnalyzers = []string{"wallclock", "nilguard", "goroutine", "checkederr", "lockfree", "postings"}
+var allowableAnalyzers = []string{
+	"wallclock", "nilguard", "goroutine", "checkederr",
+	"lockfree", "postings", "atomics", "hotalloc", "snapfreeze",
+}
 
 func knownAnalyzer(name string) bool {
 	for _, a := range allowableAnalyzers {
@@ -59,9 +66,10 @@ func knownAnalyzer(name string) bool {
 	return false
 }
 
-// directiveAnalyzer reports malformed //lint:allow directives: a
-// suppression without a known analyzer name and a reason is itself a
-// violation, so the allowlist stays auditable.
+// directiveAnalyzer reports defective //lint:allow directives: one
+// missing the analyzer name or the reason, and one naming an analyzer
+// that does not exist (which would silently suppress nothing). Either
+// way the allowlist stays auditable.
 var directiveAnalyzer = &Analyzer{
 	Name:         "directive",
 	Doc:          "//lint:allow directives must name a known analyzer and give a reason",
@@ -70,6 +78,10 @@ var directiveAnalyzer = &Analyzer{
 		for _, pos := range f.malformed {
 			report(pos, "malformed directive: want `%s <analyzer> <reason>` with analyzer one of %s",
 				allowPrefix, analyzerNames())
+		}
+		for _, u := range f.unknown {
+			report(u.pos, "unknown analyzer %q in directive: it suppresses nothing; analyzer must be one of %s",
+				u.name, analyzerNames())
 		}
 	},
 }

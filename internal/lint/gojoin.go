@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/token"
+	"go/types"
 )
 
 // joinTrackedPackages must not leak goroutines: internal/transport serves
@@ -22,12 +23,14 @@ var joinTrackedPackages = []string{
 // statement in the packages above must be join-tracked within its
 // enclosing function. Accepted evidence, any one of:
 //
-//   - the spawned closure registers itself with a WaitGroup/errgroup
-//     (contains a Done or Wait call, e.g. `defer wg.Done()`);
+//   - the spawned closure registers itself with a sync.WaitGroup
+//     (contains a Done or Wait call that actually resolves to
+//     (*sync.WaitGroup).Done/Wait — a same-named method on some other
+//     type is not a join);
 //   - the spawned closure hands results over a channel (send or close)
 //     and the enclosing function visibly consumes one (receive, select,
 //     or range);
-//   - the enclosing function itself calls .Wait().
+//   - the enclosing function itself calls (*sync.WaitGroup).Wait.
 //
 // Long-lived loops joined through struct state (e.g. a demux goroutine
 // whose Close elsewhere blocks on a done channel) carry a
@@ -56,7 +59,7 @@ var goroutineAnalyzer = &Analyzer{
 				return true
 			}
 			for _, g := range directGoStmts(body) {
-				if !joinTracked(body, g) {
+				if !joinTracked(p, body, g) {
 					report(g.Pos(), "go statement is not join-tracked in this function (no WaitGroup Done/Wait, no channel join); leaked goroutines break clean shutdown — join it or annotate `//lint:allow goroutine <reason>` naming the join point")
 				}
 			}
@@ -83,16 +86,62 @@ func directGoStmts(body *ast.BlockStmt) []*ast.GoStmt {
 	return out
 }
 
-func joinTracked(body *ast.BlockStmt, g *ast.GoStmt) bool {
+func joinTracked(p *Package, body *ast.BlockStmt, g *ast.GoStmt) bool {
 	if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
-		if containsCallNamed(lit.Body, "Done", "Wait") {
+		if containsWaitGroupCall(p, lit.Body, "Done", "Wait") {
 			return true
 		}
 		if sendsOrCloses(lit.Body) && consumesChannel(body) {
 			return true
 		}
 	}
-	return containsCallNamed(body, "Wait")
+	return containsWaitGroupCall(p, body, "Wait")
+}
+
+// containsWaitGroupCall reports whether node contains a call that
+// resolves, via type information, to one of the named methods on
+// *sync.WaitGroup. Test files carry no type info (p.Info covers
+// production files only) and fall back to accepting a bare name match —
+// the contracts gate production code, and the fallback only loosens the
+// rule where types are unavailable.
+func containsWaitGroupCall(p *Package, node ast.Node, names ...string) bool {
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return !found
+		}
+		for _, want := range names {
+			if sel.Sel.Name != want {
+				continue
+			}
+			if p.Info != nil {
+				if obj, known := p.Info.Uses[sel.Sel]; known {
+					fn, isFn := obj.(*types.Func)
+					if !isFn || !isWaitGroupMethod(fn) {
+						continue
+					}
+				}
+			}
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// isWaitGroupMethod reports whether fn is a method on sync.WaitGroup.
+func isWaitGroupMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return isPkgType(sig.Recv().Type(), "sync", "WaitGroup")
 }
 
 // sendsOrCloses reports whether the closure hands data back: a channel

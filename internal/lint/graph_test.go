@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeFixtureTree materializes files (path -> source) under a temp dir
+// and returns the dir.
+func writeFixtureTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for rel, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// edgeTo reports whether the graph has a direct edge from -> to.
+func edgeTo(from, to *FuncNode) bool {
+	for _, c := range from.Callees {
+		if c == to {
+			return true
+		}
+	}
+	return false
+}
+
+// TestGraphInterfaceDispatch pins the CHA expansion: a call through an
+// interface value fans out to every module type implementing it —
+// value-receiver and pointer-receiver implementations alike — and not to
+// unrelated types.
+func TestGraphInterfaceDispatch(t *testing.T) {
+	dir := writeFixtureTree(t, map[string]string{"p.go": `package p
+
+type ranker interface{ rank(q string) int }
+
+type fast struct{}
+
+func (fast) rank(q string) int { return 1 }
+
+type slow struct{}
+
+func (s *slow) rank(q string) int { return len(q) }
+
+type unrelated struct{}
+
+func (unrelated) score(q string) int { return 2 }
+
+func run(r ranker) int { return r.rank("x") }
+`})
+	m, err := FixtureModule(dir, "internal/p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := m.Graph()
+	run := g.Node("internal/p", "", "run")
+	fastRank := g.Node("internal/p", "fast", "rank")
+	slowRank := g.Node("internal/p", "slow", "rank")
+	score := g.Node("internal/p", "unrelated", "score")
+	if run == nil || fastRank == nil || slowRank == nil || score == nil {
+		t.Fatal("missing graph nodes for the fixture decls")
+	}
+	if !edgeTo(run, fastRank) {
+		t.Error("no edge run -> fast.rank: value-receiver implementation missed by CHA")
+	}
+	if !edgeTo(run, slowRank) {
+		t.Error("no edge run -> slow.rank: pointer-receiver implementation missed by CHA")
+	}
+	if edgeTo(run, score) {
+		t.Error("edge run -> unrelated.score: CHA fanned out past the interface's implementers")
+	}
+}
+
+// TestGraphMethodValues pins the reference-is-an-edge rule: binding a
+// function or method to a variable (or passing it as a value) creates an
+// edge even though no call expression names it.
+func TestGraphMethodValues(t *testing.T) {
+	dir := writeFixtureTree(t, map[string]string{"p.go": `package p
+
+type store struct{ n int }
+
+func (s *store) flush() int { return s.n }
+
+func source() int { return 1 }
+
+func indirect() int {
+	f := source
+	g := (&store{}).flush
+	return f() + g()
+}
+`})
+	m, err := FixtureModule(dir, "internal/p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := m.Graph()
+	indirect := g.Node("internal/p", "", "indirect")
+	src := g.Node("internal/p", "", "source")
+	flush := g.Node("internal/p", "store", "flush")
+	if indirect == nil || src == nil || flush == nil {
+		t.Fatal("missing graph nodes for the fixture decls")
+	}
+	if !edgeTo(indirect, src) {
+		t.Error("no edge indirect -> source: function value missed")
+	}
+	if !edgeTo(indirect, flush) {
+		t.Error("no edge indirect -> store.flush: method value missed")
+	}
+}
+
+// TestGraphCrossPackageEdges loads a real two-package mini-module from
+// disk (go.mod and all) and requires call edges to cross the package
+// boundary — the property the shared-object-identity importer exists
+// for.
+func TestGraphCrossPackageEdges(t *testing.T) {
+	dir := writeFixtureTree(t, map[string]string{
+		"go.mod": "module tmod\n\ngo 1.22\n",
+		"a/a.go": `package a
+
+func Helper() int { return 1 }
+
+type Worker struct{}
+
+func (w *Worker) Work() int { return Helper() }
+`,
+		"b/b.go": `package b
+
+import "tmod/a"
+
+func Use() int {
+	var w a.Worker
+	return a.Helper() + w.Work()
+}
+`,
+	})
+	m, err := LoadTree(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Path != "tmod" {
+		t.Fatalf("module path = %q, want tmod", m.Path)
+	}
+	g := m.Graph()
+	use := g.Node("b", "", "Use")
+	helper := g.Node("a", "", "Helper")
+	work := g.Node("a", "Worker", "Work")
+	if use == nil || helper == nil || work == nil {
+		t.Fatal("missing graph nodes across packages")
+	}
+	if !edgeTo(use, helper) {
+		t.Error("no edge b.Use -> a.Helper: cross-package function call missed")
+	}
+	if !edgeTo(use, work) {
+		t.Error("no edge b.Use -> a.Worker.Work: cross-package method call missed")
+	}
+	if !edgeTo(work, helper) {
+		t.Error("no edge a.Worker.Work -> a.Helper within the imported package")
+	}
+	// Reachability composes across the boundary too.
+	reached := g.ReachableFrom([]*FuncNode{use}, nil)
+	if _, ok := reached[helper]; !ok {
+		t.Error("a.Helper not reachable from b.Use")
+	}
+}
+
+// BenchmarkRepoLint measures full-repo lint wall time: parse, type-check
+// (source importer and all), build the call graph, run every analyzer.
+// This is what `make lint` pays per run before the build cache warms the
+// stdlib export work.
+func BenchmarkRepoLint(b *testing.B) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		m, err := LoadTree(root)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if diags := Run(m, Analyzers()); len(diags) != 0 {
+			b.Fatalf("repo not lint-clean during benchmark: %d finding(s)", len(diags))
+		}
+	}
+}

@@ -6,11 +6,13 @@
 // package walks the syntax tree of every package and enforces them
 // mechanically.
 //
-// The suite is deliberately built on the standard library alone
-// (go/parser + go/ast, no type information): the module carries no
-// external dependencies and `make lint` must work offline. Each analyzer
-// therefore works on syntax plus per-file import tables; the testdata
-// fixtures under internal/lint/testdata pin the exact behaviour.
+// The suite is deliberately built on the standard library alone: the
+// module carries no external dependencies and `make lint` must work
+// offline. Parsing uses go/parser; type checking uses go/types with
+// go/importer's source importer (typecheck.go), so every analyzer gets a
+// *types.Info for its package and the suite shares one method-resolved
+// call graph per run (graph.go). The testdata fixtures under
+// internal/lint/testdata pin the exact behaviour.
 //
 // A finding can be suppressed at a specific line with an allowlist
 // directive carrying a mandatory reason:
@@ -26,6 +28,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
 	"sort"
 	"strings"
 )
@@ -54,6 +57,15 @@ type File struct {
 	// malformed holds positions of //lint:allow directives missing the
 	// analyzer name or the reason.
 	malformed []token.Pos
+	// unknown holds directives whose analyzer name matches nothing in
+	// the suite — a typo that would otherwise silently suppress nothing.
+	unknown []unknownDirective
+}
+
+// unknownDirective is a //lint:allow naming a nonexistent analyzer.
+type unknownDirective struct {
+	pos  token.Pos
+	name string
 }
 
 func (f *File) allowed(analyzer string, line int) bool {
@@ -67,23 +79,101 @@ func (f *File) allowed(analyzer string, line int) bool {
 
 // Package is one parsed package directory. Path is the module-relative
 // slash path (e.g. "internal/sim"); analyzers scope themselves by it.
+// Types and Info are filled by the type checker for packages with at
+// least one production file; test files are parsed but not type-checked
+// (the contracts govern production code, and test files may depend on
+// test-only helpers across the package boundary).
 type Package struct {
 	Path  string
 	Fset  *token.FileSet
 	Files []*File
+
+	Types *types.Package // nil when the package has no production files
+	Info  *types.Info    // nil exactly when Types is nil
+}
+
+// ProductionFiles returns the non-test files, the set the type checker
+// saw and the call graph is built from.
+func (p *Package) ProductionFiles() []*File {
+	out := make([]*File, 0, len(p.Files))
+	for _, f := range p.Files {
+		if !f.Test {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Module is one fully loaded, type-checked module tree: every package
+// under the root sharing a single FileSet, plus the lazily built
+// whole-module call graph. Analyzers that need cross-function or
+// cross-package context (reachability, repo-wide field-access audits)
+// run against the Module; per-file analyzers keep their narrower view.
+type Module struct {
+	Path string // module path from go.mod (e.g. "repro")
+	Fset *token.FileSet
+	Pkgs []*Package
+
+	graph  *CallGraph
+	byFile map[string]*File // fset filename -> File, for directive lookup
+}
+
+// importPathOf returns the full import path of a package in this module.
+func (m *Module) importPathOf(p *Package) string {
+	if p.Path == "" {
+		return m.Path
+	}
+	return m.Path + "/" + p.Path
+}
+
+// fileAt returns the File containing the given position, or nil.
+func (m *Module) fileAt(pos token.Position) *File {
+	if m.byFile == nil {
+		m.byFile = make(map[string]*File)
+		for _, p := range m.Pkgs {
+			for _, f := range p.Files {
+				m.byFile[m.Fset.Position(f.AST.Pos()).Filename] = f
+			}
+		}
+	}
+	return m.byFile[pos.Filename]
+}
+
+// Graph returns the module's call graph, building it on first use so
+// per-file-only runs (fixtures) never pay for it.
+func (m *Module) Graph() *CallGraph {
+	if m.graph == nil {
+		m.graph = buildGraph(m)
+	}
+	return m.graph
+}
+
+// Lookup returns the named package, or nil.
+func (m *Module) Lookup(path string) *Package {
+	for _, p := range m.Pkgs {
+		if p.Path == path {
+			return p
+		}
+	}
+	return nil
 }
 
 // ReportFunc records a finding at pos.
 type ReportFunc func(pos token.Pos, format string, args ...any)
 
-// Analyzer is one mechanical contract check.
+// Analyzer is one mechanical contract check. Exactly one of Run and
+// RunModule is set: Run is invoked once per (package, file) pair,
+// RunModule once per module with the shared call graph available.
 type Analyzer struct {
 	Name string
 	Doc  string
 	// IncludeTests runs the analyzer on *_test.go files too. Most
-	// contracts govern production code only.
+	// contracts govern production code only. Module-scoped analyzers
+	// ignore it: they walk production ASTs directly (only those carry
+	// type information).
 	IncludeTests bool
 	Run          func(p *Package, f *File, report ReportFunc)
+	RunModule    func(m *Module, report ReportFunc)
 }
 
 // Analyzers returns the full suite, in the order findings are reported.
@@ -95,35 +185,53 @@ func Analyzers() []*Analyzer {
 		checkederrAnalyzer,
 		lockfreeAnalyzer,
 		postingsAnalyzer,
+		atomicsAnalyzer,
+		hotallocAnalyzer,
+		snapfreezeAnalyzer,
 		directiveAnalyzer,
 	}
 }
 
-// Run applies every analyzer to every package and returns the surviving
-// findings (allow directives already applied), sorted by position.
-func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+// Run applies every analyzer to every package of the module and returns
+// the surviving findings (allow directives already applied), sorted by
+// position.
+func Run(m *Module, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
-	for _, p := range pkgs {
+	record := func(name string, f *File, pos token.Pos, format string, args ...any) {
+		position := m.Fset.Position(pos)
+		if f != nil && f.allowed(name, position.Line) {
+			return
+		}
+		diags = append(diags, Diagnostic{
+			Analyzer: name,
+			Pos:      position,
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, p := range m.Pkgs {
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			for _, f := range p.Files {
 				if f.Test && !a.IncludeTests {
 					continue
 				}
 				file, name := f, a.Name
-				report := func(pos token.Pos, format string, args ...any) {
-					position := p.Fset.Position(pos)
-					if file.allowed(name, position.Line) {
-						return
-					}
-					diags = append(diags, Diagnostic{
-						Analyzer: name,
-						Pos:      position,
-						Message:  fmt.Sprintf(format, args...),
-					})
-				}
-				a.Run(p, f, report)
+				a.Run(p, f, func(pos token.Pos, format string, args ...any) {
+					record(name, file, pos, format, args...)
+				})
 			}
 		}
+	}
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		name := a.Name
+		a.RunModule(m, func(pos token.Pos, format string, args ...any) {
+			record(name, m.fileAt(m.Fset.Position(pos)), pos, format, args...)
+		})
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -190,37 +298,4 @@ func pkgSelector(imports map[string]string, e ast.Expr) (pkgPath, name string, o
 		return "", "", false
 	}
 	return path, sel.Sel.Name, true
-}
-
-// containsCallNamed reports whether node contains a call (method or
-// function) whose callee name is one of names.
-func containsCallNamed(node ast.Node, names ...string) bool {
-	found := false
-	ast.Inspect(node, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return !found
-		}
-		callee := calleeName(call)
-		for _, want := range names {
-			if callee == want {
-				found = true
-				return false
-			}
-		}
-		return !found
-	})
-	return found
-}
-
-// calleeName returns the bare name of a call's callee: the method name
-// for selector calls, the function name for ident calls, "" otherwise.
-func calleeName(call *ast.CallExpr) string {
-	switch fun := call.Fun.(type) {
-	case *ast.SelectorExpr:
-		return fun.Sel.Name
-	case *ast.Ident:
-		return fun.Name
-	}
-	return ""
 }

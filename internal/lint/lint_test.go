@@ -53,17 +53,19 @@ func readExpectations(t *testing.T, path string) []expectation {
 	return out
 }
 
-// runFixture loads testdata/<dir> as a package at asPath, runs exactly
-// one analyzer (plus nothing else), and checks the findings against the
-// fixture's want markers in both directions.
+// runFixture loads testdata/<dir> as a type-checked single-package
+// module at asPath, runs exactly one analyzer (plus nothing else), and
+// checks the findings against the fixture's want markers in both
+// directions.
 func runFixture(t *testing.T, dir, asPath string, a *Analyzer) {
 	t.Helper()
 	fixDir := filepath.Join("testdata", dir)
-	p, err := ParseDir(fixDir, asPath)
+	m, err := FixtureModule(fixDir, asPath)
 	if err != nil {
 		t.Fatal(err)
 	}
-	diags := Run([]*Package{p}, []*Analyzer{a})
+	p := m.Pkgs[0]
+	diags := Run(m, []*Analyzer{a})
 
 	var want []expectation
 	for _, f := range p.Files {
@@ -112,12 +114,19 @@ func TestWallclockFixture(t *testing.T) {
 // TestWallclockOutsideKernelIsSilent pins the scoping: the same fixture
 // under a non-kernel path must produce nothing.
 func TestWallclockOutsideKernelIsSilent(t *testing.T) {
-	p, err := ParseDir(filepath.Join("testdata", "wallclock"), "internal/feature")
+	assertFixtureSilent(t, "wallclock", "internal/feature", wallclockAnalyzer)
+}
+
+// assertFixtureSilent runs one analyzer over a fixture under a package
+// path it does not govern and requires zero findings.
+func assertFixtureSilent(t *testing.T, dir, asPath string, a *Analyzer) {
+	t.Helper()
+	m, err := FixtureModule(filepath.Join("testdata", dir), asPath)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if diags := Run([]*Package{p}, []*Analyzer{wallclockAnalyzer}); len(diags) != 0 {
-		t.Fatalf("wallclock fired outside kernel-governed packages:\n%s", renderDiags(diags))
+	if diags := Run(m, []*Analyzer{a}); len(diags) != 0 {
+		t.Fatalf("%s fired under %s, outside its governed packages:\n%s", a.Name, asPath, renderDiags(diags))
 	}
 }
 
@@ -147,13 +156,7 @@ func TestLockfreeFixture(t *testing.T) {
 // TestLockfreeOutsideDocstoreIsSilent pins the scoping: the same fixture
 // under any other path must produce nothing.
 func TestLockfreeOutsideDocstoreIsSilent(t *testing.T) {
-	p, err := ParseDir(filepath.Join("testdata", "lockfree"), "internal/core")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if diags := Run([]*Package{p}, []*Analyzer{lockfreeAnalyzer}); len(diags) != 0 {
-		t.Fatalf("lockfree fired outside internal/docstore:\n%s", renderDiags(diags))
-	}
+	assertFixtureSilent(t, "lockfree", "internal/core", lockfreeAnalyzer)
 }
 
 func TestPostingsFixture(t *testing.T) {
@@ -163,17 +166,57 @@ func TestPostingsFixture(t *testing.T) {
 // TestPostingsOutsideDocstoreIsSilent pins the scoping: the same fixture
 // under any other path must produce nothing.
 func TestPostingsOutsideDocstoreIsSilent(t *testing.T) {
-	p, err := ParseDir(filepath.Join("testdata", "postings"), "internal/core")
+	assertFixtureSilent(t, "postings", "internal/core", postingsAnalyzer)
+}
+
+// TestPostingsPoolPutNotConflated pins the regression the typed call
+// graph exists for: the old name-based graph conflated sync.Pool.Put
+// with Store.Put and needed a hard-coded barrier list to avoid dragging
+// the whole write side into Search* reachability. With method
+// resolution, Store.Put must simply not be reachable from SearchText.
+func TestPostingsPoolPutNotConflated(t *testing.T) {
+	m, err := FixtureModule(filepath.Join("testdata", "postings"), "internal/docstore")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if diags := Run([]*Package{p}, []*Analyzer{postingsAnalyzer}); len(diags) != 0 {
-		t.Fatalf("postings fired outside internal/docstore:\n%s", renderDiags(diags))
+	g := m.Graph()
+	search := g.Node("internal/docstore", "Store", "SearchText")
+	put := g.Node("internal/docstore", "Store", "Put")
+	if search == nil || put == nil {
+		t.Fatal("fixture must declare Store.SearchText and Store.Put")
+	}
+	reached := g.ReachableFrom([]*FuncNode{search}, nil)
+	if _, ok := reached[put]; ok {
+		t.Fatal("Store.Put is reachable from Store.SearchText: the call graph conflated sync.Pool.Put with Store.Put again")
 	}
 }
 
 func TestDirectiveFixture(t *testing.T) {
 	runFixture(t, "directive", "internal/anywhere", directiveAnalyzer)
+}
+
+func TestAtomicsFixture(t *testing.T) {
+	runFixture(t, "atomics", "internal/anywhere", atomicsAnalyzer)
+}
+
+func TestHotallocFixture(t *testing.T) {
+	runFixture(t, "hotalloc", "internal/docstore", hotallocAnalyzer)
+}
+
+// TestHotallocOutsideDocstoreIsSilent pins the scoping: the zero-alloc
+// contract governs the docstore only.
+func TestHotallocOutsideDocstoreIsSilent(t *testing.T) {
+	assertFixtureSilent(t, "hotalloc", "internal/core", hotallocAnalyzer)
+}
+
+func TestSnapfreezeFixture(t *testing.T) {
+	runFixture(t, "snapfreeze", "internal/docstore", snapfreezeAnalyzer)
+}
+
+// TestSnapfreezeOutsideDocstoreIsSilent pins the scoping: the frozen
+// type table is per-package.
+func TestSnapfreezeOutsideDocstoreIsSilent(t *testing.T) {
+	assertFixtureSilent(t, "snapfreeze", "internal/core", snapfreezeAnalyzer)
 }
 
 // TestRepoClean is the regression gate for the whole sweep: the repo at
@@ -187,11 +230,11 @@ func TestRepoClean(t *testing.T) {
 	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
 		t.Fatalf("expected module root two levels up from internal/lint: %v", err)
 	}
-	pkgs, err := LoadTree(root)
+	m, err := LoadTree(root)
 	if err != nil {
 		t.Fatal(err)
 	}
-	diags := Run(pkgs, Analyzers())
+	diags := Run(m, Analyzers())
 	for _, d := range diags {
 		t.Errorf("%s", d)
 	}
@@ -201,7 +244,7 @@ func TestRepoClean(t *testing.T) {
 	// The loader must actually have seen the governed packages — guard
 	// against a silent skip making this test vacuous.
 	seen := map[string]bool{}
-	for _, p := range pkgs {
+	for _, p := range m.Pkgs {
 		seen[p.Path] = true
 	}
 	for _, must := range []string{"internal/sim", "internal/core", "internal/telemetry", "internal/transport", "internal/docstore"} {
@@ -255,11 +298,11 @@ func uncovered() {
 	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	p, err := ParseDir(dir, "internal/sim")
+	m, err := FixtureModule(dir, "internal/sim")
 	if err != nil {
 		t.Fatal(err)
 	}
-	diags := Run([]*Package{p}, []*Analyzer{wallclockAnalyzer})
+	diags := Run(m, []*Analyzer{wallclockAnalyzer})
 	if len(diags) != 1 {
 		t.Fatalf("want exactly the uncovered() finding, got:\n%s", renderDiags(diags))
 	}

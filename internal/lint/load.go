@@ -12,11 +12,16 @@ import (
 
 // LoadTree parses every Go package under root (normally the module root),
 // skipping hidden directories, testdata trees, and _-prefixed dirs — the
-// same set the go tool ignores. It returns packages sorted by path.
-func LoadTree(root string) ([]*Package, error) {
+// same set the go tool ignores — then type-checks the module (see
+// typecheck.go). It returns the module with packages sorted by path.
+func LoadTree(root string) (*Module, error) {
+	modPath, err := readModulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
 	fset := token.NewFileSet()
 	byDir := map[string]*Package{}
-	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
 			return err
 		}
@@ -60,7 +65,26 @@ func LoadTree(root string) ([]*Package, error) {
 		pkgs = append(pkgs, p)
 	}
 	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
-	return pkgs, nil
+	m := &Module{Path: modPath, Fset: fset, Pkgs: pkgs}
+	if err := checkTypes(m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// readModulePath extracts the module path from a go.mod file.
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("lint: reading module path: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
 }
 
 // ParseDir parses one directory as a single package whose module-relative
@@ -87,6 +111,22 @@ func ParseDir(dir, asPath string) (*Package, error) {
 	}
 	sort.Slice(p.Files, func(i, j int) bool { return p.Files[i].Name < p.Files[j].Name })
 	return p, nil
+}
+
+// FixtureModule wraps one fixture directory as a single-package module,
+// type-checked like the real tree. Fixtures import only the standard
+// library, so the module path is a placeholder; analyzers scope by the
+// forced package path exactly as in production runs.
+func FixtureModule(dir, asPath string) (*Module, error) {
+	p, err := ParseDir(dir, asPath)
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{Path: "fixture", Fset: p.Fset, Pkgs: []*Package{p}}
+	if err := checkTypes(m); err != nil {
+		return nil, err
+	}
+	return m, nil
 }
 
 func parseFile(fset *token.FileSet, path, base string) (*File, error) {

@@ -22,36 +22,45 @@ var lockfreeReadMethods = map[string]bool{
 // method on docstore.Store serves from the atomically published snapshot
 // and must not reference the receiver's mutex (s.mu) — a read that locks
 // reintroduces the reader/writer convoy the snapshot design removes.
-// Only the receiver's own mu field counts; locks on other objects (the
-// query cache's internal mutex, a local sync.Mutex) are fine.
+// The mutex is matched as the Store.mu field *object*, so locks on other
+// objects (the query cache's internal mutex, a local sync.Mutex) are
+// fine; and the check follows the call graph, so a read method can no
+// longer hide the lock inside a helper function.
 var lockfreeAnalyzer = &Analyzer{
 	Name: "lockfree",
 	Doc:  "docstore.Store read methods (Search*, Get, Stats, ...) must not touch the store mutex",
-	Run: func(p *Package, f *File, report ReportFunc) {
-		if p.Path != lockfreePackage {
+	RunModule: func(m *Module, report ReportFunc) {
+		p := m.Lookup(lockfreePackage)
+		if p == nil || p.Info == nil {
 			return
 		}
-		for _, decl := range f.AST.Decls {
-			fn, ok := decl.(*ast.FuncDecl)
-			if !ok || fn.Body == nil {
+		muField := lookupField(p, lockfreeReceiver, "mu")
+		if muField == nil {
+			return
+		}
+		g := m.Graph()
+		roots := g.Roots(lockfreePackage, func(n *FuncNode) bool {
+			return n.RecvTypeName() == lockfreeReceiver && lockfreeReadMethod(n.Obj.Name())
+		})
+		reached := g.ReachableFrom(roots, func(n *FuncNode) bool { return n.Pkg == p })
+		for _, n := range g.PkgFuncs(lockfreePackage) {
+			root, ok := reached[n]
+			if !ok || n.Decl.Body == nil {
 				continue
 			}
-			recv := receiverIdent(fn, lockfreeReceiver)
-			if recv == "" || !lockfreeReadMethod(fn.Name.Name) {
-				continue
-			}
-			method := fn.Name.Name
-			ast.Inspect(fn.Body, func(n ast.Node) bool {
-				sel, ok := n.(*ast.SelectorExpr)
-				if !ok || sel.Sel.Name != "mu" {
+			name, via := n.String(), root.String()
+			ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+				sel, ok := node.(*ast.SelectorExpr)
+				if !ok || fieldObjOf(p, sel) != muField {
 					return true
 				}
-				id, ok := sel.X.(*ast.Ident)
-				if !ok || id.Name != recv {
-					return true
+				if n == root {
+					report(sel.Pos(), "read method %s references %s.mu; reads must run lock-free against the snapshot",
+						name, lockfreeReceiver)
+				} else {
+					report(sel.Pos(), "%s (reachable from read method %s) references %s.mu; reads must run lock-free against the snapshot",
+						name, via, lockfreeReceiver)
 				}
-				report(sel.Pos(), "read method %s.%s references %s.mu; reads must run lock-free against the snapshot",
-					lockfreeReceiver, method, recv)
 				return true
 			})
 		}
@@ -63,30 +72,4 @@ func lockfreeReadMethod(name string) bool {
 		return true
 	}
 	return lockfreeReadMethods[name]
-}
-
-// receiverIdent returns the receiver variable name if fn is a method on
-// typeName or *typeName (with or without type parameters), "" otherwise.
-// Anonymous receivers ("_" or missing) return "" — with no name there is
-// no way to reference the mutex through the receiver anyway.
-func receiverIdent(fn *ast.FuncDecl, typeName string) string {
-	if fn.Recv == nil || len(fn.Recv.List) != 1 {
-		return ""
-	}
-	field := fn.Recv.List[0]
-	t := field.Type
-	if star, ok := t.(*ast.StarExpr); ok {
-		t = star.X
-	}
-	if idx, ok := t.(*ast.IndexExpr); ok {
-		t = idx.X
-	}
-	id, ok := t.(*ast.Ident)
-	if !ok || id.Name != typeName {
-		return ""
-	}
-	if len(field.Names) != 1 || field.Names[0].Name == "_" {
-		return ""
-	}
-	return field.Names[0].Name
 }

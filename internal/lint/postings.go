@@ -1,100 +1,64 @@
 package lint
 
-import "go/ast"
+import (
+	"go/ast"
+	"go/types"
+)
 
-// postingsAnalyzer enforces the compiled-read-path contract introduced with
-// block-max search: code reachable from a Search* entry point in
-// internal/docstore must never range over the map-based postings structures
-// (`postings` on the mutable invIndex, `termPost` on the overlay). Map
-// iteration order is nondeterministic — ranging over postings while scoring
-// is exactly the bug class that made results depend on accumulation order —
-// and a per-query walk of a whole postings map defeats the block cursors
-// the query path compiles to. Writers and the freeze/compaction path build
-// those maps and may iterate them freely; queries must go through the
-// compiled cursors or the overlay's sorted COW slices.
+// postingsAnalyzer enforces the compiled-read-path contract introduced
+// with block-max search: code reachable from a Search* entry point in
+// internal/docstore must never range over the map-based postings
+// structures (`postings` on the mutable invIndex, `termPost` on the
+// overlay). Map iteration order is nondeterministic — ranging over
+// postings while scoring is exactly the bug class that made results
+// depend on accumulation order — and a per-query walk of a whole postings
+// map defeats the block cursors the query path compiles to. Writers and
+// the freeze/compaction path build those maps and may iterate them
+// freely; queries must go through the compiled cursors or the overlay's
+// sorted COW slices.
 //
-// The analysis is name-based, like the rest of the suite: the call graph
-// follows bare callee names from every Search*-prefixed function or method
-// across the package's production files, and a range statement fires when
-// the expression it ranges over is (or indexes into) an identifier or field
-// named `postings` or `termPost`.
+// Reachability comes from the module call graph (graph.go): methods are
+// resolved through real type information, so the pooled scratch's
+// sync.Pool.Put no longer collides with Store.Put the way the old
+// name-based graph forced it to — the hard-coded Put/Delete/Compact/Close
+// barrier list is gone. The forbidden maps are matched by field object
+// (invIndex.postings, overlay.termPost), not by name, so a local variable
+// that happens to be called "postings" is fine.
 var postingsAnalyzer = &Analyzer{
 	Name: "postings",
 	Doc:  "code reachable from docstore Search* must not range over map postings (termPost/postings); use the compiled block cursors",
-	Run: func(p *Package, f *File, report ReportFunc) {
-		if p.Path != lockfreePackage {
+	RunModule: func(m *Module, report ReportFunc) {
+		p := m.Lookup(lockfreePackage)
+		if p == nil || p.Info == nil {
 			return
 		}
-		// Package-wide name → decl table over production files. Bare names
-		// conflate same-named methods on different types, which errs on the
-		// side of checking more functions — fine for a forbidden-pattern
-		// rule.
-		decls := make(map[string]*ast.FuncDecl)
-		inFile := make(map[*ast.FuncDecl]bool)
-		for _, pf := range p.Files {
-			if pf.Test {
+		forbidden := map[*types.Var]string{}
+		if f := lookupField(p, "invIndex", "postings"); f != nil {
+			forbidden[f] = "postings"
+		}
+		if f := lookupField(p, "overlay", "termPost"); f != nil {
+			forbidden[f] = "termPost"
+		}
+		if len(forbidden) == 0 {
+			return
+		}
+		g := m.Graph()
+		roots := g.Roots(lockfreePackage, searchRoot)
+		reached := g.ReachableFrom(roots, func(n *FuncNode) bool { return n.Pkg == p })
+		for _, n := range g.PkgFuncs(lockfreePackage) {
+			root, ok := reached[n]
+			if !ok || n.Decl.Body == nil {
 				continue
 			}
-			for _, d := range pf.AST.Decls {
-				fn, ok := d.(*ast.FuncDecl)
-				if !ok || fn.Body == nil {
-					continue
-				}
-				decls[fn.Name.Name] = fn
-				if pf == f {
-					inFile[fn] = true
-				}
-			}
-		}
-
-		// Transitive closure from the Search* roots. The write entry
-		// points are barriers: they are never part of query scoring, and
-		// because the graph is name-based they would otherwise be dragged
-		// in by coincidental callee names (the pooled scratch's
-		// sync.Pool.Put resolves to Store.Put, and from there the whole
-		// write side).
-		barriers := map[string]bool{"Put": true, "Delete": true, "Compact": true, "Close": true}
-		reached := make(map[*ast.FuncDecl]bool)
-		var visit func(fn *ast.FuncDecl)
-		visit = func(fn *ast.FuncDecl) {
-			if reached[fn] {
-				return
-			}
-			reached[fn] = true
-			ast.Inspect(fn.Body, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
+			name, via := n.String(), root.String()
+			ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+				rng, ok := node.(*ast.RangeStmt)
 				if !ok {
 					return true
 				}
-				name := calleeName(call)
-				if barriers[name] {
-					return true
-				}
-				if callee, ok := decls[name]; ok {
-					visit(callee)
-				}
-				return true
-			})
-		}
-		for name, fn := range decls {
-			if len(name) >= len("Search") && name[:len("Search")] == "Search" {
-				visit(fn)
-			}
-		}
-
-		for fn := range reached {
-			if !inFile[fn] {
-				continue // another file's invocation reports it
-			}
-			name := fn.Name.Name
-			ast.Inspect(fn.Body, func(n ast.Node) bool {
-				rng, ok := n.(*ast.RangeStmt)
-				if !ok {
-					return true
-				}
-				if target := postingsName(rng.X); target != "" {
-					report(rng.Pos(), "%s (reachable from Search*) ranges over %s; the query path must use the compiled block cursors, not map iteration",
-						name, target)
+				if target := postingsField(p, rng.X, forbidden); target != "" {
+					report(rng.Pos(), "%s (reachable from %s) ranges over %s; the query path must use the compiled block cursors, not map iteration",
+						name, via, target)
 				}
 				return true
 			})
@@ -102,26 +66,17 @@ var postingsAnalyzer = &Analyzer{
 	},
 }
 
-// postingsName returns the forbidden postings-map name an expression refers
-// to ("postings" or "termPost"), unwrapping index expressions so both
-// `range inv.postings` and `range inv.postings[t]` are caught. Calls are
-// not unwrapped: an accessor returning a sorted slice is the sanctioned
-// path.
-func postingsName(e ast.Expr) string {
+// postingsField returns the forbidden map's name when the ranged
+// expression selects (or indexes into) one of the forbidden field
+// objects, "" otherwise. Calls are not unwrapped: an accessor returning a
+// sorted slice is the sanctioned path.
+func postingsField(p *Package, e ast.Expr, forbidden map[*types.Var]string) string {
 	if idx, ok := e.(*ast.IndexExpr); ok {
 		e = idx.X
 	}
-	var name string
-	switch x := e.(type) {
-	case *ast.Ident:
-		name = x.Name
-	case *ast.SelectorExpr:
-		name = x.Sel.Name
-	default:
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
 		return ""
 	}
-	if name == "postings" || name == "termPost" {
-		return name
-	}
-	return ""
+	return forbidden[fieldObjOf(p, sel)]
 }

@@ -1,0 +1,85 @@
+// Fixture for the atomics analyzer. The analyzer is module-wide (no
+// package scoping); the fixture is type-checked like the real tree.
+package atomics
+
+import "sync/atomic"
+
+// Rule 1: a plain field that is accessed through sync/atomic anywhere is
+// an atomic field everywhere.
+
+type counter struct {
+	n    int64
+	hits [4]uint64
+	name string
+}
+
+// incr holds the sanctioning uses: these classify n and hits as atomic.
+func (c *counter) incr() {
+	atomic.AddInt64(&c.n, 1)
+	atomic.AddUint64(&c.hits[0], 1)
+}
+
+func (c *counter) loadOK() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+func (c *counter) racyRead() int64 {
+	return c.n // want "counter.n is read plainly"
+}
+
+func (c *counter) racyWrite() {
+	c.n = 0       // want "counter.n is written plainly"
+	c.n++         // want "counter.n is written plainly"
+	c.hits[1] = 2 // want "counter.hits is written plainly"
+}
+
+// Fields never touched by sync/atomic stay free.
+func (c *counter) fine() string {
+	return c.name
+}
+
+// A reasoned allow covers a deliberate single-owner initialization.
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 7 //lint:allow atomics fixture: not yet published, single-owner init
+	return c
+}
+
+// Rule 2: atomic.X-typed fields must only be used through their methods
+// (or have their address taken); copying or reassigning the value drops
+// the synchronization.
+
+type gauge struct {
+	v     atomic.Int64
+	cells [3]atomic.Uint64
+	ptr   *atomic.Int64
+}
+
+func (g *gauge) ok() uint64 {
+	g.v.Add(1)
+	g.cells[2].Store(5)
+	p := &g.v
+	p.Add(1)
+	_ = g.ptr // a *pointer* to an atomic may be copied freely
+	return g.cells[0].Load()
+}
+
+func (g *gauge) copyOut() int64 {
+	v := g.v // want "gauge.v has atomic type"
+	return v.Load()
+}
+
+func (g *gauge) overwrite() {
+	g.v = atomic.Int64{} // want "gauge.v has atomic type"
+}
+
+func (g *gauge) rangeCopy() uint64 {
+	var total uint64
+	for _, cell := range g.cells { // want "gauge.cells has atomic type"
+		total += cell.Load()
+	}
+	for i := range g.cells { // key-only iteration copies nothing: fine
+		_ = i
+	}
+	return total
+}

@@ -1,5 +1,5 @@
 // Fixture for the checkederr analyzer: loaded with the package path
-// forced to "internal/docstore". Never compiled — syntax only.
+// forced to "internal/docstore". Type-checked like the real tree.
 package checkederr
 
 type wal struct{}

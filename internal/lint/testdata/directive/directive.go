@@ -1,5 +1,5 @@
-// Fixture for the directive analyzer: malformed //lint:allow comments
-// are themselves findings. Never compiled — syntax only.
+// Fixture for the directive analyzer: defective //lint:allow comments
+// are themselves findings.
 package directive
 
 func missingReason() {
@@ -14,9 +14,17 @@ func missingEverything() {
 	_ = 1
 }
 
+// A directive naming a nonexistent analyzer suppresses nothing; a typo
+// must not silently convince the author the finding is covered.
 func unknownAnalyzer() {
-	// want "malformed directive"
+	// want "unknown analyzer"
 	//lint:allow frobnicate because reasons
+	_ = 1
+}
+
+func misspelled() {
+	// want "suppresses nothing"
+	//lint:allow lockfre dropped a letter from lockfree
 	_ = 1
 }
 

@@ -1,5 +1,5 @@
 // Fixture for the goroutine analyzer: loaded with the package path
-// forced to "internal/transport". Never compiled — syntax only.
+// forced to "internal/transport" and type-checked like the real tree.
 package goroutine
 
 import "sync"
@@ -55,4 +55,17 @@ func nested(work func()) func() {
 
 func allowed(loop func()) {
 	go loop() //lint:allow goroutine fixture: joined through struct state elsewhere
+}
+
+// notAJoin has a method that merely spells Wait: under the old
+// name-based matcher this counted as join evidence; the typed analyzer
+// resolves it and sees it is not (*sync.WaitGroup).Wait.
+type notAJoin struct{}
+
+func (notAJoin) Wait() {}
+
+func fakeWait(work func()) {
+	var j notAJoin
+	go work() // want "go statement is not join-tracked"
+	j.Wait()
 }

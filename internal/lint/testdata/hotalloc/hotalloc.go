@@ -1,0 +1,80 @@
+// Fixture for the hotalloc analyzer. Loaded as package path
+// internal/docstore and type-checked like the real tree.
+package docstore
+
+import "sync"
+
+type Hit struct{ id string }
+
+// searchScratch mirrors the pooled scratch: append may grow its slices
+// freely, the growth is amortized into the pool.
+type searchScratch struct {
+	heap   []Hit
+	keyBuf []byte
+}
+
+var scratchPool = sync.Pool{New: func() any { return &searchScratch{} }}
+
+type Store struct {
+	cache map[string][]Hit
+}
+
+// SearchText is a root: everything reachable from it is hot.
+func (s *Store) SearchText(q string, k int) []Hit {
+	sc := scratchPool.Get().(*searchScratch)
+	sc.keyBuf = appendKey(sc.keyBuf[:0], q)
+	if hits, ok := s.cache[string(sc.keyBuf)]; ok { // compiler-elided map-read key: fine
+		return hits
+	}
+	hits := s.scoreAll(q, sc)
+	scratchPool.Put(sc)
+	return hits
+}
+
+// appendKey appends to its parameter: the caller owns the backing array
+// (pooled), so growth is amortized — allowed.
+func appendKey(dst []byte, q string) []byte {
+	return append(dst, q...)
+}
+
+// scoreAll is reachable from SearchText only through the call graph:
+// every allocating construct below is a finding.
+func (s *Store) scoreAll(q string, sc *searchScratch) []Hit {
+	ids := make([]string, 0, 8) // want "allocates with make"
+	_ = ids
+	extra := new(Hit) // want "allocates with new"
+	_ = extra
+	seed := []Hit{{id: q}} // want "allocates a slice literal"
+	_ = seed
+	idx := map[string]int{} // want "allocates a map literal"
+	_ = idx
+	h := &Hit{id: q} // want "allocates with &composite"
+	_ = h
+	key := string(sc.keyBuf) // want "converts"
+	_ = key
+	raw := []byte(q) // want "converts"
+	_ = raw
+	var out []Hit
+	out = append(out, Hit{id: q})         // want "appends to a slice"
+	sc.heap = append(sc.heap, Hit{id: q}) // pooled scratch: allowed
+	cur := cursor{pos: 1}                 // value composite literal: frame-allocated, fine
+	_ = cur
+	return out
+}
+
+type cursor struct{ pos int }
+
+// The documented cold-path allocation carries a reasoned allow.
+func (s *Store) SearchTextExhaustive(q string) []Hit {
+	hits := make([]Hit, 0, 4) //lint:allow hotalloc fixture: the one documented cold-query allocation
+	return hits
+}
+
+// Writers may allocate freely: Put is not reachable from the Search
+// roots, so none of this fires.
+func (s *Store) Put(h Hit) {
+	if s.cache == nil {
+		s.cache = make(map[string][]Hit)
+	}
+	s.cache[h.id] = append(s.cache[h.id], h)
+}

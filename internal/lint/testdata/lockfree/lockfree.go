@@ -1,5 +1,5 @@
-// Fixture for the lockfree analyzer. Parsed as package path
-// internal/docstore; syntax only, never compiled.
+// Fixture for the lockfree analyzer. Loaded as package path
+// internal/docstore and type-checked like the real tree.
 package docstore
 
 import "sync"
@@ -13,33 +13,53 @@ type Hit struct{}
 // Read methods must not touch the store mutex.
 
 func (s *Store) SearchText(q string, k int) []Hit {
-	s.mu.Lock()         // want "SearchText references s.mu"
-	defer s.mu.Unlock() // want "SearchText references s.mu"
+	s.mu.Lock()         // want "Store.SearchText references Store.mu"
+	defer s.mu.Unlock() // want "Store.SearchText references Store.mu"
 	return nil
 }
 
 func (s *Store) Stats() int {
-	s.mu.Lock()   // want "Stats references s.mu"
-	s.mu.Unlock() // want "Stats references s.mu"
+	s.mu.Lock()   // want "Store.Stats references Store.mu"
+	s.mu.Unlock() // want "Store.Stats references Store.mu"
 	return 0
 }
 
 func (st *Store) Get(id string) *Hit {
-	defer st.mu.Unlock() // want "Get references st.mu"
-	st.mu.Lock()         // want "Get references st.mu"
+	defer st.mu.Unlock() // want "Store.Get references Store.mu"
+	st.mu.Lock()         // want "Store.Get references Store.mu"
 	return nil
 }
 
-// Writers may lock freely.
+// The lock may not hide in a helper either: the call graph chases the
+// read path into it.
+
+func (s *Store) SearchCount(q string) int {
+	return s.lockedCount()
+}
+
+func (s *Store) lockedCount() int {
+	s.mu.Lock()         // want "Store.lockedCount (reachable from read method Store.SearchCount) references Store.mu"
+	defer s.mu.Unlock() // want "Store.lockedCount (reachable from read method Store.SearchCount) references Store.mu"
+	return 0
+}
+
+// Writers may lock freely — and helpers only they reach may too.
 
 func (s *Store) Put(d *Hit) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compactLocked()
+}
+
+func (s *Store) compactLocked() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return nil
 }
 
 // A read method locking something that is not the receiver's mutex is
-// fine: the contract is about the store lock specifically.
+// fine: the contract is about the store lock specifically — matched as
+// the Store.mu field object, not anything named mu.
 
 func (s *Store) SearchHybrid(q string, k int) []Hit {
 	var local sync.Mutex

@@ -1,5 +1,5 @@
 // Fixture for the nilguard analyzer: loaded with the package path forced
-// to "internal/telemetry". Never compiled — syntax only.
+// to "internal/telemetry". Type-checked like the real tree.
 package nilguard
 
 type Counter struct{ n uint64 }

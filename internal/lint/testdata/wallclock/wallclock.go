@@ -1,6 +1,6 @@
 // Fixture for the wallclock analyzer: loaded by the lint self-tests with
 // the package path forced to "internal/sim" (a kernel-governed package).
-// Never compiled — syntax only.
+// Type-checked like the real tree.
 package wallclock
 
 import (

@@ -1,0 +1,200 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/types"
+)
+
+// checkTypes type-checks every package of the module in dependency order
+// and fills in each Package's Types and Info.
+//
+// Module-internal imports resolve to our own freshly checked packages so
+// type object identity is shared across the whole module — a *types.Var
+// for docstore's Store.mu compares equal no matter which package's Info
+// produced the reference, which is what lets the call graph and the
+// field-object analyzers work cross-package. Everything else (stdlib)
+// goes through one shared go/importer source importer, which reads the
+// GOROOT sources directly: still stdlib-only and fully offline.
+//
+// Only production files are checked. Test files are parsed for the
+// syntactic analyzers but stay out of the type-checked world: external
+// test packages (_test suffixed) and test-only cross-file helpers would
+// otherwise force checking a second package variant per directory for
+// contracts that govern production code only.
+func checkTypes(m *Module) error {
+	ck := &moduleChecker{
+		m:        m,
+		src:      importer.ForCompiler(m.Fset, "source", nil),
+		byImport: make(map[string]*Package, len(m.Pkgs)),
+		state:    make(map[*Package]int, len(m.Pkgs)),
+	}
+	for _, p := range m.Pkgs {
+		ck.byImport[m.importPathOf(p)] = p
+	}
+	for _, p := range m.Pkgs {
+		if err := ck.check(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// moduleChecker runs go/types over the module's packages, memoizing
+// results and recursing through module-internal imports on demand.
+type moduleChecker struct {
+	m        *Module
+	src      types.Importer
+	byImport map[string]*Package
+	state    map[*Package]int // 0 unvisited, 1 in progress, 2 done
+}
+
+// Import implements types.Importer on top of the module map, falling
+// back to the shared source importer for everything non-module.
+func (ck *moduleChecker) Import(path string) (*types.Package, error) {
+	if p, ok := ck.byImport[path]; ok {
+		if err := ck.check(p); err != nil {
+			return nil, err
+		}
+		if p.Types == nil {
+			return nil, fmt.Errorf("lint: import %q resolves to a package with no production files", path)
+		}
+		return p.Types, nil
+	}
+	return ck.src.Import(path)
+}
+
+// ImportFrom satisfies types.ImporterFrom so go/types prefers this
+// importer's path-based resolution; the module map ignores the importing
+// directory and the source importer handles vendor-less stdlib fine.
+func (ck *moduleChecker) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if _, ok := ck.byImport[path]; ok {
+		return ck.Import(path)
+	}
+	if from, ok := ck.src.(types.ImporterFrom); ok {
+		return from.ImportFrom(path, dir, mode)
+	}
+	return ck.src.Import(path)
+}
+
+func (ck *moduleChecker) check(p *Package) error {
+	switch ck.state[p] {
+	case 2:
+		return nil
+	case 1:
+		return fmt.Errorf("lint: import cycle through %s", ck.m.importPathOf(p))
+	}
+	ck.state[p] = 1
+	defer func() { ck.state[p] = 2 }()
+
+	var files []*ast.File
+	for _, f := range p.Files {
+		if !f.Test {
+			files = append(files, f.AST)
+		}
+	}
+	if len(files) == 0 {
+		// Nothing but tests here (e.g. a benchmark-only directory): parsed
+		// for the syntactic analyzers, invisible to the typed ones.
+		return nil
+	}
+
+	p.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: ck, FakeImportC: true}
+	tpkg, err := conf.Check(ck.m.importPathOf(p), ck.m.Fset, files, p.Info)
+	if err != nil {
+		return fmt.Errorf("lint: type-checking %s: %w", ck.m.importPathOf(p), err)
+	}
+	p.Types = tpkg
+	return nil
+}
+
+// lookupStruct resolves a package-scope named struct type, or nil.
+func lookupStruct(p *Package, typeName string) *types.Struct {
+	if p.Types == nil {
+		return nil
+	}
+	tn, ok := p.Types.Scope().Lookup(typeName).(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	st, ok := tn.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	return st
+}
+
+// lookupField resolves a field object of a package-scope struct type by
+// name, or nil if the type or field is absent. Analyzers resolve their
+// governed fields through this once per run and then compare field
+// *objects*, not names — renaming an unrelated same-named field can no
+// longer confuse them.
+func lookupField(p *Package, typeName, fieldName string) *types.Var {
+	st := lookupStruct(p, typeName)
+	if st == nil {
+		return nil
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if f := st.Field(i); f.Name() == fieldName {
+			return f
+		}
+	}
+	return nil
+}
+
+// fieldObjOf returns the struct field a selector expression selects, or
+// nil when the selector is not a field access (method, qualified ident,
+// or untyped fixture code).
+func fieldObjOf(p *Package, sel *ast.SelectorExpr) *types.Var {
+	if p.Info == nil {
+		return nil
+	}
+	s := p.Info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok {
+		return nil
+	}
+	return v
+}
+
+// namedOf unwraps pointers and returns the named type of t, or nil.
+func namedOf(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	return n
+}
+
+// isPkgType reports whether t (possibly behind a pointer) is the named
+// type pkgPath.name, e.g. sync.WaitGroup or sync/atomic.Int64. Generic
+// instantiations (atomic.Pointer[T]) match their origin's name.
+func isPkgType(t types.Type, pkgPath, name string) bool {
+	n := namedOf(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// funcFromPkg reports whether fn is declared in the given package path
+// (counting methods by their receiver's package).
+func funcFromPkg(fn *types.Func, pkgPath string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath
+}

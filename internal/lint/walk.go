@@ -1,0 +1,30 @@
+package lint
+
+import "go/ast"
+
+// walkParents traverses root in source order, invoking fn with each node
+// and its ancestor stack (outermost first, root's own ancestors
+// excluded). The stack slice is reused between calls — callers must not
+// retain it.
+func walkParents(root ast.Node, fn func(n ast.Node, parents []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		fn(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// parentAbove returns the i-th ancestor above the node walkParents is
+// visiting (0 = immediate parent), unwrapping nothing; nil when the
+// stack is shorter.
+func parentAbove(parents []ast.Node, i int) ast.Node {
+	if i >= len(parents) {
+		return nil
+	}
+	return parents[len(parents)-1-i]
+}
