@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race race-core vet lint check fuzz-codec bench bench-check bench-docstore bench-docstore-check bench-wal bench-suite clean
+.PHONY: build test race race-core vet lint check fuzz-codec bench bench-check bench-docstore bench-docstore-check bench-wal bench-wal-check bench-shard bench-shard-check bench-suite clean
 
 build:
 	$(GO) build ./...
@@ -94,6 +94,39 @@ bench-docstore-check:
 # land in the `extra` field of each line; archived for cross-PR diffing.
 bench-wal:
 	$(GO) test -run XXX -bench 'PutParallel|WALReplay' -benchmem ./internal/docstore | $(GO) run ./cmd/benchjson | tee BENCH_wal.json
+
+# Write-path regression gate, two tiers like bench-docstore-check. WALReplay
+# is a serial deterministic recovery scan and holds the tight default
+# thresholds. The PutParallel<N> figures interleave group-commit batching
+# with scheduler timing on an oversubscribed host, so they get the same
+# catastrophe fence as the parallel read benchmarks: wide enough not to
+# flap, narrow enough to catch losing group commit (a >10× sync-count
+# cliff shows up in wal-syncs/op long before ns/op moves that far).
+BENCH_WAL_THRESHOLD ?= 1.5
+BENCH_WAL_EXTRA_THRESHOLD ?= 9.0
+bench-wal-check:
+	$(GO) test -run XXX -bench WALReplay -benchmem ./internal/docstore | $(GO) run ./cmd/benchjson -compare BENCH_wal.json -threshold $(BENCH_THRESHOLD) -extra-threshold $(BENCH_EXTRA_THRESHOLD)
+	$(GO) test -run XXX -bench 'PutParallel[0-9]' -benchmem ./internal/docstore | $(GO) run ./cmd/benchjson -compare BENCH_wal.json -threshold $(BENCH_WAL_THRESHOLD) -extra-threshold $(BENCH_WAL_EXTRA_THRESHOLD)
+
+# Sharded scatter-gather scaling curve: a fixed 128k-document corpus served
+# by 1/2/4/8 shard servers over loopback TCP, asked under the sustained
+# ingest schedule E26 uses (one 64-doc batch per 4 asks). Fixed iteration
+# count so every shard width measures the identical ask+ingest schedule
+# (256 asks = 64 batches = the full churn pool) instead of whatever b.N
+# the 1s default lands on. p50/p99 ask latency and realized fan-out land
+# in the `extra` field; archived for cross-PR diffing of the 1→8 curve.
+bench-shard:
+	$(GO) test -run XXX -bench ScatterShards -benchtime 256x -timeout 30m -benchmem ./internal/shard | $(GO) run ./cmd/benchjson | tee BENCH_shard.json
+
+# Scaling-curve regression gate. Mixed ask+ingest numbers fold freeze
+# cadence into ns/op, so run-to-run variance is wider than the serial
+# read paths but far tighter than the free-running parallel benchmarks:
+# a moderate fence catches losing shard pruning or the O(base/n) freeze
+# win without flapping on scheduler noise.
+BENCH_SHARD_THRESHOLD ?= 0.75
+BENCH_SHARD_EXTRA_THRESHOLD ?= 6.0
+bench-shard-check:
+	$(GO) test -run XXX -bench ScatterShards -benchtime 256x -timeout 30m -benchmem ./internal/shard | $(GO) run ./cmd/benchjson -compare BENCH_shard.json -threshold $(BENCH_SHARD_THRESHOLD) -extra-threshold $(BENCH_SHARD_EXTRA_THRESHOLD)
 
 # Full experiment suite as benchmarks (see bench_test.go at the repo root).
 bench-suite:

@@ -9,6 +9,16 @@
 // With -demo the node seeds itself with a generated corpus so the pair can
 // be tried immediately.
 //
+// With -shard-range the node serves one partition of a sharded corpus:
+// the range ("3/8" for the fourth of eight uniform ranges, or an explicit
+// "start-end" key interval) is announced in the handshake so routers can
+// verify placement, and -demo seeding keeps only the documents whose
+// shard key falls inside it. Start n nodes with ranges 0/n … n-1/n and
+// point agora-query -scatter at all of them:
+//
+//	agora-node -listen :7411 -id museum-0 -demo -shard-range 0/2
+//	agora-node -listen :7412 -id museum-1 -demo -shard-range 1/2
+//
 // Observability: -debug-addr starts an introspection HTTP listener with
 // /debug/vars (expvar, including the live telemetry snapshot),
 // /debug/pprof/* (CPU/heap profiling), /debug/telemetry (JSON counters,
@@ -29,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/docstore"
+	"repro/internal/shard"
 	"repro/internal/telemetry"
 	"repro/internal/transport"
 	"repro/internal/workload"
@@ -43,7 +54,19 @@ func main() {
 	seed := flag.Int64("seed", 11, "demo corpus seed")
 	debugAddr := flag.String("debug-addr", "", "HTTP introspection address (/debug/vars, /debug/pprof/*, /debug/telemetry); empty disables")
 	logLevel := flag.String("log-level", "info", "log threshold: debug|info|warn|error|off")
+	shardRange := flag.String("shard-range", "", `shard key range this node owns ("i/n" or "start-end"); empty = unsharded`)
 	flag.Parse()
+
+	var member shard.Member
+	sharded := *shardRange != ""
+	if sharded {
+		start, end, err := shard.ParseRange(*shardRange)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "agora-node:", err)
+			os.Exit(2)
+		}
+		member = shard.Member{Start: start, End: end}
+	}
 
 	lvl, err := telemetry.ParseLevel(*logLevel)
 	if err != nil {
@@ -67,11 +90,17 @@ func main() {
 		g := workload.NewGenerator(*seed, 32, 8)
 		corpus := g.GenCorpus(*demoDocs, 1.2, int64(24*time.Hour))
 		// One batch, one commit window: the whole corpus rides a single
-		// fsync instead of one disk round trip per document.
-		batch := make([]*docstore.Document, len(corpus))
-		for i, d := range corpus {
+		// fsync instead of one disk round trip per document. A sharded
+		// node keeps only its partition of the (deterministic) corpus, so
+		// n demo nodes seeded with the same -seed and ranges 0/n … n-1/n
+		// together hold exactly one copy of the whole demo corpus.
+		batch := make([]*docstore.Document, 0, len(corpus))
+		for _, d := range corpus {
+			if sharded && !member.Contains(shard.DocKey(d.Doc)) {
+				continue
+			}
 			d.Doc.Provenance = *id
-			batch[i] = d.Doc
+			batch = append(batch, d.Doc)
 		}
 		if err := store.PutBatch(batch); err != nil {
 			logger.Errorf("agora-node: seeding: %v", err)
@@ -83,6 +112,10 @@ func main() {
 	srv := transport.NewServer(*id, store)
 	srv.Log = logger
 	srv.SetTelemetry(reg)
+	if sharded {
+		srv.ShardStart, srv.ShardEnd = member.Start, member.End
+		logger.Infof("agora-node: serving shard range [%d, %d]", member.Start, member.End)
+	}
 
 	if *debugAddr != "" {
 		dln, err := net.Listen("tcp", *debugAddr)

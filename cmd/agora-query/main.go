@@ -3,10 +3,19 @@
 // ranked answers, and prints them. With -watch it instead subscribes to the
 // nodes' feeds and streams matching items.
 //
+// With -scatter the listed nodes are treated as the uniform shard
+// partition of ONE corpus, in list order (node i owns range i/n — how
+// agora-node -shard-range i/n carves it), and the query runs through the
+// shard router instead of the per-source merge: global statistics are
+// collected first, shards that cannot contribute to the top-k are pruned,
+// and the merged ranking is bit-identical to an unsharded node holding
+// the whole corpus.
+//
 // Usage:
 //
 //	agora-query -nodes 127.0.0.1:7411,127.0.0.1:7412 "byzantine gold ring"
 //	agora-query -nodes 127.0.0.1:7411 -top 5 'FIND documents WHERE text ~ "ring" TOP 5'
+//	agora-query -nodes 127.0.0.1:7411,127.0.0.1:7412 -scatter "byzantine gold ring"
 //	agora-query -nodes 127.0.0.1:7411 -watch "auction drawing"
 package main
 
@@ -19,6 +28,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/shard"
 	"repro/internal/telemetry"
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -29,12 +39,18 @@ func main() {
 	top := flag.Int("top", 10, "results to print after merging")
 	timeout := flag.Duration("timeout", 5*time.Second, "per-node timeout")
 	watch := flag.Bool("watch", false, "subscribe to feeds instead of querying")
+	scatter := flag.Bool("scatter", false, "treat the nodes as one sharded corpus (list order = shard order) and route through the scatter-gather router")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: agora-query [-nodes a,b] [-watch] <query>")
+		fmt.Fprintln(os.Stderr, "usage: agora-query [-nodes a,b] [-scatter|-watch] <query>")
 		os.Exit(2)
 	}
 	text := flag.Arg(0)
+
+	if *scatter {
+		scatterAsk(strings.Split(*nodes, ","), text, *top, *timeout)
+		return
+	}
 
 	var clients []*transport.Client
 	for _, addr := range strings.Split(*nodes, ",") {
@@ -113,6 +129,50 @@ func main() {
 		fmt.Printf("%2d. [%.3f] %-14s %s  — %s\n", rank, h.item.Score, h.item.Source, h.item.DocID, h.item.Snippet)
 	}
 	if rank == 0 {
+		fmt.Println("no results")
+	}
+}
+
+// scatterAsk routes one query through the shard router: the node list, in
+// order, is taken as the uniform partition agora-node -shard-range i/n
+// serves. The router collects global term statistics, prunes shards whose
+// score bound cannot reach the top-k, scatters to the rest, and merges —
+// printing the same ranking an unsharded node with the whole corpus would.
+func scatterAsk(addrs []string, text string, top int, timeout time.Duration) {
+	ids := make([]string, 0, len(addrs))
+	for _, a := range addrs {
+		ids = append(ids, strings.TrimSpace(a))
+	}
+	m := shard.NewUniform(ids)
+	for _, id := range ids {
+		m.SetAddrs(id, id)
+	}
+	reg := telemetry.NewRegistry()
+	r, err := shard.NewRouter(m, shard.Options{ClientID: "agora-query", Timeout: timeout, Telemetry: reg})
+	if err != nil {
+		log.Fatalf("agora-query: %v", err)
+	}
+	defer r.Close()
+
+	start := time.Now()
+	res := r.Ask(text, top)
+	elapsed := time.Since(start)
+	for id, serr := range res.Errors {
+		log.Printf("agora-query: shard %s: %v", id, serr)
+	}
+	status := "complete"
+	if res.Partial {
+		status = "PARTIAL (missing shards above)"
+	}
+	log.Printf("agora-query: scatter over %d shard(s): asked %d, pruned %d, hedged %d — %s in %.1fms",
+		m.Len(), res.Fanout, res.Pruned, res.Hedges, status, elapsed.Seconds()*1000)
+	tid := telemetry.TraceID(res.TraceID)
+	log.Printf("agora-query: trace %s — inspect via /debug/trace?id=%s on any node's debug listener",
+		tid, tid)
+	for i, it := range res.Items {
+		fmt.Printf("%2d. [%.3f] %-14s %s  — %s\n", i+1, it.Score, it.Source, it.DocID, it.Snippet)
+	}
+	if len(res.Items) == 0 {
 		fmt.Println("no results")
 	}
 }

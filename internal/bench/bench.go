@@ -72,6 +72,7 @@ func Suite() []Experiment {
 		{"E23", "Substrate: group-commit WAL write throughput", E23GroupCommit},
 		{"E24", "Substrate: distributed tracing overhead & tail-sampled retention", E24DistributedTracing},
 		{"E25", "Substrate: block-max top-k search vs exhaustive scoring", E25BlockMaxSearch},
+		{"E26", "Substrate: sharded corpus scatter-gather ask scaling", E26ShardedScatter},
 	}
 }
 

@@ -450,9 +450,43 @@ func TestE25Shapes(t *testing.T) {
 	}
 }
 
+func TestE26Shapes(t *testing.T) {
+	// Quarter scale: E26 seeds four TCP clusters (1+2+4+8 = 15 stores)
+	// from the same corpus and runs three phases per cluster, so it is
+	// the suite's most setup-heavy experiment; the qualitative shapes
+	// below hold from 8k documents up, and the full-scale scaling curve
+	// is gated by make bench-shard-check, not here.
+	r := E26ShardedScatter(26, testScale/4)
+	h := r.Headline
+	// The tentpole contract: at every shard count the merged scatter
+	// top-k must be bit-identical to the monolithic store — same
+	// documents, same order, float-identical scores.
+	if h["identical"] != 1 {
+		t.Fatalf("scatter diverged from the monolithic store: %+v", h)
+	}
+	// A healthy cluster never degrades an ask to partial.
+	if h["partial_asks"] != 0 {
+		t.Fatalf("partial asks on a healthy cluster: %+v", h)
+	}
+	// Statistics-driven planning must engage: on the workload's topical
+	// ask mix most of an 8-shard cluster is pruned without a round-trip.
+	if h["fanout_8"]+h["pruned_8"] != 8 {
+		t.Fatalf("fanout %v + pruned %v != 8 shards", h["fanout_8"], h["pruned_8"])
+	}
+	if h["pruned_8"] <= 4 {
+		t.Fatalf("pruning barely engaged at 8 shards: %+v", h)
+	}
+	// The scaling curve itself is hardware- and scale-sensitive; the
+	// full-scale figure is gated by make bench-shard-check and recorded
+	// in EXPERIMENTS.md. At test scale only sanity is asserted.
+	if h["speedup_8x"] <= 0 {
+		t.Fatalf("no throughput figure: %+v", h)
+	}
+}
+
 func TestSuiteListsAllExperiments(t *testing.T) {
 	suite := Suite()
-	if len(suite) != 25 {
+	if len(suite) != 26 {
 		t.Fatalf("suite size = %d", len(suite))
 	}
 	seen := map[string]bool{}
@@ -472,7 +506,7 @@ func TestRunAllSmoke(t *testing.T) {
 		t.Skip("full suite in short mode")
 	}
 	results := RunAll(io.Discard, 42, 0.2)
-	if len(results) != 25 {
+	if len(results) != 26 {
 		t.Fatalf("results = %d", len(results))
 	}
 	for _, r := range results {

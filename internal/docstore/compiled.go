@@ -294,10 +294,20 @@ func putScratch(sc *searchScratch) { scratchPool.Put(sc) }
 // contributions accumulate per document in canonical query-term order, and
 // the heap's (score desc, id asc) total order makes the top-k set
 // independent of candidate arrival order.
-func (sn *snapshot) searchCompiled(tokens []string, k int, sc *searchScratch, exhaustive bool) []scored {
+//
+// gs, when non-nil, replaces the snapshot's document count and per-term
+// document frequencies with corpus-wide figures supplied by a scatter
+// router. The idf and query weights then come out as the exact floats a
+// single node holding the whole corpus would compute, which is what makes
+// a sharded top-k merge bit-identical to the monolithic result. Term
+// frequencies and norms stay local — they are per-document facts.
+func (sn *snapshot) searchCompiled(tokens []string, k int, sc *searchScratch, exhaustive bool, gs *GlobalStats) []scored {
 	cx := sn.base.cx
 	ov := sn.ov
 	total := sn.docCount
+	if gs != nil {
+		total = int(gs.TotalDocs)
+	}
 	if total == 0 || len(tokens) == 0 || k == 0 {
 		return nil
 	}
@@ -322,11 +332,15 @@ tokenLoop:
 		qt := &sc.terms[i]
 		tm, hasBase := cx.terms[qt.t]
 		df := 0
-		if hasBase {
-			df = int(tm.df)
+		if gs != nil {
+			df = int(gs.dfOf(qt.t))
+		} else {
+			if hasBase {
+				df = int(tm.df)
+			}
+			df -= ov.maskedDF[qt.t]
+			df += ov.df(qt.t)
 		}
-		df -= ov.maskedDF[qt.t]
-		df += ov.df(qt.t)
 		if df <= 0 {
 			qt.qw = 0
 			continue

@@ -1,0 +1,100 @@
+package docstore
+
+import (
+	"math"
+	"time"
+)
+
+// Distributed-scoring support. A sharded deployment partitions the corpus
+// across stores; TF-IDF scores computed against shard-local document
+// frequencies would then diverge from a single node holding everything
+// (each shard sees a different df, hence different idf floats). The scatter
+// router instead collects per-shard TermStats once, sums them into a
+// GlobalStats, and ships that with every query; shards score through the
+// identical searchCompiled code with only total/df overridden, so the
+// merged top-k is bit-identical to the monolithic SearchText result.
+
+// GlobalStats carries corpus-wide statistics for one query: the total live
+// document count across all shards and, parallel in Terms/DF, the global
+// document frequency of each canonical query term. Terms a shard sees in
+// the query but not in Terms score as df 0 (absent from the corpus).
+type GlobalStats struct {
+	TotalDocs uint64
+	Terms     []string
+	DF        []uint64
+}
+
+// dfOf returns the global document frequency for t. Queries carry a
+// handful of terms, so a linear scan beats a map here — and it keeps the
+// hot query path allocation-free.
+func (gs *GlobalStats) dfOf(t string) uint64 {
+	for i := range gs.Terms {
+		if gs.Terms[i] == t {
+			return gs.DF[i]
+		}
+	}
+	return 0
+}
+
+// TermStat is one term's shard-local statistics: live document frequency
+// and the maximum normalized term-weight ratio max_d (1+ln tf_d)/√(len_d+1)
+// over the shard's documents. A router sums DF across shards into global
+// frequencies and uses qw·idf·MaxRatio as this shard's score upper bound
+// for the term (the compiled ratio may include masked documents, so the
+// bound is valid, merely loose, under churn).
+type TermStat struct {
+	DF       uint64
+	MaxRatio float64
+}
+
+// TermStats reports the live document count, snapshot epoch, and per-term
+// statistics for the given canonical terms, all read from one snapshot (so
+// the figures are mutually consistent). Lock-free: concurrent writers keep
+// publishing new epochs while this reads an old one.
+func (s *Store) TermStats(terms []string) (total uint64, epoch uint64, stats []TermStat) {
+	sn := s.snap.Load()
+	cx := sn.base.cx
+	ov := sn.ov
+	stats = make([]TermStat, len(terms))
+	for i, t := range terms {
+		df := 0
+		maxRatio := 0.0
+		if tm, ok := cx.terms[t]; ok {
+			df = int(tm.df)
+			maxRatio = tm.maxRatio
+		}
+		df -= ov.maskedDF[t]
+		for _, p := range ov.postingsFor(t) {
+			df++
+			r := (1 + math.Log(float64(p.tf))) / math.Sqrt(float64(ov.docLen[p.id])+1)
+			if r > maxRatio {
+				maxRatio = r
+			}
+		}
+		if df < 0 {
+			df = 0
+		}
+		stats[i] = TermStat{DF: uint64(df), MaxRatio: maxRatio}
+	}
+	return uint64(sn.docCount), sn.epoch, stats
+}
+
+// SearchTextGlobal is SearchText scored under router-supplied global
+// statistics. It bypasses the query cache — cached entries are keyed by
+// (query, k, epoch) only, and the same query under different global stats
+// must not collide. A nil gs degrades to plain SearchText. Returned hits
+// are read-only (see Hit).
+func (s *Store) SearchTextGlobal(query string, k int, gs *GlobalStats) []Hit {
+	if gs == nil {
+		return s.SearchText(query, k)
+	}
+	start := time.Now()
+	defer func() { s.tel.textLat.Observe(time.Since(start)) }()
+	sn := s.snap.Load()
+	sc := getScratch()
+	s.countSearch()
+	raw := sn.searchTextGlobal(s.tokens.tokenize(query), k, sc, gs)
+	s.noteSearchStats(&sc.stats)
+	putScratch(sc)
+	return raw
+}

@@ -1,0 +1,141 @@
+package docstore
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/feature"
+)
+
+// buildGlobalFromSelf assembles the GlobalStats a scatter router would ship
+// for query, using the store itself as the only shard. On a single shard
+// holding the whole corpus the global figures equal the local ones, so
+// SearchTextGlobal must reproduce SearchText bit-for-bit.
+func buildGlobalFromSelf(s *Store, query string) *GlobalStats {
+	terms := feature.Tokenize(query)
+	// Distinct terms in first-appearance order, like the query compiler.
+	uniq := terms[:0:0]
+	for _, t := range terms {
+		seen := false
+		for _, u := range uniq {
+			if u == t {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			uniq = append(uniq, t)
+		}
+	}
+	total, _, stats := s.TermStats(uniq)
+	gs := &GlobalStats{TotalDocs: total, Terms: uniq, DF: make([]uint64, len(uniq))}
+	for i, st := range stats {
+		gs.DF[i] = st.DF
+	}
+	return gs
+}
+
+// TestSearchTextGlobalMatchesLocal pins the distributed-scoring invariant
+// at its base case: global statistics gathered from a store and fed back to
+// the same store produce bit-identical hits (IDs, order, and float scores)
+// across puts, replacements, and deletes — including overlay states where
+// local df bookkeeping is the base-minus-masked-plus-overlay merge.
+func TestSearchTextGlobalMatchesLocal(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	s, err := Open(Options{ConceptDim: 8, Seed: 3, QueryCacheSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	queries := []string{"gold ring", "byzantine mosaic coin", "amber", "filigree pendant jade"}
+	check := func(step int) {
+		t.Helper()
+		for _, q := range queries {
+			gs := buildGlobalFromSelf(s, q)
+			local := s.SearchText(q, 5)
+			global := s.SearchTextGlobal(q, 5, gs)
+			if !hitsEqual(local, global) {
+				t.Fatalf("step %d: global scoring diverged for %q:\n local:  %v\n global: %v",
+					step, q, hitIDs(local), hitIDs(global))
+			}
+		}
+	}
+	ids := []string{}
+	for step := 0; step < 300; step++ {
+		switch {
+		case len(ids) < 20 || r.Intn(10) < 6:
+			id := fmt.Sprintf("g%d", len(ids))
+			ids = append(ids, id)
+			if err := s.Put(shadowDoc(r, id, int64(step))); err != nil {
+				t.Fatal(err)
+			}
+		case r.Intn(2) == 0:
+			if err := s.Put(shadowDoc(r, ids[r.Intn(len(ids))], int64(step))); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			if err := s.Delete(ids[r.Intn(len(ids))]); err != nil && err != ErrNotFound {
+				t.Fatal(err)
+			}
+		}
+		if step%37 == 0 {
+			check(step)
+		}
+	}
+	check(300)
+}
+
+// TestTermStatsLiveCounts verifies TermStats against a brute-force count
+// over the live documents: df counts exactly the docs carrying the term,
+// and MaxRatio upper-bounds every live document's (1+ln tf)/√(len+1) ratio
+// (it may exceed the live max when masked base docs still back the
+// compiled figure — that only loosens a bound, never breaks it).
+func TestTermStatsLiveCounts(t *testing.T) {
+	s := memStore(t)
+	defer s.Close()
+	put := func(id, text string) {
+		if err := s.Put(doc(id, "", text, 1, nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put("a", "gold gold ring")
+	put("b", "gold coin")
+	put("c", "mosaic coin coin")
+	put("a", "silver ring") // replace: "gold" leaves a, now df 1
+	if err := s.Delete("c"); err != nil {
+		t.Fatal(err)
+	}
+	total, epoch, stats := s.TermStats([]string{"gold", "coin", "ring", "unseen"})
+	if total != 2 {
+		t.Fatalf("total = %d, want 2", total)
+	}
+	if epoch != s.Epoch() {
+		t.Fatalf("epoch = %d, want %d", epoch, s.Epoch())
+	}
+	wantDF := []uint64{1, 1, 1, 0}
+	for i, st := range stats {
+		if st.DF != wantDF[i] {
+			t.Fatalf("df[%d] = %d, want %d (stats %+v)", i, st.DF, wantDF[i], stats)
+		}
+	}
+	if stats[3].MaxRatio != 0 {
+		t.Fatalf("unseen term has MaxRatio %v", stats[3].MaxRatio)
+	}
+	if stats[0].MaxRatio <= 0 || stats[1].MaxRatio <= 0 {
+		t.Fatalf("live terms need positive ratios: %+v", stats)
+	}
+}
+
+// TestSearchTextGlobalNilFallback: a nil GlobalStats must behave exactly
+// like SearchText (the unsharded path).
+func TestSearchTextGlobalNilFallback(t *testing.T) {
+	s := memStore(t)
+	defer s.Close()
+	if err := s.Put(doc("d1", "gold ring", "gold filigree ring", 1, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if !hitsEqual(s.SearchTextGlobal("gold", 3, nil), s.SearchText("gold", 3)) {
+		t.Fatal("nil stats diverged from SearchText")
+	}
+}

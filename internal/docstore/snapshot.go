@@ -428,14 +428,22 @@ func (sn *snapshot) getDoc(id string) *Document {
 // compiled base, exact merge with the overlay). Returned hits share
 // snapshot-owned documents — they are read-only for callers.
 func (sn *snapshot) searchTextRaw(tokens []string, k int, sc *searchScratch) []Hit {
-	return sn.assembleHits(sn.searchCompiled(tokens, k, sc, false))
+	return sn.assembleHits(sn.searchCompiled(tokens, k, sc, false, nil))
+}
+
+// searchTextGlobal is searchTextRaw scored under router-supplied global
+// statistics (see GlobalStats): same block-max walk, same accumulation
+// order, idf/query weights computed from the corpus-wide document count and
+// frequencies instead of this shard's local ones.
+func (sn *snapshot) searchTextGlobal(tokens []string, k int, sc *searchScratch, gs *GlobalStats) []Hit {
+	return sn.assembleHits(sn.searchCompiled(tokens, k, sc, false, gs))
 }
 
 // searchTextExhaustive is the reference scorer: the same accumulation code
 // with early termination disabled, so every candidate is scored. Property
 // tests pin searchTextRaw bit-identical to it.
 func (sn *snapshot) searchTextExhaustive(tokens []string, k int, sc *searchScratch) []Hit {
-	return sn.assembleHits(sn.searchCompiled(tokens, k, sc, true))
+	return sn.assembleHits(sn.searchCompiled(tokens, k, sc, true, nil))
 }
 
 // assembleHits resolves ranked ordinals/ids into hit documents. The scored

@@ -13,10 +13,14 @@ import (
 // must be joined by Close before the WAL file handle is released. A `go`
 // statement with no visible join in the same function is how these
 // contracts rot.
+// internal/shard joins the list with the scatter router: its hedge and
+// backup attempt goroutines hold live client connections, so Close must
+// drain them (Router.wg) before the sockets go away.
 var joinTrackedPackages = []string{
 	"internal/transport",
 	"internal/core",
 	"internal/docstore",
+	"internal/shard",
 }
 
 // goroutineAnalyzer enforces contract (3), goroutine hygiene: every `go`

@@ -117,6 +117,14 @@ func TestWallclockOutsideKernelIsSilent(t *testing.T) {
 	assertFixtureSilent(t, "wallclock", "internal/feature", wallclockAnalyzer)
 }
 
+// TestWallclockFixtureInShard pins the widened scope: the scatter
+// router's pruning and merge math is kernel-governed, so the fixture
+// must fire under internal/shard too (the router's genuine clock uses
+// live behind annotated helpers in shard/walltime.go).
+func TestWallclockFixtureInShard(t *testing.T) {
+	runFixture(t, "wallclock", "internal/shard", wallclockAnalyzer)
+}
+
 // assertFixtureSilent runs one analyzer over a fixture under a package
 // path it does not govern and requires zero findings.
 func assertFixtureSilent(t *testing.T, dir, asPath string, a *Analyzer) {
@@ -143,6 +151,14 @@ func TestGoroutineFixture(t *testing.T) {
 // must fire under internal/docstore too.
 func TestGoroutineFixtureInDocstore(t *testing.T) {
 	runFixture(t, "goroutine", "internal/docstore", goroutineAnalyzer)
+}
+
+// TestGoroutineFixtureInShard pins the widened scope: the scatter
+// router's hedge and backup attempts hold live connections and must be
+// join-tracked (Router.wg), so the fixture fires under internal/shard
+// as well.
+func TestGoroutineFixtureInShard(t *testing.T) {
+	runFixture(t, "goroutine", "internal/shard", goroutineAnalyzer)
 }
 
 func TestCheckederrFixture(t *testing.T) {

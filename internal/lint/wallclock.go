@@ -7,12 +7,18 @@ import "go/ast"
 // byte-identical at any fan-out width (DESIGN.md §4c). Reading the wall
 // clock or the process-global rand source anywhere in these packages
 // silently breaks that.
+// internal/shard is included for the same reason: the router's pruning
+// and merge math must be a pure function of the statistics, never of
+// timing — its genuinely clock-dependent code (RPC deadlines, hedge
+// timers, latency stopwatches) funnels through annotated helpers in
+// shard/walltime.go.
 var kernelPackages = []string{
 	"internal/sim",
 	"internal/core",
 	"internal/overlay",
 	"internal/negotiate",
 	"internal/uncertainty",
+	"internal/shard",
 }
 
 // bannedTime are the time-package functions that read or depend on the

@@ -1,0 +1,98 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/docstore"
+)
+
+// Range handoff: when gossip reports a membership change, Map.Join/Leave
+// emit Handoffs, and a Mover executes them — streaming every document
+// whose placement key falls in the moved range out of the source store and
+// into the destination. Both sides go through the ordinary write path
+// (WAL, snapshots), so a handoff is crash-safe on each store and readers
+// on either side keep their lock-free epochs throughout.
+
+// Mover applies handoffs between stores it can reach in-process. Key
+// defaults to DocKey.
+type Mover struct {
+	Stores map[string]*docstore.Store
+	Key    func(*docstore.Document) uint64
+}
+
+// moveBatch bounds one PutBatch/Delete sweep so a huge range moves in
+// group-committed chunks instead of one giant write.
+const moveBatch = 256
+
+// Apply moves h's range, returning how many documents moved. Documents
+// are copied into the destination first and deleted from the source after
+// the batch lands — a crash between the two leaves duplicates (resolved by
+// the destination being authoritative for the range), never losses.
+func (mv *Mover) Apply(h Handoff) (int, error) {
+	src, ok := mv.Stores[h.From]
+	if !ok {
+		return 0, fmt.Errorf("shard: handoff source %q unknown", h.From)
+	}
+	dst, ok := mv.Stores[h.To]
+	if !ok {
+		return 0, fmt.Errorf("shard: handoff destination %q unknown", h.To)
+	}
+	key := mv.Key
+	if key == nil {
+		key = DocKey
+	}
+	var batch []*docstore.Document
+	moved := 0
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if err := dst.PutBatch(batch); err != nil {
+			return fmt.Errorf("shard: handoff put: %w", err)
+		}
+		for _, d := range batch {
+			if err := src.Delete(d.ID); err != nil && !errors.Is(err, docstore.ErrNotFound) {
+				return fmt.Errorf("shard: handoff delete: %w", err)
+			}
+		}
+		moved += len(batch)
+		batch = batch[:0]
+		return nil
+	}
+	var moveErr error
+	src.All(func(d *docstore.Document) bool {
+		k := key(d)
+		if k < h.Start || k > h.End {
+			return true
+		}
+		batch = append(batch, d)
+		if len(batch) >= moveBatch {
+			if moveErr = flush(); moveErr != nil {
+				return false
+			}
+		}
+		return true
+	})
+	if moveErr != nil {
+		return moved, moveErr
+	}
+	if err := flush(); err != nil {
+		return moved, err
+	}
+	return moved, nil
+}
+
+// ApplyAll applies a sequence of handoffs (the output of one membership
+// change), stopping on the first error.
+func (mv *Mover) ApplyAll(hs []Handoff) (int, error) {
+	total := 0
+	for _, h := range hs {
+		n, err := mv.Apply(h)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,292 @@
+// Package shard partitions the agora corpus across nodes and runs
+// scatter-gather asks over the real TCP transport. A Map assigns each
+// document — keyed by its primary topic, so the Zipfian concept space in
+// internal/workload clusters related documents — to one shard's key range;
+// a Router fans a text query out to the shards that can contribute, scores
+// every shard under the same corpus-wide statistics, and merges the
+// per-shard top-k streams into a result bit-identical to a single node
+// holding the whole corpus (DESIGN.md "Sharding & scatter-gather").
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/docstore"
+	"repro/internal/wire"
+)
+
+// Member is one shard: the owning node, its dial addresses (primary first,
+// later entries are replicas used for hedged retries), and the inclusive
+// key range [Start, End] it serves on the 64-bit ring.
+type Member struct {
+	ID    string
+	Addrs []string
+	Start uint64
+	End   uint64
+}
+
+// Contains reports whether key falls in the member's range.
+func (m *Member) Contains(key uint64) bool {
+	return key >= m.Start && key <= m.End
+}
+
+// Map is a contiguous partition of the full 64-bit key space: members are
+// sorted by Start, ranges do not overlap, and together they cover
+// [0, MaxUint64]. The zero Map is empty and locates nothing.
+type Map struct {
+	members []Member
+}
+
+// Key hashes a placement string (a topic, or a document ID as fallback)
+// onto the ring with FNV-1a 64 — stable across processes, unlike Go's map
+// hash.
+func Key(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// DocKey places a document: by its first topic when it has one (clustering
+// a topic's documents on one shard), by ID otherwise. Placement is a
+// locality optimization only — the router's correctness never depends on
+// where a document landed.
+func DocKey(d *docstore.Document) uint64 {
+	if len(d.Topics) > 0 {
+		return Key(d.Topics[0])
+	}
+	return Key(d.ID)
+}
+
+// NewUniform builds a map splitting the ring into len(ids) equal ranges,
+// in the given order. Panics on zero members (a map must cover the ring).
+func NewUniform(ids []string) *Map {
+	if len(ids) == 0 {
+		panic("shard: uniform map needs at least one member")
+	}
+	n := uint64(len(ids))
+	width := ^uint64(0)/n + 1 // ranges of ~2^64/n keys; the last absorbs the remainder
+	m := &Map{members: make([]Member, len(ids))}
+	for i, id := range ids {
+		start := uint64(i) * width
+		end := start + width - 1
+		if i == len(ids)-1 {
+			end = ^uint64(0)
+		}
+		m.members[i] = Member{ID: id, Start: start, End: end}
+	}
+	return m
+}
+
+// Members returns the partition, sorted by Start. The slice is the map's
+// own — callers must not mutate it.
+func (m *Map) Members() []Member { return m.members }
+
+// Len returns the number of shards.
+func (m *Map) Len() int { return len(m.members) }
+
+// Locate returns the member owning key, or nil on an empty map.
+func (m *Map) Locate(key uint64) *Member {
+	i := sort.Search(len(m.members), func(i int) bool { return m.members[i].End >= key })
+	if i == len(m.members) {
+		return nil
+	}
+	return &m.members[i]
+}
+
+// SetAddrs records the dial addresses for member id.
+func (m *Map) SetAddrs(id string, addrs ...string) {
+	for i := range m.members {
+		if m.members[i].ID == id {
+			m.members[i].Addrs = append([]string(nil), addrs...)
+			return
+		}
+	}
+}
+
+// Handoff is one range movement produced by a membership change: documents
+// with keys in [Start, End] must move from shard From to shard To.
+type Handoff struct {
+	From  string
+	To    string
+	Start uint64
+	End   uint64
+}
+
+// Join adds a new member by splitting the widest existing range in half,
+// returning the handoff that moves the upper half's documents to the new
+// member. Joining an existing ID is a no-op (nil handoffs).
+func (m *Map) Join(id string, addrs ...string) []Handoff {
+	for i := range m.members {
+		if m.members[i].ID == id {
+			return nil
+		}
+	}
+	if len(m.members) == 0 {
+		m.members = []Member{{ID: id, Addrs: append([]string(nil), addrs...), Start: 0, End: ^uint64(0)}}
+		return nil
+	}
+	widest := 0
+	for i := range m.members {
+		if m.members[i].End-m.members[i].Start > m.members[widest].End-m.members[widest].Start {
+			widest = i
+		}
+	}
+	w := &m.members[widest]
+	if w.End == w.Start {
+		return nil // cannot split a single-key range
+	}
+	mid := w.Start + (w.End-w.Start)/2
+	nm := Member{ID: id, Addrs: append([]string(nil), addrs...), Start: mid + 1, End: w.End}
+	h := Handoff{From: w.ID, To: id, Start: nm.Start, End: nm.End}
+	w.End = mid
+	m.members = append(m.members, Member{})
+	copy(m.members[widest+2:], m.members[widest+1:])
+	m.members[widest+1] = nm
+	return []Handoff{h}
+}
+
+// Leave removes a member, merging its range into a neighbor (the previous
+// member; the next one when the first member leaves), and returns the
+// handoff draining the departing shard. Removing the last member empties
+// the map. Unknown IDs are a no-op.
+func (m *Map) Leave(id string) []Handoff {
+	idx := -1
+	for i := range m.members {
+		if m.members[i].ID == id {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil
+	}
+	leaving := m.members[idx]
+	if len(m.members) == 1 {
+		m.members = nil
+		return nil
+	}
+	var heir int
+	if idx > 0 {
+		heir = idx - 1
+		m.members[heir].End = leaving.End
+	} else {
+		heir = idx + 1
+		m.members[heir].Start = leaving.Start
+	}
+	h := Handoff{From: id, To: m.members[heir].ID, Start: leaving.Start, End: leaving.End}
+	m.members = append(m.members[:idx], m.members[idx+1:]...)
+	return []Handoff{h}
+}
+
+// validate checks the contiguity invariant; used by tests and by gossip
+// parsing (a malformed peer sample must not become a routing table).
+func (m *Map) validate() error {
+	if len(m.members) == 0 {
+		return nil
+	}
+	if m.members[0].Start != 0 {
+		return fmt.Errorf("shard: map does not start at 0 (starts %d)", m.members[0].Start)
+	}
+	for i := 1; i < len(m.members); i++ {
+		if m.members[i].Start != m.members[i-1].End+1 {
+			return fmt.Errorf("shard: gap between %q and %q", m.members[i-1].ID, m.members[i].ID)
+		}
+	}
+	if m.members[len(m.members)-1].End != ^uint64(0) {
+		return fmt.Errorf("shard: map does not cover the top of the ring")
+	}
+	return nil
+}
+
+// GossipEntries flattens the map into the overlay's gossip peer format:
+// one "id addr start-end" entry per member (addr is the primary; "-" when
+// unknown). Nodes that predate sharding publish "id addr" pairs; both
+// forms coexist in one wire.Gossip.
+func (m *Map) GossipEntries() []string {
+	out := make([]string, 0, len(m.members))
+	for i := range m.members {
+		mem := &m.members[i]
+		addr := "-"
+		if len(mem.Addrs) > 0 {
+			addr = mem.Addrs[0]
+		}
+		out = append(out, fmt.Sprintf("%s %s %d-%d", mem.ID, addr, mem.Start, mem.End))
+	}
+	return out
+}
+
+// FromGossip rebuilds a map from a gossip membership sample, ignoring
+// entries without a range token (pre-shard peers). The entries must form a
+// contiguous cover of the ring or an error is returned — a router must
+// never scatter over a partial routing table as if it were whole.
+func FromGossip(g wire.Gossip) (*Map, error) {
+	m := &Map{}
+	for _, entry := range g.Peers {
+		fields := strings.Fields(entry)
+		if len(fields) < 3 {
+			continue // "id addr" pair from an unsharded peer
+		}
+		lo, hi, ok := parseRange(fields[2])
+		if !ok {
+			continue
+		}
+		mem := Member{ID: fields[0], Start: lo, End: hi}
+		if fields[1] != "-" {
+			mem.Addrs = []string{fields[1]}
+		}
+		m.members = append(m.members, mem)
+	}
+	sort.Slice(m.members, func(i, j int) bool { return m.members[i].Start < m.members[j].Start })
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ParseRange parses the "start-end" form used by gossip entries and the
+// agora-node -shard-range flag's "i/n" uniform shorthand: "3/8" denotes
+// the fourth of eight equal ranges.
+func ParseRange(s string) (start, end uint64, err error) {
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		idx, err1 := strconv.ParseUint(s[:i], 10, 64)
+		n, err2 := strconv.ParseUint(s[i+1:], 10, 64)
+		if err1 != nil || err2 != nil || n == 0 || idx >= n {
+			return 0, 0, fmt.Errorf("shard: bad range %q (want i/n with i < n)", s)
+		}
+		width := ^uint64(0)/n + 1
+		start = idx * width
+		end = start + width - 1
+		if idx == n-1 {
+			end = ^uint64(0)
+		}
+		return start, end, nil
+	}
+	lo, hi, ok := parseRange(s)
+	if !ok {
+		return 0, 0, fmt.Errorf("shard: bad range %q (want start-end or i/n)", s)
+	}
+	return lo, hi, nil
+}
+
+func parseRange(s string) (lo, hi uint64, ok bool) {
+	i := strings.IndexByte(s, '-')
+	if i <= 0 {
+		return 0, 0, false
+	}
+	lo, err1 := strconv.ParseUint(s[:i], 10, 64)
+	hi, err2 := strconv.ParseUint(s[i+1:], 10, 64)
+	if err1 != nil || err2 != nil || hi < lo {
+		return 0, 0, false
+	}
+	return lo, hi, true
+}

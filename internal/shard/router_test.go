@@ -1,0 +1,398 @@
+package shard
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/docstore"
+	"repro/internal/telemetry"
+	"repro/internal/transport"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// testCorpus generates a deterministic Zipfian corpus: 16 topics, so the
+// topic-keyed placement spreads over every shard count under test.
+func testCorpus(t testing.TB, n int) ([]*docstore.Document, *workload.Generator) {
+	t.Helper()
+	g := workload.NewGenerator(42, 16, 16)
+	out := make([]*docstore.Document, 0, n)
+	for _, d := range g.GenCorpus(n, 1.1, int64(time.Hour)) {
+		out = append(out, d.Doc)
+	}
+	return out, g
+}
+
+// testQueries mixes the three shapes a scatter must get right: topical
+// (concentrated on one shard), common (touching every shard), and mixed.
+func testQueries(g *workload.Generator) []string {
+	qs := []string{
+		g.Common[0] + " " + g.Common[1] + " " + g.Common[2],
+		"zzz no such term anywhere",
+	}
+	for i := 0; i < 6; i++ {
+		v := g.Topics[i%len(g.Topics)].Vocab
+		qs = append(qs,
+			v[0]+" "+v[1],
+			v[2]+" "+g.Common[(i+3)%len(g.Common)],
+		)
+	}
+	return qs
+}
+
+func memShard(t testing.TB) *docstore.Store {
+	t.Helper()
+	st, err := docstore.Open(docstore.Options{ConceptDim: 16, Seed: 7})
+	if err != nil {
+		t.Fatalf("open store: %v", err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+// testCluster is n agora-node shard servers over real TCP plus the routing
+// map pointing at them.
+type testCluster struct {
+	m       *Map
+	stores  map[string]*docstore.Store
+	servers map[string]*transport.Server
+}
+
+// startCluster partitions docs across n shards by DocKey and serves each
+// partition from its own transport server on a loopback listener.
+func startCluster(t testing.TB, n int, docs []*docstore.Document) *testCluster {
+	t.Helper()
+	tc := &testCluster{
+		m:       NewUniform(ids(n)),
+		stores:  make(map[string]*docstore.Store, n),
+		servers: make(map[string]*transport.Server, n),
+	}
+	parts := make(map[string][]*docstore.Document, n)
+	for _, d := range docs {
+		id := tc.m.Locate(DocKey(d)).ID
+		parts[id] = append(parts[id], d)
+	}
+	for _, mem := range tc.m.Members() {
+		st := memShard(t)
+		if err := st.PutBatch(parts[mem.ID]); err != nil {
+			t.Fatalf("seed %s: %v", mem.ID, err)
+		}
+		tc.stores[mem.ID] = st
+		tc.serve(t, mem.ID)
+	}
+	return tc
+}
+
+// serve starts (or restarts) the transport server for shard id and records
+// its dial address in the map.
+func (tc *testCluster) serve(t testing.TB, id string) {
+	t.Helper()
+	mem := tc.m.Locate(tc.memberRange(t, id))
+	srv := transport.NewServer(id, tc.stores[id])
+	srv.ShardStart, srv.ShardEnd = mem.Start, mem.End
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	tc.servers[id] = srv
+	tc.m.SetAddrs(id, ln.Addr().String())
+}
+
+func (tc *testCluster) memberRange(t testing.TB, id string) uint64 {
+	t.Helper()
+	for _, mem := range tc.m.Members() {
+		if mem.ID == id {
+			return mem.Start
+		}
+	}
+	t.Fatalf("no member %q", id)
+	return 0
+}
+
+func (tc *testCluster) router(t testing.TB, opts Options) *Router {
+	t.Helper()
+	r, err := NewRouter(tc.m, opts)
+	if err != nil {
+		t.Fatalf("router: %v", err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r
+}
+
+// assertIdentical requires the scatter answer to be bit-identical to the
+// monolithic hits: same documents, same order, same float64 scores.
+func assertIdentical(t *testing.T, label string, got []wire.ResultItem, want []docstore.Hit) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d items, monolithic %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i].DocID != want[i].Doc.ID || got[i].Score != want[i].Score {
+			t.Fatalf("%s: pos %d = (%s, %v), monolithic (%s, %v)",
+				label, i, got[i].DocID, got[i].Score, want[i].Doc.ID, want[i].Score)
+		}
+	}
+}
+
+// TestScatterMatchesMonolithic pins the tentpole invariant: at every shard
+// count the merged scatter top-k is bit-identical to a single node holding
+// the whole corpus (same docs, same order, same scores — the
+// TestSnapshotMatchesMonolithic pattern applied across processes).
+func TestScatterMatchesMonolithic(t *testing.T) {
+	docs, g := testCorpus(t, 600)
+	mono := memShard(t)
+	if err := mono.PutBatch(docs); err != nil {
+		t.Fatalf("seed mono: %v", err)
+	}
+	queries := testQueries(g)
+	for _, n := range []int{1, 2, 4, 8} {
+		t.Run(fmt.Sprintf("shards=%d", n), func(t *testing.T) {
+			reg := telemetry.NewRegistry()
+			tc := startCluster(t, n, docs)
+			r := tc.router(t, Options{Telemetry: reg})
+			for _, q := range queries {
+				res := r.Ask(q, 10)
+				if res.Partial || len(res.Errors) > 0 {
+					t.Fatalf("q=%q: partial=%v errors=%v", q, res.Partial, res.Errors)
+				}
+				if res.Fanout+res.Pruned != n {
+					t.Fatalf("q=%q: fanout %d + pruned %d != %d shards", q, res.Fanout, res.Pruned, n)
+				}
+				assertIdentical(t, fmt.Sprintf("n=%d q=%q", n, q), res.Items, mono.SearchText(q, 10))
+			}
+			if got := reg.Histogram("shard.scatter.ask").Count(); got != uint64(len(queries)) {
+				t.Fatalf("ask histogram count = %d, want %d", got, len(queries))
+			}
+			if n > 1 && reg.Counter("shard.scatter.pruned").Value() == 0 {
+				t.Fatal("topical queries over multiple shards should prune at least once")
+			}
+			if reg.Counter("shard.scatter.partial").Value() != 0 {
+				t.Fatal("partial counter moved on a healthy cluster")
+			}
+		})
+	}
+}
+
+// TestScatterStatsTrackWrites pins the epoch-drift path: after writes land
+// on a shard, the next ask must re-collect statistics and stay
+// bit-identical to a monolithic store receiving the same writes.
+func TestScatterStatsTrackWrites(t *testing.T) {
+	docs, g := testCorpus(t, 300)
+	mono := memShard(t)
+	if err := mono.PutBatch(docs); err != nil {
+		t.Fatalf("seed mono: %v", err)
+	}
+	tc := startCluster(t, 4, docs)
+	r := tc.router(t, Options{Telemetry: telemetry.NewRegistry()})
+	q := g.Topics[0].Vocab[0] + " " + g.Common[0]
+	assertIdentical(t, "pre-write", r.Ask(q, 10).Items, mono.SearchText(q, 10))
+
+	// New documents for topic 0: they land on exactly one shard, bumping
+	// its epoch; the cached stats for that shard are now stale.
+	extra := make([]*docstore.Document, 0, 20)
+	for i := 0; i < 20; i++ {
+		extra = append(extra, &docstore.Document{
+			ID:     fmt.Sprintf("extra%03d", i),
+			Text:   g.Topics[0].Vocab[0] + " " + g.Topics[0].Vocab[1],
+			Topics: []string{g.Topics[0].Name},
+		})
+	}
+	target := tc.stores[tc.m.Locate(Key(g.Topics[0].Name)).ID]
+	if err := target.PutBatch(extra); err != nil {
+		t.Fatalf("put extra: %v", err)
+	}
+	if err := mono.PutBatch(extra); err != nil {
+		t.Fatalf("put extra mono: %v", err)
+	}
+	// First post-write ask answers under the cached (stale) statistics but
+	// observes the epoch drift; the one after must be exact again.
+	r.Ask(q, 10)
+	assertIdentical(t, "post-write", r.Ask(q, 10).Items, mono.SearchText(q, 10))
+}
+
+// TestScatterPartialOnShardDeath kills one shard between asks: the router
+// must answer from the survivors, flag the result partial, and attribute
+// the failure to the dead shard (satellite 3).
+func TestScatterPartialOnShardDeath(t *testing.T) {
+	docs, g := testCorpus(t, 400)
+	tc := startCluster(t, 4, docs)
+	r := tc.router(t, Options{Timeout: 2 * time.Second, Telemetry: telemetry.NewRegistry()})
+	q := g.Common[0] + " " + g.Common[1] + " " + g.Common[2] // touches every shard
+	full := r.Ask(q, 10)
+	if full.Partial || len(full.Items) == 0 {
+		t.Fatalf("warm ask: partial=%v items=%d", full.Partial, len(full.Items))
+	}
+
+	// Kill the shard that contributed the top hit, so its absence is
+	// observable in the merged list.
+	var dead string
+	for _, mem := range tc.m.Members() {
+		if mem.Contains(DocKey(&docstore.Document{ID: full.Items[0].DocID, Topics: topicsOf(docs, full.Items[0].DocID)})) {
+			dead = mem.ID
+		}
+	}
+	if dead == "" {
+		t.Fatal("could not locate top hit's shard")
+	}
+	tc.servers[dead].Close()
+
+	res := r.Ask(q, 10)
+	if !res.Partial {
+		t.Fatal("ask after shard death not marked partial")
+	}
+	if err := res.Errors[dead]; err == nil {
+		t.Fatalf("dead shard %s not attributed; errors=%v", dead, res.Errors)
+	}
+	if len(res.Errors) != 1 {
+		t.Fatalf("errors beyond the dead shard: %v", res.Errors)
+	}
+	// The survivors answered under the same global statistics, so the
+	// full answer filtered to live shards must be a prefix of the partial
+	// answer — same docs, same scores, same order.
+	deadMem := tc.m.Locate(tc.memberRange(t, dead))
+	var wantPrefix []wire.ResultItem
+	for _, it := range full.Items {
+		if !deadMem.Contains(DocKey(&docstore.Document{ID: it.DocID, Topics: topicsOf(docs, it.DocID)})) {
+			wantPrefix = append(wantPrefix, it)
+		}
+	}
+	if len(res.Items) < len(wantPrefix) {
+		t.Fatalf("partial items %d < surviving full items %d", len(res.Items), len(wantPrefix))
+	}
+	for i, want := range wantPrefix {
+		if res.Items[i].DocID != want.DocID || res.Items[i].Score != want.Score {
+			t.Fatalf("pos %d = (%s, %v), want surviving (%s, %v)",
+				i, res.Items[i].DocID, res.Items[i].Score, want.DocID, want.Score)
+		}
+	}
+	for _, it := range res.Items {
+		if deadMem.Contains(DocKey(&docstore.Document{ID: it.DocID, Topics: topicsOf(docs, it.DocID)})) {
+			t.Fatalf("dead shard's document %s in partial result", it.DocID)
+		}
+	}
+}
+
+func topicsOf(docs []*docstore.Document, id string) []string {
+	for _, d := range docs {
+		if d.ID == id {
+			return d.Topics
+		}
+	}
+	return nil
+}
+
+// TestRouterChurn races concurrent asks against live writes and a
+// mid-flight shard death; run under -race it pins the router's locking
+// (satellite 3's churn stress).
+func TestRouterChurn(t *testing.T) {
+	docs, g := testCorpus(t, 300)
+	tc := startCluster(t, 4, docs)
+	r := tc.router(t, Options{Timeout: 2 * time.Second, Telemetry: telemetry.NewRegistry()})
+	queries := testQueries(g)
+
+	// Pre-generate churn documents: the workload generator's rng is not
+	// goroutine-safe.
+	churn := make([]*docstore.Document, 60)
+	for i := range churn {
+		tp := g.Topics[i%len(g.Topics)]
+		churn[i] = &docstore.Document{
+			ID:     fmt.Sprintf("churn%03d", i),
+			Text:   tp.Vocab[i%len(tp.Vocab)] + " " + g.Common[i%len(g.Common)],
+			Topics: []string{tp.Name},
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				q := queries[(w+i)%len(queries)]
+				res := r.Ask(q, 10)
+				for j := 1; j < len(res.Items); j++ {
+					if itemBetter(res.Items[j], res.Items[j-1]) {
+						t.Errorf("unordered merge under churn: %v", res.Items)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, d := range churn {
+			st := tc.stores[tc.m.Locate(DocKey(d)).ID]
+			if err := st.Put(d); err != nil {
+				t.Errorf("churn put: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(5 * time.Millisecond)
+		tc.servers["shard3"].Close() // mid-flight death: asks must degrade, not hang
+	}()
+	wg.Wait()
+}
+
+// TestHandoffRebalance grows a 2-shard cluster to 3: Map.Join emits the
+// handoff, a Mover streams the moved range between stores, and afterwards
+// every document sits in exactly the shard owning its key — with the
+// scatter answer still bit-identical to the monolithic store.
+func TestHandoffRebalance(t *testing.T) {
+	docs, g := testCorpus(t, 400)
+	mono := memShard(t)
+	if err := mono.PutBatch(docs); err != nil {
+		t.Fatalf("seed mono: %v", err)
+	}
+	tc := startCluster(t, 2, docs)
+	hs := tc.m.Join("shard2")
+	if len(hs) != 1 {
+		t.Fatalf("join handoffs = %d", len(hs))
+	}
+	tc.stores["shard2"] = memShard(t)
+	mv := &Mover{Stores: tc.stores}
+	moved, err := mv.ApplyAll(hs)
+	if err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	if moved == 0 {
+		t.Fatal("handoff moved nothing; corpus should straddle the split")
+	}
+
+	// Placement invariant: every store holds exactly its range, and no
+	// document was lost or duplicated.
+	total := 0
+	for _, mem := range tc.m.Members() {
+		tc.stores[mem.ID].All(func(d *docstore.Document) bool {
+			total++
+			if k := DocKey(d); !mem.Contains(k) {
+				t.Errorf("doc %s (key %d) on %s [%d,%d]", d.ID, k, mem.ID, mem.Start, mem.End)
+				return false
+			}
+			return true
+		})
+	}
+	if total != len(docs) {
+		t.Fatalf("%d docs after rebalance, want %d", total, len(docs))
+	}
+
+	tc.serve(t, "shard2")
+	r := tc.router(t, Options{Telemetry: telemetry.NewRegistry()})
+	for _, q := range testQueries(g)[:6] {
+		res := r.Ask(q, 10)
+		if res.Partial {
+			t.Fatalf("q=%q partial after rebalance: %v", q, res.Errors)
+		}
+		assertIdentical(t, "post-rebalance "+q, res.Items, mono.SearchText(q, 10))
+	}
+}

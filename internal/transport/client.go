@@ -23,15 +23,21 @@ type Client struct {
 
 	// pending query results by query id.
 	pending map[string]chan wire.QueryResult
-	pongs   chan []byte
+	// pendingStats demuxes term-stats responses by request id.
+	pendingStats map[string]chan wire.TermStatsResp
+	pongs        chan []byte
 	// Feed delivers pushed feed items; buffered, drops when full.
 	Feed chan wire.FeedItem
 	// RemoteID is the server's node id from the handshake.
 	RemoteID string
-	closed   bool
-	readErr  error
-	done     chan struct{}
-	tel      clientTel
+	// RemoteStart/RemoteEnd is the shard key range the server announced in
+	// its handshake ack (both zero when the server is unsharded).
+	RemoteStart uint64
+	RemoteEnd   uint64
+	closed      bool
+	readErr     error
+	done        chan struct{}
+	tel         clientTel
 }
 
 // clientTel caches resolved telemetry instruments for client round-trips.
@@ -67,13 +73,14 @@ func DialWithTelemetry(addr, clientID string, timeout time.Duration, reg *teleme
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
 	c := &Client{
-		conn:    conn,
-		r:       bufio.NewReader(conn),
-		pending: make(map[string]chan wire.QueryResult),
-		pongs:   make(chan []byte, 4),
-		Feed:    make(chan wire.FeedItem, 64),
-		done:    make(chan struct{}),
-		tel:     newClientTel(reg),
+		conn:         conn,
+		r:            bufio.NewReader(conn),
+		pending:      make(map[string]chan wire.QueryResult),
+		pendingStats: make(map[string]chan wire.TermStatsResp),
+		pongs:        make(chan []byte, 4),
+		Feed:         make(chan wire.FeedItem, 64),
+		done:         make(chan struct{}),
+		tel:          newClientTel(reg),
 	}
 	hello := wire.Hello{NodeID: clientID}
 	if err := c.send(wire.KindHello, hello.Marshal()); err != nil {
@@ -102,6 +109,8 @@ func DialWithTelemetry(addr, clientID string, timeout time.Duration, reg *teleme
 		return nil, err
 	}
 	c.RemoteID = ack.NodeID
+	c.RemoteStart = ack.ShardStart
+	c.RemoteEnd = ack.ShardEnd
 	go c.readLoop() //lint:allow goroutine connection demux loop; Close joins it via <-c.done
 	return c, nil
 }
@@ -123,6 +132,10 @@ func (c *Client) readLoop() {
 				close(ch)
 			}
 			c.pending = make(map[string]chan wire.QueryResult)
+			for _, ch := range c.pendingStats {
+				close(ch)
+			}
+			c.pendingStats = make(map[string]chan wire.TermStatsResp)
 			c.mu.Unlock()
 			close(c.Feed)
 			return
@@ -152,6 +165,21 @@ func (c *Client) readLoop() {
 			case c.Feed <- item:
 			default: // drop on backpressure
 				c.tel.feedDropped.Inc()
+			}
+		case wire.KindTermStatsResult:
+			resp, err := wire.UnmarshalTermStatsResp(f.Payload)
+			if err != nil {
+				continue
+			}
+			c.mu.Lock()
+			ch, ok := c.pendingStats[resp.ID]
+			if ok {
+				delete(c.pendingStats, resp.ID)
+			}
+			c.mu.Unlock()
+			if ok {
+				ch <- resp
+				close(ch)
 			}
 		case wire.KindPong:
 			select {
@@ -204,17 +232,36 @@ func (c *Client) Query(text string, concept feature.Vector, topK int, timeout ti
 // continues the caller's trace; the returned result echoes the trace ID
 // the server served under. A zero tc sends an untraced query.
 func (c *Client) QueryTraced(text string, concept feature.Vector, topK int, timeout time.Duration, tc telemetry.TraceContext) (wire.QueryResult, error) {
+	q := wire.Query{
+		Text: text, Concept: concept, TopK: uint32(topK),
+		TraceID: uint64(tc.TraceID), SpanID: uint64(tc.SpanID),
+	}
+	return c.roundtripQuery(q, timeout)
+}
+
+// QueryGlobal sends a query carrying router-supplied corpus-wide statistics
+// (see docstore.GlobalStats): the server scores it with global idf weights
+// instead of its local ones, which is what makes per-shard results merge
+// bit-identically to a single node holding the whole corpus. statsTerms and
+// statsDF are parallel; globalDocs must be > 0.
+func (c *Client) QueryGlobal(text string, topK int, timeout time.Duration, tc telemetry.TraceContext, globalDocs uint64, statsTerms []string, statsDF []uint64) (wire.QueryResult, error) {
+	q := wire.Query{
+		Text: text, TopK: uint32(topK),
+		TraceID: uint64(tc.TraceID), SpanID: uint64(tc.SpanID),
+		GlobalDocs: globalDocs, StatsTerms: statsTerms, StatsDF: statsDF,
+	}
+	return c.roundtripQuery(q, timeout)
+}
+
+func (c *Client) roundtripQuery(q wire.Query, timeout time.Duration) (wire.QueryResult, error) {
 	start := time.Now()
 	c.mu.Lock()
 	c.nextID++
-	id := fmt.Sprintf("q%d", c.nextID)
+	q.ID = fmt.Sprintf("q%d", c.nextID)
 	ch := make(chan wire.QueryResult, 1)
-	c.pending[id] = ch
+	c.pending[q.ID] = ch
 	c.mu.Unlock()
-	q := wire.Query{
-		ID: id, Text: text, Concept: concept, TopK: uint32(topK),
-		TraceID: uint64(tc.TraceID), SpanID: uint64(tc.SpanID),
-	}
+	id := q.ID
 	if err := c.send(wire.KindQuery, q.Marshal()); err != nil {
 		return wire.QueryResult{}, err
 	}
@@ -232,6 +279,36 @@ func (c *Client) QueryTraced(text string, concept feature.Vector, topK int, time
 		c.mu.Unlock()
 		c.tel.timeouts.Inc()
 		return wire.QueryResult{}, ErrTimeout
+	}
+}
+
+// TermStats asks the server for its live document count, snapshot epoch,
+// and per-term document frequency / score-bound statistics (parallel to
+// terms). Scatter routers call this once per unseen (term set, epoch) and
+// cache the answer.
+func (c *Client) TermStats(terms []string, timeout time.Duration) (wire.TermStatsResp, error) {
+	c.mu.Lock()
+	c.nextID++
+	id := fmt.Sprintf("s%d", c.nextID)
+	ch := make(chan wire.TermStatsResp, 1)
+	c.pendingStats[id] = ch
+	c.mu.Unlock()
+	req := wire.TermStatsReq{ID: id, Terms: terms}
+	if err := c.send(wire.KindTermStats, req.Marshal()); err != nil {
+		return wire.TermStatsResp{}, err
+	}
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return wire.TermStatsResp{}, c.err()
+		}
+		return resp, nil
+	case <-time.After(timeout):
+		c.mu.Lock()
+		delete(c.pendingStats, id)
+		c.mu.Unlock()
+		c.tel.timeouts.Inc()
+		return wire.TermStatsResp{}, ErrTimeout
 	}
 }
 

@@ -25,6 +25,10 @@ import (
 type Server struct {
 	NodeID string
 	Store  *docstore.Store
+	// ShardStart/ShardEnd advertise the shard key range this node's corpus
+	// partition covers (announced in the HelloAck). Both zero = unsharded.
+	ShardStart uint64
+	ShardEnd   uint64
 	// Log is the leveled logger for server events (read errors, malformed
 	// frames). Defaults to telemetry.DefaultLogger(); nil silences.
 	Log *telemetry.Logger
@@ -204,7 +208,10 @@ func (s *Server) handle(cs *connState) {
 				s.warnf("transport: bad hello: %v", err)
 				return
 			}
-			ack := wire.Hello{NodeID: s.NodeID, Topics: nil, Capacity: int64(s.Store.Len())}
+			ack := wire.Hello{
+				NodeID: s.NodeID, Topics: nil, Capacity: int64(s.Store.Len()),
+				ShardStart: s.ShardStart, ShardEnd: s.ShardEnd,
+			}
 			if err := s.send(cs, wire.KindHelloAck, ack.Marshal()); err != nil {
 				return
 			}
@@ -215,6 +222,25 @@ func (s *Server) handle(cs *connState) {
 			}
 		case wire.KindQuery:
 			s.serveQuery(cs, f.Payload)
+		case wire.KindTermStats:
+			req, err := wire.UnmarshalTermStatsReq(f.Payload)
+			if err != nil {
+				s.warnf("transport: bad term stats req: %v", err)
+				continue
+			}
+			total, epoch, stats := s.Store.TermStats(req.Terms)
+			resp := wire.TermStatsResp{
+				ID: req.ID, Total: total, Epoch: epoch,
+				DF:       make([]uint64, len(stats)),
+				MaxRatio: make([]float64, len(stats)),
+			}
+			for i, st := range stats {
+				resp.DF[i] = st.DF
+				resp.MaxRatio[i] = st.MaxRatio
+			}
+			if err := s.send(cs, wire.KindTermStatsResult, resp.Marshal()); err != nil {
+				s.warnf("transport: send term stats: %v", err)
+			}
 		case wire.KindSubscribe:
 			sub, err := wire.UnmarshalSubscribe(f.Payload)
 			if err != nil {
@@ -248,31 +274,51 @@ func (s *Server) serveQuery(cs *connState, payload []byte) {
 		TraceID: telemetry.TraceID(wq.TraceID),
 		SpanID:  telemetry.SpanID(wq.SpanID),
 	}, "serve", wq.Text)
-	var q *query.Query
-	if wq.Text != "" && wq.Text[0] == 'F' || len(wq.Text) > 5 && wq.Text[:5] == "find " {
-		// Allow full AQL in the text field.
-		if parsed, perr := query.Parse(wq.Text); perr == nil {
-			q = parsed
-		}
-	}
-	if q == nil {
-		q = &query.Query{Text: wq.Text, TopK: int(wq.TopK)}
-		if q.TopK <= 0 {
-			q.TopK = 10
-		}
-	}
-	sp := tr.Span("search", wq.ID)
-	results := query.Execute(s.Store, q, feature.Vector(wq.Concept), time.Now().UnixNano())
-	sp.End()
 	resp := wire.QueryResult{
-		QueryID: wq.ID, From: s.NodeID, Elapsed: time.Since(start).Seconds(),
-		TraceID: uint64(tr.ID()),
+		QueryID: wq.ID, From: s.NodeID,
+		TraceID: uint64(tr.ID()), Epoch: s.Store.Epoch(),
 	}
-	for _, r := range results {
-		resp.Items = append(resp.Items, wire.ResultItem{
-			DocID: r.Doc.ID, Source: s.NodeID, Score: r.Score, Snippet: r.Doc.Snippet(80),
-		})
+	if wq.GlobalDocs > 0 {
+		// Scatter path: a shard router supplied corpus-wide statistics, so
+		// score the plain-text query directly against the store under global
+		// idf weights (the AQL/fusion pipeline is a single-node concern).
+		topK := int(wq.TopK)
+		if topK <= 0 {
+			topK = 10
+		}
+		gs := &docstore.GlobalStats{TotalDocs: wq.GlobalDocs, Terms: wq.StatsTerms, DF: wq.StatsDF}
+		sp := tr.Span("search-global", wq.ID)
+		hits := s.Store.SearchTextGlobal(wq.Text, topK, gs)
+		sp.End()
+		for _, h := range hits {
+			resp.Items = append(resp.Items, wire.ResultItem{
+				DocID: h.Doc.ID, Source: s.NodeID, Score: h.Score, Snippet: h.Doc.Snippet(80),
+			})
+		}
+	} else {
+		var q *query.Query
+		if wq.Text != "" && wq.Text[0] == 'F' || len(wq.Text) > 5 && wq.Text[:5] == "find " {
+			// Allow full AQL in the text field.
+			if parsed, perr := query.Parse(wq.Text); perr == nil {
+				q = parsed
+			}
+		}
+		if q == nil {
+			q = &query.Query{Text: wq.Text, TopK: int(wq.TopK)}
+			if q.TopK <= 0 {
+				q.TopK = 10
+			}
+		}
+		sp := tr.Span("search", wq.ID)
+		results := query.Execute(s.Store, q, feature.Vector(wq.Concept), time.Now().UnixNano())
+		sp.End()
+		for _, r := range results {
+			resp.Items = append(resp.Items, wire.ResultItem{
+				DocID: r.Doc.ID, Source: s.NodeID, Score: r.Score, Snippet: r.Doc.Snippet(80),
+			})
+		}
 	}
+	resp.Elapsed = time.Since(start).Seconds()
 	s.served.Add(1)
 	tel.queries.Inc()
 	tel.queryLat.ObserveExemplar(time.Since(start), tr.ID())

@@ -101,6 +101,14 @@ func (w *Writer) F64s(v []float64) {
 	}
 }
 
+// U64s writes a count-prefixed fixed-width uint64 slice.
+func (w *Writer) U64s(v []uint64) {
+	w.Uvarint(uint64(len(v)))
+	for _, x := range v {
+		w.U64(x)
+	}
+}
+
 // Strings writes a count-prefixed string slice.
 func (w *Writer) Strings(v []string) {
 	w.Uvarint(uint64(len(v)))
@@ -240,6 +248,26 @@ func (r *Reader) F64s() []float64 {
 	out := make([]float64, n)
 	for i := range out {
 		out[i] = r.F64()
+	}
+	if r.err != nil {
+		return nil
+	}
+	return out
+}
+
+// U64s reads a count-prefixed fixed-width uint64 slice.
+func (r *Reader) U64s() []uint64 {
+	n := r.Uvarint()
+	if n > MaxBlob/8 {
+		r.fail(fmt.Errorf("%w: u64s %d", ErrTooLarge, n))
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = r.U64()
 	}
 	if r.err != nil {
 		return nil

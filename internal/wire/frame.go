@@ -48,6 +48,8 @@ const (
 	KindCollabOp
 	KindPing
 	KindPong
+	KindTermStats
+	KindTermStatsResult
 )
 
 var kindNames = map[Kind]string{
@@ -60,6 +62,7 @@ var kindNames = map[Kind]string{
 	KindFeedItem: "feedItem", KindSubscribe: "subscribe",
 	KindUnsubscribe: "unsubscribe", KindProfilePart: "profilePart",
 	KindCollabOp: "collabOp", KindPing: "ping", KindPong: "pong",
+	KindTermStats: "termStats", KindTermStatsResult: "termStatsResult",
 }
 
 func (k Kind) String() string {

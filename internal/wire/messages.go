@@ -5,12 +5,18 @@ package wire
 // import cycles and keeps the wire format independent of in-memory
 // representations.
 
-// Hello announces a node joining the overlay.
+// Hello announces a node joining the overlay. ShardStart/ShardEnd advertise
+// the key range of a partitioned corpus this node serves (inclusive bounds
+// on the 64-bit shard ring; both zero = unsharded, the node holds a whole
+// corpus). They are trailing optional fields — see the compatibility note
+// at Query.
 type Hello struct {
-	NodeID   string
-	Addr     string
-	Topics   []string // advertised expertise, for semantic routing
-	Capacity int64
+	NodeID     string
+	Addr       string
+	Topics     []string // advertised expertise, for semantic routing
+	Capacity   int64
+	ShardStart uint64
+	ShardEnd   uint64
 }
 
 // Marshal encodes the message.
@@ -20,6 +26,8 @@ func (m *Hello) Marshal() []byte {
 	w.String(m.Addr)
 	w.Strings(m.Topics)
 	w.I64(m.Capacity)
+	w.U64(m.ShardStart)
+	w.U64(m.ShardEnd)
 	return w.Bytes()
 }
 
@@ -31,6 +39,10 @@ func UnmarshalHello(b []byte) (Hello, error) {
 		Addr:     r.String(),
 		Topics:   r.Strings(),
 		Capacity: r.I64(),
+	}
+	if r.Err() == nil && r.Remaining() >= 16 {
+		m.ShardStart = r.U64()
+		m.ShardEnd = r.U64()
 	}
 	return m, r.Err()
 }
@@ -103,6 +115,16 @@ type Query struct {
 	Want    QoSTerms
 	TraceID uint64
 	SpanID  uint64
+
+	// Shard-routing tail (optional, after the trace tail). A scatter router
+	// ships corpus-wide statistics with the query so every shard scores
+	// against the same idf weights a single node holding the whole corpus
+	// would use: GlobalDocs is the corpus document count and
+	// StatsTerms/StatsDF are parallel per-term global document frequencies.
+	// GlobalDocs == 0 means "score locally" (the pre-shard behaviour).
+	GlobalDocs uint64
+	StatsTerms []string
+	StatsDF    []uint64
 }
 
 // Trace-context fields ride as *trailing* fixed-width fields rather than a
@@ -124,6 +146,9 @@ func (m *Query) Marshal() []byte {
 	m.Want.encode(w)
 	w.U64(m.TraceID)
 	w.U64(m.SpanID)
+	w.U64(m.GlobalDocs)
+	w.Strings(m.StatsTerms)
+	w.U64s(m.StatsDF)
 	return w.Bytes()
 }
 
@@ -142,6 +167,11 @@ func UnmarshalQuery(b []byte) (Query, error) {
 	if r.Err() == nil && r.Remaining() >= 16 {
 		m.TraceID = r.U64()
 		m.SpanID = r.U64()
+	}
+	if r.Err() == nil && r.Remaining() > 0 {
+		m.GlobalDocs = r.U64()
+		m.StatsTerms = r.Strings()
+		m.StatsDF = r.U64s()
 	}
 	return m, r.Err()
 }
@@ -164,6 +194,7 @@ type QueryResult struct {
 	Items   []ResultItem
 	Elapsed float64 // seconds, provider-side
 	TraceID uint64
+	Epoch   uint64 // provider snapshot epoch answered from (0 = unreported)
 }
 
 // Marshal encodes the message.
@@ -180,6 +211,7 @@ func (m *QueryResult) Marshal() []byte {
 	}
 	w.F64(m.Elapsed)
 	w.U64(m.TraceID)
+	w.U64(m.Epoch)
 	return w.Bytes()
 }
 
@@ -202,6 +234,9 @@ func UnmarshalQueryResult(b []byte) (QueryResult, error) {
 	m.Elapsed = r.F64()
 	if r.Err() == nil && r.Remaining() >= 8 {
 		m.TraceID = r.U64()
+	}
+	if r.Err() == nil && r.Remaining() >= 8 {
+		m.Epoch = r.U64()
 	}
 	return m, r.Err()
 }
@@ -343,6 +378,66 @@ func UnmarshalSubscribe(b []byte) (Subscribe, error) {
 		Terms:     r.Strings(),
 		Concept:   r.F64s(),
 		Threshold: r.F64(),
+	}
+	return m, r.Err()
+}
+
+// TermStatsReq asks a shard for per-term corpus statistics, so a scatter
+// router can assemble global idf weights and shard-level score upper bounds
+// before dispatching a query.
+type TermStatsReq struct {
+	ID    string
+	Terms []string
+}
+
+// Marshal encodes the message.
+func (m *TermStatsReq) Marshal() []byte {
+	w := NewWriter(64)
+	w.String(m.ID)
+	w.Strings(m.Terms)
+	return w.Bytes()
+}
+
+// UnmarshalTermStatsReq decodes a TermStatsReq.
+func UnmarshalTermStatsReq(b []byte) (TermStatsReq, error) {
+	r := NewReader(b)
+	m := TermStatsReq{ID: r.String(), Terms: r.Strings()}
+	return m, r.Err()
+}
+
+// TermStatsResp answers a TermStatsReq: the shard's live document count and
+// snapshot epoch, plus per-term document frequency and the maximum
+// normalized term-weight ratio max_d (1+ln tf)/sqrt(len_d+1) — the shard's
+// contribution to a score upper bound. DF and MaxRatio are parallel to the
+// request's Terms.
+type TermStatsResp struct {
+	ID       string
+	Total    uint64 // documents on this shard
+	Epoch    uint64 // snapshot epoch the stats were read at
+	DF       []uint64
+	MaxRatio []float64
+}
+
+// Marshal encodes the message.
+func (m *TermStatsResp) Marshal() []byte {
+	w := NewWriter(128)
+	w.String(m.ID)
+	w.U64(m.Total)
+	w.U64(m.Epoch)
+	w.U64s(m.DF)
+	w.F64s(m.MaxRatio)
+	return w.Bytes()
+}
+
+// UnmarshalTermStatsResp decodes a TermStatsResp.
+func UnmarshalTermStatsResp(b []byte) (TermStatsResp, error) {
+	r := NewReader(b)
+	m := TermStatsResp{
+		ID:       r.String(),
+		Total:    r.U64(),
+		Epoch:    r.U64(),
+		DF:       r.U64s(),
+		MaxRatio: r.F64s(),
 	}
 	return m, r.Err()
 }

@@ -55,8 +55,11 @@ func TestQueryBackwardCompatible(t *testing.T) {
 		ID: "q3", From: "iris", Text: "old peer", Concept: []float64{1, 2},
 		TopK: 7, TTL: 1, TraceID: 0x1111, SpanID: 0x2222,
 	}
+	// Strip the shard-stats tail (8-byte GlobalDocs + two empty-slice
+	// counts) and then the 16-byte trace tail to reproduce a pre-trace
+	// peer's encoding exactly.
 	legacy := m.Marshal()
-	legacy = legacy[:len(legacy)-16]
+	legacy = legacy[:len(legacy)-10-16]
 	got, err := UnmarshalQuery(legacy)
 	if err != nil {
 		t.Fatalf("legacy query rejected: %v", err)
@@ -72,8 +75,9 @@ func TestQueryBackwardCompatible(t *testing.T) {
 		Items:   []ResultItem{{DocID: "d", Source: "p", Score: 0.5, Snippet: "x"}},
 		Elapsed: 0.5, TraceID: 0x3333,
 	}
+	// Epoch (8) then TraceID (8) off the tail → pre-trace encoding.
 	legacyRes := res.Marshal()
-	legacyRes = legacyRes[:len(legacyRes)-8]
+	legacyRes = legacyRes[:len(legacyRes)-16]
 	gotRes, err := UnmarshalQueryResult(legacyRes)
 	if err != nil {
 		t.Fatalf("legacy result rejected: %v", err)
