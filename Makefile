@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race race-core vet lint check fuzz-codec bench bench-check bench-docstore bench-docstore-check bench-wal bench-wal-check bench-shard bench-shard-check bench-suite clean
+.PHONY: build test race race-core vet lint check fuzz-codec bench bench-check bench-docstore bench-docstore-check bench-wal bench-wal-check bench-shard bench-shard-check bench-wire bench-wire-check bench-suite clean
 
 build:
 	$(GO) build ./...
@@ -127,6 +127,29 @@ BENCH_SHARD_THRESHOLD ?= 0.75
 BENCH_SHARD_EXTRA_THRESHOLD ?= 6.0
 bench-shard-check:
 	$(GO) test -run XXX -bench ScatterShards -benchtime 256x -timeout 30m -benchmem ./internal/shard | $(GO) run ./cmd/benchjson -compare BENCH_shard.json -threshold $(BENCH_SHARD_THRESHOLD) -extra-threshold $(BENCH_SHARD_EXTRA_THRESHOLD)
+
+# Wire-path baseline: the zero-alloc codec micro-benchmarks (AppendFrame
+# staging and the pooled FrameReader against their allocating legacy
+# counterparts), the coalesced TCP query round-trip against a faithful
+# PR-9 replica, and the warm-cache scatter round-trip at 1 and 8 shards.
+# allocs/op is the tentpole number; srv-/cli-frames-per-flush land in the
+# `extra` field. Archived for cross-PR diffing of the wire trajectory.
+bench-wire:
+	{ $(GO) test -run XXX -bench 'FrameEncode|FrameDecode|QueryUnmarshal' -benchmem ./internal/wire ; \
+	  $(GO) test -run XXX -bench QueryRoundtrip -benchmem ./internal/transport ; \
+	  $(GO) test -run XXX -bench 'QueryRoundtrip(1|8)Shards' -benchtime 256x -timeout 30m -benchmem ./internal/shard ; } \
+	| $(GO) run ./cmd/benchjson | tee BENCH_wire.json
+
+# Wire-path regression gate, two tiers like the other checks. The codec
+# micro-benchmarks and the single-connection round-trips are deterministic
+# and hold the tight default thresholds; the batched round-trip and the
+# sharded scatter pair fold scheduler timing into ns/op on an
+# oversubscribed host, so they sit behind the looser shard fence.
+bench-wire-check:
+	$(GO) test -run XXX -bench 'FrameEncode|FrameDecode|QueryUnmarshal' -benchmem ./internal/wire | $(GO) run ./cmd/benchjson -compare BENCH_wire.json -threshold $(BENCH_THRESHOLD) -extra-threshold $(BENCH_EXTRA_THRESHOLD)
+	$(GO) test -run XXX -bench 'QueryRoundtrip$$|QueryRoundtripLegacy' -benchmem ./internal/transport | $(GO) run ./cmd/benchjson -compare BENCH_wire.json -threshold $(BENCH_THRESHOLD) -extra-threshold $(BENCH_EXTRA_THRESHOLD)
+	$(GO) test -run XXX -bench 'QueryRoundtripBatched' -benchmem ./internal/transport | $(GO) run ./cmd/benchjson -compare BENCH_wire.json -threshold $(BENCH_SHARD_THRESHOLD) -extra-threshold $(BENCH_SHARD_EXTRA_THRESHOLD)
+	$(GO) test -run XXX -bench 'QueryRoundtrip(1|8)Shards' -benchtime 256x -timeout 30m -benchmem ./internal/shard | $(GO) run ./cmd/benchjson -compare BENCH_wire.json -threshold $(BENCH_SHARD_THRESHOLD) -extra-threshold $(BENCH_SHARD_EXTRA_THRESHOLD)
 
 # Full experiment suite as benchmarks (see bench_test.go at the repo root).
 bench-suite:

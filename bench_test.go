@@ -59,6 +59,7 @@ func BenchmarkE23GroupCommit(b *testing.B)        { runExperiment(b, bench.E23Gr
 func BenchmarkE24Tracing(b *testing.B)            { runExperiment(b, bench.E24DistributedTracing) }
 func BenchmarkE25BlockMax(b *testing.B)           { runExperiment(b, bench.E25BlockMaxSearch) }
 func BenchmarkE26ShardedScatter(b *testing.B)     { runExperiment(b, bench.E26ShardedScatter) }
+func BenchmarkE27WirePath(b *testing.B)           { runExperiment(b, bench.E27WirePath) }
 
 // benchmarkAsk measures one Session.Ask against a 4-source market with
 // simulated provider latency mapped to real sleeps (LatencyScale), at the

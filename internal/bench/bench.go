@@ -73,6 +73,7 @@ func Suite() []Experiment {
 		{"E24", "Substrate: distributed tracing overhead & tail-sampled retention", E24DistributedTracing},
 		{"E25", "Substrate: block-max top-k search vs exhaustive scoring", E25BlockMaxSearch},
 		{"E26", "Substrate: sharded corpus scatter-gather ask scaling", E26ShardedScatter},
+		{"E27", "Substrate: zero-alloc batched wire path", E27WirePath},
 	}
 }
 

@@ -484,9 +484,54 @@ func TestE26Shapes(t *testing.T) {
 	}
 }
 
+func TestE27Shapes(t *testing.T) {
+	// Quarter scale: the codec micro loops are cheap, and the round-trip
+	// phases are paced by loopback TCP, not by nAsks.
+	r := E27WirePath(27, testScale/4)
+	h := r.Headline
+	// Round-trip must complete on both stacks.
+	if h["rt_asks_per_s_legacy"] <= 0 || h["rt_asks_per_s"] <= 0 {
+		t.Fatalf("round-trip produced no throughput: %+v", h)
+	}
+	// The coalescer never issues more syscalls than frames.
+	for _, k := range []string{"rt_syscalls_per_frame", "sweep_syscalls_per_frame_w8"} {
+		if h[k] <= 0 || h[k] > 1 {
+			t.Fatalf("%s = %v, want in (0, 1]", k, h[k])
+		}
+	}
+	// Backpressure is where leader/follower coalescing engages: a feed
+	// burst into a stalled subscriber must ride out in multi-frame Writes.
+	if h["feed_frames_per_flush"] < 2 {
+		t.Fatalf("feed burst frames/flush = %v, want >= 2 (coalescing never engaged)", h["feed_frames_per_flush"])
+	}
+	// Allocation shapes are deterministic off-race; the race runtime
+	// instruments allocation paths, so gate these like E25 does.
+	if !raceEnabled {
+		// Single-pass AppendFrame staging into a reused buffer is the
+		// tentpole: zero allocations per encoded frame.
+		if h["encode_allocs"] != 0 {
+			t.Fatalf("coalesced encode allocates: %v allocs/frame", h["encode_allocs"])
+		}
+		// The pooled FrameReader amortizes to zero; the legacy DecodeFrame
+		// copy pays at least its payload allocation per frame.
+		if h["decode_allocs"] != 0 {
+			t.Fatalf("pooled decode allocates: %v allocs/frame", h["decode_allocs"])
+		}
+		if h["decode_allocs_legacy"] < 1 {
+			t.Fatalf("legacy decode baseline lost its copy: %v allocs/frame", h["decode_allocs_legacy"])
+		}
+		// The acceptance bar: the TCP round-trip sheds at least half its
+		// allocations against the PR-9 stack (process-wide, both sides).
+		if h["rt_alloc_reduction"] < 0.5 {
+			t.Fatalf("round-trip alloc reduction = %.2f, want >= 0.5 (legacy %.1f -> coalesced %.1f allocs/op)",
+				h["rt_alloc_reduction"], h["rt_allocs_legacy"], h["rt_allocs"])
+		}
+	}
+}
+
 func TestSuiteListsAllExperiments(t *testing.T) {
 	suite := Suite()
-	if len(suite) != 26 {
+	if len(suite) != 27 {
 		t.Fatalf("suite size = %d", len(suite))
 	}
 	seen := map[string]bool{}
@@ -506,7 +551,7 @@ func TestRunAllSmoke(t *testing.T) {
 		t.Skip("full suite in short mode")
 	}
 	results := RunAll(io.Discard, 42, 0.2)
-	if len(results) != 26 {
+	if len(results) != 27 {
 		t.Fatalf("results = %d", len(results))
 	}
 	for _, r := range results {

@@ -55,6 +55,7 @@ func collectDirectives(fset *token.FileSet, f *File) {
 var allowableAnalyzers = []string{
 	"wallclock", "nilguard", "goroutine", "checkederr",
 	"lockfree", "postings", "atomics", "hotalloc", "snapfreeze",
+	"wirealloc",
 }
 
 func knownAnalyzer(name string) bool {

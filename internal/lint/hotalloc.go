@@ -27,6 +27,45 @@ var hotallocPooled = map[string]bool{
 	"searchScratch": true,
 }
 
+// hotPathScope parameterizes the reachability-based zero-alloc check
+// shared by hotalloc (docstore search) and wirealloc (wire encode/decode):
+// one package, a predicate picking the root functions whose call closure
+// is hot, the pooled scratch types append may grow, and the analyzer
+// identity used in messages and allow directives.
+type hotPathScope struct {
+	analyzer string          // directive name: hotalloc, wirealloc
+	pkg      string          // module-relative package the contract governs
+	pooled   map[string]bool // scratch type names append may grow freely
+	isRoot   func(*FuncNode) bool
+	contract string // message clause naming the protected steady state
+}
+
+// runHotPath applies one zero-alloc scope: resolve the pooled types,
+// collect the roots, walk everything reachable from them inside the
+// package, and flag allocating constructs.
+func runHotPath(m *Module, sc hotPathScope, report ReportFunc) {
+	p := m.Lookup(sc.pkg)
+	if p == nil || p.Info == nil {
+		return
+	}
+	pooled := map[*types.TypeName]bool{}
+	for name := range sc.pooled {
+		if tn, ok := p.Types.Scope().Lookup(name).(*types.TypeName); ok {
+			pooled[tn] = true
+		}
+	}
+	g := m.Graph()
+	roots := g.Roots(sc.pkg, sc.isRoot)
+	reached := g.ReachableFrom(roots, func(n *FuncNode) bool { return n.Pkg == p })
+	for _, n := range g.PkgFuncs(sc.pkg) {
+		root, ok := reached[n]
+		if !ok || n.Decl.Body == nil {
+			continue
+		}
+		checkHotFunc(sc, p, n, root, pooled, report)
+	}
+}
+
 // hotallocAnalyzer pins the zero-alloc search win against regression:
 // code reachable from the Store text-search entry points must not
 // contain allocating constructs — make/new, slice or map literals,
@@ -47,37 +86,24 @@ var hotallocAnalyzer = &Analyzer{
 	Name: "hotalloc",
 	Doc:  "code reachable from docstore text search must not allocate; pool scratch or annotate the documented cold paths",
 	RunModule: func(m *Module, report ReportFunc) {
-		p := m.Lookup(hotallocPackage)
-		if p == nil || p.Info == nil {
-			return
-		}
-		pooled := map[*types.TypeName]bool{}
-		for name := range hotallocPooled {
-			if tn, ok := p.Types.Scope().Lookup(name).(*types.TypeName); ok {
-				pooled[tn] = true
-			}
-		}
-		g := m.Graph()
-		roots := g.Roots(hotallocPackage, func(n *FuncNode) bool {
-			return n.RecvTypeName() == lockfreeReceiver && hotallocRoots[n.Obj.Name()]
-		})
-		reached := g.ReachableFrom(roots, func(n *FuncNode) bool { return n.Pkg == p })
-		for _, n := range g.PkgFuncs(hotallocPackage) {
-			root, ok := reached[n]
-			if !ok || n.Decl.Body == nil {
-				continue
-			}
-			checkHotFunc(p, n, root, pooled, report)
-		}
+		runHotPath(m, hotPathScope{
+			analyzer: "hotalloc",
+			pkg:      hotallocPackage,
+			pooled:   hotallocPooled,
+			isRoot: func(n *FuncNode) bool {
+				return n.RecvTypeName() == lockfreeReceiver && hotallocRoots[n.Obj.Name()]
+			},
+			contract: "the search steady state must stay allocation-free — use the pooled scratch",
+		}, report)
 	},
 }
 
-func checkHotFunc(p *Package, n, root *FuncNode, pooled map[*types.TypeName]bool, report ReportFunc) {
+func checkHotFunc(sc hotPathScope, p *Package, n, root *FuncNode, pooled map[*types.TypeName]bool, report ReportFunc) {
 	params := paramObjects(p, n.Decl)
 	name, via := n.String(), root.String()
 	flag := func(pos token.Pos, what string) {
-		report(pos, "%s (reachable from %s) %s; the search steady state must stay allocation-free — use the pooled scratch or annotate `//lint:allow hotalloc <reason>`",
-			name, via, what)
+		report(pos, "%s (reachable from %s) %s; %s or annotate `//lint:allow %s <reason>`",
+			name, via, what, sc.contract, sc.analyzer)
 	}
 	walkParents(n.Decl.Body, func(node ast.Node, parents []ast.Node) {
 		switch x := node.(type) {

@@ -188,6 +188,7 @@ func Analyzers() []*Analyzer {
 		atomicsAnalyzer,
 		hotallocAnalyzer,
 		snapfreezeAnalyzer,
+		wireallocAnalyzer,
 		directiveAnalyzer,
 	}
 }

@@ -225,6 +225,17 @@ func TestHotallocOutsideDocstoreIsSilent(t *testing.T) {
 	assertFixtureSilent(t, "hotalloc", "internal/core", hotallocAnalyzer)
 }
 
+func TestWireallocFixture(t *testing.T) {
+	runFixture(t, "wirealloc", "internal/wire", wireallocAnalyzer)
+}
+
+// TestWireallocOutsideWireIsSilent pins the scoping: the zero-alloc wire
+// contract governs internal/wire only, however many AppendTo methods
+// other packages grow.
+func TestWireallocOutsideWireIsSilent(t *testing.T) {
+	assertFixtureSilent(t, "wirealloc", "internal/core", wireallocAnalyzer)
+}
+
 func TestSnapfreezeFixture(t *testing.T) {
 	runFixture(t, "snapfreeze", "internal/docstore", snapfreezeAnalyzer)
 }

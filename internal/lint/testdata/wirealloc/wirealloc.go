@@ -1,0 +1,85 @@
+// Fixture for the wirealloc analyzer. Loaded as package path
+// internal/wire and type-checked like the real tree.
+package wire
+
+type Kind uint8
+
+// Msg mirrors a hot wire message: AppendTo is a root, everything it
+// reaches is held to the zero-alloc bar.
+type Msg struct {
+	ID   string
+	Tags []string
+}
+
+// AppendTo appends into the caller-owned buffer: the canonical clean
+// shape nothing below may regress from.
+func (m *Msg) AppendTo(dst []byte) []byte {
+	dst = appendString(dst, m.ID)
+	return m.encodeTags(dst)
+}
+
+// appendString appends to its parameter: the caller owns the backing
+// array, so growth is the caller's budget — allowed.
+func appendString(dst []byte, s string) []byte {
+	dst = appendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendUvarint(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+// encodeTags is reachable from Msg.AppendTo only through the call graph:
+// every allocating construct below is a finding.
+func (m *Msg) encodeTags(dst []byte) []byte {
+	scratch := make([]byte, 0, 8) // want "allocates with make"
+	_ = scratch
+	hdr := new(Msg) // want "allocates with new"
+	_ = hdr
+	parts := []string{m.ID} // want "allocates a slice literal"
+	_ = parts
+	seen := map[string]bool{} // want "allocates a map literal"
+	_ = seen
+	p := &Msg{ID: m.ID} // want "allocates with &composite"
+	_ = p
+	key := []byte(m.ID) // want "converts"
+	_ = key
+	var out []byte
+	out = append(out, m.ID...) // want "appends to a slice"
+	_ = out
+	for _, t := range m.Tags {
+		dst = appendString(dst, t)
+	}
+	return dst
+}
+
+// BeginFrame is a free-function root: header bytes append into the
+// caller's staging buffer, clean.
+func BeginFrame(dst []byte, kind Kind) ([]byte, int) {
+	off := len(dst)
+	dst = append(dst, 0xA6, 0x0A, 1, byte(kind))
+	return dst, off
+}
+
+// FrameReader mirrors the pooled streaming reader: Next is a root whose
+// one documented pool-miss growth carries a reasoned allow.
+type FrameReader struct {
+	payload []byte
+}
+
+func (fr *FrameReader) Next(length int) []byte {
+	if cap(fr.payload) < length {
+		fr.payload = make([]byte, length) //lint:allow wirealloc fixture: documented pool miss, amortized to the high-water frame size
+	}
+	return fr.payload[:length]
+}
+
+// Marshal is the legacy allocating wrapper: it calls into a root but is
+// not itself reachable from one, so its make never fires.
+func (m *Msg) Marshal() []byte {
+	return m.AppendTo(make([]byte, 0, 64))
+}

@@ -117,3 +117,30 @@ func BenchmarkScatterShards1(b *testing.B) { benchmarkScatter(b, 1) }
 func BenchmarkScatterShards2(b *testing.B) { benchmarkScatter(b, 2) }
 func BenchmarkScatterShards4(b *testing.B) { benchmarkScatter(b, 4) }
 func BenchmarkScatterShards8(b *testing.B) { benchmarkScatter(b, 8) }
+
+// The BenchmarkQueryRoundtripNShards pair is the wire-gate view of the
+// scatter path (`make bench-wire`): pure warm-cache asks over real TCP
+// with no ingest schedule, so ns/op and allocs/op isolate the framed
+// request/response exchange (stats cached, per-shard Query + merge)
+// rather than the freeze/overlay economics the Scatter family measures.
+func benchmarkRoundtrip(b *testing.B, n int) {
+	benchSetup()
+	tc := startCluster(b, n, benchCorpus.docs)
+	r := tc.router(b, Options{Telemetry: telemetry.NewRegistry()})
+	queries := benchCorpus.queries
+	for _, q := range queries { // warm the per-shard statistics caches
+		if res := r.Ask(q, 10); res.Partial {
+			b.Fatalf("partial warm-up ask: %v", res.Errors)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := r.Ask(queries[i%len(queries)], 10); res.Partial {
+			b.Fatalf("partial ask: %v", res.Errors)
+		}
+	}
+}
+
+func BenchmarkQueryRoundtrip1Shards(b *testing.B) { benchmarkRoundtrip(b, 1) }
+func BenchmarkQueryRoundtrip8Shards(b *testing.B) { benchmarkRoundtrip(b, 8) }

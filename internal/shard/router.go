@@ -62,6 +62,25 @@ type routerShard struct {
 	stats map[string]termStat
 }
 
+// installStats folds one TermStats response into the shard's cache,
+// flushing entries from an older epoch first. Length-mismatched responses
+// (a malformed peer) are dropped rather than partially installed.
+func (s *routerShard) installStats(terms []string, resp wire.TermStatsResp) {
+	if len(resp.DF) != len(terms) || len(resp.MaxRatio) != len(terms) {
+		return
+	}
+	s.mu.Lock()
+	if resp.Epoch != s.epoch {
+		clear(s.stats) // new epoch: everything cached is stale
+	}
+	s.total = resp.Total
+	s.epoch = resp.Epoch
+	for i, t := range terms {
+		s.stats[t] = termStat{df: resp.DF[i], maxRatio: resp.MaxRatio[i]}
+	}
+	s.mu.Unlock()
+}
+
 type termStat struct {
 	df       uint64
 	maxRatio float64
@@ -281,8 +300,16 @@ func canonicalTerms(query string) (terms []string, qns []int) {
 // fails is recorded in res.Errors and marked partial: its documents cannot
 // be scored under exact global statistics this ask.
 func (r *Router) ensureStats(terms []string, res *Result) {
-	var wg sync.WaitGroup
-	var mu sync.Mutex
+	// Stage first, wait second: TermStatsAsync puts every missing shard's
+	// request on the wire back to back — per connection the frames ride one
+	// coalesced batch — and only then does anyone block, so the stats
+	// round-trips fully overlap instead of depending on goroutine
+	// scheduling to get the requests out.
+	type staged struct {
+		s    *routerShard
+		wait func() (wire.TermStatsResp, error)
+	}
+	var pending []staged
 	for _, s := range r.shards {
 		s.mu.Lock()
 		missing := false
@@ -296,31 +323,28 @@ func (r *Router) ensureStats(terms []string, res *Result) {
 		if !missing {
 			continue
 		}
+		pending = append(pending, staged{s: s, wait: s.clients[0].TermStatsAsync(terms, r.timeout)})
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for _, p := range pending {
 		wg.Add(1)
-		go func(s *routerShard) {
+		go func(p staged) {
 			defer wg.Done()
-			resp, err := s.clients[0].TermStats(terms, r.timeout)
-			if err != nil && len(s.clients) > 1 {
-				resp, err = s.clients[1].TermStats(terms, r.timeout)
+			resp, err := p.wait()
+			if err != nil && len(p.s.clients) > 1 {
+				// Primary failed: one blocking retry against the replica.
+				resp, err = p.s.clients[1].TermStats(terms, r.timeout)
 			}
 			if err != nil {
 				mu.Lock()
-				res.Errors[s.ID] = fmt.Errorf("term stats: %w", err)
+				res.Errors[p.s.ID] = fmt.Errorf("term stats: %w", err)
 				res.Partial = true
 				mu.Unlock()
 				return
 			}
-			s.mu.Lock()
-			if resp.Epoch != s.epoch {
-				clear(s.stats) // new epoch: everything cached is stale
-			}
-			s.total = resp.Total
-			s.epoch = resp.Epoch
-			for i, t := range terms {
-				s.stats[t] = termStat{df: resp.DF[i], maxRatio: resp.MaxRatio[i]}
-			}
-			s.mu.Unlock()
-		}(s)
+			p.s.installStats(terms, resp)
+		}(p)
 	}
 	wg.Wait()
 }
@@ -530,8 +554,13 @@ func (r *Router) runShard(ps plannedShard, query string, k int, gs globalQuery, 
 	s.mu.Lock()
 	if res.Epoch != 0 && res.Epoch != s.epoch {
 		// The shard answered from a newer snapshot than the cached stats:
-		// flush so the next ask re-collects. This ask's figures are a
-		// consistent global view of the older epoch.
+		// flush so the next ask re-collects (its ensureStats round stages
+		// every missing shard's request on one coalesced batch). This
+		// ask's figures are a consistent global view of the older epoch.
+		// No speculative background refresh: under sustained ingest every
+		// answer drifts and consecutive asks rarely share terms, so a
+		// drift-triggered refetch is an extra stats RPC per ask that the
+		// next ask cannot usually use — pure overhead on a busy host.
 		clear(s.stats)
 		r.tel.drift.Inc()
 	}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
@@ -13,11 +14,14 @@ import (
 	"repro/internal/wire"
 )
 
-// Client is a consumer connection to one agora node over TCP.
+// Client is a consumer connection to one agora node over TCP. All sends
+// ride a per-connection write coalescer (see coalescer): concurrent
+// queries, stats requests, and hedges staged while a Write is in flight
+// leave in one batched syscall.
 type Client struct {
 	conn   net.Conn
 	r      *bufio.Reader
-	wmu    sync.Mutex
+	out    *coalescer
 	mu     sync.Mutex
 	nextID uint64
 
@@ -25,7 +29,10 @@ type Client struct {
 	pending map[string]chan wire.QueryResult
 	// pendingStats demuxes term-stats responses by request id.
 	pendingStats map[string]chan wire.TermStatsResp
-	pongs        chan []byte
+	// pongs signals pong arrival; the payload echoes the ping and carries
+	// no information, so only the event crosses (the frame payload aliases
+	// the demux loop's pooled read buffer and must not be retained).
+	pongs chan struct{}
 	// Feed delivers pushed feed items; buffered, drops when full.
 	Feed chan wire.FeedItem
 	// RemoteID is the server's node id from the handshake.
@@ -75,37 +82,46 @@ func DialWithTelemetry(addr, clientID string, timeout time.Duration, reg *teleme
 	c := &Client{
 		conn:         conn,
 		r:            bufio.NewReader(conn),
+		out:          newCoalescer(conn),
 		pending:      make(map[string]chan wire.QueryResult),
 		pendingStats: make(map[string]chan wire.TermStatsResp),
-		pongs:        make(chan []byte, 4),
+		pongs:        make(chan struct{}, 4),
 		Feed:         make(chan wire.FeedItem, 64),
 		done:         make(chan struct{}),
 		tel:          newClientTel(reg),
 	}
-	hello := wire.Hello{NodeID: clientID}
-	if err := c.send(wire.KindHello, hello.Marshal()); err != nil {
+	// abort tears down a half-built connection; the handshake error being
+	// returned to the caller is the failure, so teardown errors are
+	// secondary.
+	abort := func() {
+		//lint:allow checkederr dial returns the handshake error; drain errors on the aborted connection are secondary
+		c.out.close()
 		conn.Close()
+	}
+	hello := wire.Hello{NodeID: clientID}
+	if err := c.out.stageBytes(wire.KindHello, hello.Marshal()); err != nil {
+		abort()
 		return nil, err
 	}
 	// Synchronous ack before starting the demux loop.
 	if timeout > 0 {
 		if err := conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
-			conn.Close()
+			abort()
 			return nil, fmt.Errorf("transport: arming handshake deadline: %w", err)
 		}
 	}
 	f, err := wire.ReadFrame(c.r)
 	if err != nil || f.Kind != wire.KindHelloAck {
-		conn.Close()
+		abort()
 		return nil, fmt.Errorf("transport: handshake failed: %v", err)
 	}
 	if err := conn.SetReadDeadline(time.Time{}); err != nil {
-		conn.Close()
+		abort()
 		return nil, fmt.Errorf("transport: clearing handshake deadline: %w", err)
 	}
 	ack, err := wire.UnmarshalHello(f.Payload)
 	if err != nil {
-		conn.Close()
+		abort()
 		return nil, err
 	}
 	c.RemoteID = ack.NodeID
@@ -115,16 +131,21 @@ func DialWithTelemetry(addr, clientID string, timeout time.Duration, reg *teleme
 	return c, nil
 }
 
+// send stages a cold control frame (hello, ping, subscribe) through the
+// coalescer; the hot paths stage Appenders directly via c.out.stage.
 func (c *Client) send(kind wire.Kind, payload []byte) error {
-	c.wmu.Lock()
-	defer c.wmu.Unlock()
-	return wire.WriteFrame(c.conn, kind, payload)
+	return c.out.stageBytes(kind, payload)
 }
+
+// WireStats reports frames staged and Write syscalls issued on this
+// connection's coalesced send path.
+func (c *Client) WireStats() WireStats { return c.out.stats() }
 
 func (c *Client) readLoop() {
 	defer close(c.done)
+	fr := wire.NewFrameReader(c.r)
 	for {
-		f, err := wire.ReadFrame(c.r)
+		f, err := fr.Next()
 		if err != nil {
 			c.mu.Lock()
 			c.readErr = err
@@ -142,7 +163,9 @@ func (c *Client) readLoop() {
 		}
 		switch f.Kind {
 		case wire.KindQueryResult:
-			res, err := wire.UnmarshalQueryResult(f.Payload)
+			// Shared-string decode: f.Payload is the FrameReader's pooled
+			// buffer; the decoded result owns its (single) string backing.
+			res, err := wire.UnmarshalQueryResultShared(f.Payload)
 			if err != nil {
 				continue
 			}
@@ -157,7 +180,7 @@ func (c *Client) readLoop() {
 				close(ch)
 			}
 		case wire.KindFeedItem:
-			item, err := wire.UnmarshalFeedItem(f.Payload)
+			item, err := wire.UnmarshalFeedItemShared(f.Payload)
 			if err != nil {
 				continue
 			}
@@ -183,7 +206,7 @@ func (c *Client) readLoop() {
 			}
 		case wire.KindPong:
 			select {
-			case c.pongs <- f.Payload:
+			case c.pongs <- struct{}{}:
 			default:
 			}
 		}
@@ -193,18 +216,53 @@ func (c *Client) readLoop() {
 // ErrTimeout reports an expired client-side wait.
 var ErrTimeout = errors.New("transport: timeout")
 
+// timerPool recycles the per-wait timeout timers: every roundtrip arms
+// one, and under load that is one avoidable allocation per query. Timers
+// are returned stopped and drained, so Reset is safe.
+var timerPool sync.Pool
+
+func acquireTimer(d time.Duration) *time.Timer {
+	if v := timerPool.Get(); v != nil {
+		t := v.(*time.Timer)
+		t.Reset(d)
+		return t
+	}
+	return time.NewTimer(d)
+}
+
+func releaseTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C: // fired while we held it: drain so Reset starts clean
+		default:
+		}
+	}
+	timerPool.Put(t)
+}
+
+// newID mints a connection-unique request id; the caller holds c.mu.
+// strconv instead of fmt keeps it to the one unavoidable allocation.
+func (c *Client) newID(prefix byte) string {
+	c.nextID++
+	var buf [24]byte
+	b := append(buf[:0], prefix)
+	return string(strconv.AppendUint(b, c.nextID, 10))
+}
+
 // Ping round-trips a ping.
 func (c *Client) Ping(timeout time.Duration) (time.Duration, error) {
 	start := time.Now()
 	if err := c.send(wire.KindPing, []byte("ping")); err != nil {
 		return 0, err
 	}
+	t := acquireTimer(timeout)
+	defer releaseTimer(t)
 	select {
 	case <-c.pongs:
 		rtt := time.Since(start)
 		c.tel.pingRTT.Observe(rtt)
 		return rtt, nil
-	case <-time.After(timeout):
+	case <-t.C:
 		c.tel.timeouts.Inc()
 		return 0, ErrTimeout
 	case <-c.done:
@@ -256,15 +314,21 @@ func (c *Client) QueryGlobal(text string, topK int, timeout time.Duration, tc te
 func (c *Client) roundtripQuery(q wire.Query, timeout time.Duration) (wire.QueryResult, error) {
 	start := time.Now()
 	c.mu.Lock()
-	c.nextID++
-	q.ID = fmt.Sprintf("q%d", c.nextID)
+	q.ID = c.newID('q')
 	ch := make(chan wire.QueryResult, 1)
 	c.pending[q.ID] = ch
 	c.mu.Unlock()
 	id := q.ID
-	if err := c.send(wire.KindQuery, q.Marshal()); err != nil {
+	if err := c.out.stage(wire.KindQuery, &q); err != nil {
+		// The query never left, so the demux loop will never resolve this
+		// id: drop the pending entry or it leaks until Close.
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
 		return wire.QueryResult{}, err
 	}
+	t := acquireTimer(timeout)
+	defer releaseTimer(t)
 	select {
 	case res, ok := <-ch:
 		if !ok {
@@ -273,7 +337,7 @@ func (c *Client) roundtripQuery(q wire.Query, timeout time.Duration) (wire.Query
 		c.tel.queries.Inc()
 		c.tel.queryRTT.Observe(time.Since(start))
 		return res, nil
-	case <-time.After(timeout):
+	case <-t.C:
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
@@ -287,28 +351,45 @@ func (c *Client) roundtripQuery(q wire.Query, timeout time.Duration) (wire.Query
 // terms). Scatter routers call this once per unseen (term set, epoch) and
 // cache the answer.
 func (c *Client) TermStats(terms []string, timeout time.Duration) (wire.TermStatsResp, error) {
+	return c.TermStatsAsync(terms, timeout)()
+}
+
+// TermStatsAsync stages the stats request immediately and returns a wait
+// function for the response. Scatter routers stage every shard's request
+// back-to-back — the frames ride one coalesced batch per connection — and
+// only then start waiting, overlapping the round-trips instead of paying
+// them one by one. The wait function must be called exactly once.
+func (c *Client) TermStatsAsync(terms []string, timeout time.Duration) func() (wire.TermStatsResp, error) {
 	c.mu.Lock()
-	c.nextID++
-	id := fmt.Sprintf("s%d", c.nextID)
+	id := c.newID('s')
 	ch := make(chan wire.TermStatsResp, 1)
 	c.pendingStats[id] = ch
 	c.mu.Unlock()
 	req := wire.TermStatsReq{ID: id, Terms: terms}
-	if err := c.send(wire.KindTermStats, req.Marshal()); err != nil {
-		return wire.TermStatsResp{}, err
-	}
-	select {
-	case resp, ok := <-ch:
-		if !ok {
-			return wire.TermStatsResp{}, c.err()
-		}
-		return resp, nil
-	case <-time.After(timeout):
+	if err := c.out.stage(wire.KindTermStats, &req); err != nil {
+		// Same leak hazard as roundtripQuery: an unsent request is never
+		// demuxed, so remove it before reporting the failure.
 		c.mu.Lock()
 		delete(c.pendingStats, id)
 		c.mu.Unlock()
-		c.tel.timeouts.Inc()
-		return wire.TermStatsResp{}, ErrTimeout
+		return func() (wire.TermStatsResp, error) { return wire.TermStatsResp{}, err }
+	}
+	return func() (wire.TermStatsResp, error) {
+		t := acquireTimer(timeout)
+		defer releaseTimer(t)
+		select {
+		case resp, ok := <-ch:
+			if !ok {
+				return wire.TermStatsResp{}, c.err()
+			}
+			return resp, nil
+		case <-t.C:
+			c.mu.Lock()
+			delete(c.pendingStats, id)
+			c.mu.Unlock()
+			c.tel.timeouts.Inc()
+			return wire.TermStatsResp{}, ErrTimeout
+		}
 	}
 }
 
@@ -324,7 +405,9 @@ func (c *Client) Unsubscribe(subID string) error {
 	return c.send(wire.KindUnsubscribe, []byte(subID))
 }
 
-// Close tears down the connection.
+// Close drains staged frames to the wire, then tears down the connection.
+// A write deadline bounds the drain so a peer that stopped reading cannot
+// wedge Close; a healthy drain finishes in microseconds.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	if c.closed {
@@ -333,7 +416,13 @@ func (c *Client) Close() error {
 	}
 	c.closed = true
 	c.mu.Unlock()
-	err := c.conn.Close()
+	err := c.conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+	if derr := c.out.close(); err == nil {
+		err = derr
+	}
+	if cerr := c.conn.Close(); err == nil {
+		err = cerr
+	}
 	<-c.done
 	return err
 }

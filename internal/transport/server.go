@@ -34,6 +34,11 @@ type Server struct {
 	Log *telemetry.Logger
 	// Logf, when set, overrides Log for every message (test hook).
 	Logf func(format string, args ...any)
+	// TuneConn, when set, is applied to every accepted connection before
+	// serving — socket-level tuning (SetNoDelay, SetWriteBuffer, …). Set
+	// it before calling Serve; it is read from the accept loop without
+	// locking.
+	TuneConn func(net.Conn)
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -48,6 +53,11 @@ type Server struct {
 	served    atomic.Uint64
 	delivered atomic.Uint64
 	telPtr    atomic.Pointer[serverTel]
+
+	// Coalescer counters for connections already torn down; WireStats adds
+	// the live ones on top.
+	retiredFrames  atomic.Uint64
+	retiredFlushes atomic.Uint64
 }
 
 // serverTel caches resolved telemetry instruments for the request path.
@@ -92,7 +102,7 @@ func (s *Server) Delivered() uint64 { return s.delivered.Load() }
 
 type connState struct {
 	conn net.Conn
-	wmu  sync.Mutex
+	out  *coalescer
 }
 
 type subscription struct {
@@ -141,7 +151,10 @@ func (s *Server) Serve(ln net.Listener) error {
 			}
 			return fmt.Errorf("transport: accept: %w", err)
 		}
-		cs := &connState{conn: conn}
+		if s.TuneConn != nil {
+			s.TuneConn(conn)
+		}
+		cs := &connState{conn: conn, out: newCoalescer(conn)}
 		s.tel().conns.Inc()
 		s.mu.Lock()
 		s.conns[conn] = cs
@@ -180,20 +193,50 @@ func (s *Server) dropConn(cs *connState) {
 		}
 	}
 	s.mu.Unlock()
+	// Bound the drain like Client.Close does: the read side already
+	// failed, and a peer that stopped reading must not wedge teardown.
+	// During Server.Close the conn is already closed — the drain below
+	// is a no-op then, so a failed arm is only worth a warning when the
+	// conn was live.
+	if err := cs.conn.SetWriteDeadline(time.Now().Add(2 * time.Second)); err != nil && !errors.Is(err, net.ErrClosed) {
+		s.warnf("transport: arming teardown deadline: %v", err)
+	}
+	//lint:allow checkederr the conn is being dropped because it already failed; the drain error repeats that failure
+	cs.out.close()
+	st := cs.out.stats()
+	s.retiredFrames.Add(st.Frames)
+	s.retiredFlushes.Add(st.Flushes)
 	cs.conn.Close()
 }
 
+// send stages a cold control frame; hot responses stage Appenders through
+// cs.out directly.
 func (s *Server) send(cs *connState, kind wire.Kind, payload []byte) error {
-	cs.wmu.Lock()
-	defer cs.wmu.Unlock()
-	return wire.WriteFrame(cs.conn, kind, payload)
+	return cs.out.stageBytes(kind, payload)
+}
+
+// WireStats aggregates coalescer counters across every connection the
+// server has carried, live and retired.
+func (s *Server) WireStats() WireStats {
+	st := WireStats{
+		Frames:  s.retiredFrames.Load(),
+		Flushes: s.retiredFlushes.Load(),
+	}
+	s.mu.Lock()
+	for _, cs := range s.conns {
+		c := cs.out.stats()
+		st.Frames += c.Frames
+		st.Flushes += c.Flushes
+	}
+	s.mu.Unlock()
+	return st
 }
 
 func (s *Server) handle(cs *connState) {
 	defer s.dropConn(cs)
-	r := bufio.NewReader(cs.conn)
+	fr := wire.NewFrameReader(bufio.NewReader(cs.conn))
 	for {
-		f, err := wire.ReadFrame(r)
+		f, err := fr.Next()
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				s.tel().readErrors.Inc()
@@ -223,7 +266,7 @@ func (s *Server) handle(cs *connState) {
 		case wire.KindQuery:
 			s.serveQuery(cs, f.Payload)
 		case wire.KindTermStats:
-			req, err := wire.UnmarshalTermStatsReq(f.Payload)
+			req, err := wire.UnmarshalTermStatsReqShared(f.Payload)
 			if err != nil {
 				s.warnf("transport: bad term stats req: %v", err)
 				continue
@@ -238,7 +281,7 @@ func (s *Server) handle(cs *connState) {
 				resp.DF[i] = st.DF
 				resp.MaxRatio[i] = st.MaxRatio
 			}
-			if err := s.send(cs, wire.KindTermStatsResult, resp.Marshal()); err != nil {
+			if err := cs.out.stage(wire.KindTermStatsResult, &resp); err != nil {
 				s.warnf("transport: send term stats: %v", err)
 			}
 		case wire.KindSubscribe:
@@ -261,7 +304,9 @@ func (s *Server) handle(cs *connState) {
 }
 
 func (s *Server) serveQuery(cs *connState, payload []byte) {
-	wq, err := wire.UnmarshalQuery(payload)
+	// Shared-string decode: payload is the FrameReader's pooled buffer,
+	// valid only for this call; the shared backing is an owned copy.
+	wq, err := wire.UnmarshalQueryShared(payload)
 	if err != nil {
 		s.warnf("transport: bad query: %v", err)
 		return
@@ -290,6 +335,7 @@ func (s *Server) serveQuery(cs *connState, payload []byte) {
 		sp := tr.Span("search-global", wq.ID)
 		hits := s.Store.SearchTextGlobal(wq.Text, topK, gs)
 		sp.End()
+		resp.Items = make([]wire.ResultItem, 0, len(hits))
 		for _, h := range hits {
 			resp.Items = append(resp.Items, wire.ResultItem{
 				DocID: h.Doc.ID, Source: s.NodeID, Score: h.Score, Snippet: h.Doc.Snippet(80),
@@ -312,6 +358,7 @@ func (s *Server) serveQuery(cs *connState, payload []byte) {
 		sp := tr.Span("search", wq.ID)
 		results := query.Execute(s.Store, q, feature.Vector(wq.Concept), time.Now().UnixNano())
 		sp.End()
+		resp.Items = make([]wire.ResultItem, 0, len(results))
 		for _, r := range results {
 			resp.Items = append(resp.Items, wire.ResultItem{
 				DocID: r.Doc.ID, Source: s.NodeID, Score: r.Score, Snippet: r.Doc.Snippet(80),
@@ -322,7 +369,7 @@ func (s *Server) serveQuery(cs *connState, payload []byte) {
 	s.served.Add(1)
 	tel.queries.Inc()
 	tel.queryLat.ObserveExemplar(time.Since(start), tr.ID())
-	if err := s.send(cs, wire.KindQueryResult, resp.Marshal()); err != nil {
+	if err := cs.out.stage(wire.KindQueryResult, &resp); err != nil {
 		s.warnf("transport: send result: %v", err)
 		tr.Fail(err)
 	}
@@ -349,9 +396,8 @@ func (s *Server) PublishFeed(d *docstore.Document, seq uint64) {
 		}
 	}
 	s.mu.Unlock()
-	payload := item.Marshal()
 	for _, cs := range targets {
-		if err := s.send(cs, wire.KindFeedItem, payload); err == nil {
+		if err := cs.out.stage(wire.KindFeedItem, &item); err == nil {
 			s.delivered.Add(1)
 			s.tel().feedDelivered.Inc()
 		}

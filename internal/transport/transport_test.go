@@ -12,7 +12,7 @@ import (
 	"repro/internal/wire"
 )
 
-func startServer(t *testing.T) (*Server, string) {
+func startServer(t testing.TB) (*Server, string) {
 	t.Helper()
 	st, err := docstore.Open(docstore.Options{ConceptDim: 8, Seed: 1})
 	if err != nil {

@@ -1,0 +1,74 @@
+package wire
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Append-style primitive encoders: the zero-allocation mirror of the
+// Writer methods. Each appends the exact bytes the corresponding Writer
+// method produces and returns the extended slice, so an AppendTo marshal
+// built from these is byte-identical to the legacy Marshal built on
+// Writer (batch_test.go pins this for every hot message). Callers
+// own dst — typically a pooled per-connection staging buffer — and the
+// append discipline means a warm buffer encodes a whole frame without a
+// single heap allocation (the wirealloc analyzer machine-checks this).
+
+// appendU8 appends one byte.
+func appendU8(dst []byte, v uint8) []byte { return append(dst, v) }
+
+// appendU32 appends a fixed 32-bit little-endian integer.
+func appendU32(dst []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(dst, v)
+}
+
+// appendU64 appends a fixed 64-bit little-endian integer.
+func appendU64(dst []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, v)
+}
+
+// appendI64 appends a signed 64-bit integer.
+func appendI64(dst []byte, v int64) []byte { return appendU64(dst, uint64(v)) }
+
+// appendUvarint appends an unsigned varint.
+func appendUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+// appendF64 appends a float64 as IEEE-754 bits.
+func appendF64(dst []byte, v float64) []byte {
+	return appendU64(dst, math.Float64bits(v))
+}
+
+// appendString appends a length-prefixed string.
+func appendString(dst []byte, s string) []byte {
+	dst = appendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// appendF64s appends a count-prefixed float64 slice.
+func appendF64s(dst []byte, v []float64) []byte {
+	dst = appendUvarint(dst, uint64(len(v)))
+	for _, x := range v {
+		dst = appendF64(dst, x)
+	}
+	return dst
+}
+
+// appendU64s appends a count-prefixed fixed-width uint64 slice.
+func appendU64s(dst []byte, v []uint64) []byte {
+	dst = appendUvarint(dst, uint64(len(v)))
+	for _, x := range v {
+		dst = appendU64(dst, x)
+	}
+	return dst
+}
+
+// appendStrings appends a count-prefixed string slice.
+func appendStrings(dst []byte, v []string) []byte {
+	dst = appendUvarint(dst, uint64(len(v)))
+	for _, s := range v {
+		dst = appendString(dst, s)
+	}
+	return dst
+}

@@ -125,10 +125,26 @@ type Reader struct {
 	buf []byte
 	off int
 	err error
+	// shared backing for String: when set, every String() slices str
+	// instead of allocating its own copy (see NewSharedReader).
+	str    string
+	shared bool
 }
 
 // NewReader returns a reader over buf.
 func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// NewSharedReader returns a reader whose String() results all share ONE
+// backing allocation: the whole payload is copied into a string up front
+// and fields are sliced out of it, so a message with a dozen string
+// fields decodes with one allocation instead of twelve. The returned
+// strings are independent of buf (safe when buf is a pooled FrameReader
+// payload) but keep the whole payload copy alive as long as any field is
+// retained — right for hot streaming decodes, wrong for long-lived
+// retention of one tiny field from a huge frame.
+func NewSharedReader(buf []byte) *Reader {
+	return &Reader{buf: buf, str: string(buf), shared: true}
+}
 
 // Err returns the first error encountered, or nil.
 func (r *Reader) Err() error { return r.err }
@@ -205,16 +221,21 @@ func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
 // Bool reads a boolean.
 func (r *Reader) Bool() bool { return r.U8() != 0 }
 
-// String reads a length-prefixed string.
+// String reads a length-prefixed string. Under NewSharedReader the result
+// slices the reader's shared backing instead of allocating.
 func (r *Reader) String() string {
 	n := r.Uvarint()
 	if n > MaxBlob {
 		r.fail(fmt.Errorf("%w: string %d", ErrTooLarge, n))
 		return ""
 	}
+	start := r.off
 	b := r.take(int(n))
 	if b == nil {
 		return ""
+	}
+	if r.shared {
+		return r.str[start : start+int(n)]
 	}
 	return string(b)
 }

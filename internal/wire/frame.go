@@ -78,6 +78,14 @@ type Frame struct {
 	Payload []byte
 }
 
+// Appender is a message that can marshal itself onto the end of a
+// caller-owned buffer without allocating: every hot wire message (Query,
+// QueryResult, FeedItem, TermStatsReq/Resp, Gossip) implements it, and
+// the transport's write coalescer stages frames through it.
+type Appender interface {
+	AppendTo(dst []byte) []byte
+}
+
 // EncodeFrame appends the framed message to dst and returns the result.
 func EncodeFrame(dst []byte, kind Kind, payload []byte) []byte {
 	dst = binary.LittleEndian.AppendUint16(dst, Magic)
@@ -86,6 +94,38 @@ func EncodeFrame(dst []byte, kind Kind, payload []byte) []byte {
 	dst = binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
 	dst = append(dst, payload...)
 	return dst
+}
+
+// BeginFrame appends a frame header placeholder for kind to dst and
+// returns the extended slice plus the header's offset. The caller appends
+// the payload directly after it (AppendTo) and seals the frame with
+// EndFrame — one pass, no intermediate payload buffer. Frames staged this
+// way are byte-identical to EncodeFrame over the same payload.
+func BeginFrame(dst []byte, kind Kind) ([]byte, int) {
+	off := len(dst)
+	dst = binary.LittleEndian.AppendUint16(dst, Magic)
+	dst = append(dst, Version, byte(kind))
+	dst = binary.LittleEndian.AppendUint32(dst, 0) // length, patched by EndFrame
+	dst = binary.LittleEndian.AppendUint32(dst, 0) // crc32, patched by EndFrame
+	return dst, off
+}
+
+// EndFrame seals a frame begun at off: everything appended past the
+// header becomes the payload, whose length and CRC are patched in place.
+func EndFrame(dst []byte, off int) []byte {
+	payload := dst[off+headerSize:]
+	binary.LittleEndian.PutUint32(dst[off+4:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[off+8:], crc32.ChecksumIEEE(payload))
+	return dst
+}
+
+// AppendFrame stages one complete message frame onto dst: header,
+// payload via m.AppendTo, length/CRC patch. The allocation-free composition
+// of BeginFrame + AppendTo + EndFrame.
+func AppendFrame(dst []byte, kind Kind, m Appender) []byte {
+	dst, off := BeginFrame(dst, kind)
+	dst = m.AppendTo(dst)
+	return EndFrame(dst, off)
 }
 
 // DecodeFrame parses one frame from buf, returning the frame and the number
@@ -127,7 +167,62 @@ func WriteFrame(w io.Writer, kind Kind, payload []byte) error {
 	return err
 }
 
-// ReadFrame reads one framed message from a buffered reader.
+// FrameReader decodes a frame stream with reused buffers: the header
+// scratch lives in the reader and the payload buffer grows once to the
+// connection's high-water frame size, then is handed out again and again.
+//
+// Ownership rule: the Frame returned by Next aliases the reader's
+// internal payload buffer and is valid only until the next Next call.
+// Decode it (Unmarshal* copies every field) or copy it before reading
+// on; never retain Frame.Payload. Callers that need an owned payload use
+// ReadFrame instead.
+type FrameReader struct {
+	r       *bufio.Reader
+	hdr     [headerSize]byte
+	payload []byte
+}
+
+// NewFrameReader returns a pooled-buffer frame decoder over r.
+func NewFrameReader(r *bufio.Reader) *FrameReader {
+	return &FrameReader{r: r}
+}
+
+// Next reads one frame. The returned payload is valid only until the
+// following Next call — see the FrameReader ownership rule.
+func (fr *FrameReader) Next() (Frame, error) {
+	if _, err := io.ReadFull(fr.r, fr.hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	if binary.LittleEndian.Uint16(fr.hdr[:]) != Magic {
+		return Frame{}, ErrBadMagic
+	}
+	if fr.hdr[2] != Version {
+		return Frame{}, fmt.Errorf("%w: %d", ErrVersion, fr.hdr[2])
+	}
+	kind := Kind(fr.hdr[3])
+	length := binary.LittleEndian.Uint32(fr.hdr[4:])
+	if length > maxFrameLen {
+		return Frame{}, fmt.Errorf("%w: frame %d", ErrTooLarge, length)
+	}
+	want := binary.LittleEndian.Uint32(fr.hdr[8:])
+	if uint32(cap(fr.payload)) < length {
+		// Pool miss: the buffer grows to the connection's high-water frame
+		// size once, then every further frame reuses it.
+		fr.payload = make([]byte, length) //lint:allow wirealloc documented pool miss: one growth to the high-water frame size, amortized across the connection
+	}
+	payload := fr.payload[:length]
+	if _, err := io.ReadFull(fr.r, payload); err != nil {
+		return Frame{}, fmt.Errorf("wire: reading payload: %w", err)
+	}
+	if crc32.ChecksumIEEE(payload) != want {
+		return Frame{}, ErrChecksum
+	}
+	return Frame{Kind: kind, Payload: payload}, nil
+}
+
+// ReadFrame reads one framed message from a buffered reader. The returned
+// payload is freshly allocated and owned by the caller; the streaming
+// paths use FrameReader instead, which reuses its buffers.
 func ReadFrame(r *bufio.Reader) (Frame, error) {
 	header := make([]byte, headerSize)
 	if _, err := io.ReadFull(r, header); err != nil {

@@ -53,13 +53,17 @@ type Gossip struct {
 	Peers []string // "id addr" pairs, flattened
 }
 
-// Marshal encodes the message.
-func (m *Gossip) Marshal() []byte {
-	w := NewWriter(64)
-	w.String(m.From)
-	w.Strings(m.Peers)
-	return w.Bytes()
+// AppendTo appends the encoded message to dst and returns the extended
+// slice — the zero-allocation marshal for the hot wire path. The bytes
+// are identical to Marshal's. Callers own dst (typically a pooled
+// per-connection staging buffer).
+func (m *Gossip) AppendTo(dst []byte) []byte {
+	dst = appendString(dst, m.From)
+	return appendStrings(dst, m.Peers)
 }
+
+// Marshal encodes the message.
+func (m *Gossip) Marshal() []byte { return m.AppendTo(make([]byte, 0, 64)) }
 
 // UnmarshalGossip decodes a Gossip.
 func UnmarshalGossip(b []byte) (Gossip, error) {
@@ -87,6 +91,16 @@ func (q *QoSTerms) encode(w *Writer) {
 	w.F64(q.Trust)
 	w.F64(q.Premium)
 	w.F64(q.PenaltyRate)
+}
+
+func (q *QoSTerms) appendTo(dst []byte) []byte {
+	dst = appendF64(dst, q.Price)
+	dst = appendF64(dst, q.LatencyMs)
+	dst = appendF64(dst, q.Completeness)
+	dst = appendF64(dst, q.FreshnessSec)
+	dst = appendF64(dst, q.Trust)
+	dst = appendF64(dst, q.Premium)
+	return appendF64(dst, q.PenaltyRate)
 }
 
 func decodeQoSTerms(r *Reader) QoSTerms {
@@ -134,27 +148,36 @@ type Query struct {
 // zero, i.e. untraced) and old peers tolerate new frames. Any future
 // optional field must be appended after these, same trick.
 
-// Marshal encodes the message.
-func (m *Query) Marshal() []byte {
-	w := NewWriter(128)
-	w.String(m.ID)
-	w.String(m.From)
-	w.String(m.Text)
-	w.F64s(m.Concept)
-	w.U32(m.TopK)
-	w.U32(m.TTL)
-	m.Want.encode(w)
-	w.U64(m.TraceID)
-	w.U64(m.SpanID)
-	w.U64(m.GlobalDocs)
-	w.Strings(m.StatsTerms)
-	w.U64s(m.StatsDF)
-	return w.Bytes()
+// AppendTo appends the encoded message to dst and returns the extended
+// slice; bytes identical to Marshal's. See Gossip.AppendTo for the
+// ownership contract.
+func (m *Query) AppendTo(dst []byte) []byte {
+	dst = appendString(dst, m.ID)
+	dst = appendString(dst, m.From)
+	dst = appendString(dst, m.Text)
+	dst = appendF64s(dst, m.Concept)
+	dst = appendU32(dst, m.TopK)
+	dst = appendU32(dst, m.TTL)
+	dst = m.Want.appendTo(dst)
+	dst = appendU64(dst, m.TraceID)
+	dst = appendU64(dst, m.SpanID)
+	dst = appendU64(dst, m.GlobalDocs)
+	dst = appendStrings(dst, m.StatsTerms)
+	return appendU64s(dst, m.StatsDF)
 }
 
+// Marshal encodes the message.
+func (m *Query) Marshal() []byte { return m.AppendTo(make([]byte, 0, 128)) }
+
 // UnmarshalQuery decodes a Query.
-func UnmarshalQuery(b []byte) (Query, error) {
-	r := NewReader(b)
+func UnmarshalQuery(b []byte) (Query, error) { return decodeQuery(NewReader(b)) }
+
+// UnmarshalQueryShared decodes a Query with all string fields sharing one
+// backing allocation (NewSharedReader): the streaming server path decodes
+// pooled FrameReader payloads through this.
+func UnmarshalQueryShared(b []byte) (Query, error) { return decodeQuery(NewSharedReader(b)) }
+
+func decodeQuery(r *Reader) (Query, error) {
 	m := Query{
 		ID:      r.String(),
 		From:    r.String(),
@@ -197,31 +220,49 @@ type QueryResult struct {
 	Epoch   uint64 // provider snapshot epoch answered from (0 = unreported)
 }
 
-// Marshal encodes the message.
-func (m *QueryResult) Marshal() []byte {
-	w := NewWriter(256)
-	w.String(m.QueryID)
-	w.String(m.From)
-	w.Uvarint(uint64(len(m.Items)))
-	for _, it := range m.Items {
-		w.String(it.DocID)
-		w.String(it.Source)
-		w.F64(it.Score)
-		w.String(it.Snippet)
+// AppendTo appends the encoded message to dst and returns the extended
+// slice; bytes identical to Marshal's. See Gossip.AppendTo for the
+// ownership contract.
+func (m *QueryResult) AppendTo(dst []byte) []byte {
+	dst = appendString(dst, m.QueryID)
+	dst = appendString(dst, m.From)
+	dst = appendUvarint(dst, uint64(len(m.Items)))
+	for i := range m.Items {
+		it := &m.Items[i]
+		dst = appendString(dst, it.DocID)
+		dst = appendString(dst, it.Source)
+		dst = appendF64(dst, it.Score)
+		dst = appendString(dst, it.Snippet)
 	}
-	w.F64(m.Elapsed)
-	w.U64(m.TraceID)
-	w.U64(m.Epoch)
-	return w.Bytes()
+	dst = appendF64(dst, m.Elapsed)
+	dst = appendU64(dst, m.TraceID)
+	return appendU64(dst, m.Epoch)
 }
+
+// Marshal encodes the message.
+func (m *QueryResult) Marshal() []byte { return m.AppendTo(make([]byte, 0, 256)) }
 
 // UnmarshalQueryResult decodes a QueryResult.
 func UnmarshalQueryResult(b []byte) (QueryResult, error) {
-	r := NewReader(b)
+	return decodeQueryResult(NewReader(b))
+}
+
+// UnmarshalQueryResultShared decodes a QueryResult with every string field
+// (per-item DocID/Source/Snippet included) sliced from one shared backing
+// allocation — a k-item result decodes with two allocations instead of
+// 3k+2. The client demux loop uses this on pooled FrameReader payloads.
+func UnmarshalQueryResultShared(b []byte) (QueryResult, error) {
+	return decodeQueryResult(NewSharedReader(b))
+}
+
+func decodeQueryResult(r *Reader) (QueryResult, error) {
 	m := QueryResult{QueryID: r.String(), From: r.String()}
 	n := r.Uvarint()
 	if n > MaxBlob {
 		return m, ErrTooLarge
+	}
+	if n > 0 && r.Err() == nil {
+		m.Items = make([]ResultItem, 0, min(int(n), 4096))
 	}
 	for i := uint64(0); i < n && r.Err() == nil; i++ {
 		m.Items = append(m.Items, ResultItem{
@@ -323,21 +364,29 @@ type FeedItem struct {
 	Seq     uint64
 }
 
-// Marshal encodes the message.
-func (m *FeedItem) Marshal() []byte {
-	w := NewWriter(128)
-	w.String(m.FeedID)
-	w.String(m.DocID)
-	w.String(m.Source)
-	w.String(m.Text)
-	w.F64s(m.Concept)
-	w.U64(m.Seq)
-	return w.Bytes()
+// AppendTo appends the encoded message to dst and returns the extended
+// slice; bytes identical to Marshal's. See Gossip.AppendTo for the
+// ownership contract.
+func (m *FeedItem) AppendTo(dst []byte) []byte {
+	dst = appendString(dst, m.FeedID)
+	dst = appendString(dst, m.DocID)
+	dst = appendString(dst, m.Source)
+	dst = appendString(dst, m.Text)
+	dst = appendF64s(dst, m.Concept)
+	return appendU64(dst, m.Seq)
 }
 
+// Marshal encodes the message.
+func (m *FeedItem) Marshal() []byte { return m.AppendTo(make([]byte, 0, 128)) }
+
 // UnmarshalFeedItem decodes a FeedItem.
-func UnmarshalFeedItem(b []byte) (FeedItem, error) {
-	r := NewReader(b)
+func UnmarshalFeedItem(b []byte) (FeedItem, error) { return decodeFeedItem(NewReader(b)) }
+
+// UnmarshalFeedItemShared decodes a FeedItem with its strings sharing one
+// backing allocation; safe to retain (the backing is independent of b).
+func UnmarshalFeedItemShared(b []byte) (FeedItem, error) { return decodeFeedItem(NewSharedReader(b)) }
+
+func decodeFeedItem(r *Reader) (FeedItem, error) {
 	m := FeedItem{
 		FeedID:  r.String(),
 		DocID:   r.String(),
@@ -390,17 +439,29 @@ type TermStatsReq struct {
 	Terms []string
 }
 
-// Marshal encodes the message.
-func (m *TermStatsReq) Marshal() []byte {
-	w := NewWriter(64)
-	w.String(m.ID)
-	w.Strings(m.Terms)
-	return w.Bytes()
+// AppendTo appends the encoded message to dst and returns the extended
+// slice; bytes identical to Marshal's. See Gossip.AppendTo for the
+// ownership contract.
+func (m *TermStatsReq) AppendTo(dst []byte) []byte {
+	dst = appendString(dst, m.ID)
+	return appendStrings(dst, m.Terms)
 }
+
+// Marshal encodes the message.
+func (m *TermStatsReq) Marshal() []byte { return m.AppendTo(make([]byte, 0, 64)) }
 
 // UnmarshalTermStatsReq decodes a TermStatsReq.
 func UnmarshalTermStatsReq(b []byte) (TermStatsReq, error) {
-	r := NewReader(b)
+	return decodeTermStatsReq(NewReader(b))
+}
+
+// UnmarshalTermStatsReqShared decodes a TermStatsReq with ID and all terms
+// sharing one backing allocation (the payload is almost entirely strings).
+func UnmarshalTermStatsReqShared(b []byte) (TermStatsReq, error) {
+	return decodeTermStatsReq(NewSharedReader(b))
+}
+
+func decodeTermStatsReq(r *Reader) (TermStatsReq, error) {
 	m := TermStatsReq{ID: r.String(), Terms: r.Strings()}
 	return m, r.Err()
 }
@@ -418,16 +479,19 @@ type TermStatsResp struct {
 	MaxRatio []float64
 }
 
-// Marshal encodes the message.
-func (m *TermStatsResp) Marshal() []byte {
-	w := NewWriter(128)
-	w.String(m.ID)
-	w.U64(m.Total)
-	w.U64(m.Epoch)
-	w.U64s(m.DF)
-	w.F64s(m.MaxRatio)
-	return w.Bytes()
+// AppendTo appends the encoded message to dst and returns the extended
+// slice; bytes identical to Marshal's. See Gossip.AppendTo for the
+// ownership contract.
+func (m *TermStatsResp) AppendTo(dst []byte) []byte {
+	dst = appendString(dst, m.ID)
+	dst = appendU64(dst, m.Total)
+	dst = appendU64(dst, m.Epoch)
+	dst = appendU64s(dst, m.DF)
+	return appendF64s(dst, m.MaxRatio)
 }
+
+// Marshal encodes the message.
+func (m *TermStatsResp) Marshal() []byte { return m.AppendTo(make([]byte, 0, 128)) }
 
 // UnmarshalTermStatsResp decodes a TermStatsResp.
 func UnmarshalTermStatsResp(b []byte) (TermStatsResp, error) {
